@@ -1,0 +1,222 @@
+package rewind_test
+
+// One testing.B benchmark per figure of the paper's evaluation (§5). Each
+// benchmark regenerates the figure at quick scale and reports its headline
+// numbers as custom metrics, so `go test -bench=.` doubles as a shape
+// check against the paper. cmd/rewind-bench prints the full tables and
+// supports -scale full.
+
+import (
+	"testing"
+
+	"github.com/rewind-db/rewind/internal/bench"
+)
+
+// last returns the final point of the named series (the figure's rightmost
+// x — usually the headline the paper quotes).
+func last(f bench.Figure, series string) float64 {
+	for _, s := range f.Series {
+		if s.Name == series && len(s.Points) > 0 {
+			return s.Points[len(s.Points)-1].Y
+		}
+	}
+	return -1
+}
+
+func first(f bench.Figure, series string) float64 {
+	for _, s := range f.Series {
+		if s.Name == series && len(s.Points) > 0 {
+			return s.Points[0].Y
+		}
+	}
+	return -1
+}
+
+func BenchmarkFig3aLoggingOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := bench.Fig3a(bench.Quick)
+		b.ReportMetric(first(f, "1L-NFP/Optimized"), "slowdown-1L-NFP@10%")
+		b.ReportMetric(last(f, "1L-NFP/Optimized"), "slowdown-1L-NFP@100%")
+		b.ReportMetric(last(f, "2L-NFP/Optimized"), "slowdown-2L-NFP@100%")
+	}
+}
+
+func BenchmarkFig3bSkipRecords(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := bench.Fig3b(bench.Quick)
+		b.ReportMetric(last(f, "1L-FP/Optimized"), "slowdown-1L@1000skip")
+		b.ReportMetric(last(f, "2L-FP/Optimized"), "slowdown-2L@1000skip")
+	}
+}
+
+func BenchmarkFig4aRollback(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := bench.Fig4a(bench.Quick)
+		b.ReportMetric(last(f, "1L-FP/Optimized"), "ms-1L@1000skip")
+		b.ReportMetric(last(f, "2L-FP/Optimized"), "ms-2L@1000skip")
+	}
+}
+
+func BenchmarkFig4bRecovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := bench.Fig4b(bench.Quick)
+		b.ReportMetric(last(f, "1L-FP/Optimized"), "ms-1L@1000skip")
+		b.ReportMetric(last(f, "2L-FP/Optimized"), "ms-2L@1000skip")
+	}
+}
+
+func BenchmarkFig5RecoveryFraction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := bench.Fig5(bench.Quick)
+		b.ReportMetric(last(f, "1L-NFP-300"), "s-NFP-300@all-recovered")
+		b.ReportMetric(last(f, "1L-FP-300"), "s-FP-300@all-recovered")
+	}
+}
+
+func BenchmarkFig6Checkpoint(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := bench.Fig6(bench.Quick)
+		b.ReportMetric(first(f, "Simple"), "pct-simple@2")
+		b.ReportMetric(first(f, "Optimized"), "pct-optimized@2")
+		b.ReportMetric(first(f, "Batch"), "pct-batch@2")
+	}
+}
+
+func BenchmarkFig7aBtreeLogging(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := bench.Fig7a(bench.Quick)
+		b.ReportMetric(last(f, "REWIND Batch")/last(f, "NVM"), "x-batch-vs-nvm")
+		b.ReportMetric(last(f, "REWIND")/last(f, "REWIND Batch"), "x-simple-vs-batch")
+	}
+}
+
+func BenchmarkFig7bVsBaselines(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := bench.Fig7b(bench.Quick)
+		rw := last(f, "REWIND Batch")
+		b.ReportMetric(last(f, "Stasis")/rw, "x-stasis-vs-rewind")
+		b.ReportMetric(last(f, "BerkeleyDB")/rw, "x-bdb-vs-rewind")
+		b.ReportMetric(last(f, "Shore-MT")/rw, "x-shoremt-vs-rewind")
+	}
+}
+
+func BenchmarkFig8aBtreeRollback(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := bench.Fig8a(bench.Quick)
+		rw := last(f, "REWIND Batch")
+		b.ReportMetric(last(f, "Stasis")/rw, "x-stasis-vs-rewind")
+		b.ReportMetric(last(f, "BerkeleyDB")/rw, "x-bdb-vs-rewind")
+		b.ReportMetric(last(f, "Shore-MT")/rw, "x-shoremt-vs-rewind")
+	}
+}
+
+func BenchmarkFig8bBtreeRecovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := bench.Fig8b(bench.Quick)
+		rw := last(f, "REWIND Batch")
+		b.ReportMetric(last(f, "Stasis")/rw, "x-stasis-vs-rewind")
+		b.ReportMetric(last(f, "BerkeleyDB")/rw, "x-bdb-vs-rewind")
+		b.ReportMetric(last(f, "Shore-MT")/rw, "x-shoremt-vs-rewind")
+	}
+}
+
+func BenchmarkFig9Multithreaded(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := bench.Fig9(bench.Quick)
+		b.ReportMetric(last(f, "REWIND Batch"), "s-rewind@8threads")
+		b.ReportMetric(last(f, "Stasis"), "s-stasis@8threads")
+	}
+}
+
+func BenchmarkFig10FenceSensitivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := bench.Fig10(bench.Quick)
+		// The paper's headline: Optimized slows 5x across the sweep,
+		// Batch 8/16/32 only 1.63/1.32/1.18x.
+		b.ReportMetric(last(f, "REWIND Opt.")/first(f, "REWIND Opt."), "x-optimized-slowdown")
+		b.ReportMetric(last(f, "REWIND Batch 8")/first(f, "REWIND Batch 8"), "x-batch8-slowdown")
+		b.ReportMetric(last(f, "REWIND Batch 32")/first(f, "REWIND Batch 32"), "x-batch32-slowdown")
+	}
+}
+
+func BenchmarkFig11TPCC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := bench.Fig11(bench.Quick)
+		b.ReportMetric(last(f, "Simple NVM B+Trees"), "ktpm-nonrecoverable")
+		b.ReportMetric(last(f, "REWIND Naive"), "ktpm-naive")
+		b.ReportMetric(last(f, "REWIND Opt. Data Structure"), "ktpm-optimized")
+		b.ReportMetric(last(f, "REWIND Opt. D.Log"), "ktpm-distributed")
+	}
+}
+
+// TestFigureShapes asserts the qualitative claims the paper makes — who
+// wins, in which direction curves move — so a regression in any subsystem
+// that would flip a conclusion fails the suite, not just the eyeball.
+func TestFigureShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure regeneration")
+	}
+	t.Run("fig3a", func(t *testing.T) {
+		f := bench.Fig3a(bench.Quick)
+		if l := first(f, "1L-NFP/Optimized"); l > 2.5 {
+			t.Errorf("1L-NFP overhead at 10%% intensity = %.2fx, paper ~1.5x", l)
+		}
+		if last(f, "2L-NFP/Optimized") <= last(f, "1L-NFP/Optimized") {
+			t.Error("two-layer logging not costlier than one-layer")
+		}
+		if last(f, "1L-FP/Optimized") <= last(f, "1L-NFP/Optimized") {
+			t.Error("force policy not costlier than no-force")
+		}
+	})
+	t.Run("fig4a", func(t *testing.T) {
+		f := bench.Fig4a(bench.Quick)
+		for _, s := range f.Series {
+			if s.Name == "1L-FP/Optimized" {
+				if s.Points[len(s.Points)-1].Y <= s.Points[0].Y {
+					t.Error("one-layer rollback does not grow with skip records")
+				}
+			}
+		}
+	})
+	t.Run("fig4b", func(t *testing.T) {
+		// The paper's 2L recovery loses badly to 1L because its AVL
+		// iteration during analysis is slow; our chain-walk analysis is
+		// leaner, so the two converge. Assert the paper's *qualitative*
+		// point — the 2L advantage of Figure 4a vanishes at recovery —
+		// rather than its magnitude (see EXPERIMENTS.md).
+		f := bench.Fig4b(bench.Quick)
+		if last(f, "1L-FP/Optimized") >= 2*last(f, "2L-FP/Optimized") {
+			t.Error("one-layer recovery more than 2x slower than two-layer (paper: 1L wins)")
+		}
+	})
+	t.Run("fig7a", func(t *testing.T) {
+		f := bench.Fig7a(bench.Quick)
+		if !(last(f, "DRAM") < last(f, "NVM") && last(f, "NVM") < last(f, "REWIND Batch")) {
+			t.Error("DRAM < NVM < REWIND ordering violated")
+		}
+		if !(last(f, "REWIND Batch") < last(f, "REWIND Opt.") && last(f, "REWIND Opt.") < last(f, "REWIND")) {
+			t.Error("Batch < Optimized < Simple ordering violated")
+		}
+	})
+	t.Run("fig7b", func(t *testing.T) {
+		f := bench.Fig7b(bench.Quick)
+		rw := last(f, "REWIND Batch")
+		for _, name := range []string{"Stasis", "BerkeleyDB", "Shore-MT"} {
+			if ratio := last(f, name) / rw; ratio < 10 {
+				t.Errorf("%s only %.1fx slower than REWIND; paper reports orders of magnitude", name, ratio)
+			}
+		}
+		if last(f, "BerkeleyDB") <= last(f, "Stasis") {
+			t.Error("BerkeleyDB not costlier than Stasis")
+		}
+	})
+	t.Run("fig10", func(t *testing.T) {
+		f := bench.Fig10(bench.Quick)
+		opt := last(f, "REWIND Opt.") / first(f, "REWIND Opt.")
+		b8 := last(f, "REWIND Batch 8") / first(f, "REWIND Batch 8")
+		b32 := last(f, "REWIND Batch 32") / first(f, "REWIND Batch 32")
+		if !(b32 < b8 && b8 < opt) {
+			t.Errorf("fence sensitivity not flattened by grouping: opt=%.2fx b8=%.2fx b32=%.2fx", opt, b8, b32)
+		}
+	})
+}

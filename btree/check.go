@@ -1,0 +1,149 @@
+package btree
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/rewind-db/rewind"
+)
+
+// Convenience wrappers that run each mutation as one persistent atomic
+// block — the common usage pattern (one tree operation, one transaction).
+
+// InsertAtomic inserts inside its own transaction.
+func (t *Tree) InsertAtomic(k uint64, v []byte) (added bool, err error) {
+	err = t.s.Atomic(func(tx *rewind.Tx) error {
+		var e error
+		added, e = t.Insert(tx, k, v)
+		return e
+	})
+	return added, err
+}
+
+// DeleteAtomic deletes inside its own transaction.
+func (t *Tree) DeleteAtomic(k uint64) (found bool, err error) {
+	err = t.s.Atomic(func(tx *rewind.Tx) error {
+		var e error
+		found, e = t.Delete(tx, k)
+		return e
+	})
+	return found, err
+}
+
+// Keys returns every key in order (tests and diagnostics).
+func (t *Tree) Keys() []uint64 {
+	var out []uint64
+	t.Scan(0, ^uint64(0), func(k uint64, _ []byte) bool {
+		out = append(out, k)
+		return true
+	})
+	return out
+}
+
+// Depth returns the tree height (leaf = 1).
+func (t *Tree) Depth() int {
+	d := 1
+	for n := t.root(); !t.isLeaf(n); n = t.child(n, 0) {
+		d++
+	}
+	return d
+}
+
+// CheckInvariants validates the B+-tree structure: key ordering within and
+// across nodes, separator correctness, uniform leaf depth, occupancy bounds
+// for non-root nodes, the leaf chain, and the stored record count. Crash
+// tests run it after every recovery.
+func (t *Tree) CheckInvariants() error {
+	root := t.root()
+	if root == 0 {
+		return errors.New("btree: nil root")
+	}
+	var leaves []uint64
+	var records int
+	leafDepth := -1
+	// Keys equal to a separator live in the right child, so every key of a
+	// subtree lies in [lo, hi). Key ^uint64(0) is therefore unusable (it
+	// cannot be bounded above); the tree documents that restriction.
+	var walk func(n uint64, lo, hi uint64, depth int, isRoot bool) error
+	walk = func(n uint64, lo, hi uint64, depth int, isRoot bool) error {
+		cnt := t.count(n)
+		if cnt < 0 || cnt > t.cfg.MaxKeys+1 {
+			return fmt.Errorf("btree: node %#x has count %d", n, cnt)
+		}
+		for i := 0; i < cnt; i++ {
+			k := t.key(n, i)
+			if k < lo || k >= hi {
+				return fmt.Errorf("btree: key %d at node %#x outside [%d, %d)", k, n, lo, hi)
+			}
+			if i > 0 && t.key(n, i-1) >= k {
+				return fmt.Errorf("btree: keys out of order at node %#x", n)
+			}
+		}
+		if t.isLeaf(n) {
+			if !isRoot && cnt < t.minLeaf() {
+				return fmt.Errorf("btree: leaf %#x underflows (%d < %d)", n, cnt, t.minLeaf())
+			}
+			if cnt > t.cfg.LeafCap {
+				return fmt.Errorf("btree: leaf %#x overflows (%d)", n, cnt)
+			}
+			if leafDepth == -1 {
+				leafDepth = depth
+			} else if leafDepth != depth {
+				return fmt.Errorf("btree: leaves at depths %d and %d", leafDepth, depth)
+			}
+			leaves = append(leaves, n)
+			records += cnt
+			return nil
+		}
+		if !isRoot && cnt < t.minInternal() {
+			return fmt.Errorf("btree: internal %#x underflows (%d < %d)", n, cnt, t.minInternal())
+		}
+		if cnt > t.cfg.MaxKeys {
+			return fmt.Errorf("btree: internal %#x overflows (%d)", n, cnt)
+		}
+		for i := 0; i <= cnt; i++ {
+			childLo, childHi := lo, hi
+			if i > 0 {
+				childLo = t.key(n, i-1)
+			}
+			if i < cnt {
+				childHi = t.key(n, i)
+			}
+			c := t.child(n, i)
+			if c == 0 {
+				return fmt.Errorf("btree: nil child %d of %#x", i, n)
+			}
+			if err := walk(c, childLo, childHi, depth+1, false); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(root, 0, ^uint64(0), 1, true); err != nil {
+		return err
+	}
+	// Leaf chain must visit exactly the leaves, in order.
+	chain := []uint64{}
+	n := root
+	for !t.isLeaf(n) {
+		n = t.child(n, 0)
+	}
+	for ; n != 0; n = t.mem.Load64(n + nodeNext) {
+		chain = append(chain, n)
+		if len(chain) > len(leaves)+1 {
+			return errors.New("btree: leaf chain longer than leaf set")
+		}
+	}
+	if len(chain) != len(leaves) {
+		return fmt.Errorf("btree: leaf chain has %d nodes, tree has %d leaves", len(chain), len(leaves))
+	}
+	for i := range chain {
+		if chain[i] != leaves[i] {
+			return fmt.Errorf("btree: leaf chain diverges at %d", i)
+		}
+	}
+	if records != t.Len() {
+		return fmt.Errorf("btree: stored count %d, actual %d", t.Len(), records)
+	}
+	return nil
+}

@@ -1,0 +1,61 @@
+// Command rewind-bench regenerates the figures of the REWIND paper's
+// evaluation (PVLDB 8(5), §5). Each figure prints as an aligned table, one
+// column per series — the same rows the paper plots.
+//
+// Usage:
+//
+//	rewind-bench                 # every figure, quick scale
+//	rewind-bench -fig fig7a      # one figure
+//	rewind-bench -scale full     # paper-scale sizes (minutes)
+//	rewind-bench -list           # list figure ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/rewind-db/rewind/internal/bench"
+)
+
+func main() {
+	figID := flag.String("fig", "", "figure id to run (default: all)")
+	scaleName := flag.String("scale", "quick", `experiment scale: "quick" or "full"`)
+	list := flag.Bool("list", false, "list figure ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, r := range bench.Runners() {
+			fmt.Printf("%-8s %s\n", r.ID, r.Title)
+		}
+		return
+	}
+
+	scale := bench.Quick
+	switch *scaleName {
+	case "quick":
+	case "full":
+		scale = bench.Full
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+
+	runners := bench.Runners()
+	if *figID != "" {
+		r, ok := bench.Find(*figID)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown figure %q; try -list\n", *figID)
+			os.Exit(2)
+		}
+		runners = []bench.Runner{r}
+	}
+
+	for _, r := range runners {
+		start := time.Now()
+		fig := r.Run(scale)
+		fig.Print(os.Stdout)
+		fmt.Printf("   [%s in %v at %s scale]\n\n", r.ID, time.Since(start).Round(time.Millisecond), scale)
+	}
+}

@@ -1,0 +1,507 @@
+// Package avl implements REWIND's Atomic AVL Tree (AAVLT, paper §3.4): the
+// auxiliary index of the two-layer log configuration. The tree indexes log
+// records by transaction identifier and keeps, per transaction, a chain of
+// that transaction's records (the back-chain followed by selective rollback).
+//
+// The tree is itself recoverable: every write that mutates reachable tree
+// state — child pointers, heights, the root pointer, chain heads/tails — is
+// physically logged in an underlying optimized ADLL log before being applied
+// with a durable store. Each public operation forms one internal mini
+// transaction: its writes are logged, an END record marks completion, and
+// the log entries are cleared immediately afterwards (§3.4: "we clear log
+// entries after each AAVLT operation"), so the ADLL only ever holds the one
+// pending operation. Deallocation of removed nodes is deferred until the
+// operation has fully completed.
+//
+// Recovery (a simplified §4 without the analysis phase, as the paper notes)
+// therefore has two cases: if the surviving mini-log contains an END record
+// the interrupted step was the clearing itself, and clearing is simply
+// finished; otherwise the operation was in flight and is rolled back by
+// undoing the surviving records newest-to-oldest. Re-running that undo after
+// further crashes is idempotent because the final value of every address is
+// the old value of its oldest record.
+package avl
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/rewind-db/rewind/internal/nvm"
+	"github.com/rewind-db/rewind/internal/pmem"
+	"github.com/rewind-db/rewind/internal/rlog"
+)
+
+// Tree node layout in NVM.
+const (
+	nKey       = 0
+	nLeft      = 8
+	nRight     = 16
+	nHeight    = 24
+	nChainHead = 32
+	nChainTail = 40
+	nodeSize   = 48
+)
+
+// Header layout: a single word holding the root node address.
+const hdrRoot = 0
+
+// Config places the tree and its mini-log in persistent roots.
+type Config struct {
+	// TreeSlot is the pmem root slot holding the tree header.
+	TreeSlot int
+	// LogSlot is the root slot for the internal ADLL (Optimized) log.
+	LogSlot int
+	// BucketSize tunes the internal log; the default matches rlog.
+	BucketSize int
+}
+
+// Tree is an AAVLT. Public operations are serialized internally, matching
+// the paper's single-writer discipline for the index (§3.4).
+type Tree struct {
+	mem *nvm.Memory
+	a   *pmem.Allocator
+	cfg Config
+	hdr uint64
+	log *rlog.Log
+
+	mu       sync.Mutex
+	lsn      uint64   // mini-log record IDs; only ordering within one op matters
+	deferred []uint64 // nodes to free after the current operation completes
+}
+
+// New creates an empty tree and publishes it in cfg.TreeSlot.
+func New(a *pmem.Allocator, cfg Config) *Tree {
+	m := a.Mem()
+	hdr := a.Alloc(8)
+	m.StoreNT64(hdr+hdrRoot, nvm.Null)
+	m.Fence()
+	a.SetRoot(cfg.TreeSlot, hdr)
+	log := rlog.New(a, rlog.Config{Kind: rlog.Optimized, BucketSize: cfg.BucketSize, RootSlot: cfg.LogSlot})
+	return &Tree{mem: m, a: a, cfg: cfg, hdr: hdr, log: log}
+}
+
+// Open reattaches to a tree after a crash and recovers it: the mini-log is
+// structurally recovered by rlog.Open, then the one interrupted operation
+// (if any) is rolled back or its clearing completed.
+func Open(a *pmem.Allocator, cfg Config) (*Tree, error) {
+	m := a.Mem()
+	hdr := a.Root(cfg.TreeSlot)
+	if hdr == nvm.Null {
+		return nil, fmt.Errorf("avl: root slot %d holds no tree", cfg.TreeSlot)
+	}
+	log, err := rlog.Open(a, rlog.Config{Kind: rlog.Optimized, BucketSize: cfg.BucketSize, RootSlot: cfg.LogSlot})
+	if err != nil {
+		return nil, err
+	}
+	t := &Tree{mem: m, a: a, cfg: cfg, hdr: hdr, log: log}
+	t.recover()
+	return t, nil
+}
+
+// recover finishes or rolls back the one pending operation.
+func (t *Tree) recover() {
+	if t.log.Empty() {
+		return
+	}
+	completed := false
+	it := t.log.End()
+	if it.Prev() && it.Record().Type() == rlog.TypeEnd {
+		completed = true
+	}
+	it.Close()
+	if !completed {
+		// Roll the operation back: undo newest-to-oldest with durable
+		// stores. No CLRs are needed — see the package comment.
+		it := t.log.End()
+		for it.Prev() {
+			r := it.Record()
+			if r.Type() == rlog.TypeUpdate {
+				t.mem.StoreNT64(r.Target(), r.Old())
+			}
+		}
+		it.Close()
+		t.mem.Fence()
+	}
+	// Either way, clearing now completes the operation.
+	t.clearOpLog()
+}
+
+// write logs and applies one durable word write to reachable tree state.
+func (t *Tree) write(addr, val uint64) {
+	old := t.mem.Load64(addr)
+	if old == val {
+		return
+	}
+	t.lsn++
+	rec := rlog.Alloc(t.a, rlog.Fields{LSN: t.lsn, Type: rlog.TypeUpdate,
+		Flags: rlog.FlagUndoable, Addr: addr, Old: old, New: val})
+	t.log.Append(rec.Addr, false)
+	t.mem.StoreNT64(addr, val)
+}
+
+// endOp marks the operation complete, clears its log, and releases the
+// nodes removed by it. The END record guards the clearing (§4.6): it is
+// removed last, so a crash mid-clear re-runs only the clearing.
+func (t *Tree) endOp() {
+	t.lsn++
+	rec := rlog.Alloc(t.a, rlog.Fields{LSN: t.lsn, Type: rlog.TypeEnd})
+	t.log.Append(rec.Addr, true)
+	t.clearOpLog()
+	for _, n := range t.deferred {
+		t.a.Free(n)
+	}
+	t.deferred = t.deferred[:0]
+}
+
+// clearOpLog removes every record, END last (forward scan: the END record
+// is at the tail).
+func (t *Tree) clearOpLog() {
+	t.log.ClearScan(false, func(r rlog.Record) rlog.ClearAction {
+		return rlog.RemoveFree
+	})
+}
+
+func (t *Tree) root() uint64          { return t.mem.Load64(t.hdr + hdrRoot) }
+func (t *Tree) key(n uint64) uint64   { return t.mem.Load64(n + nKey) }
+func (t *Tree) left(n uint64) uint64  { return t.mem.Load64(n + nLeft) }
+func (t *Tree) right(n uint64) uint64 { return t.mem.Load64(n + nRight) }
+func (t *Tree) height(n uint64) int {
+	if n == nvm.Null {
+		return 0
+	}
+	return int(t.mem.Load64(n + nHeight))
+}
+
+// newNode builds a node off-line: it is unreachable until a logged pointer
+// write publishes it, so its own initialization needs no logging, only
+// durability before publication.
+func (t *Tree) newNode(key, rec uint64) uint64 {
+	n := t.a.Alloc(nodeSize)
+	m := t.mem
+	m.Store64(n+nKey, key)
+	m.Store64(n+nLeft, nvm.Null)
+	m.Store64(n+nRight, nvm.Null)
+	m.Store64(n+nHeight, 1)
+	m.Store64(n+nChainHead, rec)
+	m.Store64(n+nChainTail, rec)
+	m.FlushRange(n, nodeSize)
+	m.Fence()
+	return n
+}
+
+func (t *Tree) fixHeight(n uint64) {
+	h := 1 + max(t.height(t.left(n)), t.height(t.right(n)))
+	if t.height(n) != h {
+		t.write(n+nHeight, uint64(h))
+	}
+}
+
+func (t *Tree) balanceFactor(n uint64) int {
+	return t.height(t.left(n)) - t.height(t.right(n))
+}
+
+func (t *Tree) rotateRight(y uint64) uint64 {
+	x := t.left(y)
+	t.write(y+nLeft, t.right(x))
+	t.write(x+nRight, y)
+	t.fixHeight(y)
+	t.fixHeight(x)
+	return x
+}
+
+func (t *Tree) rotateLeft(x uint64) uint64 {
+	y := t.right(x)
+	t.write(x+nRight, t.left(y))
+	t.write(y+nLeft, x)
+	t.fixHeight(x)
+	t.fixHeight(y)
+	return y
+}
+
+// rebalance restores the AVL invariant at n and returns the subtree root.
+// This is where the paper notes "the most intensive logging activity"
+// happens: every pointer and height adjustment is a logged durable write.
+func (t *Tree) rebalance(n uint64) uint64 {
+	t.fixHeight(n)
+	switch bf := t.balanceFactor(n); {
+	case bf > 1:
+		if t.balanceFactor(t.left(n)) < 0 {
+			t.write(n+nLeft, t.rotateLeft(t.left(n)))
+		}
+		return t.rotateRight(n)
+	case bf < -1:
+		if t.balanceFactor(t.right(n)) > 0 {
+			t.write(n+nRight, t.rotateRight(t.right(n)))
+		}
+		return t.rotateLeft(n)
+	default:
+		return n
+	}
+}
+
+// ChainTail returns the address of the most recent record chained under
+// txn, or Null. The transaction manager reads it to set a new record's
+// PrevTxn back-pointer before publication.
+func (t *Tree) ChainTail(txn uint64) uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n := t.find(txn); n != nvm.Null {
+		return t.mem.Load64(n + nChainTail)
+	}
+	return nvm.Null
+}
+
+// Lookup returns the record chain bounds for txn.
+func (t *Tree) Lookup(txn uint64) (head, tail uint64, ok bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.find(txn)
+	if n == nvm.Null {
+		return nvm.Null, nvm.Null, false
+	}
+	return t.mem.Load64(n + nChainHead), t.mem.Load64(n + nChainTail), true
+}
+
+func (t *Tree) find(key uint64) uint64 {
+	n := t.root()
+	for n != nvm.Null {
+		k := t.key(n)
+		switch {
+		case key < k:
+			n = t.left(n)
+		case key > k:
+			n = t.right(n)
+		default:
+			return n
+		}
+	}
+	return nvm.Null
+}
+
+// InsertRecord indexes rec under txn as one atomic operation: either the
+// record joins the transaction's chain (and any rebalancing completes), or
+// — after a crash — the tree reverts to its prior state.
+//
+// The common case — extending an existing transaction's chain — is a
+// single logged word write: the update is logged in the ADLL (as every
+// index update is, §3.4) and the entry cleared right after, but no END
+// record or deferred frees are needed — recovery of a surviving lone
+// record simply undoes the unpublished chain extension. Structural
+// inserts, which touch multiple words through rebalancing, run as full
+// mini-transactions.
+func (t *Tree) InsertRecord(txn, rec uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n := t.find(txn); n != nvm.Null {
+		t.write(n+nChainTail, rec)
+		t.clearOpLog()
+		return
+	}
+	newRoot := t.insert(t.root(), txn, rec)
+	if newRoot != t.root() {
+		t.write(t.hdr+hdrRoot, newRoot)
+	}
+	t.endOp()
+}
+
+func (t *Tree) insert(n, key, rec uint64) uint64 {
+	if n == nvm.Null {
+		return t.newNode(key, rec)
+	}
+	switch k := t.key(n); {
+	case key < k:
+		if nl := t.insert(t.left(n), key, rec); nl != t.left(n) {
+			t.write(n+nLeft, nl)
+		}
+	case key > k:
+		if nr := t.insert(t.right(n), key, rec); nr != t.right(n) {
+			t.write(n+nRight, nr)
+		}
+	default:
+		// Existing transaction: extend its chain. The record's PrevTxn
+		// was set (off-line) to the old tail by the caller.
+		if t.mem.Load64(n+nChainHead) == nvm.Null {
+			t.write(n+nChainHead, rec)
+		}
+		t.write(n+nChainTail, rec)
+		return n
+	}
+	return t.rebalance(n)
+}
+
+// RemoveTxn deletes txn's node as one atomic operation. The caller owns the
+// chained record blocks; the tree only drops its index entry.
+func (t *Tree) RemoveTxn(txn uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	newRoot, removed := t.remove(t.root(), txn)
+	if !removed {
+		return // nothing logged yet: find path does no writes
+	}
+	if newRoot != t.root() {
+		t.write(t.hdr+hdrRoot, newRoot)
+	}
+	t.endOp()
+}
+
+func (t *Tree) remove(n, key uint64) (uint64, bool) {
+	if n == nvm.Null {
+		return nvm.Null, false
+	}
+	removed := false
+	switch k := t.key(n); {
+	case key < k:
+		nl, r := t.remove(t.left(n), key)
+		removed = r
+		if nl != t.left(n) {
+			t.write(n+nLeft, nl)
+		}
+	case key > k:
+		nr, r := t.remove(t.right(n), key)
+		removed = r
+		if nr != t.right(n) {
+			t.write(n+nRight, nr)
+		}
+	default:
+		removed = true
+		l, r := t.left(n), t.right(n)
+		switch {
+		case l == nvm.Null:
+			t.deferred = append(t.deferred, n)
+			return r, true
+		case r == nvm.Null:
+			t.deferred = append(t.deferred, n)
+			return l, true
+		default:
+			// Two children: graft the in-order successor's payload into n,
+			// then delete the successor node.
+			s := r
+			for t.left(s) != nvm.Null {
+				s = t.left(s)
+			}
+			sk := t.key(s)
+			sh := t.mem.Load64(s + nChainHead)
+			st := t.mem.Load64(s + nChainTail)
+			nr, _ := t.remove(r, sk)
+			t.write(n+nKey, sk)
+			t.write(n+nChainHead, sh)
+			t.write(n+nChainTail, st)
+			if nr != t.right(n) {
+				t.write(n+nRight, nr)
+			}
+		}
+	}
+	if !removed {
+		return n, false
+	}
+	return t.rebalance(n), true
+}
+
+// TxnChain describes one indexed transaction.
+type TxnChain struct {
+	Txn  uint64
+	Head uint64 // oldest record address
+	Tail uint64 // newest record address
+}
+
+// Txns returns every indexed transaction in ascending ID order (used by the
+// recovery analysis pass).
+func (t *Tree) Txns() []TxnChain {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []TxnChain
+	var walk func(n uint64)
+	walk = func(n uint64) {
+		if n == nvm.Null {
+			return
+		}
+		walk(t.left(n))
+		out = append(out, TxnChain{
+			Txn:  t.key(n),
+			Head: t.mem.Load64(n + nChainHead),
+			Tail: t.mem.Load64(n + nChainTail),
+		})
+		walk(t.right(n))
+	}
+	walk(t.root())
+	return out
+}
+
+// Size returns the number of indexed transactions.
+func (t *Tree) Size() int { return len(t.Txns()) }
+
+// CheckInvariants validates BST ordering, AVL balance, and height fields;
+// tests run it after crash recovery.
+func (t *Tree) CheckInvariants() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var check func(n uint64, lo, hi uint64) (int, error)
+	check = func(n uint64, lo, hi uint64) (int, error) {
+		if n == nvm.Null {
+			return 0, nil
+		}
+		k := t.key(n)
+		if k <= lo || k >= hi {
+			return 0, fmt.Errorf("avl: key %d violates BST bounds (%d, %d)", k, lo, hi)
+		}
+		hl, err := check(t.left(n), lo, k)
+		if err != nil {
+			return 0, err
+		}
+		hr, err := check(t.right(n), k, hi)
+		if err != nil {
+			return 0, err
+		}
+		if hl-hr > 1 || hr-hl > 1 {
+			return 0, fmt.Errorf("avl: node %d unbalanced (%d vs %d)", k, hl, hr)
+		}
+		h := 1 + max(hl, hr)
+		if t.height(n) != h {
+			return 0, fmt.Errorf("avl: node %d stored height %d, actual %d", k, t.height(n), h)
+		}
+		return h, nil
+	}
+	_, err := check(t.root(), 0, ^uint64(0))
+	return err
+}
+
+// Reset empties the tree with the same three-step protocol the log uses
+// (§4.5): publish a fresh empty header, then free the old nodes. The caller
+// owns the chained record blocks and must free them first if desired. A
+// crash mid-way leaks old nodes but never exposes a partial tree.
+func (t *Tree) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	m := t.mem
+	oldHdr := t.hdr
+	oldRoot := t.root()
+
+	hdr := t.a.Alloc(8)
+	m.StoreNT64(hdr+hdrRoot, nvm.Null)
+	m.Fence()
+	t.a.SetRoot(t.cfg.TreeSlot, hdr)
+	t.hdr = hdr
+	t.log.Reset(true)
+
+	var free func(n uint64)
+	free = func(n uint64) {
+		if n == nvm.Null {
+			return
+		}
+		free(t.left(n))
+		free(t.right(n))
+		t.a.Free(n)
+	}
+	free(oldRoot)
+	t.a.Free(oldHdr)
+}
+
+// Log exposes the internal mini-log (tests and diagnostics).
+func (t *Tree) Log() *rlog.Log { return t.log }
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

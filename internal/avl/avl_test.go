@@ -1,0 +1,375 @@
+package avl
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"github.com/rewind-db/rewind/internal/nvm"
+	"github.com/rewind-db/rewind/internal/pmem"
+	"github.com/rewind-db/rewind/internal/rlog"
+)
+
+const (
+	treeSlot = 2
+	logSlot  = 3
+)
+
+func cfg() Config { return Config{TreeSlot: treeSlot, LogSlot: logSlot, BucketSize: 16} }
+
+func newTree(t testing.TB) (*nvm.Memory, *pmem.Allocator, *Tree) {
+	t.Helper()
+	m := nvm.New(nvm.Config{Size: 64 << 20, TrackPersistence: true})
+	a := pmem.Format(m)
+	return m, a, New(a, cfg())
+}
+
+// fakeRecord allocates a minimal record block so chains point at real
+// allocations (the tree never dereferences them).
+func fakeRecord(a *pmem.Allocator, lsn uint64) uint64 {
+	return rlog.Alloc(a, rlog.Fields{LSN: lsn, Type: rlog.TypeUpdate}).Addr
+}
+
+func TestInsertLookup(t *testing.T) {
+	_, a, tr := newTree(t)
+	recs := map[uint64]uint64{}
+	for txn := uint64(1); txn <= 20; txn++ {
+		r := fakeRecord(a, txn)
+		tr.InsertRecord(txn, r)
+		recs[txn] = r
+	}
+	for txn, r := range recs {
+		head, tail, ok := tr.Lookup(txn)
+		if !ok {
+			t.Fatalf("txn %d not found", txn)
+		}
+		if head != r || tail != r {
+			t.Fatalf("txn %d chain = (%#x,%#x), want %#x", txn, head, tail, r)
+		}
+	}
+	if _, _, ok := tr.Lookup(99); ok {
+		t.Fatal("found nonexistent txn")
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChainExtension(t *testing.T) {
+	_, a, tr := newTree(t)
+	r1 := fakeRecord(a, 1)
+	tr.InsertRecord(5, r1)
+	if got := tr.ChainTail(5); got != r1 {
+		t.Fatalf("ChainTail = %#x, want %#x", got, r1)
+	}
+	r2 := fakeRecord(a, 2)
+	tr.InsertRecord(5, r2)
+	head, tail, _ := tr.Lookup(5)
+	if head != r1 || tail != r2 {
+		t.Fatalf("chain = (%#x,%#x), want (%#x,%#x)", head, tail, r1, r2)
+	}
+	if tr.Size() != 1 {
+		t.Fatalf("Size = %d, want 1", tr.Size())
+	}
+}
+
+func TestChainTailOfUnknownTxn(t *testing.T) {
+	_, _, tr := newTree(t)
+	if got := tr.ChainTail(42); got != nvm.Null {
+		t.Fatalf("ChainTail of unknown txn = %#x", got)
+	}
+}
+
+func TestRemoveTxn(t *testing.T) {
+	_, a, tr := newTree(t)
+	for txn := uint64(1); txn <= 30; txn++ {
+		tr.InsertRecord(txn, fakeRecord(a, txn))
+	}
+	for txn := uint64(2); txn <= 30; txn += 2 {
+		tr.RemoveTxn(txn)
+	}
+	for txn := uint64(1); txn <= 30; txn++ {
+		_, _, ok := tr.Lookup(txn)
+		if want := txn%2 == 1; ok != want {
+			t.Fatalf("txn %d present=%v, want %v", txn, ok, want)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Size(); got != 15 {
+		t.Fatalf("Size = %d, want 15", got)
+	}
+}
+
+func TestRemoveNonexistentIsNoop(t *testing.T) {
+	_, a, tr := newTree(t)
+	tr.InsertRecord(1, fakeRecord(a, 1))
+	tr.RemoveTxn(99)
+	if tr.Size() != 1 {
+		t.Fatal("RemoveTxn of missing key changed the tree")
+	}
+	if !tr.Log().Empty() {
+		t.Fatal("no-op removal left log records")
+	}
+}
+
+func TestTxnsInOrder(t *testing.T) {
+	_, a, tr := newTree(t)
+	ids := []uint64{7, 3, 11, 1, 9, 5, 13, 2, 8}
+	for _, id := range ids {
+		tr.InsertRecord(id, fakeRecord(a, id))
+	}
+	chains := tr.Txns()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	if len(chains) != len(ids) {
+		t.Fatalf("Txns returned %d, want %d", len(chains), len(ids))
+	}
+	for i, c := range chains {
+		if c.Txn != ids[i] {
+			t.Fatalf("Txns[%d] = %d, want %d", i, c.Txn, ids[i])
+		}
+	}
+}
+
+func TestBalanceUnderSequentialInsert(t *testing.T) {
+	_, a, tr := newTree(t)
+	for txn := uint64(1); txn <= 256; txn++ {
+		tr.InsertRecord(txn, fakeRecord(a, txn))
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogClearedAfterEachOp(t *testing.T) {
+	_, a, tr := newTree(t)
+	for txn := uint64(1); txn <= 50; txn++ {
+		tr.InsertRecord(txn, fakeRecord(a, txn))
+		if !tr.Log().Empty() {
+			t.Fatalf("mini-log not empty after insert of %d (%d records)", txn, tr.Log().Len())
+		}
+	}
+	tr.RemoveTxn(25)
+	if !tr.Log().Empty() {
+		t.Fatal("mini-log not empty after removal")
+	}
+}
+
+func TestOpenCleanTree(t *testing.T) {
+	m, a, tr := newTree(t)
+	for txn := uint64(1); txn <= 10; txn++ {
+		tr.InsertRecord(txn, fakeRecord(a, txn))
+	}
+	if err := m.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := Open(a, cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr2.Size() != 10 {
+		t.Fatalf("Size after clean reopen = %d, want 10", tr2.Size())
+	}
+	if err := tr2.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// crashTestState captures the observable tree contents for comparison.
+func snapshot(tr *Tree) map[uint64][2]uint64 {
+	out := map[uint64][2]uint64{}
+	for _, c := range tr.Txns() {
+		out[c.Txn] = [2]uint64{c.Head, c.Tail}
+	}
+	return out
+}
+
+// TestCrashAtEveryPointDuringInsert verifies operation atomicity: a crash
+// at any durable-op boundary during InsertRecord leaves, after recovery,
+// either the exact before state or the exact after state.
+func TestCrashAtEveryPointDuringInsert(t *testing.T) {
+	for crashAt := 1; ; crashAt++ {
+		m := nvm.New(nvm.Config{Size: 64 << 20, TrackPersistence: true})
+		a := pmem.Format(m)
+		tr := New(a, cfg())
+		// Pre-populate so the insert triggers rebalancing.
+		for _, txn := range []uint64{10, 5, 15, 3, 7, 12, 20, 6, 8} {
+			tr.InsertRecord(txn, fakeRecord(a, txn))
+		}
+		before := snapshot(tr)
+		rec := fakeRecord(a, 100)
+		m.SetCrashAfter(crashAt)
+		crashed := m.RunToCrash(func() { tr.InsertRecord(9, rec) })
+		m.SetCrashAfter(0)
+		tr2, err := Open(a, cfg())
+		if err != nil {
+			t.Fatalf("crashAt=%d: Open: %v", crashAt, err)
+		}
+		if err := tr2.CheckInvariants(); err != nil {
+			t.Fatalf("crashAt=%d: %v", crashAt, err)
+		}
+		after := snapshot(tr2)
+		_, inserted := after[9]
+		if inserted {
+			// Must be exactly before + the new entry.
+			if len(after) != len(before)+1 || after[9] != [2]uint64{rec, rec} {
+				t.Fatalf("crashAt=%d: partial insert visible: %v", crashAt, after)
+			}
+			for k, v := range before {
+				if after[k] != v {
+					t.Fatalf("crashAt=%d: entry %d corrupted", crashAt, k)
+				}
+			}
+		} else {
+			if len(after) != len(before) {
+				t.Fatalf("crashAt=%d: before state corrupted: %v", crashAt, after)
+			}
+			for k, v := range before {
+				if after[k] != v {
+					t.Fatalf("crashAt=%d: entry %d corrupted", crashAt, k)
+				}
+			}
+		}
+		// The recovered tree must accept further operations.
+		tr2.InsertRecord(999, fakeRecord(a, 999))
+		if _, _, ok := tr2.Lookup(999); !ok {
+			t.Fatalf("crashAt=%d: post-recovery insert failed", crashAt)
+		}
+		if !crashed {
+			return
+		}
+	}
+}
+
+// TestCrashAtEveryPointDuringRemove mirrors the insert test for removals,
+// which exercise the deepest rebalancing paths.
+func TestCrashAtEveryPointDuringRemove(t *testing.T) {
+	for crashAt := 1; ; crashAt++ {
+		m := nvm.New(nvm.Config{Size: 64 << 20, TrackPersistence: true})
+		a := pmem.Format(m)
+		tr := New(a, cfg())
+		for _, txn := range []uint64{10, 5, 15, 3, 7, 12, 20, 6, 8, 11, 13, 17, 25} {
+			tr.InsertRecord(txn, fakeRecord(a, txn))
+		}
+		before := snapshot(tr)
+		m.SetCrashAfter(crashAt)
+		crashed := m.RunToCrash(func() { tr.RemoveTxn(10) }) // two-child case
+		m.SetCrashAfter(0)
+		tr2, err := Open(a, cfg())
+		if err != nil {
+			t.Fatalf("crashAt=%d: Open: %v", crashAt, err)
+		}
+		if err := tr2.CheckInvariants(); err != nil {
+			t.Fatalf("crashAt=%d: %v", crashAt, err)
+		}
+		after := snapshot(tr2)
+		if _, present := after[10]; present {
+			for k, v := range before {
+				if after[k] != v {
+					t.Fatalf("crashAt=%d: before state corrupted at %d", crashAt, k)
+				}
+			}
+		} else {
+			if len(after) != len(before)-1 {
+				t.Fatalf("crashAt=%d: wrong size after removal: %d", crashAt, len(after))
+			}
+			for k, v := range before {
+				if k == 10 {
+					continue
+				}
+				if after[k] != v {
+					t.Fatalf("crashAt=%d: entry %d corrupted", crashAt, k)
+				}
+			}
+		}
+		if !crashed {
+			return
+		}
+	}
+}
+
+// TestDoubleCrashDuringRecovery crashes again while recovery itself runs,
+// then recovers fully and checks convergence.
+func TestDoubleCrashDuringRecovery(t *testing.T) {
+	m := nvm.New(nvm.Config{Size: 64 << 20, TrackPersistence: true})
+	a := pmem.Format(m)
+	tr := New(a, cfg())
+	for _, txn := range []uint64{10, 5, 15, 3, 7} {
+		tr.InsertRecord(txn, fakeRecord(a, txn))
+	}
+	before := snapshot(tr)
+	// Crash mid-insert.
+	m.SetCrashAfter(12)
+	if !m.RunToCrash(func() { tr.InsertRecord(6, fakeRecord(a, 6)) }) {
+		t.Skip("first crash point beyond operation length")
+	}
+	// Crash again during recovery, repeatedly, then let it finish.
+	for i := 0; i < 5; i++ {
+		m.SetCrashAfter(3)
+		m.RunToCrash(func() {
+			tr2, err := Open(a, cfg())
+			_ = tr2
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	m.SetCrashAfter(0)
+	tr3, err := Open(a, cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr3.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	after := snapshot(tr3)
+	if _, inserted := after[6]; !inserted {
+		for k, v := range before {
+			if after[k] != v {
+				t.Fatalf("entry %d corrupted after repeated recovery crashes", k)
+			}
+		}
+	}
+}
+
+// TestQuickRandomOpsKeepInvariants property-tests random insert/remove
+// sequences against a map model.
+func TestQuickRandomOpsKeepInvariants(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		m := nvm.New(nvm.Config{Size: 64 << 20, TrackPersistence: true})
+		a := pmem.Format(m)
+		tr := New(a, cfg())
+		rng := rand.New(rand.NewSource(seed))
+		model := map[uint64]bool{}
+		for i := 0; i < int(n)+10; i++ {
+			txn := uint64(rng.Intn(30)) + 1
+			if model[txn] && rng.Intn(2) == 0 {
+				tr.RemoveTxn(txn)
+				delete(model, txn)
+			} else if !model[txn] {
+				tr.InsertRecord(txn, fakeRecord(a, txn))
+				model[txn] = true
+			} else {
+				tr.InsertRecord(txn, fakeRecord(a, txn)) // chain extension
+			}
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			return false
+		}
+		chains := tr.Txns()
+		if len(chains) != len(model) {
+			return false
+		}
+		for _, c := range chains {
+			if !model[c.Txn] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

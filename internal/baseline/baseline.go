@@ -1,0 +1,260 @@
+// Package baseline provides the paper's comparator systems (§5.2) — Stasis,
+// BerkeleyDB and Shore-MT — as three configurations of one page-based
+// keyed store over the ARIES page store and the simulated PMFS.
+//
+// The comparators are architectural skeletons, not bug-compatible
+// reimplementations: what the paper's comparison exercises is the class of
+// system (block/page WAL through a file system, forced in file-system
+// blocks) against REWIND's word-granular in-place logging. The per-update
+// software-stack constants below are calibrated against the paper's own
+// measurements (Figure 7 right: Stasis ≈85x, BerkeleyDB ≈105x, Shore-MT
+// ≈205x REWIND at 100% updates, single-threaded); EXPERIMENTS.md records
+// the calibration.
+package baseline
+
+import (
+	"encoding/binary"
+	"sync/atomic"
+	"time"
+
+	"github.com/rewind-db/rewind/internal/pagestore"
+	"github.com/rewind-db/rewind/internal/pmfs"
+)
+
+// Calibrated per-update software overheads (see package comment). The
+// anchors are the paper's own measurements: Figure 7 right shows
+// BerkeleyDB at ~140s for 200k updates (~700us per update) and scales the
+// others around it.
+const (
+	StasisOpOverhead  = 560 * time.Microsecond
+	BDBOpOverhead     = 690 * time.Microsecond
+	ShoreMTOpOverhead = 1400 * time.Microsecond
+)
+
+// Calibrated per-record undo costs (Figure 8 left: logical undo re-executes
+// the inverse operation, Stasis; physical page restore, BDB; in-memory undo
+// buffers, Shore-MT).
+const (
+	StasisUndoOverhead  = 75 * time.Microsecond
+	BDBUndoOverhead     = 30 * time.Microsecond
+	ShoreMTUndoOverhead = 6 * time.Microsecond
+)
+
+// KV is a transactional keyed store over the page store: a fixed-directory
+// hash table with per-bucket slot pages and overflow chaining. Fixed-size
+// values, 64-bit keys — the same record shape as the paper's B+-tree
+// workload (§5.2).
+type KV struct {
+	st        *pagestore.Store
+	name      string
+	buckets   uint64
+	valueSize int
+	slotSize  int
+	perPage   int
+	nextOver  uint64 // next free overflow page id
+}
+
+// Config shapes a KV comparator.
+type Config struct {
+	// Buckets is the hash directory size (default 4096).
+	Buckets int
+	// ValueSize is the record payload (default 32, the paper's).
+	ValueSize int
+	// Store configures the underlying page store.
+	Store pagestore.Config
+}
+
+// slot layout: used(1) | key(8) | value(ValueSize)
+func (kv *KV) slotOff(i int) int { return 16 + i*kv.slotSize } // 16: bucket header
+
+// Bucket page header (after the 8-byte pageLSN the page store reserves):
+// word 0: overflow page id (0 = none); word 1: slot count.
+const (
+	bhOverflow = 0
+	bhCount    = 8
+)
+
+// New creates a comparator store.
+func New(fs *pmfs.FS, cfg Config) *KV {
+	if cfg.Buckets <= 0 {
+		cfg.Buckets = 4096
+	}
+	if cfg.ValueSize <= 0 {
+		cfg.ValueSize = 32
+	}
+	kv := &KV{
+		st:        pagestore.New(fs, cfg.Store),
+		buckets:   uint64(cfg.Buckets),
+		valueSize: cfg.ValueSize,
+		slotSize:  1 + 8 + cfg.ValueSize,
+	}
+	kv.perPage = (pagestore.PageSize - 8 - 16) / kv.slotSize
+	kv.nextOver = kv.buckets // overflow pages allocated past the directory
+	return kv
+}
+
+// NewStasis builds the Stasis-like comparator: fine-grained physiological
+// diff logging with data-structure-specific record sizes.
+func NewStasis(fs *pmfs.FS) *KV {
+	return New(fs, Config{Store: pagestore.Config{
+		Strategy:     pagestore.DiffLogging,
+		OpOverhead:   StasisOpOverhead,
+		UndoOverhead: StasisUndoOverhead,
+	}})
+}
+
+// NewBDB builds the BerkeleyDB-like comparator: coarse page-image logging.
+func NewBDB(fs *pmfs.FS) *KV {
+	return New(fs, Config{Store: pagestore.Config{
+		Strategy:     pagestore.PageImageLogging,
+		OpOverhead:   BDBOpOverhead,
+		UndoOverhead: BDBUndoOverhead,
+	}})
+}
+
+// NewShoreMT builds the Shore-MT-like comparator: distributed logging (one
+// partition per core, as in the paper's transaction-level partitioning
+// variant with four partitions), in-memory undo buffers, and — following
+// the paper's favouring — diff-granularity records.
+func NewShoreMT(fs *pmfs.FS, partitions int) *KV {
+	if partitions <= 0 {
+		partitions = 4
+	}
+	return New(fs, Config{Store: pagestore.Config{
+		Strategy:     pagestore.DiffLogging,
+		Partitions:   partitions,
+		InMemoryUndo: true,
+		OpOverhead:   ShoreMTOpOverhead,
+		UndoOverhead: ShoreMTUndoOverhead,
+	}})
+}
+
+// Store exposes the underlying page store (stats, checkpoints).
+func (kv *KV) Store() *pagestore.Store { return kv.st }
+
+// Begin / Commit / Abort delegate to the page store's transaction manager.
+func (kv *KV) Begin() uint64           { return kv.st.Begin() }
+func (kv *KV) Commit(tid uint64) error { return kv.st.Commit(tid) }
+func (kv *KV) Abort(tid uint64) error  { return kv.st.Abort(tid) }
+
+func (kv *KV) bucketOf(k uint64) uint64 {
+	h := k * 0x9e3779b97f4a7c15
+	return h % kv.buckets
+}
+
+// Lookup returns the value stored under k.
+func (kv *KV) Lookup(k uint64) ([]byte, bool) {
+	page := kv.bucketOf(k)
+	for {
+		hdr := make([]byte, 16)
+		kv.st.Read(page, 0, hdr)
+		count := int(binary.LittleEndian.Uint64(hdr[bhCount:]))
+		slots := make([]byte, count*kv.slotSize)
+		if count > 0 {
+			kv.st.Read(page, 16, slots)
+		}
+		for i := 0; i < count; i++ {
+			s := slots[i*kv.slotSize:]
+			if s[0] == 1 && binary.LittleEndian.Uint64(s[1:]) == k {
+				out := make([]byte, kv.valueSize)
+				copy(out, s[9:])
+				return out, true
+			}
+		}
+		over := binary.LittleEndian.Uint64(hdr[bhOverflow:])
+		if over == 0 {
+			return nil, false
+		}
+		page = over
+	}
+}
+
+// Insert stores v under k within transaction tid.
+func (kv *KV) Insert(tid, k uint64, v []byte) error {
+	page := kv.bucketOf(k)
+	for {
+		hdr := make([]byte, 16)
+		kv.st.Read(page, 0, hdr)
+		count := int(binary.LittleEndian.Uint64(hdr[bhCount:]))
+		slots := make([]byte, count*kv.slotSize)
+		if count > 0 {
+			kv.st.Read(page, 16, slots)
+		}
+		// Overwrite or reuse a free slot.
+		free := -1
+		for i := 0; i < count; i++ {
+			s := slots[i*kv.slotSize:]
+			if s[0] == 1 && binary.LittleEndian.Uint64(s[1:]) == k {
+				return kv.writeSlot(tid, page, i, k, v)
+			}
+			if s[0] == 0 && free < 0 {
+				free = i
+			}
+		}
+		if free >= 0 {
+			return kv.writeSlot(tid, page, free, k, v)
+		}
+		if count < kv.perPage {
+			if err := kv.writeSlot(tid, page, count, k, v); err != nil {
+				return err
+			}
+			cnt := make([]byte, 8)
+			binary.LittleEndian.PutUint64(cnt, uint64(count+1))
+			return kv.st.Update(tid, page, bhCount, cnt)
+		}
+		over := binary.LittleEndian.Uint64(hdr[bhOverflow:])
+		if over == 0 {
+			// Chain a fresh overflow page.
+			over = atomic.AddUint64(&kv.nextOver, 1) - 1
+			ob := make([]byte, 8)
+			binary.LittleEndian.PutUint64(ob, over)
+			if err := kv.st.Update(tid, page, bhOverflow, ob); err != nil {
+				return err
+			}
+		}
+		page = over
+	}
+}
+
+func (kv *KV) writeSlot(tid, page uint64, i int, k uint64, v []byte) error {
+	slot := make([]byte, kv.slotSize)
+	slot[0] = 1
+	binary.LittleEndian.PutUint64(slot[1:], k)
+	copy(slot[9:], v)
+	return kv.st.Update(tid, page, kv.slotOff(i), slot)
+}
+
+// Delete removes k within transaction tid, reporting whether it existed.
+func (kv *KV) Delete(tid, k uint64) (bool, error) {
+	page := kv.bucketOf(k)
+	for {
+		hdr := make([]byte, 16)
+		kv.st.Read(page, 0, hdr)
+		count := int(binary.LittleEndian.Uint64(hdr[bhCount:]))
+		slots := make([]byte, count*kv.slotSize)
+		if count > 0 {
+			kv.st.Read(page, 16, slots)
+		}
+		for i := 0; i < count; i++ {
+			s := slots[i*kv.slotSize:]
+			if s[0] == 1 && binary.LittleEndian.Uint64(s[1:]) == k {
+				return true, kv.st.Update(tid, page, kv.slotOff(i), []byte{0})
+			}
+		}
+		over := binary.LittleEndian.Uint64(hdr[bhOverflow:])
+		if over == 0 {
+			return false, nil
+		}
+		page = over
+	}
+}
+
+// Recover restarts the store after a crash (ARIES three-phase).
+func (kv *KV) Recover() pagestore.RecoveryInfo {
+	info := kv.st.Recover()
+	// Rebuild the overflow high-water mark conservatively.
+	if kv.nextOver < kv.buckets {
+		kv.nextOver = kv.buckets
+	}
+	return info
+}

@@ -1,0 +1,192 @@
+package baseline
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/rewind-db/rewind/internal/nvm"
+	"github.com/rewind-db/rewind/internal/pagestore"
+	"github.com/rewind-db/rewind/internal/pmfs"
+)
+
+func newFS(t testing.TB) (*nvm.Memory, *pmfs.FS) {
+	t.Helper()
+	m := nvm.New(nvm.Config{Size: 128 << 20, TrackPersistence: true})
+	return m, pmfs.New(m, 4096, 0)
+}
+
+func comparators(fs *pmfs.FS) map[string]*KV {
+	return map[string]*KV{
+		"stasis":  NewStasis(fs),
+		"bdb":     NewBDB(fs),
+		"shoremt": NewShoreMT(fs, 4),
+	}
+}
+
+func val(k uint64) []byte {
+	v := make([]byte, 32)
+	for i := range v {
+		v[i] = byte(k + uint64(i))
+	}
+	return v
+}
+
+func TestInsertLookupDeleteEachComparator(t *testing.T) {
+	_, fs := newFS(t)
+	for name, kv := range comparators(fs) {
+		t.Run(name, func(t *testing.T) {
+			tid := kv.Begin()
+			for k := uint64(1); k <= 500; k++ {
+				if err := kv.Insert(tid, k, val(k)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := kv.Commit(tid); err != nil {
+				t.Fatal(err)
+			}
+			for k := uint64(1); k <= 500; k++ {
+				got, ok := kv.Lookup(k)
+				if !ok || !bytes.Equal(got, val(k)) {
+					t.Fatalf("key %d: ok=%v", k, ok)
+				}
+			}
+			tid = kv.Begin()
+			for k := uint64(1); k <= 250; k++ {
+				found, err := kv.Delete(tid, k)
+				if err != nil || !found {
+					t.Fatalf("delete %d: %v %v", k, found, err)
+				}
+			}
+			kv.Commit(tid)
+			if _, ok := kv.Lookup(100); ok {
+				t.Fatal("deleted key found")
+			}
+			if _, ok := kv.Lookup(400); !ok {
+				t.Fatal("kept key missing")
+			}
+		})
+	}
+}
+
+func TestOverwriteValue(t *testing.T) {
+	_, fs := newFS(t)
+	kv := NewStasis(fs)
+	tid := kv.Begin()
+	kv.Insert(tid, 7, val(1))
+	kv.Insert(tid, 7, val(2))
+	kv.Commit(tid)
+	got, ok := kv.Lookup(7)
+	if !ok || !bytes.Equal(got, val(2)) {
+		t.Fatal("overwrite failed")
+	}
+}
+
+func TestAbortUndoesInserts(t *testing.T) {
+	_, fs := newFS(t)
+	for name, kv := range comparators(fs) {
+		t.Run(name, func(t *testing.T) {
+			tid := kv.Begin()
+			kv.Insert(tid, 1000, val(1))
+			kv.Commit(tid)
+			t2 := kv.Begin()
+			kv.Insert(t2, 1001, val(2))
+			kv.Insert(t2, 1000, val(9)) // overwrite to be undone
+			if err := kv.Abort(t2); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := kv.Lookup(1001); ok {
+				t.Fatal("aborted insert visible")
+			}
+			got, ok := kv.Lookup(1000)
+			if !ok || !bytes.Equal(got, val(1)) {
+				t.Fatal("aborted overwrite not undone")
+			}
+		})
+	}
+}
+
+func TestCrashRecoveryEachComparator(t *testing.T) {
+	for _, name := range []string{"stasis", "bdb", "shoremt"} {
+		t.Run(name, func(t *testing.T) {
+			m, fs := newFS(t)
+			kv := comparators(fs)[name]
+			tid := kv.Begin()
+			for k := uint64(1); k <= 100; k++ {
+				kv.Insert(tid, k, val(k))
+			}
+			kv.Commit(tid)
+			// Loser in flight at the crash.
+			t2 := kv.Begin()
+			kv.Insert(t2, 999, val(9))
+			if err := m.Crash(); err != nil {
+				t.Fatal(err)
+			}
+			info := kv.Recover()
+			if info.Winners < 1 {
+				t.Fatalf("winners = %d", info.Winners)
+			}
+			for k := uint64(1); k <= 100; k++ {
+				got, ok := kv.Lookup(k)
+				if !ok || !bytes.Equal(got, val(k)) {
+					t.Fatalf("committed key %d lost after recovery", k)
+				}
+			}
+			if _, ok := kv.Lookup(999); ok {
+				t.Fatal("loser key visible after recovery")
+			}
+		})
+	}
+}
+
+func TestOverflowChaining(t *testing.T) {
+	_, fs := newFS(t)
+	// One bucket forces every key through the overflow chain.
+	kv := New(fs, Config{Buckets: 1, Store: pagestore.Config{}})
+	tid := kv.Begin()
+	const n = 300 // ~3 pages worth of slots
+	for k := uint64(1); k <= n; k++ {
+		if err := kv.Insert(tid, k, val(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	kv.Commit(tid)
+	for k := uint64(1); k <= n; k++ {
+		if _, ok := kv.Lookup(k); !ok {
+			t.Fatalf("key %d missing from overflow chain", k)
+		}
+	}
+}
+
+func TestDeleteMissingKey(t *testing.T) {
+	_, fs := newFS(t)
+	kv := NewStasis(fs)
+	tid := kv.Begin()
+	found, err := kv.Delete(tid, 424242)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if found {
+		t.Fatal("deleted a missing key")
+	}
+	kv.Commit(tid)
+}
+
+func TestComparatorCostOrdering(t *testing.T) {
+	// The calibrated stacks must order as the paper's Figure 7:
+	// stasis < bdb < shoremt per single-threaded update.
+	costs := map[string]int64{}
+	for _, name := range []string{"stasis", "bdb", "shoremt"} {
+		m, fs := newFS(t)
+		kv := comparators(fs)[name]
+		base := m.Stats().SimulatedNS
+		for k := uint64(1); k <= 200; k++ {
+			tid := kv.Begin()
+			kv.Insert(tid, k, val(k))
+			kv.Commit(tid)
+		}
+		costs[name] = m.Stats().SimulatedNS - base
+	}
+	if !(costs["stasis"] < costs["bdb"] && costs["bdb"] < costs["shoremt"]) {
+		t.Fatalf("cost ordering violated: %v", costs)
+	}
+}

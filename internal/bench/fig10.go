@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/rewind-db/rewind"
+)
+
+// Fig10 reproduces Figure 10: sensitivity to the persistent memory fence
+// latency. The Figure 7 workload at 100% updates is repeated while the
+// fence latency sweeps 0-5µs; REWIND Optimized pays one fence per record
+// where REWIND Batch pays one per group, so grouping flattens the curve —
+// the group size (8/16/32) is the tuning knob the paper highlights.
+func Fig10(scale Scale) Figure {
+	wl := fig7Workload(scale)
+	wl.ops = wl.ops / 2 // 100% updates are the expensive half of the mix
+	fig := Figure{
+		ID: "fig10", Title: "Memory fence sensitivity (100% updates)",
+		XLabel: "memory fence latency (us)", YLabel: "duration (s, simulated)",
+	}
+
+	run := func(kind rewind.LogKind, group int, fence time.Duration) float64 {
+		opts := storeOpts(kind, rewind.NoForce, 1<<30, false)
+		opts.GroupSize = group
+		opts.FenceLatency = fence
+		if fence == 0 {
+			opts.FenceLatency = time.Nanosecond // zero means "default"; model a free fence
+		}
+		s, err := rewind.Open(opts)
+		if err != nil {
+			panic(err)
+		}
+		tr := loadTree(s, rewind.AppRootFirst, wl)
+		// Four tree updates per transaction: END records force a group
+		// flush (§3.3), so the group-size knob differentiates only when
+		// transactions span more than one group of records.
+		rng := rand.New(rand.NewSource(1))
+		before := s.Stats()
+		nextKey := uint64(wl.load) + 1
+		for i := 0; i < wl.ops; i += 4 {
+			s.Atomic(func(tx *rewind.Tx) error {
+				for j := 0; j < 4; j++ {
+					k := nextKey + uint64(rng.Intn(wl.load))
+					tr.Insert(tx, k, val32(k))
+					tr.Delete(tx, k)
+				}
+				return nil
+			})
+		}
+		return simSeconds(s.Stats().Sub(before))
+	}
+
+	type variant struct {
+		name  string
+		kind  rewind.LogKind
+		group int
+	}
+	variants := []variant{
+		{"REWIND Batch 32", rewind.Batch, 32},
+		{"REWIND Batch 16", rewind.Batch, 16},
+		{"REWIND Batch 8", rewind.Batch, 8},
+		{"REWIND Opt.", rewind.Optimized, 0},
+	}
+	for _, v := range variants {
+		var pts []Point
+		for _, us := range []float64{0, 1, 2, 3, 4, 5} {
+			fence := time.Duration(us * float64(time.Microsecond))
+			pts = append(pts, Point{X: us, Y: run(v.kind, v.group, fence)})
+		}
+		fig.Series = append(fig.Series, Series{Name: v.name, Points: pts})
+	}
+	fig.Notes = fmt.Sprintf("%d updates over a %d-record tree", wl.ops, wl.load)
+	return fig
+}

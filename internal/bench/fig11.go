@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"math/rand"
+	"sync"
+
+	"github.com/rewind-db/rewind"
+	"github.com/rewind-db/rewind/internal/tpcc"
+)
+
+// Fig11 reproduces Figure 11: TPC-C new-order throughput (thousands of
+// transactions per minute) for the four designs of §5.3: plain
+// non-recoverable NVM B+-trees, REWIND over a naive schema, REWIND over the
+// co-designed schema, and the latter with a distributed (per-terminal) log.
+// Ten terminals run wall-clock with latency emulation, 1% of transactions
+// aborting per the TPC-C specification.
+func Fig11(scale Scale) Figure {
+	terminals := 10
+	txnsPerTerminal := scale.pick(60, 2000)
+	loadFactor := 50 // LoadSmall divisor under Quick
+	if scale == Full {
+		loadFactor = 1
+	}
+	fig := Figure{
+		ID: "fig11", Title: "TPC-C new-order throughput",
+		XLabel: "design", YLabel: "thousand transactions per minute (wall)",
+		Notes: "x: 1=Simple NVM B+Trees, 2=REWIND naive, 3=REWIND optimized, 4=REWIND optimized + distributed log",
+	}
+
+	run := func(layout tpcc.Layout, mode tpcc.Mode) float64 {
+		s, err := rewind.Open(storeOpts(rewind.Batch, rewind.NoForce, 2<<30, true))
+		if err != nil {
+			panic(err)
+		}
+		db, err := tpcc.Setup(s, layout, mode, terminals)
+		if err != nil {
+			panic(err)
+		}
+		if err := db.LoadSmall(rand.New(rand.NewSource(1)), loadFactor); err != nil {
+			panic(err)
+		}
+		committed := 0
+		var mu sync.Mutex
+		secs := elapsed(func() {
+			var wg sync.WaitGroup
+			for t := 0; t < terminals; t++ {
+				wg.Add(1)
+				go func(t int) {
+					defer wg.Done()
+					term := db.Terminal(t, int64(t)+1)
+					for k := 0; k < txnsPerTerminal; k++ {
+						term.NewOrder() //nolint:errcheck // aborts are part of the mix
+					}
+					mu.Lock()
+					committed += term.Executed
+					mu.Unlock()
+				}(t)
+			}
+			wg.Wait()
+		})
+		return float64(committed) / secs * 60 / 1000 // ktpm
+	}
+
+	type design struct {
+		name   string
+		layout tpcc.Layout
+		mode   tpcc.Mode
+	}
+	designs := []design{
+		{"Simple NVM B+Trees", tpcc.Naive, tpcc.NonRecoverable},
+		{"REWIND Naive", tpcc.Naive, tpcc.SingleLog},
+		{"REWIND Opt. Data Structure", tpcc.Optimized, tpcc.SingleLog},
+		{"REWIND Opt. D.Log", tpcc.Optimized, tpcc.DistributedLog},
+	}
+	for i, d := range designs {
+		fig.Series = append(fig.Series, Series{
+			Name:   d.name,
+			Points: []Point{{X: float64(i + 1), Y: run(d.layout, d.mode)}},
+		})
+	}
+	return fig
+}

@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"time"
+
+	"github.com/rewind-db/rewind/internal/core"
+	"github.com/rewind-db/rewind/internal/nvm"
+)
+
+// Fig3a reproduces Figure 3 (left): logging overhead as a function of
+// update intensity for the four configurations. A single transaction
+// alternates between updating an in-memory table and performing computation
+// calibrated as a multiple of a non-logged NVM store; the overhead is the
+// ratio of REWIND's cost to the non-recoverable equivalent.
+func Fig3a(scale Scale) Figure {
+	updates := scale.pick(2000, 20000)
+	tableSlots := 64
+	writeCost := float64(nvm.DefaultWriteLatency)
+
+	fig := Figure{
+		ID: "fig3a", Title: "Logging overhead vs update intensity (single txn, Optimized log)",
+		XLabel: "update intensity %", YLabel: "slowdown vs non-recoverable",
+	}
+
+	for _, cfg := range fourConfigs() {
+		var pts []Point
+		for intensity := 10; intensity <= 100; intensity += 10 {
+			// Computation between updates so that updates take the given
+			// fraction of (non-recoverable) time.
+			compute := time.Duration(writeCost * float64(100-intensity) / float64(intensity))
+
+			// Non-recoverable: durable store + computation. Reads are
+			// charged at DRAM cost in both runs, so the two-layer
+			// configuration's index traversals weigh in as they did on
+			// the paper's (wall-clock) testbed.
+			mem := nvm.New(nvm.Config{Size: 16 << 20, ReadLatency: scanReadLatency})
+			table := uint64(4096)
+			base := mem.Stats()
+			for i := 0; i < updates; i++ {
+				mem.StoreNT64(table+uint64(i*17%tableSlots)*8, uint64(i))
+				mem.AdvanceClock(compute)
+			}
+			plain := simSeconds(mem.Stats().Sub(base))
+
+			// REWIND: the same with logging and a final commit.
+			memR, a, tm := newEnv(64<<20, cfg, scanReadLatency)
+			tableR := a.Alloc(tableSlots * 8)
+			baseR := memR.Stats()
+			tid := tm.Begin()
+			for i := 0; i < updates; i++ {
+				tm.Write64(tid, tableR+uint64(i*17%tableSlots)*8, uint64(i))
+				memR.AdvanceClock(compute)
+			}
+			tm.Commit(tid)
+			rw := simSeconds(memR.Stats().Sub(baseR))
+
+			pts = append(pts, Point{X: float64(intensity), Y: rw / plain})
+		}
+		fig.Series = append(fig.Series, Series{Name: cfg.String(), Points: pts})
+	}
+	return fig
+}
+
+// Fig3b reproduces Figure 3 (right): logging overhead under a force policy
+// as a function of the number of skip records — records of other
+// transactions interleaved between the target transaction's records, which
+// one-layer commit-time clearing has to scan past.
+func Fig3b(scale Scale) Figure {
+	targetWrites := scale.pick(50, 100)
+	fig := Figure{
+		ID: "fig3b", Title: "Logging overhead vs skip records (force policy, 100% updates)",
+		XLabel: "number of skip records", YLabel: "slowdown vs non-recoverable",
+	}
+	for _, cfg := range []core.Config{fourConfigs()[0], fourConfigs()[2]} { // 2L-FP, 1L-FP
+		var pts []Point
+		for skip := 100; skip <= 1000; skip += 100 {
+			memR, a, tm := newEnv(256<<20, cfg, scanReadLatency)
+			table := a.Alloc(64 * 8)
+
+			// Interleave: the target transaction and `others` concurrent
+			// transactions write round-robin, so each of the target's
+			// records is separated by skip/targetWrites records.
+			perGap := skip / targetWrites
+			if perGap < 1 {
+				perGap = 1
+			}
+			target := tm.Begin()
+			others := make([]uint64, perGap)
+			for i := range others {
+				others[i] = tm.Begin()
+			}
+			var targetCost time.Duration
+			for i := 0; i < targetWrites; i++ {
+				before := memR.Stats()
+				tm.Write64(target, table+uint64(i*17%64)*8, uint64(i))
+				targetCost += time.Duration(memR.Stats().Sub(before).SimulatedNS)
+				for _, o := range others {
+					tm.Write64(o, table+uint64((i*17+29)%64)*8, uint64(i))
+				}
+			}
+			before := memR.Stats()
+			tm.Commit(target)
+			targetCost += time.Duration(memR.Stats().Sub(before).SimulatedNS)
+
+			// Non-recoverable equivalent of the target's work.
+			plain := time.Duration(targetWrites) * nvm.DefaultWriteLatency
+			pts = append(pts, Point{X: float64(skip), Y: float64(targetCost) / float64(plain)})
+		}
+		fig.Series = append(fig.Series, Series{Name: cfg.String(), Points: pts})
+	}
+	return fig
+}

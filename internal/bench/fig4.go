@@ -1,0 +1,165 @@
+package bench
+
+import (
+	"fmt"
+
+	"github.com/rewind-db/rewind/internal/core"
+	"github.com/rewind-db/rewind/internal/nvm"
+	"github.com/rewind-db/rewind/internal/pmem"
+	"github.com/rewind-db/rewind/internal/rlog"
+)
+
+// skipSetup builds the skip-record scenario shared by Figures 4a and 4b:
+// one target transaction whose records are interleaved with skip records
+// from other transactions.
+func skipSetup(cfg core.Config, targetWrites, skip int) (*nvm.Memory, *core.TM, uint64, []uint64) {
+	mem := nvm.New(nvm.Config{Size: 256 << 20, ReadLatency: scanReadLatency, TrackPersistence: true})
+	a := pmem.Format(mem)
+	tm, err := core.New(a, cfg)
+	if err != nil {
+		panic(err)
+	}
+	table := a.Alloc(64 * 8)
+	perGap := skip / targetWrites
+	if perGap < 1 {
+		perGap = 1
+	}
+	target := tm.Begin()
+	others := make([]uint64, perGap)
+	for i := range others {
+		others[i] = tm.Begin()
+	}
+	for i := 0; i < targetWrites; i++ {
+		tm.Write64(target, table+uint64(i*17%64)*8, uint64(i))
+		for _, o := range others {
+			tm.Write64(o, table+uint64((i*17+29)%64)*8, uint64(i))
+		}
+	}
+	return mem, tm, target, others
+}
+
+// Fig4a reproduces Figure 4 (left): rolling back the target transaction
+// while skip records from other transactions sit in the log. One-layer
+// rollback scans past them; two-layer rollback follows the transaction's
+// chain and stays flat.
+func Fig4a(scale Scale) Figure {
+	targetWrites := scale.pick(50, 100)
+	fig := Figure{
+		ID: "fig4a", Title: "Single-transaction rollback vs skip records (force policy)",
+		XLabel: "number of skip records", YLabel: "rollback duration (ms, simulated)",
+	}
+	for _, cfg := range []core.Config{fourConfigs()[0], fourConfigs()[2]} { // 2L-FP, 1L-FP
+		var pts []Point
+		for skip := 100; skip <= 1000; skip += 100 {
+			mem, tm, target, _ := skipSetup(cfg, targetWrites, skip)
+			before := mem.Stats()
+			tm.Rollback(target)
+			d := mem.Stats().Sub(before)
+			pts = append(pts, Point{X: float64(skip), Y: float64(d.SimulatedNS) / 1e6})
+		}
+		fig.Series = append(fig.Series, Series{Name: cfg.String(), Points: pts})
+	}
+	return fig
+}
+
+// Fig4b reproduces Figure 4 (right): the cost of aborting one uncommitted
+// transaction during recovery when the other transactions committed but
+// were not cleared (the paper's crash-between-END-and-clearing scenario).
+// One-layer now wins: two-layer recovery pays for the slower iteration of
+// the indexed log during analysis.
+func Fig4b(scale Scale) Figure {
+	targetWrites := scale.pick(50, 100)
+	fig := Figure{
+		ID: "fig4b", Title: "Recovery aborting one transaction vs skip records (force policy)",
+		XLabel: "number of skip records", YLabel: "recovery duration (ms, simulated)",
+	}
+	for _, cfg := range []core.Config{fourConfigs()[0], fourConfigs()[2]} { // 2L-FP, 1L-FP
+		var pts []Point
+		for skip := 100; skip <= 1000; skip += 100 {
+			mem, tm, _, others := skipSetup(cfg, targetWrites, skip)
+			// Others commit without clearing; the target stays running.
+			for _, o := range others {
+				tm.CommitKeepLog(o)
+			}
+			if err := mem.Crash(); err != nil {
+				panic(err)
+			}
+			before := mem.Stats()
+			reopenEnv(mem, cfg)
+			d := mem.Stats().Sub(before)
+			pts = append(pts, Point{X: float64(skip), Y: float64(d.SimulatedNS) / 1e6})
+		}
+		fig.Series = append(fig.Series, Series{Name: cfg.String(), Points: pts})
+	}
+	return fig
+}
+
+// Fig5 reproduces Figure 5: total logging plus commit-or-recovery cost as a
+// function of the fraction of transactions that must be recovered, for the
+// one-layer configuration under both policies and three skip-record levels.
+// Log clearing is factored out, as in the paper.
+func Fig5(scale Scale) Figure {
+	numTxns := scale.pick(40, 200)
+	writesPer := 10
+	fig := Figure{
+		ID: "fig5", Title: "Logging + commit/recovery cost vs fraction of recovered transactions (1L)",
+		XLabel: "fraction recovered", YLabel: "duration (s, simulated)",
+		Notes: "clearing factored out; skip levels 10/150/300",
+	}
+	for _, policy := range []core.Policy{core.NoForce, core.Force} {
+		for _, skip := range []int{10, 150, 300} {
+			cfg := core.Config{Policy: policy, Layers: core.OneLayer, LogKind: rlog.Optimized, RootBase: 8}
+			var pts []Point
+			for f := 0.0; f <= 1.001; f += 0.1 {
+				mem := nvm.New(nvm.Config{Size: 512 << 20, ReadLatency: scanReadLatency, TrackPersistence: true})
+				a := pmem.Format(mem)
+				tm, err := core.New(a, cfg)
+				if err != nil {
+					panic(err)
+				}
+				table := a.Alloc(64 * 8)
+				group := skip/writesPer + 1
+
+				recoverCount := int(f * float64(numTxns))
+				before := mem.Stats()
+				// Interleaved groups; the last recoverCount txns stay
+				// uncommitted at the crash.
+				done := 0
+				for done < numTxns {
+					n := group
+					if done+n > numTxns {
+						n = numTxns - done
+					}
+					tids := make([]uint64, n)
+					for i := range tids {
+						tids[i] = tm.Begin()
+					}
+					for w := 0; w < writesPer; w++ {
+						for i, tid := range tids {
+							tm.Write64(tid, table+uint64((w*17+i*29)%64)*8, uint64(w))
+						}
+					}
+					for i, tid := range tids {
+						if done+i < numTxns-recoverCount {
+							tm.CommitKeepLog(tid) // clearing factored out
+						}
+					}
+					done += n
+				}
+				if recoverCount > 0 {
+					if err := mem.Crash(); err != nil {
+						panic(err)
+					}
+					reopenEnv(mem, cfg)
+				}
+				d := mem.Stats().Sub(before)
+				pts = append(pts, Point{X: float64(int(f*10)) / 10, Y: simSeconds(d)})
+			}
+			fig.Series = append(fig.Series, Series{
+				Name:   fmt.Sprintf("1L-%v-%d", policy, skip),
+				Points: pts,
+			})
+		}
+	}
+	return fig
+}

@@ -1,0 +1,242 @@
+package bench
+
+import (
+	"math/rand"
+
+	"github.com/rewind-db/rewind"
+	"github.com/rewind-db/rewind/btree"
+	"github.com/rewind-db/rewind/internal/baseline"
+	"github.com/rewind-db/rewind/internal/nvm"
+	"github.com/rewind-db/rewind/internal/pmfs"
+)
+
+// treeWorkload drives the Figure 7 mix: load records, then run ops of
+// which updateFrac are updates (half insertions, half deletions, keeping
+// the tree size constant) and the rest lookups.
+type treeWorkload struct {
+	load, ops int
+	valueSize int
+}
+
+func fig7Workload(scale Scale) treeWorkload {
+	return treeWorkload{
+		load:      scale.pick(10_000, 100_000),
+		ops:       scale.pick(20_000, 200_000),
+		valueSize: 32,
+	}
+}
+
+func val32(k uint64) []byte {
+	v := make([]byte, 32)
+	for i := 0; i < 32; i += 8 {
+		v[i] = byte(k >> uint(i))
+	}
+	return v
+}
+
+// runTreeMix measures the simulated seconds for the op mix over a REWIND
+// (or raw-writer) tree.
+func runTreeMix(s *rewind.Store, tr *btree.Tree, w btree.Writer, wl treeWorkload, updateFrac float64, seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	before := s.Stats()
+	nextKey := uint64(wl.load) + 1
+	for i := 0; i < wl.ops; i++ {
+		if rng.Float64() < updateFrac {
+			if i%2 == 0 {
+				tr.Insert(w, nextKey, val32(nextKey))
+				nextKey++
+			} else {
+				tr.Delete(w, nextKey-1)
+				nextKey--
+			}
+		} else {
+			tr.Lookup(uint64(rng.Intn(wl.load)) + 1)
+		}
+	}
+	return simSeconds(s.Stats().Sub(before))
+}
+
+// rewindTreeMix is runTreeMix with each update in its own transaction.
+func rewindTreeMix(s *rewind.Store, tr *btree.Tree, wl treeWorkload, updateFrac float64, seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	before := s.Stats()
+	nextKey := uint64(wl.load) + 1
+	for i := 0; i < wl.ops; i++ {
+		if rng.Float64() < updateFrac {
+			ins := i%2 == 0
+			s.Atomic(func(tx *rewind.Tx) error {
+				if ins {
+					_, err := tr.Insert(tx, nextKey, val32(nextKey))
+					return err
+				}
+				_, err := tr.Delete(tx, nextKey-1)
+				return err
+			})
+			if ins {
+				nextKey++
+			} else {
+				nextKey--
+			}
+		} else {
+			tr.Lookup(uint64(rng.Intn(wl.load)) + 1)
+		}
+	}
+	return simSeconds(s.Stats().Sub(before))
+}
+
+func loadTree(s *rewind.Store, slot int, wl treeWorkload) *btree.Tree {
+	tr, err := btree.New(s, btree.Config{ValueSize: wl.valueSize, RootSlot: slot})
+	if err != nil {
+		panic(err)
+	}
+	w := btree.NVMWriter{Mem: s.Mem(), A: s.Allocator()}
+	for k := uint64(1); k <= uint64(wl.load); k++ {
+		tr.Insert(w, k, val32(k))
+	}
+	return tr
+}
+
+// Fig7a reproduces Figure 7 (left): B+-tree response time vs update
+// fraction for the three REWIND versions (no-force, no checkpoints)
+// against the non-recoverable NVM and DRAM trees.
+func Fig7a(scale Scale) Figure {
+	wl := fig7Workload(scale)
+	fig := Figure{
+		ID: "fig7a", Title: "B+-tree logging: REWIND vs DRAM and non-recoverable NVM",
+		XLabel: "fraction of update queries", YLabel: "response time (s, simulated)",
+	}
+	type sys struct {
+		name string
+		run  func(updateFrac float64) float64
+	}
+	systems := []sys{
+		{"REWIND", func(f float64) float64 {
+			s, _ := rewind.Open(storeOpts(rewind.Simple, rewind.NoForce, 1<<30, false))
+			tr := loadTree(s, rewind.AppRootFirst, wl)
+			return rewindTreeMix(s, tr, wl, f, 1)
+		}},
+		{"REWIND Opt.", func(f float64) float64 {
+			s, _ := rewind.Open(storeOpts(rewind.Optimized, rewind.NoForce, 1<<30, false))
+			tr := loadTree(s, rewind.AppRootFirst, wl)
+			return rewindTreeMix(s, tr, wl, f, 1)
+		}},
+		{"REWIND Batch", func(f float64) float64 {
+			s, _ := rewind.Open(storeOpts(rewind.Batch, rewind.NoForce, 1<<30, false))
+			tr := loadTree(s, rewind.AppRootFirst, wl)
+			return rewindTreeMix(s, tr, wl, f, 1)
+		}},
+		{"NVM", func(f float64) float64 {
+			s, _ := rewind.Open(storeOpts(rewind.Batch, rewind.NoForce, 1<<30, false))
+			tr := loadTree(s, rewind.AppRootFirst, wl)
+			return runTreeMix(s, tr, btree.NVMWriter{Mem: s.Mem(), A: s.Allocator()}, wl, f, 1)
+		}},
+		{"DRAM", func(f float64) float64 {
+			s, _ := rewind.Open(storeOpts(rewind.Batch, rewind.NoForce, 1<<30, false))
+			tr := loadTree(s, rewind.AppRootFirst, wl)
+			return runTreeMix(s, tr, btree.DRAMWriter{Mem: s.Mem(), A: s.Allocator()}, wl, f, 1)
+		}},
+	}
+	for _, sy := range systems {
+		var pts []Point
+		for f := 0.1; f <= 1.001; f += 0.1 {
+			pts = append(pts, Point{X: float64(int(f*10)) / 10, Y: sy.run(f)})
+		}
+		fig.Series = append(fig.Series, Series{Name: sy.name, Points: pts})
+	}
+	return fig
+}
+
+// baselineMix runs the Figure 7 mix over a comparator, one transaction per
+// update (auto-commit deployment, as in the paper's setup).
+func baselineMix(mem *nvm.Memory, kv *baseline.KV, wl treeWorkload, updateFrac float64, seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	before := mem.Stats()
+	nextKey := uint64(wl.load) + 1
+	for i := 0; i < wl.ops; i++ {
+		if rng.Float64() < updateFrac {
+			tid := kv.Begin()
+			if i%2 == 0 {
+				kv.Insert(tid, nextKey, val32(nextKey))
+				nextKey++
+			} else {
+				kv.Delete(tid, nextKey-1)
+				nextKey--
+			}
+			kv.Commit(tid)
+		} else {
+			kv.Lookup(uint64(rng.Intn(wl.load)) + 1)
+		}
+	}
+	return simSeconds(mem.Stats().Sub(before))
+}
+
+func loadKV(mem *nvm.Memory, kv *baseline.KV, wl treeWorkload) {
+	tid := kv.Begin()
+	for k := uint64(1); k <= uint64(wl.load); k++ {
+		kv.Insert(tid, k, val32(k))
+	}
+	kv.Commit(tid)
+	kv.Store().Checkpoint()
+	// Loading cost is excluded by the delta measurement in baselineMix.
+}
+
+// Fig7b reproduces Figure 7 (right): REWIND Batch against the Stasis,
+// BerkeleyDB and Shore-MT comparators.
+func Fig7b(scale Scale) Figure {
+	wl := fig7Workload(scale)
+	// The comparators' calibrated stacks are slow; keep their op counts a
+	// notch lower under Quick so the figure regenerates in seconds.
+	bwl := wl
+	if scale == Quick {
+		bwl.ops = wl.ops / 4
+	}
+	fig := Figure{
+		ID: "fig7b", Title: "B+-tree logging: REWIND Batch vs Stasis, BerkeleyDB, Shore-MT",
+		XLabel: "fraction of update queries", YLabel: "response time (s, simulated)",
+		Notes: "comparator op counts scaled; per-op calibration in EXPERIMENTS.md",
+	}
+	mkFS := func() (*nvm.Memory, *pmfs.FS) {
+		mem := nvm.New(nvm.Config{Size: 1 << 30, ReadLatency: scanReadLatency})
+		return mem, pmfs.New(mem, 4096, pmfs.DefaultCallOverhead)
+	}
+	type sys struct {
+		name string
+		run  func(f float64) float64
+	}
+	systems := []sys{
+		{"BerkeleyDB", func(f float64) float64 {
+			mem, fs := mkFS()
+			kv := baseline.NewBDB(fs)
+			loadKV(mem, kv, bwl)
+			t := baselineMix(mem, kv, bwl, f, 1)
+			return t * float64(wl.ops) / float64(bwl.ops)
+		}},
+		{"Stasis", func(f float64) float64 {
+			mem, fs := mkFS()
+			kv := baseline.NewStasis(fs)
+			loadKV(mem, kv, bwl)
+			t := baselineMix(mem, kv, bwl, f, 1)
+			return t * float64(wl.ops) / float64(bwl.ops)
+		}},
+		{"Shore-MT", func(f float64) float64 {
+			mem, fs := mkFS()
+			kv := baseline.NewShoreMT(fs, 4)
+			loadKV(mem, kv, bwl)
+			t := baselineMix(mem, kv, bwl, f, 1)
+			return t * float64(wl.ops) / float64(bwl.ops)
+		}},
+		{"REWIND Batch", func(f float64) float64 {
+			s, _ := rewind.Open(storeOpts(rewind.Batch, rewind.NoForce, 1<<30, false))
+			tr := loadTree(s, rewind.AppRootFirst, wl)
+			return rewindTreeMix(s, tr, wl, f, 1)
+		}},
+	}
+	for _, sy := range systems {
+		var pts []Point
+		for f := 0.1; f <= 1.001; f += 0.2 {
+			pts = append(pts, Point{X: float64(int(f*10)) / 10, Y: sy.run(f)})
+		}
+		fig.Series = append(fig.Series, Series{Name: sy.name, Points: pts})
+	}
+	return fig
+}

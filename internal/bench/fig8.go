@@ -1,0 +1,204 @@
+package bench
+
+import (
+	"math/rand"
+
+	"github.com/rewind-db/rewind"
+	"github.com/rewind-db/rewind/internal/baseline"
+	"github.com/rewind-db/rewind/internal/nvm"
+	"github.com/rewind-db/rewind/internal/pmfs"
+)
+
+// fig8Sizes returns the x axis: thousands of log records (the paper sweeps
+// 80k-800k; Quick scales down tenfold).
+func fig8Sizes(scale Scale) []int {
+	div := 10
+	if scale == Full {
+		div = 1
+	}
+	var out []int
+	for n := 80_000; n <= 800_000; n += 160_000 {
+		out = append(out, n/div)
+	}
+	return out
+}
+
+// Fig8a reproduces Figure 8 (left): the duration of rolling back a single
+// transaction of insert/delete pairs over a loaded B+-tree, REWIND Batch
+// against the comparators, as a function of the number of log records.
+func Fig8a(scale Scale) Figure {
+	loadN := scale.pick(10_000, 100_000)
+	fig := Figure{
+		ID: "fig8a", Title: "B+-tree rollback duration vs records (single transaction)",
+		XLabel: "thousands of records", YLabel: "rollback duration (s, simulated)",
+	}
+
+	rewindRun := func(records int) float64 {
+		s, err := rewind.Open(storeOpts(rewind.Batch, rewind.NoForce, 2<<30, false))
+		if err != nil {
+			panic(err)
+		}
+		wl := treeWorkload{load: loadN, valueSize: 32}
+		tr := loadTree(s, rewind.AppRootFirst, wl)
+		rng := rand.New(rand.NewSource(1))
+		tx := s.Begin()
+		next := uint64(loadN) + 1
+		for int(s.TMStats().Records) < records {
+			k := next + uint64(rng.Intn(loadN))
+			tr.Insert(tx, k, val32(k))
+			tr.Delete(tx, k)
+		}
+		before := s.Stats()
+		tx.Rollback()
+		return simSeconds(s.Stats().Sub(before))
+	}
+
+	blRun := func(mk func(fs *pmfs.FS) *baseline.KV, records int) float64 {
+		mem := nvm.New(nvm.Config{Size: 2 << 30, ReadLatency: scanReadLatency})
+		fs := pmfs.New(mem, 4096, pmfs.DefaultCallOverhead)
+		kv := mk(fs)
+		loadKV(mem, kv, treeWorkload{load: loadN, valueSize: 32})
+		_, _, loadAppends := kv.Store().Stats()
+		rng := rand.New(rand.NewSource(1))
+		tid := kv.Begin()
+		next := uint64(loadN) + 1
+		for {
+			_, _, appended := kv.Store().Stats()
+			if int(appended-loadAppends) >= records/8 {
+				// A page-store record covers a whole KV operation, where
+				// REWIND logs each word: normalize by the measured ~8x
+				// fan-out so both systems roll back the same workload.
+				break
+			}
+			k := next + uint64(rng.Intn(loadN))
+			kv.Insert(tid, k, val32(k))
+			kv.Delete(tid, k)
+		}
+		before := mem.Stats()
+		kv.Abort(tid)
+		return simSeconds(mem.Stats().Sub(before))
+	}
+
+	type sys struct {
+		name string
+		run  func(records int) float64
+	}
+	systems := []sys{
+		{"Shore-MT", func(n int) float64 {
+			return blRun(func(fs *pmfs.FS) *baseline.KV { return baseline.NewShoreMT(fs, 4) }, n)
+		}},
+		{"BerkeleyDB", func(n int) float64 { return blRun(baseline.NewBDB, n) }},
+		{"Stasis", func(n int) float64 { return blRun(baseline.NewStasis, n) }},
+		{"REWIND Batch", rewindRun},
+	}
+	for _, sy := range systems {
+		var pts []Point
+		for _, n := range fig8Sizes(scale) {
+			pts = append(pts, Point{X: float64(n) / 1000, Y: sy.run(n)})
+		}
+		fig.Series = append(fig.Series, Series{Name: sy.name, Points: pts})
+	}
+	return fig
+}
+
+// Fig8b reproduces Figure 8 (right): full recovery with a new transaction
+// every 200 operations (so the transaction count grows with the record
+// count, 400-4,000 at the paper's scale).
+func Fig8b(scale Scale) Figure {
+	loadN := scale.pick(10_000, 100_000)
+	fig := Figure{
+		ID: "fig8b", Title: "B+-tree recovery duration vs records (transaction per 200 ops)",
+		XLabel: "thousands of records", YLabel: "recovery duration (s, simulated)",
+	}
+
+	rewindRun := func(records int) float64 {
+		opts := storeOpts(rewind.Batch, rewind.NoForce, 2<<30, false)
+		opts.DisableTracking = false // recovery needs the durable image
+		s, err := rewind.Open(opts)
+		if err != nil {
+			panic(err)
+		}
+		wl := treeWorkload{load: loadN, valueSize: 32}
+		tr := loadTree(s, rewind.AppRootFirst, wl)
+		rng := rand.New(rand.NewSource(1))
+		next := uint64(loadN) + 1
+		var tx *rewind.Tx
+		ops := 0
+		for int(s.TMStats().Records) < records {
+			if ops%100 == 0 {
+				if tx != nil {
+					tx.Commit()
+				}
+				tx = s.Begin()
+			}
+			k := next + uint64(rng.Intn(loadN))
+			tr.Insert(tx, k, val32(k))
+			tr.Delete(tx, k)
+			ops++
+		}
+		// Crash with the last transaction unfinished, then recover.
+		if err := s.Mem().Crash(); err != nil {
+			panic(err)
+		}
+		before := s.Mem().Stats()
+		if _, err := rewind.Reattach(s.Options(), s.Mem()); err != nil {
+			panic(err)
+		}
+		return simSeconds(s.Mem().Stats().Sub(before))
+	}
+
+	blRun := func(mk func(fs *pmfs.FS) *baseline.KV, records int) float64 {
+		mem := nvm.New(nvm.Config{Size: 2 << 30, TrackPersistence: true, ReadLatency: scanReadLatency})
+		fs := pmfs.New(mem, 4096, pmfs.DefaultCallOverhead)
+		kv := mk(fs)
+		loadKV(mem, kv, treeWorkload{load: loadN, valueSize: 32})
+		_, _, loadAppends := kv.Store().Stats()
+		rng := rand.New(rand.NewSource(1))
+		next := uint64(loadN) + 1
+		var tid uint64
+		ops := 0
+		for {
+			_, _, appended := kv.Store().Stats()
+			if int(appended-loadAppends) >= records/8 {
+				break
+			}
+			if ops%100 == 0 {
+				if ops > 0 {
+					kv.Commit(tid)
+				}
+				tid = kv.Begin()
+			}
+			k := next + uint64(rng.Intn(loadN))
+			kv.Insert(tid, k, val32(k))
+			kv.Delete(tid, k)
+			ops++
+		}
+		if err := mem.Crash(); err != nil {
+			panic(err)
+		}
+		before := mem.Stats()
+		kv.Recover()
+		return simSeconds(mem.Stats().Sub(before))
+	}
+
+	type sys struct {
+		name string
+		run  func(records int) float64
+	}
+	systems := []sys{
+		{"Shore-MT", func(n int) float64 {
+			return blRun(func(fs *pmfs.FS) *baseline.KV { return baseline.NewShoreMT(fs, 4) }, n)
+		}},
+		{"BerkeleyDB", func(n int) float64 { return blRun(baseline.NewBDB, n) }},
+		{"Stasis", func(n int) float64 { return blRun(baseline.NewStasis, n) }},
+		{"REWIND Batch", rewindRun},
+	}
+	for _, sy := range systems {
+		var pts []Point
+		for _, n := range fig8Sizes(scale) {
+			pts = append(pts, Point{X: float64(n) / 1000, Y: sy.run(n)})
+		}
+		fig.Series = append(fig.Series, Series{Name: sy.name, Points: pts})
+	}
+	return fig
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"github.com/rewind-db/rewind/internal/rlog"
+)
+
+// Checkpoint trims the log under the NoForce policy (§4.6, the paper's
+// "cache-consistent" checkpoint):
+//
+//  1. a CHECKPOINT record is inserted (before the cache flush — the other
+//     order could make records appended during the flush look persistent);
+//  2. any pending Batch group is force-flushed, so no cached user write can
+//     be persisted ahead of its record;
+//  3. the whole cache is flushed, making every user update durable;
+//  4. the records of transactions that had finished by the checkpoint are
+//     removed, applying committed DELETE deallocations on the way, with
+//     each END record removed after the rest of its transaction.
+//
+// Steps 1–3 hold the logging lock (briefly, relative to the clearing scan);
+// step 4 runs while new transactions keep appending. Under Force the log is
+// already cleared at commit time, so Checkpoint is a no-op.
+func (tm *TM) Checkpoint() {
+	if tm.cfg.Policy == Force {
+		return
+	}
+
+	tm.logMu.Lock()
+	var ckptLSN uint64
+	if tm.cfg.Layers == OneLayer {
+		tm.lsn++
+		ckptLSN = tm.lsn
+		rec := tm.allocRecord(rlog.Fields{LSN: ckptLSN, Txn: 0, Type: rlog.TypeCheckpoint})
+		tm.log.Append(rec, false)
+		tm.forceLogLocked()
+	} else {
+		ckptLSN = tm.lsn
+	}
+	tm.mem.FlushAll()
+	// Snapshot the transactions that are finished as of the checkpoint;
+	// later finishers wait for the next one.
+	type doneTxn struct {
+		id        uint64
+		committed bool
+	}
+	var done []doneTxn
+	for _, x := range tm.table {
+		if x.status == statusFinished {
+			done = append(done, doneTxn{x.id, !x.aborted})
+		}
+	}
+	tm.stats.Checkpoints++
+	tm.logMu.Unlock()
+
+	if tm.cfg.Layers == TwoLayer {
+		for _, d := range done {
+			tm.clearFinishedChain(d.id, d.committed)
+		}
+	} else {
+		doneSet := make(map[uint64]bool, len(done))
+		for _, d := range done {
+			doneSet[d.id] = d.committed
+		}
+		tm.log.ClearScan(false, func(r rlog.Record) rlog.ClearAction {
+			if r.Txn() == 0 && r.Type() == rlog.TypeCheckpoint && r.LSN() < ckptLSN {
+				return rlog.RemoveFree // stale checkpoint markers
+			}
+			committed, finished := doneSet[r.Txn()]
+			if !finished || r.LSN() > ckptLSN {
+				return rlog.Keep
+			}
+			if committed && r.Type() == rlog.TypeDelete {
+				tm.a.Free(r.Target())
+			}
+			return rlog.RemoveFree
+		})
+	}
+
+	tm.logMu.Lock()
+	for _, d := range done {
+		delete(tm.table, d.id)
+	}
+	tm.logMu.Unlock()
+}
+
+// allocRecord allocates a record honouring the log kind's persistence
+// discipline. Callers hold logMu and have already assigned the LSN.
+func (tm *TM) allocRecord(f rlog.Fields) uint64 {
+	if tm.cfg.LogKind == rlog.Batch {
+		return rlog.AllocDeferred(tm.a, f).Addr
+	}
+	return rlog.Alloc(tm.a, f).Addr
+}

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"github.com/rewind-db/rewind/internal/nvm"
+	"github.com/rewind-db/rewind/internal/rlog"
+)
+
+// Commit ends a transaction successfully (§4.3). Under Force the sequence
+// is: make all the transaction's updates durable, fence, write the END
+// record, then clear the transaction's log records (applying any deferred
+// DELETE deallocations on the way, END removed last). Under NoForce only
+// the END record is written; checkpoints clear the log later.
+func (tm *TM) Commit(tid uint64) error {
+	tm.logMu.Lock()
+	x, err := tm.running(tid)
+	if err != nil {
+		tm.logMu.Unlock()
+		return err
+	}
+	if tm.cfg.Policy == Force {
+		// User updates were issued as durable stores (or deferred to
+		// group flushes); force the tail of the log and fence so
+		// everything is in NVM before END marks the transaction durable.
+		tm.forceLogLocked()
+		tm.mem.Fence()
+	}
+	tm.appendLocked(x, rlog.Fields{Txn: tid, Type: rlog.TypeEnd}, true)
+	x.status = statusFinished
+	tm.stats.Committed++
+	tm.logMu.Unlock()
+
+	if tm.cfg.Policy == Force {
+		tm.clearFinished(x, true)
+		tm.logMu.Lock()
+		delete(tm.table, tid)
+		tm.logMu.Unlock()
+	}
+	return nil
+}
+
+// CommitKeepLog commits without the force policy's commit-time clearing.
+// It exists for the recovery experiments (Figure 4 right): the paper
+// constructs the state of a system that crashed after transactions logged
+// their END records but before their records were cleared, so recovery has
+// to skip them while aborting the one unfinished transaction.
+func (tm *TM) CommitKeepLog(tid uint64) error {
+	tm.logMu.Lock()
+	defer tm.logMu.Unlock()
+	x, err := tm.running(tid)
+	if err != nil {
+		return err
+	}
+	if tm.cfg.Policy == Force {
+		tm.forceLogLocked()
+		tm.mem.Fence()
+	}
+	tm.appendLocked(x, rlog.Fields{Txn: tid, Type: rlog.TypeEnd}, true)
+	x.status = statusFinished
+	tm.stats.Committed++
+	return nil
+}
+
+// Rollback aborts a transaction (§4.4): its records are scanned newest to
+// oldest, each undoable update gets a compensation log record (CLR) and its
+// old value written back, and an END record marks the completed rollback.
+// The rollback is restartable: a crash mid-way leaves CLRs from which
+// recovery resumes at the right record.
+func (tm *TM) Rollback(tid uint64) error {
+	tm.logMu.Lock()
+	x, err := tm.running(tid)
+	if err != nil {
+		tm.logMu.Unlock()
+		return err
+	}
+	x.status = statusAborted
+	x.aborted = true
+	tm.appendLocked(x, rlog.Fields{Txn: tid, Type: rlog.TypeRollback}, false)
+	tm.logMu.Unlock()
+
+	if tm.cfg.Layers == TwoLayer {
+		tm.rollbackChain(x)
+	} else {
+		tm.rollbackScan(x)
+	}
+
+	tm.logMu.Lock()
+	if tm.cfg.Policy == Force {
+		// The undo writes must be durable before END can declare the
+		// rollback complete — under Batch some may still be deferred in
+		// the pending group (the corner case §4.4 guards with CLR redo,
+		// which group-deferral widens to every CLR in the group).
+		tm.forceLogLocked()
+		tm.mem.Fence()
+	}
+	tm.appendLocked(x, rlog.Fields{Txn: tid, Type: rlog.TypeEnd}, true)
+	x.status = statusFinished
+	tm.stats.RolledBack++
+	tm.logMu.Unlock()
+
+	if tm.cfg.Policy == Force {
+		tm.clearFinished(x, false)
+		tm.logMu.Lock()
+		delete(tm.table, tid)
+		tm.logMu.Unlock()
+	}
+	return nil
+}
+
+// rollbackScan undoes one transaction by scanning the whole log backwards
+// (one-layer: there is no per-transaction chain, so every intervening
+// record of other transactions is inspected and skipped — the "skip
+// records" whose cost Figures 3 and 4 quantify).
+func (tm *TM) rollbackScan(x *txnState) {
+	it := tm.log.End()
+	resume := ^uint64(0)
+	for it.Prev() {
+		r := it.Record()
+		if r.Txn() != x.id {
+			continue
+		}
+		switch r.Type() {
+		case rlog.TypeCLR:
+			if resume == ^uint64(0) {
+				resume = r.UndoNext()
+			}
+		case rlog.TypeUpdate:
+			if r.Undoable() && r.LSN() < resume {
+				tm.compensate(x, r)
+			}
+		}
+	}
+	it.Close()
+}
+
+// rollbackChain undoes one transaction by walking its AAVLT record chain
+// (two-layer: no unrelated records are touched).
+func (tm *TM) rollbackChain(x *txnState) {
+	_, tail, ok := tm.tree.Lookup(x.id)
+	if !ok {
+		return
+	}
+	resume := ^uint64(0)
+	for cur := tail; cur != nvm.Null; {
+		r := rlog.View(tm.mem, cur)
+		switch r.Type() {
+		case rlog.TypeCLR:
+			if resume == ^uint64(0) {
+				resume = r.UndoNext()
+			}
+		case rlog.TypeUpdate:
+			if r.Undoable() && r.LSN() < resume {
+				tm.compensate(x, r)
+			}
+		}
+		cur = r.PrevTxn()
+	}
+}
+
+// compensate writes a CLR for r and applies the undo. The CLR's UndoNext
+// records the compensated LSN: during a later backward pass, records at or
+// above it are known to be undone already. Under Force the undo itself is
+// written durably (§4.4: "under the force policy the undos should be made
+// persistent as well").
+func (tm *TM) compensate(x *txnState, r rlog.Record) {
+	tm.logMu.Lock()
+	defer tm.logMu.Unlock()
+	flushed := tm.appendLocked(x, rlog.Fields{
+		Txn: x.id, Type: rlog.TypeCLR,
+		Addr: r.Target(), Old: r.New(), New: r.Old(),
+		UndoNext: r.LSN(),
+	}, false)
+	tm.applyLocked(r.Target(), r.Old(), flushed)
+}
+
+// clearFinished removes a finished transaction's records from the log
+// (Force policy's clear-at-commit, §4.3/§4.6). commit selects whether
+// DELETE records perform their deferred deallocation (aborted transactions
+// never free). The forward direction makes the END record the last one
+// removed, so a crash mid-clear leaves the transaction still marked
+// finished and the next attempt repeats identically.
+func (tm *TM) clearFinished(x *txnState, commit bool) {
+	if tm.cfg.Layers == TwoLayer {
+		tm.clearFinishedChain(x.id, commit)
+		return
+	}
+	tm.log.ClearScan(false, func(r rlog.Record) rlog.ClearAction {
+		if r.Txn() != x.id {
+			return rlog.Keep
+		}
+		if commit && r.Type() == rlog.TypeDelete {
+			tm.a.Free(r.Target())
+		}
+		return rlog.RemoveFree
+	})
+}
+
+// clearFinishedChain clears a finished transaction in the two-layer
+// configuration: deferred DELETEs are applied first (idempotent frees, so
+// a crash-replay is safe), then the index entry is removed atomically, and
+// only then are the record blocks freed — a crash can leak blocks but
+// never leave the index pointing at freed memory.
+func (tm *TM) clearFinishedChain(tid uint64, commit bool) {
+	_, tail, ok := tm.tree.Lookup(tid)
+	if !ok {
+		return
+	}
+	var records []uint64
+	for cur := tail; cur != nvm.Null; {
+		r := rlog.View(tm.mem, cur)
+		records = append(records, cur)
+		if commit && r.Type() == rlog.TypeDelete {
+			tm.a.Free(r.Target())
+		}
+		cur = r.PrevTxn()
+	}
+	tm.tree.RemoveTxn(tid)
+	for _, rec := range records {
+		tm.a.Free(rec)
+	}
+}

@@ -1,0 +1,360 @@
+// Package core implements REWIND's transaction recovery manager (paper §4):
+// write-ahead logging over the recoverable log structures, commit and
+// rollback with compensation log records, two- and three-phase recovery
+// (Algorithm 2), log checkpointing, and deferred deallocation via DELETE
+// records.
+//
+// The manager supports the paper's full design space (§2):
+//
+//   - Policy: Force makes every user update durable as it happens
+//     (non-temporal stores) and clears a transaction's log records right
+//     after commit, giving two-phase recovery (analysis + undo). NoForce
+//     leaves user updates in the cache, clears the log at checkpoints, and
+//     needs three-phase recovery (analysis + redo + undo).
+//   - Layers: OneLayer appends records straight into the bucketed ADLL and
+//     keeps no per-transaction state while logging — recovery performs one
+//     backward scan that undoes every loser (Algorithm 2). TwoLayer indexes
+//     records by transaction in the AAVLT (whose own updates are logged in
+//     the ADLL), paying more per log call but rolling single transactions
+//     back without scanning unrelated records.
+//
+// The log layout (Simple / Optimized / Batch, §3.2–3.3) is a further knob.
+// Batch defers user-update persistence to group-flush boundaries, which the
+// manager honours by re-issuing buffered durable writes when the log
+// signals a flush — the compiler-reordering scheme of §3.3 in library form.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/rewind-db/rewind/internal/avl"
+	"github.com/rewind-db/rewind/internal/nvm"
+	"github.com/rewind-db/rewind/internal/pmem"
+	"github.com/rewind-db/rewind/internal/rlog"
+)
+
+// Policy selects when user updates become durable (§2).
+type Policy int
+
+const (
+	// NoForce leaves user updates cached; they are persisted wholesale by
+	// checkpoints. Recovery needs a redo phase.
+	NoForce Policy = iota
+	// Force persists user updates as they happen and clears log records at
+	// commit time; recovery skips the redo phase.
+	Force
+)
+
+func (p Policy) String() string {
+	if p == Force {
+		return "FP"
+	}
+	return "NFP"
+}
+
+// Layers selects the number of logging layers (§2).
+type Layers int
+
+const (
+	// OneLayer logs records directly in the bucketed ADLL.
+	OneLayer Layers = iota
+	// TwoLayer indexes records by transaction in the AAVLT.
+	TwoLayer
+)
+
+func (l Layers) String() string {
+	if l == TwoLayer {
+		return "2L"
+	}
+	return "1L"
+}
+
+// Transaction status values, as in the paper's transaction table (§4.1).
+type status int
+
+const (
+	statusRunning status = iota
+	statusAborted
+	statusFinished
+)
+
+// SlotsPerTM is the number of pmem root slots a manager occupies, so
+// multiple managers (the distributed-logging configuration of §5.3) can be
+// packed side by side.
+const SlotsPerTM = 4
+
+const (
+	slotState   = iota // manager state block
+	slotLog            // primary log header
+	slotTree           // AAVLT header (two-layer)
+	slotTreeLog        // AAVLT mini-log header (two-layer)
+)
+
+// Manager state block layout.
+const (
+	stFingerprint = 0
+	stDirty       = 8
+	stSize        = 16
+)
+
+const stateMagicBase = 0x524d4454 // "TDMR" tag in the fingerprint's high bits
+
+// Config selects a REWIND configuration.
+type Config struct {
+	Policy Policy
+	Layers Layers
+	// LogKind is the primary log implementation. TwoLayer requires Simple
+	// or Optimized for the underlying ADLL (the paper's two-layer
+	// configuration runs over the optimized log).
+	LogKind rlog.Kind
+	// BucketSize and GroupSize tune the bucketed and batched logs.
+	BucketSize int
+	GroupSize  int
+	// RootBase is the first of the SlotsPerTM pmem root slots this
+	// manager owns.
+	RootBase int
+}
+
+func (c Config) withDefaults() Config {
+	if c.BucketSize <= 0 {
+		c.BucketSize = rlog.DefaultBucketSize
+	}
+	if c.GroupSize <= 0 {
+		c.GroupSize = rlog.DefaultGroupSize
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.Layers == TwoLayer && c.LogKind == rlog.Batch {
+		return errors.New("core: the two-layer configuration uses the optimized ADLL; Batch applies to one-layer logging")
+	}
+	if c.Layers == OneLayer && (c.LogKind < rlog.Simple || c.LogKind > rlog.Batch) {
+		return fmt.Errorf("core: invalid log kind %d", c.LogKind)
+	}
+	if c.RootBase < 0 || c.RootBase+SlotsPerTM > pmem.NumRoots {
+		return fmt.Errorf("core: root base %d out of range", c.RootBase)
+	}
+	return nil
+}
+
+// fingerprint packs the shape of the configuration for Open-time checks.
+func (c Config) fingerprint() uint64 {
+	return uint64(stateMagicBase)<<32 |
+		uint64(c.Policy)<<24 | uint64(c.Layers)<<16 | uint64(c.LogKind)<<8 |
+		uint64(c.BucketSize%251)
+}
+
+// String renders the configuration the way the paper labels its plots
+// (e.g. "1L-NFP/Optimized").
+func (c Config) String() string {
+	return fmt.Sprintf("%v-%v/%v", c.Layers, c.Policy, c.LogKind)
+}
+
+// txnState is the volatile transaction-table entry (§4.1). It is never
+// persisted: the one-layer configuration reconstructs it during recovery,
+// and the two-layer configuration additionally maintains it while logging.
+type txnState struct {
+	id      uint64
+	status  status
+	aborted bool // finished by rollback: DELETE records must not free
+	lastLSN uint64
+	lastRec uint64 // address of the newest record (two-layer chain tail)
+	records int
+}
+
+// pendingWrite is a user update waiting for its Batch group flush before it
+// may become durable (§3.3 reordering).
+type pendingWrite struct {
+	addr, val uint64
+}
+
+// Stats counts manager activity since creation.
+type Stats struct {
+	Begun       int64
+	Committed   int64
+	RolledBack  int64
+	Records     int64
+	Checkpoints int64
+}
+
+// RecoveryStats reports what Open's recovery pass did.
+type RecoveryStats struct {
+	// CrashDetected is true when the previous session did not close
+	// cleanly.
+	CrashDetected bool
+	// RecordsScanned counts records visited during analysis.
+	RecordsScanned int
+	// Redone counts redo-phase record applications (NoForce only).
+	Redone int
+	// Undone counts updates compensated during the undo phase.
+	Undone int
+	// LosersAborted counts transactions rolled back by recovery.
+	LosersAborted int
+	// Winners counts committed transactions found finished.
+	Winners int
+}
+
+// TM is a REWIND transaction recovery manager.
+type TM struct {
+	mem   *nvm.Memory
+	a     *pmem.Allocator
+	cfg   Config
+	state uint64 // state block address
+
+	log  *rlog.Log
+	tree *avl.Tree // two-layer only
+
+	// logMu serializes LSN assignment with log insertion so records enter
+	// the log in LSN order, and guards the Batch pending-write buffer.
+	logMu   sync.Mutex
+	lsn     uint64
+	nextTxn uint64
+	table   map[uint64]*txnState
+	pending []pendingWrite // Batch: user writes awaiting group flush
+
+	stats Stats
+}
+
+// New creates a fresh manager on a formatted heap.
+func New(a *pmem.Allocator, cfg Config) (*TM, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	m := a.Mem()
+	state := a.Alloc(stSize)
+	m.StoreNT64(state+stFingerprint, cfg.fingerprint())
+	m.StoreNT64(state+stDirty, 0)
+	m.Fence()
+	a.SetRoot(cfg.RootBase+slotState, state)
+
+	tm := &TM{mem: m, a: a, cfg: cfg, state: state, table: map[uint64]*txnState{}, nextTxn: 1}
+	if cfg.Layers == TwoLayer {
+		// In the two-layer configuration the ADLL's role is played by the
+		// AAVLT's internal mini-log; there is no separate primary log.
+		tm.tree = avl.New(a, avl.Config{
+			TreeSlot: cfg.RootBase + slotTree, LogSlot: cfg.RootBase + slotTreeLog,
+			BucketSize: cfg.BucketSize,
+		})
+	} else {
+		tm.log = rlog.New(a, rlog.Config{
+			Kind: cfg.LogKind, BucketSize: cfg.BucketSize, GroupSize: cfg.GroupSize,
+			RootSlot: cfg.RootBase + slotLog,
+		})
+	}
+	return tm, nil
+}
+
+// Open reattaches to a manager after a crash or restart and runs recovery
+// (§4.5). It is safe to call on a cleanly closed manager: every phase is
+// idempotent.
+func Open(a *pmem.Allocator, cfg Config) (*TM, *RecoveryStats, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, nil, err
+	}
+	m := a.Mem()
+	state := a.Root(cfg.RootBase + slotState)
+	if state == nvm.Null {
+		return nil, nil, fmt.Errorf("core: root slot %d holds no manager", cfg.RootBase)
+	}
+	if fp := m.Load64(state + stFingerprint); fp != cfg.fingerprint() {
+		return nil, nil, fmt.Errorf("core: configuration fingerprint mismatch (stored %#x, config %v)", fp, cfg)
+	}
+
+	tm := &TM{mem: m, a: a, cfg: cfg, state: state, table: map[uint64]*txnState{}, nextTxn: 1}
+	var err error
+	if cfg.Layers == TwoLayer {
+		tm.tree, err = avl.Open(a, avl.Config{
+			TreeSlot: cfg.RootBase + slotTree, LogSlot: cfg.RootBase + slotTreeLog,
+			BucketSize: cfg.BucketSize,
+		})
+	} else {
+		tm.log, err = rlog.Open(a, rlog.Config{
+			Kind: cfg.LogKind, BucketSize: cfg.BucketSize, GroupSize: cfg.GroupSize,
+			RootSlot: cfg.RootBase + slotLog,
+		})
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	rs := tm.recover()
+	return tm, rs, nil
+}
+
+// Config returns the manager's configuration.
+func (tm *TM) Config() Config { return tm.cfg }
+
+// Mem returns the underlying NVM device (for stats and direct reads).
+func (tm *TM) Mem() *nvm.Memory { return tm.mem }
+
+// Alloc returns the persistent allocator.
+func (tm *TM) Alloc() *pmem.Allocator { return tm.a }
+
+// RawLog exposes the primary log for diagnostics and experiments. It is
+// nil in the two-layer configuration, whose records live in the AAVLT.
+func (tm *TM) RawLog() *rlog.Log { return tm.log }
+
+// Tree exposes the AAVLT index (two-layer only; nil otherwise).
+func (tm *TM) Tree() *avl.Tree { return tm.tree }
+
+// Stats returns a snapshot of manager activity counters.
+func (tm *TM) Stats() Stats {
+	tm.logMu.Lock()
+	defer tm.logMu.Unlock()
+	return tm.stats
+}
+
+// ActiveTxns returns the number of transactions currently running or
+// aborting.
+func (tm *TM) ActiveTxns() int {
+	tm.logMu.Lock()
+	defer tm.logMu.Unlock()
+	n := 0
+	for _, x := range tm.table {
+		if x.status != statusFinished {
+			n++
+		}
+	}
+	return n
+}
+
+// markDirty durably records activity so a later Open can report whether a
+// crash (rather than a clean Close) preceded it.
+func (tm *TM) markDirty() {
+	if tm.mem.Load64(tm.state+stDirty) == 0 {
+		tm.mem.StoreNT64(tm.state+stDirty, 1)
+	}
+}
+
+// Close marks a clean shutdown. Under NoForce it checkpoints first so the
+// durable image reflects all committed work. Transactions still active are
+// deliberately left to be rolled back by the next Open, as after a crash.
+func (tm *TM) Close() {
+	if tm.cfg.Policy == NoForce {
+		tm.Checkpoint()
+		tm.mem.FlushAll()
+	}
+	tm.logMu.Lock()
+	defer tm.logMu.Unlock()
+	active := false
+	for _, x := range tm.table {
+		if x.status != statusFinished {
+			active = true
+			break
+		}
+	}
+	if !active {
+		tm.mem.StoreNT64(tm.state+stDirty, 0)
+		tm.mem.Fence()
+	}
+}
+
+// Errors returned by transaction operations.
+var (
+	ErrUnknownTxn  = errors.New("core: unknown transaction")
+	ErrTxnFinished = errors.New("core: transaction already finished")
+)

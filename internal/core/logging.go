@@ -1,0 +1,214 @@
+package core
+
+import (
+	"github.com/rewind-db/rewind/internal/rlog"
+)
+
+// Begin starts a transaction and returns its identifier (the runtime call
+// generated at the top of a persistent_atomic block, Listing 2 line 2).
+func (tm *TM) Begin() uint64 {
+	tm.logMu.Lock()
+	defer tm.logMu.Unlock()
+	tm.markDirty()
+	id := tm.nextTxn
+	tm.nextTxn++
+	tm.table[id] = &txnState{id: id, status: statusRunning}
+	tm.stats.Begun++
+	return id
+}
+
+// Write64 performs one recoverable update: it logs the write ahead of the
+// data (WAL, §4.2) and then applies it according to the policy — durable
+// non-temporal store under Force, cached store under NoForce. Under the
+// Batch log the durable store is deferred until the record's group flush,
+// mirroring §3.3's reordering of log calls above user writes.
+func (tm *TM) Write64(tid, addr, val uint64) error {
+	tm.logMu.Lock()
+	defer tm.logMu.Unlock()
+	x, err := tm.running(tid)
+	if err != nil {
+		return err
+	}
+	old := tm.mem.Load64(addr)
+	flushed := tm.appendLocked(x, rlog.Fields{
+		Txn: tid, Type: rlog.TypeUpdate, Flags: rlog.FlagUndoable,
+		Addr: addr, Old: old, New: val,
+	}, false)
+	tm.applyLocked(addr, val, flushed)
+	return nil
+}
+
+// Log writes a WAL record without applying the update, for callers that
+// issue the data store themselves (the paper's explicit tm->log API,
+// Listing 2). It is only valid for Simple and Optimized logs: under Batch
+// the caller cannot know when the record becomes durable, so the paired
+// Write64 must be used instead.
+func (tm *TM) Log(tid, addr, old, val uint64) error {
+	if tm.cfg.LogKind == rlog.Batch {
+		return errLogWithBatch
+	}
+	tm.logMu.Lock()
+	defer tm.logMu.Unlock()
+	x, err := tm.running(tid)
+	if err != nil {
+		return err
+	}
+	tm.appendLocked(x, rlog.Fields{
+		Txn: tid, Type: rlog.TypeUpdate, Flags: rlog.FlagUndoable,
+		Addr: addr, Old: old, New: val,
+	}, false)
+	return nil
+}
+
+// Read64 loads a word. Reads need no logging; they are served directly
+// from (possibly cached) NVM.
+func (tm *TM) Read64(addr uint64) uint64 { return tm.mem.Load64(addr) }
+
+// Delete registers a deferred deallocation (§4.3): a DELETE record joins
+// the transaction, and the block is actually freed only after the
+// transaction commits — at commit-time clearing under Force, at the next
+// checkpoint under NoForce, or during recovery if a crash intervenes. If
+// the transaction rolls back, the block stays allocated.
+func (tm *TM) Delete(tid, addr uint64) error {
+	tm.logMu.Lock()
+	defer tm.logMu.Unlock()
+	x, err := tm.running(tid)
+	if err != nil {
+		return err
+	}
+	tm.appendLocked(x, rlog.Fields{
+		Txn: tid, Type: rlog.TypeDelete, Addr: addr,
+	}, false)
+	return nil
+}
+
+var errLogWithBatch = errorString("core: explicit Log is unavailable under the Batch log; use Write64")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }
+
+func (tm *TM) running(tid uint64) (*txnState, error) {
+	x, ok := tm.table[tid]
+	if !ok {
+		return nil, ErrUnknownTxn
+	}
+	if x.status == statusFinished {
+		return nil, ErrTxnFinished
+	}
+	return x, nil
+}
+
+// appendLocked allocates a record, inserts it into the log (or the AAVLT in
+// the two-layer configuration), and updates the volatile transaction state.
+// It reports whether the log guarantees every record so far is durable
+// (used to release Batch-deferred writes). Callers hold logMu.
+func (tm *TM) appendLocked(x *txnState, f rlog.Fields, end bool) (flushed bool) {
+	tm.lsn++
+	f.LSN = tm.lsn
+	if tm.cfg.Layers == TwoLayer {
+		// The record's back-chain pointer is set off-line, before the
+		// record is published in the index.
+		f.UndoNext = x.lastLSN
+		f.PrevTxn = x.lastRec
+		rec := rlog.Alloc(tm.a, f)
+		tm.tree.InsertRecord(x.id, rec.Addr)
+		x.lastLSN, x.lastRec = f.LSN, rec.Addr
+		x.records++
+		tm.stats.Records++
+		return true
+	}
+	var rec rlog.Record
+	if tm.cfg.LogKind == rlog.Batch {
+		rec = rlog.AllocDeferred(tm.a, f)
+	} else {
+		rec = rlog.Alloc(tm.a, f)
+	}
+	flushed = tm.log.Append(rec.Addr, end)
+	x.lastLSN, x.lastRec = f.LSN, rec.Addr
+	x.records++
+	tm.stats.Records++
+	return flushed
+}
+
+// applyLocked applies a logged user update according to policy and log
+// kind. Callers hold logMu.
+func (tm *TM) applyLocked(addr, val uint64, flushed bool) {
+	if tm.cfg.Policy == Force {
+		if tm.cfg.LogKind == rlog.Batch && !flushed {
+			// Keep the update visible (cached) but defer its durable
+			// store until the group flush, so it cannot overtake its log
+			// record (§3.3).
+			tm.mem.Store64(addr, val)
+			tm.pending = append(tm.pending, pendingWrite{addr, val})
+			return
+		}
+		tm.drainPendingLocked()
+		tm.mem.StoreNT64(addr, val)
+		return
+	}
+	// NoForce: cached store; durability comes from checkpoints. The
+	// checkpoint orders a log group-flush before the cache flush, so a
+	// cached user write can never become durable ahead of its record.
+	tm.mem.Store64(addr, val)
+}
+
+// drainPendingLocked re-issues deferred user writes durably after their
+// records' group flush. Callers hold logMu.
+func (tm *TM) drainPendingLocked() {
+	if len(tm.pending) == 0 {
+		return
+	}
+	for _, w := range tm.pending {
+		tm.mem.StoreNT64(w.addr, w.val)
+	}
+	tm.pending = tm.pending[:0]
+}
+
+// forceLogLocked makes every appended record durable (Batch group flush;
+// no-op otherwise) and releases deferred writes. Callers hold logMu.
+func (tm *TM) forceLogLocked() {
+	if tm.cfg.LogKind == rlog.Batch {
+		tm.log.ForceFlush()
+		if tm.cfg.Policy == Force {
+			tm.drainPendingLocked()
+		} else {
+			tm.pending = tm.pending[:0]
+		}
+	}
+}
+
+// WriteBytes performs a recoverable multi-word update by logging each
+// 8-byte word. addr must be 8-byte aligned; the value is padded with its
+// current memory contents to a word multiple. Physical word logging is the
+// paper's granularity; this helper keeps bulk updates convenient.
+func (tm *TM) WriteBytes(tid, addr uint64, p []byte) error {
+	var word [8]byte
+	for off := 0; off < len(p); off += 8 {
+		n := copy(word[:], p[off:])
+		w := addr + uint64(off)
+		if n < 8 {
+			cur := tm.mem.Load64(w)
+			for i := n; i < 8; i++ {
+				word[i] = byte(cur >> (8 * uint(i)))
+			}
+		}
+		v := le64(word[:])
+		if err := tm.Write64(tid, w, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadBytes reads n bytes at addr.
+func (tm *TM) ReadBytes(addr uint64, n int) []byte {
+	p := make([]byte, n)
+	tm.mem.Read(addr, p)
+	return p
+}
+
+func le64(p []byte) uint64 {
+	return uint64(p[0]) | uint64(p[1])<<8 | uint64(p[2])<<16 | uint64(p[3])<<24 |
+		uint64(p[4])<<32 | uint64(p[5])<<40 | uint64(p[6])<<48 | uint64(p[7])<<56
+}

@@ -1,0 +1,328 @@
+package core
+
+import (
+	"sort"
+
+	"github.com/rewind-db/rewind/internal/nvm"
+	"github.com/rewind-db/rewind/internal/rlog"
+)
+
+// recover implements §4.5. The log itself has already been structurally
+// recovered by rlog.Open / avl.Open. What remains is:
+//
+//	analysis — rebuild the (volatile) transaction table by scanning the
+//	           surviving records, and re-seed the LSN / transaction-ID
+//	           counters;
+//	redo     — NoForce only: repeat history by re-applying every surviving
+//	           record (updates and CLRs) in LSN order, since cached user
+//	           writes may have been lost;
+//	undo     — roll back every loser: Algorithm 2's single backward scan
+//	           for one-layer logging, per-chain walks for two-layer;
+//	finish   — persist the undo effects, write END records for all losers,
+//	           apply committed transactions' deferred DELETEs, and clear
+//	           the log wholesale (the three-step swap of §4.5).
+//
+// Every phase is idempotent, so recovery itself tolerates further crashes.
+func (tm *TM) recover() *RecoveryStats {
+	rs := &RecoveryStats{
+		CrashDetected: tm.mem.Load64(tm.state+stDirty) != 0,
+	}
+
+	tm.analysis(rs)
+
+	if tm.cfg.Policy == NoForce {
+		tm.redo(rs)
+	}
+
+	if tm.cfg.Layers == TwoLayer {
+		tm.undoChains(rs)
+	} else {
+		tm.undoScan(rs)
+	}
+
+	if tm.cfg.Policy == NoForce {
+		// Make redone history and undo effects durable before the losers'
+		// END records can declare them resolved.
+		tm.mem.FlushAll()
+	}
+
+	// END records for every transaction at an unfinished state
+	// (Algorithm 2's closing loop). Under Force, any undo writes still
+	// deferred in a pending Batch group are made durable first: an END
+	// must never outlive the undo effects it vouches for.
+	if tm.cfg.Policy == Force {
+		tm.forceLogLocked()
+		tm.mem.Fence()
+	}
+	for _, x := range tm.sortedTable() {
+		if x.status == statusFinished {
+			rs.Winners++
+			continue
+		}
+		tm.appendLocked(x, rlog.Fields{Txn: x.id, Type: rlog.TypeEnd}, true)
+		x.status = statusFinished
+		x.aborted = true
+		rs.LosersAborted++
+	}
+
+	// Deferred deallocations of committed transactions that crashed
+	// between commit and clearing (§4.3). Frees are idempotent, so
+	// replaying them after repeated recovery crashes is safe.
+	tm.applyFinishedDeletes()
+
+	// Clear everything: after recovery all transactions are complete.
+	if tm.cfg.Layers == TwoLayer {
+		tm.freeAllChains()
+		tm.tree.Reset()
+	} else {
+		tm.log.Reset(true)
+	}
+
+	// Henceforth a fresh transaction table (§4.5).
+	tm.table = map[uint64]*txnState{}
+	tm.mem.StoreNT64(tm.state+stDirty, 0)
+	tm.mem.Fence()
+	return rs
+}
+
+// analysis scans the surviving records forward and rebuilds the
+// transaction table (§4.5), classifying each transaction by its markers:
+// END → finished; ROLLBACK without END → mid-abort; otherwise running.
+func (tm *TM) analysis(rs *RecoveryStats) {
+	apply := func(r rlog.Record) {
+		rs.RecordsScanned++
+		if r.LSN() > tm.lsn {
+			tm.lsn = r.LSN()
+		}
+		tid := r.Txn()
+		if tid == 0 {
+			return // pseudo-transaction (CHECKPOINT records)
+		}
+		if tid >= tm.nextTxn {
+			tm.nextTxn = tid + 1
+		}
+		x, ok := tm.table[tid]
+		if !ok {
+			x = &txnState{id: tid, status: statusRunning}
+			tm.table[tid] = x
+		}
+		if r.LSN() >= x.lastLSN {
+			x.lastLSN = r.LSN()
+			x.lastRec = r.Addr
+		}
+		x.records++
+		switch r.Type() {
+		case rlog.TypeRollback:
+			x.status = statusAborted
+			x.aborted = true
+		case rlog.TypeEnd:
+			x.status = statusFinished
+		}
+	}
+
+	if tm.cfg.Layers == TwoLayer {
+		for _, c := range tm.tree.Txns() {
+			// Chains link newest→oldest; traverse and classify.
+			for cur := c.Tail; cur != nvm.Null; {
+				r := rlog.View(tm.mem, cur)
+				apply(r)
+				cur = r.PrevTxn()
+			}
+			// The chain tail is authoritative for lastRec.
+			if x := tm.table[c.Txn]; x != nil {
+				x.lastRec = c.Tail
+				x.lastLSN = rlog.View(tm.mem, c.Tail).LSN()
+			}
+		}
+		return
+	}
+	it := tm.log.Begin()
+	for it.Next() {
+		apply(it.Record())
+	}
+	it.Close()
+}
+
+// redo repeats history (NoForce three-phase recovery): every surviving
+// record's effect is re-applied in LSN order — updates write their new
+// value, CLRs write their restored value. Re-applying CLRs is what makes a
+// crash during a previous rollback safe (§4.5: "the redo phase handles a
+// crash during a previous rollback").
+func (tm *TM) redo(rs *RecoveryStats) {
+	redoOne := func(r rlog.Record) {
+		switch r.Type() {
+		case rlog.TypeUpdate:
+			tm.mem.Store64(r.Target(), r.New())
+			rs.Redone++
+		case rlog.TypeCLR:
+			tm.mem.Store64(r.Target(), r.New())
+			rs.Redone++
+		}
+	}
+	if tm.cfg.Layers == TwoLayer {
+		var all []rlog.Record
+		for _, c := range tm.tree.Txns() {
+			for cur := c.Tail; cur != nvm.Null; {
+				r := rlog.View(tm.mem, cur)
+				all = append(all, r)
+				cur = r.PrevTxn()
+			}
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i].LSN() < all[j].LSN() })
+		for _, r := range all {
+			redoOne(r)
+		}
+		return
+	}
+	it := tm.log.Begin()
+	for it.Next() {
+		redoOne(it.Record())
+	}
+	it.Close()
+}
+
+// undoScan is Algorithm 2: a single backward scan undoes every loser.
+// CLRs encountered first (they are newest) set each transaction's resume
+// point, so updates already compensated by a crashed rollback are skipped;
+// under Force each CLR is re-applied in case the crash fell between the CLR
+// and its durable user write.
+func (tm *TM) undoScan(rs *RecoveryStats) {
+	undoMap := map[uint64]uint64{}
+	it := tm.log.End()
+	for it.Prev() {
+		r := it.Record()
+		x, ok := tm.table[r.Txn()]
+		if !ok || x.status == statusFinished {
+			continue
+		}
+		if x.status == statusRunning {
+			tm.appendLocked(x, rlog.Fields{Txn: x.id, Type: rlog.TypeRollback}, false)
+			x.status = statusAborted
+			x.aborted = true
+		}
+		switch r.Type() {
+		case rlog.TypeCLR:
+			if _, seen := undoMap[r.Txn()]; !seen {
+				undoMap[r.Txn()] = r.UndoNext()
+			}
+			if tm.cfg.Policy == Force {
+				tm.mem.StoreNT64(r.Target(), r.New())
+			}
+		case rlog.TypeUpdate:
+			if !r.Undoable() {
+				break
+			}
+			resume, seen := undoMap[r.Txn()]
+			if !seen || r.LSN() < resume {
+				flushed := tm.appendLocked(x, rlog.Fields{
+					Txn: x.id, Type: rlog.TypeCLR,
+					Addr: r.Target(), Old: r.New(), New: r.Old(),
+					UndoNext: r.LSN(),
+				}, false)
+				tm.applyLocked(r.Target(), r.Old(), flushed)
+				rs.Undone++
+			}
+		}
+	}
+	it.Close()
+}
+
+// undoChains rolls back each two-layer loser through its AAVLT chain.
+func (tm *TM) undoChains(rs *RecoveryStats) {
+	for _, x := range tm.sortedTable() {
+		if x.status == statusFinished {
+			continue
+		}
+		if x.status == statusRunning {
+			tm.appendLocked(x, rlog.Fields{Txn: x.id, Type: rlog.TypeRollback}, false)
+			x.status = statusAborted
+			x.aborted = true
+		}
+		_, tail, ok := tm.tree.Lookup(x.id)
+		if !ok {
+			continue
+		}
+		resume := ^uint64(0)
+		for cur := tail; cur != nvm.Null; {
+			r := rlog.View(tm.mem, cur)
+			next := r.PrevTxn()
+			switch r.Type() {
+			case rlog.TypeCLR:
+				if resume == ^uint64(0) {
+					resume = r.UndoNext()
+				}
+				if tm.cfg.Policy == Force {
+					tm.mem.StoreNT64(r.Target(), r.New())
+				}
+			case rlog.TypeUpdate:
+				if r.Undoable() && r.LSN() < resume {
+					flushed := tm.appendLocked(x, rlog.Fields{
+						Txn: x.id, Type: rlog.TypeCLR,
+						Addr: r.Target(), Old: r.New(), New: r.Old(),
+						UndoNext: r.LSN(),
+					}, false)
+					tm.applyLocked(r.Target(), r.Old(), flushed)
+					rs.Undone++
+				}
+			}
+			cur = next
+		}
+	}
+}
+
+// applyFinishedDeletes performs the deferred deallocation carried by
+// DELETE records of committed transactions (§4.3). Aborted transactions'
+// DELETE records are ignored: the deletion logically never happened.
+func (tm *TM) applyFinishedDeletes() {
+	committed := func(tid uint64) bool {
+		x, ok := tm.table[tid]
+		return ok && x.status == statusFinished && !x.aborted
+	}
+	if tm.cfg.Layers == TwoLayer {
+		for _, c := range tm.tree.Txns() {
+			if !committed(c.Txn) {
+				continue
+			}
+			for cur := c.Tail; cur != nvm.Null; {
+				r := rlog.View(tm.mem, cur)
+				if r.Type() == rlog.TypeDelete {
+					tm.a.Free(r.Target())
+				}
+				cur = r.PrevTxn()
+			}
+		}
+		return
+	}
+	it := tm.log.Begin()
+	for it.Next() {
+		r := it.Record()
+		if r.Type() == rlog.TypeDelete && committed(r.Txn()) {
+			tm.a.Free(r.Target())
+		}
+	}
+	it.Close()
+}
+
+// freeAllChains releases every record block indexed by the tree, ahead of
+// a wholesale tree reset.
+func (tm *TM) freeAllChains() {
+	for _, c := range tm.tree.Txns() {
+		for cur := c.Tail; cur != nvm.Null; {
+			r := rlog.View(tm.mem, cur)
+			next := r.PrevTxn()
+			tm.a.Free(cur)
+			cur = next
+		}
+	}
+}
+
+// sortedTable returns table entries in transaction-ID order so recovery is
+// deterministic.
+func (tm *TM) sortedTable() []*txnState {
+	out := make([]*txnState, 0, len(tm.table))
+	for _, x := range tm.table {
+		out = append(out, x)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}

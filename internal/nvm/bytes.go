@@ -1,0 +1,99 @@
+package nvm
+
+import "encoding/binary"
+
+// Byte-range accessors. Addresses must be 8-byte aligned; lengths may be
+// arbitrary (a trailing partial word is read-modified-written). All durable
+// structures in this repository use word-multiple layouts, so the partial
+// path is rare.
+
+// Read copies len(p) bytes starting at addr into p.
+func (m *Memory) Read(addr uint64, p []byte) {
+	n := len(p)
+	if n == 0 {
+		return
+	}
+	m.checkAddr(addr, (n+WordSize-1)/WordSize)
+	w := addr / WordSize
+	for n >= WordSize {
+		binary.LittleEndian.PutUint64(p, m.loadWord(w))
+		p = p[WordSize:]
+		n -= WordSize
+		w++
+	}
+	if n > 0 {
+		var buf [WordSize]byte
+		binary.LittleEndian.PutUint64(buf[:], m.loadWord(w))
+		copy(p, buf[:n])
+	}
+}
+
+// Write copies p into the arena at addr using regular cached stores.
+func (m *Memory) Write(addr uint64, p []byte) {
+	m.writeBytes(addr, p, false)
+}
+
+// WriteNT copies p into the arena at addr using durable non-temporal
+// stores. Latency is charged per cache line touched, with coalescing.
+func (m *Memory) WriteNT(addr uint64, p []byte) {
+	m.writeBytes(addr, p, true)
+}
+
+// Zero writes n zero bytes at addr with cached stores (used to initialize
+// freshly allocated blocks and new log buckets).
+func (m *Memory) Zero(addr uint64, n int) {
+	if n <= 0 {
+		return
+	}
+	m.checkAddr(addr, (n+WordSize-1)/WordSize)
+	w := addr / WordSize
+	for n >= WordSize {
+		m.storeWord(w, 0, false)
+		n -= WordSize
+		w++
+	}
+	if n > 0 {
+		old := m.loadWord(w)
+		var buf [WordSize]byte
+		binary.LittleEndian.PutUint64(buf[:], old)
+		for i := 0; i < n; i++ {
+			buf[i] = 0
+		}
+		m.storeWord(w, binary.LittleEndian.Uint64(buf[:]), false)
+	}
+}
+
+func (m *Memory) writeBytes(addr uint64, p []byte, nt bool) {
+	n := len(p)
+	if n == 0 {
+		return
+	}
+	m.checkAddr(addr, (n+WordSize-1)/WordSize)
+	w := addr / WordSize
+	for n >= WordSize {
+		m.storeWord(w, binary.LittleEndian.Uint64(p), nt)
+		p = p[WordSize:]
+		n -= WordSize
+		w++
+	}
+	if n > 0 {
+		// Read-modify-write the trailing partial word.
+		old := m.loadWord(w)
+		var buf [WordSize]byte
+		binary.LittleEndian.PutUint64(buf[:], old)
+		copy(buf[:n], p)
+		m.storeWord(w, binary.LittleEndian.Uint64(buf[:]), nt)
+	}
+}
+
+func (m *Memory) loadWord(w uint64) uint64 {
+	return m.Load64(w * WordSize)
+}
+
+func (m *Memory) storeWord(w, v uint64, nt bool) {
+	if nt {
+		m.StoreNT64(w*WordSize, v)
+	} else {
+		m.Store64(w*WordSize, v)
+	}
+}

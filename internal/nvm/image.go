@@ -1,0 +1,57 @@
+package nvm
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Durable-image serialization. A Memory's durable state can be captured and
+// later restored, which gives REWIND a cross-process durability story: the
+// public API's Store.SaveImage / OpenImage round-trip through these.
+
+// imageMagic identifies a serialized NVM image ("RWNDNVM1").
+const imageMagic = 0x3152574e444e5752
+
+// PersistentImage serializes the durable image (header + raw words). It
+// requires persistence tracking.
+func (m *Memory) PersistentImage() ([]byte, error) {
+	if m.persist == nil {
+		return nil, ErrNoPersistence
+	}
+	buf := make([]byte, 16+len(m.persist)*WordSize)
+	binary.LittleEndian.PutUint64(buf[0:8], imageMagic)
+	binary.LittleEndian.PutUint64(buf[8:16], uint64(len(m.persist)))
+	for i, w := range m.persist {
+		binary.LittleEndian.PutUint64(buf[16+i*WordSize:], w)
+	}
+	return buf, nil
+}
+
+// LoadImage restores a durable image produced by PersistentImage into both
+// the durable and cache-visible state, as if the machine had rebooted with
+// that NVM contents. The image must fit the arena.
+func (m *Memory) LoadImage(img []byte) error {
+	if m.persist == nil {
+		return ErrNoPersistence
+	}
+	if len(img) < 16 || binary.LittleEndian.Uint64(img[0:8]) != imageMagic {
+		return fmt.Errorf("nvm: bad image header")
+	}
+	n := binary.LittleEndian.Uint64(img[8:16])
+	if int(n) > len(m.persist) || len(img) < 16+int(n)*WordSize {
+		return fmt.Errorf("nvm: image has %d words, arena fits %d", n, len(m.persist))
+	}
+	for i := 0; i < int(n); i++ {
+		w := binary.LittleEndian.Uint64(img[16+i*WordSize:])
+		m.persist[i] = w
+		m.words[i] = w
+	}
+	for i := int(n); i < len(m.words); i++ {
+		m.persist[i] = 0
+		m.words[i] = 0
+	}
+	for i := range m.dirty {
+		m.dirty[i] = 0
+	}
+	return nil
+}

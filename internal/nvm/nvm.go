@@ -1,0 +1,327 @@
+// Package nvm emulates byte-addressable non-volatile memory (NVM) for the
+// REWIND recovery runtime.
+//
+// The REWIND paper (PVLDB 8(5), 2015) runs on x86 hardware and controls
+// persistence with cache-line flushes (clflush), persistent memory fences
+// (sfence with persistence semantics) and non-temporal stores (movnti).
+// Go's runtime hides that level of control, so this package substitutes a
+// simulator that reproduces the paper's persistence contract exactly:
+//
+//   - The arena is a flat array of 64-bit words addressed by byte offsets
+//     ("persistent virtual addresses", the paper's footnote 2).
+//   - Store64 is a regular cached store: visible immediately, but lost on a
+//     crash unless its cache line was flushed (Flush/FlushAll) first.
+//   - StoreNT64 is a non-temporal store: synchronously durable, matching the
+//     paper's §3.1 ("writes that bypass the cache and do not complete before
+//     reaching NVM"). The hardware guarantees single-word atomicity; so does
+//     the simulator (it uses atomic word accesses).
+//   - Fence is a persistent memory fence. In this synchronous model it is an
+//     ordering no-op, but it is charged its configured latency and it closes
+//     the current write-coalescing window, which makes it the unit measured
+//     by the paper's fence-sensitivity experiment (Figure 10).
+//
+// Latency accounting follows the paper's §5 rules: every durable line write
+// is one NVM write; consecutive durable writes to the same cache line since
+// the last fence coalesce into a single charged write. Charges accumulate on
+// a virtual clock (Stats.SimulatedNS); with Config.EmulateLatency they are
+// additionally served by a busy loop, as in the paper's testbed.
+//
+// Crash simulation: with Config.TrackPersistence the simulator maintains a
+// durable shadow image. Crash() discards all cached (unflushed) writes,
+// leaving exactly the state a real machine would reboot with. Deterministic
+// crash injection (SetCrashAfter) panics with a sentinel before the N-th
+// durable operation, which lets tests exercise recovery from a torn state at
+// every instruction boundary that matters.
+package nvm
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Size constants for the simulated hardware.
+const (
+	// WordSize is the size of the atomic write unit in bytes. The paper
+	// assumes the hardware guarantees single-word (8-byte) atomic writes.
+	WordSize = 8
+	// LineSize is the cache-line size in bytes, matching the paper's
+	// 64-byte cache lines.
+	LineSize = 64
+	// WordsPerLine is the number of 8-byte words per cache line. With
+	// 8-byte record pointers this is the paper's default batch group size.
+	WordsPerLine = LineSize / WordSize
+)
+
+// Null is the reserved nil persistent address. Word 0 of the arena is never
+// handed out by the allocator, so 0 always means "no address".
+const Null uint64 = 0
+
+// DefaultWriteLatency is the paper's emulated NVM write latency: 510 cycles
+// at 2.5 GHz, i.e. about 150ns per NVM line write.
+const DefaultWriteLatency = 150 * time.Nanosecond
+
+// DefaultFenceLatency is the default persistent memory fence latency. The
+// paper's base configuration treats the fence as part of the write path; its
+// Figure 10 sweeps this value from 0 to 5µs.
+const DefaultFenceLatency = 100 * time.Nanosecond
+
+// Config controls the shape and fidelity of the simulated NVM device.
+type Config struct {
+	// Size is the arena size in bytes. It is rounded up to a multiple of
+	// LineSize. Default: 64 MiB.
+	Size int
+	// WriteLatency is charged per durable NVM line write.
+	WriteLatency time.Duration
+	// FenceLatency is charged per persistent memory fence.
+	FenceLatency time.Duration
+	// ReadLatency is charged per word load. It defaults to zero, matching
+	// the paper's decision not to model NVM reads as slower than DRAM;
+	// scan-bound experiments (rollback and recovery durations, Figures
+	// 3b-5 and 8) set it to a small DRAM-like cost so that log scans —
+	// which dominate those figures — are represented on the virtual clock.
+	ReadLatency time.Duration
+	// EmulateLatency, when true, serves every charge with a busy loop so
+	// wall-clock time reflects the simulated device, as in the paper's
+	// testbed. When false, charges only accumulate on the virtual clock,
+	// which keeps tests fast and figures deterministic.
+	EmulateLatency bool
+	// TrackPersistence maintains the durable shadow image and dirty-line
+	// tracking needed by Crash and PersistentImage. It costs roughly 2x
+	// memory and one extra copy per durable write, so pure-throughput
+	// benchmarks may disable it.
+	TrackPersistence bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Size <= 0 {
+		c.Size = 64 << 20
+	}
+	if rem := c.Size % LineSize; rem != 0 {
+		c.Size += LineSize - rem
+	}
+	if c.WriteLatency == 0 {
+		c.WriteLatency = DefaultWriteLatency
+	}
+	if c.FenceLatency == 0 {
+		c.FenceLatency = DefaultFenceLatency
+	}
+	return c
+}
+
+// Memory is a simulated NVM device. All operations are safe for concurrent
+// use; distinct words may be written concurrently without locking, matching
+// real hardware.
+type Memory struct {
+	cfg   Config
+	words []uint64 // current (cache-visible) contents
+	// persist is the durable image; nil unless TrackPersistence.
+	persist []uint64
+	// dirty is a bitmap with one bit per cache line: set when the line has
+	// cached writes that are not yet durable. nil unless TrackPersistence.
+	dirty []uint64
+
+	// ntLine is 1 + the line index of the last durable write since the
+	// last fence, for write coalescing; 0 means none.
+	ntLine atomic.Uint64
+
+	stats statsCounters
+
+	// crashCountdown > 0 arms injection: it is decremented before every
+	// durable operation and a sentinel panic fires when it reaches zero.
+	crashCountdown atomic.Int64
+}
+
+// New creates a simulated NVM device. The arena starts zeroed, which the
+// rest of the system relies on (a zero word is a NULL pointer / empty cell).
+func New(cfg Config) *Memory {
+	cfg = cfg.withDefaults()
+	m := &Memory{
+		cfg:   cfg,
+		words: make([]uint64, cfg.Size/WordSize),
+	}
+	if cfg.TrackPersistence {
+		m.persist = make([]uint64, len(m.words))
+		m.dirty = make([]uint64, (len(m.words)/WordsPerLine+63)/64+1)
+	}
+	return m
+}
+
+// Size returns the arena size in bytes.
+func (m *Memory) Size() int { return m.cfg.Size }
+
+// Config returns the configuration the device was created with.
+func (m *Memory) Config() Config { return m.cfg }
+
+func (m *Memory) checkAddr(addr uint64, n int) uint64 {
+	if addr%WordSize != 0 {
+		panic(fmt.Sprintf("nvm: misaligned address %#x", addr))
+	}
+	w := addr / WordSize
+	if int(w)+n > len(m.words) || addr >= uint64(m.cfg.Size) {
+		panic(fmt.Sprintf("nvm: address %#x (+%d words) out of range (size %d)", addr, n, m.cfg.Size))
+	}
+	return w
+}
+
+// Load64 performs an atomic 64-bit load from an 8-byte-aligned address.
+func (m *Memory) Load64(addr uint64) uint64 {
+	w := m.checkAddr(addr, 1)
+	m.stats.loads.Add(1)
+	if m.cfg.ReadLatency != 0 {
+		m.charge(m.cfg.ReadLatency)
+	}
+	return atomic.LoadUint64(&m.words[w])
+}
+
+// Store64 performs a regular cached store: the write is visible immediately
+// but is not durable until its cache line is flushed and will be lost by a
+// Crash before that.
+func (m *Memory) Store64(addr, v uint64) {
+	w := m.checkAddr(addr, 1)
+	m.stats.cachedStores.Add(1)
+	atomic.StoreUint64(&m.words[w], v)
+	if m.dirty != nil {
+		m.markDirty(w / WordsPerLine)
+	}
+}
+
+// StoreNT64 performs a non-temporal store: a synchronously durable atomic
+// word write, the primitive REWIND uses for every critical update.
+func (m *Memory) StoreNT64(addr, v uint64) {
+	w := m.checkAddr(addr, 1)
+	m.maybeCrash()
+	m.stats.ntStores.Add(1)
+	atomic.StoreUint64(&m.words[w], v)
+	if m.persist != nil {
+		atomic.StoreUint64(&m.persist[w], v)
+	}
+	m.chargeLine(w / WordsPerLine)
+}
+
+// Flush makes the cache line containing addr durable (clflush + persistence,
+// in the paper's model). Flushing a clean line is free, as on hardware with
+// clwb-style optimizations tracked at line granularity.
+func (m *Memory) Flush(addr uint64) {
+	w := m.checkAddr(addr, 1)
+	m.flushLine(w / WordsPerLine)
+}
+
+// FlushRange flushes every cache line overlapping [addr, addr+n).
+func (m *Memory) FlushRange(addr uint64, n int) {
+	if n <= 0 {
+		return
+	}
+	m.checkAddr(addr, (n+WordSize-1)/WordSize)
+	first := addr / LineSize
+	last := (addr + uint64(n) - 1) / LineSize
+	for line := first; line <= last; line++ {
+		m.flushLine(line)
+	}
+}
+
+func (m *Memory) flushLine(line uint64) {
+	if m.dirty != nil {
+		if !m.clearDirty(line) {
+			return // clean line: nothing to persist, nothing to charge
+		}
+		m.maybeCrash()
+		base := line * WordsPerLine
+		for i := uint64(0); i < WordsPerLine; i++ {
+			atomic.StoreUint64(&m.persist[base+i], atomic.LoadUint64(&m.words[base+i]))
+		}
+	} else {
+		m.maybeCrash()
+	}
+	m.stats.flushes.Add(1)
+	m.chargeLine(line)
+}
+
+// Fence issues a persistent memory fence. In this synchronous simulator it
+// is an ordering no-op, but it is charged FenceLatency and it closes the
+// write-coalescing window, so fence count and cost are faithfully modeled.
+func (m *Memory) Fence() {
+	m.maybeCrash()
+	m.stats.fences.Add(1)
+	m.ntLine.Store(0)
+	m.charge(m.cfg.FenceLatency)
+}
+
+// FlushAll flushes every dirty cache line, then fences. This is the "flush
+// the cache" step of the paper's cache-consistent checkpoint (§4.6). It
+// returns the number of lines written.
+func (m *Memory) FlushAll() int {
+	written := 0
+	if m.dirty != nil {
+		for bi := range m.dirty {
+			if atomic.LoadUint64(&m.dirty[bi]) == 0 {
+				continue
+			}
+			for bit := 0; bit < 64; bit++ {
+				line := uint64(bi*64 + bit)
+				if atomic.LoadUint64(&m.dirty[bi])&(1<<bit) == 0 {
+					continue
+				}
+				m.flushLine(line)
+				written++
+			}
+		}
+	}
+	m.Fence()
+	return written
+}
+
+// markDirty sets the dirty bit for a line with a CAS loop (portable to
+// go1.22, which lacks atomic.OrUint64).
+func (m *Memory) markDirty(line uint64) {
+	bi, mask := line/64, uint64(1)<<(line%64)
+	for {
+		old := atomic.LoadUint64(&m.dirty[bi])
+		if old&mask != 0 || atomic.CompareAndSwapUint64(&m.dirty[bi], old, old|mask) {
+			return
+		}
+	}
+}
+
+// clearDirty clears the dirty bit for a line, reporting whether it was set.
+func (m *Memory) clearDirty(line uint64) bool {
+	bi, mask := line/64, uint64(1)<<(line%64)
+	for {
+		old := atomic.LoadUint64(&m.dirty[bi])
+		if old&mask == 0 {
+			return false
+		}
+		if atomic.CompareAndSwapUint64(&m.dirty[bi], old, old&^mask) {
+			return true
+		}
+	}
+}
+
+// chargeLine charges one NVM line write unless it coalesces with the
+// previous durable write to the same line (paper §5: "group consecutive
+// writes to the same cacheline into a single NVM write").
+func (m *Memory) chargeLine(line uint64) {
+	if m.ntLine.Swap(line+1) == line+1 {
+		m.stats.coalesced.Add(1)
+		return
+	}
+	m.stats.lineWrites.Add(1)
+	m.charge(m.cfg.WriteLatency)
+}
+
+func (m *Memory) charge(d time.Duration) {
+	if d == 0 {
+		return
+	}
+	m.stats.simulatedNS.Add(int64(d))
+	if m.cfg.EmulateLatency {
+		spin(d)
+	}
+}
+
+// spin busy-waits for roughly d, emulating the paper's latency loop.
+func spin(d time.Duration) {
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+	}
+}

@@ -1,0 +1,90 @@
+package nvm
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// statsCounters holds the atomic counters behind Stats.
+type statsCounters struct {
+	loads        atomic.Int64
+	cachedStores atomic.Int64
+	ntStores     atomic.Int64
+	flushes      atomic.Int64
+	fences       atomic.Int64
+	lineWrites   atomic.Int64
+	coalesced    atomic.Int64
+	simulatedNS  atomic.Int64
+	crashes      atomic.Int64
+}
+
+// Stats is a point-in-time snapshot of the device counters. Subtracting two
+// snapshots (Sub) gives the cost of an interval, which is how the benchmark
+// harness measures simulated time per workload phase.
+type Stats struct {
+	// Loads counts 64-bit word loads.
+	Loads int64
+	// CachedStores counts regular (volatile until flushed) word stores.
+	CachedStores int64
+	// NTStores counts non-temporal durable word stores.
+	NTStores int64
+	// Flushes counts dirty cache lines made durable by Flush/FlushAll.
+	Flushes int64
+	// Fences counts persistent memory fences.
+	Fences int64
+	// LineWrites counts charged NVM line writes (after coalescing); this
+	// is the paper's "NVM write" unit.
+	LineWrites int64
+	// Coalesced counts durable writes absorbed by the same-line
+	// coalescing window and therefore not charged.
+	Coalesced int64
+	// SimulatedNS is the virtual clock: total charged latency.
+	SimulatedNS int64
+	// Crashes counts simulated crashes (Crash calls).
+	Crashes int64
+}
+
+// Stats returns a snapshot of the device counters.
+func (m *Memory) Stats() Stats {
+	return Stats{
+		Loads:        m.stats.loads.Load(),
+		CachedStores: m.stats.cachedStores.Load(),
+		NTStores:     m.stats.ntStores.Load(),
+		Flushes:      m.stats.flushes.Load(),
+		Fences:       m.stats.fences.Load(),
+		LineWrites:   m.stats.lineWrites.Load(),
+		Coalesced:    m.stats.coalesced.Load(),
+		SimulatedNS:  m.stats.simulatedNS.Load(),
+		Crashes:      m.stats.crashes.Load(),
+	}
+}
+
+// Sub returns the component-wise difference s - o.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		Loads:        s.Loads - o.Loads,
+		CachedStores: s.CachedStores - o.CachedStores,
+		NTStores:     s.NTStores - o.NTStores,
+		Flushes:      s.Flushes - o.Flushes,
+		Fences:       s.Fences - o.Fences,
+		LineWrites:   s.LineWrites - o.LineWrites,
+		Coalesced:    s.Coalesced - o.Coalesced,
+		SimulatedNS:  s.SimulatedNS - o.SimulatedNS,
+		Crashes:      s.Crashes - o.Crashes,
+	}
+}
+
+// Simulated returns the virtual-clock duration of the snapshot.
+func (s Stats) Simulated() time.Duration { return time.Duration(s.SimulatedNS) }
+
+// String renders the snapshot compactly for logs and experiment output.
+func (s Stats) String() string {
+	return fmt.Sprintf("loads=%d stores=%d nt=%d flushes=%d fences=%d lines=%d coalesced=%d sim=%v",
+		s.Loads, s.CachedStores, s.NTStores, s.Flushes, s.Fences, s.LineWrites, s.Coalesced, s.Simulated())
+}
+
+// AdvanceClock charges d to the virtual clock (and busy-waits when latency
+// emulation is on). Higher layers use it to model computation between
+// updates, as in the paper's update-intensity microbenchmark (Figure 3).
+func (m *Memory) AdvanceClock(d time.Duration) { m.charge(d) }

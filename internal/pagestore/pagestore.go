@@ -1,0 +1,462 @@
+// Package pagestore implements an ARIES-style storage manager over the
+// simulated PMFS: fixed-size pages behind a buffer pool with a steal/
+// no-force policy, a write-ahead log written in file-system blocks, full
+// three-phase recovery with compensation records, and fuzzy checkpoints.
+//
+// It is the architectural skeleton of the paper's comparators (§5.2):
+// Stasis, BerkeleyDB and Shore-MT are block/page systems whose durability
+// path runs through a file system, and the paper's argument is precisely
+// that this architecture — not any particular implementation detail — costs
+// orders of magnitude against word-granular in-place logging. Three knobs
+// specialize it (see package baseline): the log record granularity
+// (byte-range diffs vs whole-page images), the number of log partitions
+// (Shore-MT's distributed log), and in-memory undo buffers.
+package pagestore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/rewind-db/rewind/internal/pmfs"
+)
+
+// PageSize is the unit of data I/O and page-image logging.
+const PageSize = 4096
+
+// LogBlock is the unit of log I/O: the log is forced in whole blocks, the
+// block interface REWIND's byte-granular log avoids.
+const LogBlock = 4096
+
+// Strategy selects the log record granularity.
+type Strategy int
+
+const (
+	// DiffLogging logs the changed byte range (before and after images) —
+	// the Stasis-like fine-grained physiological strategy.
+	DiffLogging Strategy = iota
+	// PageImageLogging logs whole-page before and after images — the
+	// coarse BerkeleyDB-like strategy.
+	PageImageLogging
+)
+
+// Config shapes a store.
+type Config struct {
+	Strategy Strategy
+	// BufferPages is the buffer-pool capacity (default 256).
+	BufferPages int
+	// Partitions is the number of log partitions (Shore-MT style
+	// distributed logging; default 1). Transactions are assigned to
+	// partitions round-robin and commit forces only their partition.
+	Partitions int
+	// InMemoryUndo keeps undo information in volatile per-transaction
+	// buffers so aborts avoid log reads (Shore-MT's undo buffers).
+	InMemoryUndo bool
+	// OpOverhead is charged once per transactional page update,
+	// representing the comparator's software stack above the I/O path.
+	// The defaults in package baseline are calibrated against the paper's
+	// Figure 7 (see EXPERIMENTS.md).
+	OpOverhead time.Duration
+	// UndoOverhead is charged per record undone during Abort, modeling the
+	// undo style: logical undo re-executes the inverse operation through
+	// the full stack (Stasis), physical page restoration is cheaper (BDB),
+	// and in-memory undo buffers cheaper still (Shore-MT). Calibrated
+	// against the paper's Figure 8 left.
+	UndoOverhead time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.BufferPages <= 0 {
+		c.BufferPages = 256
+	}
+	if c.Partitions <= 0 {
+		c.Partitions = 1
+	}
+	return c
+}
+
+// Record types.
+const (
+	recUpdate byte = iota + 1
+	recCLR
+	recCommit
+	recEnd
+	recCheckpoint
+)
+
+// logRecord is the in-memory form of a WAL record.
+type logRecord struct {
+	lsn      uint64
+	txn      uint64
+	typ      byte
+	page     uint64
+	offset   uint32
+	before   []byte
+	after    []byte
+	undoNext uint64
+}
+
+const recHeaderSize = 8 + 8 + 1 + 8 + 4 + 4 + 8 + 4 // ..., before len, after len(4+4? packed below)
+
+// Store is an open page store.
+type Store struct {
+	cfg  Config
+	fs   *pmfs.FS
+	data *pmfs.File
+
+	mu       sync.Mutex
+	nextLSN  uint64
+	nextTxn  uint64
+	pool     map[uint64]*frame
+	clock    []uint64 // simple FIFO eviction order
+	txns     map[uint64]*txn
+	parts    []*logPartition
+	nextPart int
+
+	// stats
+	Forces   int64
+	PageIO   int64
+	Appended int64
+}
+
+type frame struct {
+	buf     []byte
+	dirty   bool
+	pageLSN uint64
+}
+
+type txn struct {
+	id      uint64
+	part    *logPartition
+	lastLSN uint64
+	undo    []*logRecord // InMemoryUndo buffers
+	done    bool
+}
+
+// logPartition is one WAL stream with block-granular forcing.
+type logPartition struct {
+	mu       sync.Mutex
+	file     *pmfs.File
+	tail     int64 // durable end
+	buf      []byte
+	records  []*logRecord // volatile mirror of unforced + forced records (for undo without file reads when configured)
+	flushed  uint64       // highest LSN known durable
+	pending  []*logRecord
+	recBytes map[uint64]int64 // lsn -> file offset (for file-based undo reads)
+}
+
+// New creates a store over fs.
+func New(fs *pmfs.FS, cfg Config) *Store {
+	cfg = cfg.withDefaults()
+	s := &Store{
+		cfg:  cfg,
+		fs:   fs,
+		data: fs.Create("pagestore.data"),
+		pool: map[uint64]*frame{},
+		txns: map[uint64]*txn{},
+	}
+	for i := 0; i < cfg.Partitions; i++ {
+		s.parts = append(s.parts, &logPartition{
+			file:     fs.Create(fmt.Sprintf("pagestore.log.%d", i)),
+			recBytes: map[uint64]int64{},
+		})
+	}
+	return s
+}
+
+// Begin starts a transaction, assigning it to a log partition.
+func (s *Store) Begin() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextTxn++
+	id := s.nextTxn
+	p := s.parts[s.nextPart]
+	s.nextPart = (s.nextPart + 1) % len(s.parts)
+	s.txns[id] = &txn{id: id, part: p}
+	return id
+}
+
+var errTxnDone = errors.New("pagestore: transaction finished")
+
+// page returns the frame for pageID, faulting it in (and evicting under
+// memory pressure, with WAL-before-page forcing).
+func (s *Store) page(id uint64) *frame {
+	if f, ok := s.pool[id]; ok {
+		return f
+	}
+	if len(s.pool) >= s.cfg.BufferPages {
+		s.evictLocked()
+	}
+	f := &frame{buf: make([]byte, PageSize)}
+	off := int64(id) * PageSize
+	if off+PageSize <= s.data.Size() {
+		s.data.ReadAt(f.buf, off) //nolint:errcheck // zero page on short read
+		s.PageIO++
+	}
+	f.pageLSN = binary.LittleEndian.Uint64(f.buf[:8])
+	s.pool[id] = f
+	s.clock = append(s.clock, id)
+	return f
+}
+
+// evictLocked writes back the oldest dirty page (steal policy: the WAL is
+// forced up to the page's LSN first).
+func (s *Store) evictLocked() {
+	for len(s.clock) > 0 {
+		id := s.clock[0]
+		s.clock = s.clock[1:]
+		f, ok := s.pool[id]
+		if !ok {
+			continue
+		}
+		if f.dirty {
+			s.forceAllLocked(f.pageLSN)
+			s.writePageLocked(id, f)
+		}
+		delete(s.pool, id)
+		return
+	}
+}
+
+func (s *Store) writePageLocked(id uint64, f *frame) {
+	binary.LittleEndian.PutUint64(f.buf[:8], f.pageLSN)
+	s.data.WriteAt(f.buf, int64(id)*PageSize)
+	s.data.Sync()
+	s.PageIO++
+	f.dirty = false
+}
+
+// Read copies out a byte range from a page. The first 8 bytes of every
+// page hold its pageLSN; callers address the remaining payload.
+func (s *Store) Read(pageID uint64, off int, p []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f := s.page(pageID)
+	copy(p, f.buf[8+off:])
+}
+
+// Update applies a transactional byte-range write to a page, logging it
+// first according to the strategy. The software-stack overhead is charged
+// outside the store lock: it models parallel CPU work, not a critical
+// section, which is what lets the partitioned configuration scale
+// (Figure 9).
+func (s *Store) Update(tid, pageID uint64, off int, after []byte) error {
+	s.fs.Mem().AdvanceClock(s.cfg.OpOverhead)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	x, ok := s.txns[tid]
+	if !ok || x.done {
+		return errTxnDone
+	}
+	f := s.page(pageID)
+
+	var rec *logRecord
+	if s.cfg.Strategy == PageImageLogging {
+		before := append([]byte(nil), f.buf[8:]...)
+		copy(f.buf[8+off:], after)
+		rec = &logRecord{txn: tid, typ: recUpdate, page: pageID, offset: 0,
+			before: before, after: append([]byte(nil), f.buf[8:]...), undoNext: x.lastLSN}
+	} else {
+		before := append([]byte(nil), f.buf[8+off:8+off+len(after)]...)
+		copy(f.buf[8+off:], after)
+		rec = &logRecord{txn: tid, typ: recUpdate, page: pageID, offset: uint32(off),
+			before: before, after: append([]byte(nil), after...), undoNext: x.lastLSN}
+	}
+	s.appendLocked(x, rec)
+	f.dirty = true
+	f.pageLSN = rec.lsn
+	if s.cfg.InMemoryUndo {
+		x.undo = append(x.undo, rec)
+	}
+	return nil
+}
+
+// appendLocked assigns the LSN and buffers the record in the transaction's
+// partition.
+func (s *Store) appendLocked(x *txn, rec *logRecord) {
+	s.nextLSN++
+	rec.lsn = s.nextLSN
+	x.lastLSN = rec.lsn
+	p := x.part
+	p.mu.Lock()
+	p.pending = append(p.pending, rec)
+	p.records = append(p.records, rec)
+	p.mu.Unlock()
+	s.Appended++
+}
+
+// Commit writes the commit record and forces the transaction's partition
+// (ARIES no-force: data pages stay dirty in the pool).
+func (s *Store) Commit(tid uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	x, ok := s.txns[tid]
+	if !ok || x.done {
+		return errTxnDone
+	}
+	s.appendLocked(x, &logRecord{txn: tid, typ: recCommit, undoNext: x.lastLSN})
+	s.forcePartitionLocked(x.part, x.lastLSN)
+	x.done = true
+	delete(s.txns, tid)
+	return nil
+}
+
+// Abort rolls the transaction back: undo records newest-to-oldest, each
+// generating a CLR, then an end record.
+func (s *Store) Abort(tid uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	x, ok := s.txns[tid]
+	if !ok || x.done {
+		return errTxnDone
+	}
+	var undo []*logRecord
+	if s.cfg.InMemoryUndo {
+		undo = x.undo
+	} else {
+		// Read the transaction's records back (charged log reads — the
+		// cost Figure 8a contrasts with Shore-MT's undo buffers).
+		undo = s.readChainLocked(x)
+	}
+	for i := len(undo) - 1; i >= 0; i-- {
+		r := undo[i]
+		if r.typ != recUpdate {
+			continue
+		}
+		s.fs.Mem().AdvanceClock(s.cfg.UndoOverhead)
+		f := s.page(r.page)
+		copy(f.buf[8+int(r.offset):], r.before)
+		clr := &logRecord{txn: tid, typ: recCLR, page: r.page, offset: r.offset,
+			after: append([]byte(nil), r.before...), undoNext: r.undoNext}
+		s.appendLocked(x, clr)
+		f.dirty = true
+		f.pageLSN = clr.lsn
+	}
+	s.appendLocked(x, &logRecord{txn: tid, typ: recEnd})
+	s.forcePartitionLocked(x.part, x.lastLSN)
+	x.done = true
+	delete(s.txns, tid)
+	return nil
+}
+
+// readChainLocked simulates reading a transaction's records from the log
+// file by charging one file read per record, then returns the volatile
+// mirror (the payload equivalence is exact; only the I/O cost matters).
+func (s *Store) readChainLocked(x *txn) []*logRecord {
+	p := x.part
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []*logRecord
+	scratch := make([]byte, 64)
+	for _, r := range p.records {
+		if r.txn == x.id {
+			if off, ok := p.recBytes[r.lsn]; ok {
+				p.file.ReadAt(scratch[:8], off) //nolint:errcheck // cost-charging read
+			}
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// forceAllLocked forces every partition up to lsn (page eviction must
+// respect WAL across partitions).
+func (s *Store) forceAllLocked(lsn uint64) {
+	for _, p := range s.parts {
+		s.forcePartitionLocked(p, lsn)
+	}
+}
+
+// forcePartitionLocked serializes pending records into the partition's
+// block buffer and syncs whole blocks — the block-interface cost REWIND's
+// design avoids.
+func (s *Store) forcePartitionLocked(p *logPartition, lsn uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.flushed >= lsn && len(p.pending) == 0 {
+		return
+	}
+	for _, r := range p.pending {
+		b := encodeRecord(r)
+		p.recBytes[r.lsn] = p.tail + int64(len(p.buf))
+		p.buf = append(p.buf, b...)
+		if r.lsn > p.flushed {
+			p.flushed = r.lsn
+		}
+	}
+	p.pending = p.pending[:0]
+	// Write out in whole blocks; a partial tail block is rewritten on the
+	// next force, as sector-based WALs do.
+	blocks := (len(p.buf) + LogBlock - 1) / LogBlock
+	out := make([]byte, blocks*LogBlock)
+	copy(out, p.buf)
+	p.file.WriteAt(out, p.tail)
+	p.file.Sync()
+	s.Forces++
+	full := (len(p.buf) / LogBlock) * LogBlock
+	p.tail += int64(full)
+	p.buf = p.buf[full:]
+}
+
+// encodeRecord serializes a record.
+func encodeRecord(r *logRecord) []byte {
+	b := make([]byte, recHeaderSize+len(r.before)+len(r.after))
+	binary.LittleEndian.PutUint64(b[0:], r.lsn)
+	binary.LittleEndian.PutUint64(b[8:], r.txn)
+	b[16] = r.typ
+	binary.LittleEndian.PutUint64(b[17:], r.page)
+	binary.LittleEndian.PutUint32(b[25:], r.offset)
+	binary.LittleEndian.PutUint32(b[29:], uint32(len(r.before)))
+	binary.LittleEndian.PutUint64(b[33:], r.undoNext)
+	binary.LittleEndian.PutUint32(b[41:], uint32(len(r.after)))
+	copy(b[recHeaderSize:], r.before)
+	copy(b[recHeaderSize+len(r.before):], r.after)
+	return b
+}
+
+func decodeRecord(b []byte) (*logRecord, int, bool) {
+	if len(b) < recHeaderSize {
+		return nil, 0, false
+	}
+	r := &logRecord{
+		lsn:      binary.LittleEndian.Uint64(b[0:]),
+		txn:      binary.LittleEndian.Uint64(b[8:]),
+		typ:      b[16],
+		page:     binary.LittleEndian.Uint64(b[17:]),
+		offset:   binary.LittleEndian.Uint32(b[25:]),
+		undoNext: binary.LittleEndian.Uint64(b[33:]),
+	}
+	bl := int(binary.LittleEndian.Uint32(b[29:]))
+	al := int(binary.LittleEndian.Uint32(b[41:]))
+	if r.lsn == 0 || r.typ == 0 || r.typ > recCheckpoint || bl > PageSize || al > PageSize {
+		return nil, 0, false
+	}
+	if len(b) < recHeaderSize+bl+al {
+		return nil, 0, false
+	}
+	r.before = append([]byte(nil), b[recHeaderSize:recHeaderSize+bl]...)
+	r.after = append([]byte(nil), b[recHeaderSize+bl:recHeaderSize+bl+al]...)
+	return r, recHeaderSize + bl + al, true
+}
+
+// Checkpoint flushes all dirty pages and truncates volatile log mirrors —
+// the comparators' log-reclamation step.
+func (s *Store) Checkpoint() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.forceAllLocked(s.nextLSN)
+	for id, f := range s.pool {
+		if f.dirty {
+			s.writePageLocked(id, f)
+		}
+	}
+}
+
+// Stats returns instrumentation counters.
+func (s *Store) Stats() (forces, pageIO, appended int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.Forces, s.PageIO, s.Appended
+}

@@ -1,0 +1,277 @@
+// Package pmem provides a persistent memory allocator over the simulated
+// NVM arena, plus a small set of named persistent roots.
+//
+// REWIND (PVLDB 8(5), 2015) assumes an NVM-aware allocator in the style of
+// NV-heaps/Mnemosyne and focuses its crash-safety machinery on
+// *deallocation* (DELETE log records, §4.3). This allocator follows the same
+// contract:
+//
+//   - Allocation is crash-safe in the sense that a crash can never corrupt
+//     allocator metadata or hand the same block out twice; at worst a block
+//     is leaked (allocated but unreachable), exactly the failure mode the
+//     paper accepts and defers to NV-heap-style allocators.
+//   - Free is idempotent: freeing an already-free block is a no-op. That is
+//     what makes replaying a committed transaction's DELETE record safe when
+//     the system crashed between the actual deallocation and the removal of
+//     the record.
+//
+// Blocks carry an 8-byte header word (payload size and a freed bit) and are
+// served from per-size-class free lists backed by a bump region. All
+// metadata updates use non-temporal (synchronously durable) stores, ordered
+// so that every crash point leaves the heap consistent.
+package pmem
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/rewind-db/rewind/internal/nvm"
+)
+
+// Arena layout constants. Word 0 is reserved so that address 0 is NULL.
+const (
+	offMagic   = 8
+	offVersion = 16
+	offSize    = 24
+	offBump    = 32
+	offClasses = 64 // free-list heads: one word per class + one for large
+	rootBase   = 512
+	// NumRoots is the number of named persistent root slots. Subsystems
+	// claim slots by convention (see the root registry in package core).
+	NumRoots = 64
+	// HeapBase is where allocatable memory starts.
+	HeapBase = rootBase + NumRoots*8
+
+	magic   = 0x31444e4957455250 // "PREWIND1"
+	version = 1
+
+	headerSize = 8
+	freedBit   = 1 // low bit of the header word marks a free block
+)
+
+// classTotals are the block sizes (header + payload) served by the
+// segregated free lists. Larger requests go to the large list.
+//
+// Every class is a multiple of the cache-line size and the heap base is
+// line-aligned, so every block owns its cache lines exclusively. This is
+// load-bearing for WAL correctness: REWIND flushes freshly created log
+// records, list nodes and buckets to NVM while user updates are still
+// volatile, and a flush persists whole lines — if metadata shared a line
+// with user data, the flush would persist uncommitted user writes ahead of
+// their log records. Line-isolated blocks make that impossible, mirroring
+// how a native implementation segregates its log arena from user data
+// (paper §2: "This separates data from the log").
+var classTotals = []int{
+	64, 128, 192, 256, 384, 512, 768,
+	1024, 1536, 2048, 3072, 4096, 6144, 8192, 12288, 16384,
+}
+
+// ErrOutOfMemory is the panic value raised when the arena is exhausted.
+var ErrOutOfMemory = errors.New("pmem: arena exhausted")
+
+// ErrNotFormatted is returned by Open when the arena has no valid heap.
+var ErrNotFormatted = errors.New("pmem: arena not formatted")
+
+// Allocator manages the heap portion of an NVM arena. It is safe for
+// concurrent use.
+type Allocator struct {
+	mem *nvm.Memory
+	mu  sync.Mutex
+}
+
+// Format initializes a fresh heap on the arena, destroying any prior
+// contents of the metadata region, and returns the allocator.
+func Format(m *nvm.Memory) *Allocator {
+	a := &Allocator{mem: m}
+	m.StoreNT64(offBump, HeapBase)
+	for c := 0; c <= len(classTotals); c++ {
+		m.StoreNT64(offClasses+uint64(c)*8, nvm.Null)
+	}
+	for i := 0; i < NumRoots; i++ {
+		m.StoreNT64(rootBase+uint64(i)*8, nvm.Null)
+	}
+	m.StoreNT64(offSize, uint64(m.Size()))
+	m.StoreNT64(offVersion, version)
+	m.Fence()
+	// The magic word is written last: a crash during Format leaves an
+	// arena that Open rejects rather than a half-initialized heap.
+	m.StoreNT64(offMagic, magic)
+	m.Fence()
+	return a
+}
+
+// Open attaches to a previously formatted heap (e.g. after a crash or an
+// image restore).
+func Open(m *nvm.Memory) (*Allocator, error) {
+	if m.Load64(offMagic) != magic {
+		return nil, ErrNotFormatted
+	}
+	if v := m.Load64(offVersion); v != version {
+		return nil, fmt.Errorf("pmem: heap version %d, want %d", v, version)
+	}
+	if s := m.Load64(offSize); s > uint64(m.Size()) {
+		return nil, fmt.Errorf("pmem: heap formatted for %d bytes, arena has %d", s, m.Size())
+	}
+	return &Allocator{mem: m}, nil
+}
+
+// Mem returns the underlying NVM device.
+func (a *Allocator) Mem() *nvm.Memory { return a.mem }
+
+// classFor returns the class index for a total block size, or -1 for large.
+func classFor(total int) int {
+	for c, ct := range classTotals {
+		if total <= ct {
+			return c
+		}
+	}
+	return -1
+}
+
+func align(n, to int) int { return (n + to - 1) / to * to }
+
+// Alloc returns the address of a block with at least size payload bytes.
+// The payload is NOT zeroed (blocks recycled from free lists carry stale
+// data); callers that rely on zero contents must clear it. Alloc panics
+// with ErrOutOfMemory when the arena is exhausted.
+func (a *Allocator) Alloc(size int) uint64 {
+	addr, err := a.TryAlloc(size)
+	if err != nil {
+		panic(err)
+	}
+	return addr
+}
+
+// TryAlloc is Alloc returning an error instead of panicking on exhaustion.
+func (a *Allocator) TryAlloc(size int) (uint64, error) {
+	if size <= 0 {
+		return nvm.Null, fmt.Errorf("pmem: invalid allocation size %d", size)
+	}
+	total := align(size+headerSize, nvm.LineSize)
+	c := classFor(total)
+	if c >= 0 {
+		total = classTotals[c]
+	} else {
+		total = align(total, 4096)
+	}
+
+	a.mu.Lock()
+	defer a.mu.Unlock()
+
+	if addr := a.popFree(c, total); addr != nvm.Null {
+		return addr, nil
+	}
+
+	// Bump allocation. Ordering: block header first, then the bump
+	// pointer. A crash in between leaves the header in space that is
+	// still unallocated, which the next bump write simply overwrites.
+	bump := a.mem.Load64(offBump)
+	if bump+uint64(total) > uint64(a.mem.Size()) {
+		return nvm.Null, ErrOutOfMemory
+	}
+	a.mem.StoreNT64(bump, uint64(total-headerSize)<<1)
+	a.mem.StoreNT64(offBump, bump+uint64(total))
+	return bump + headerSize, nil
+}
+
+// popFree pops a block from the class free list (or, for large blocks, the
+// first exact-size match on the large list). Returns Null when empty.
+func (a *Allocator) popFree(c, total int) uint64 {
+	headSlot := a.freeSlot(c)
+	if c < 0 {
+		// Large list: first-fit exact total match.
+		prev := uint64(headSlot)
+		cur := a.mem.Load64(headSlot)
+		for cur != nvm.Null {
+			if a.blockTotal(cur) == total {
+				next := a.mem.Load64(cur)
+				// Unlink first, then clear the freed bit. A crash in
+				// between leaks the block but can never double-serve it.
+				a.mem.StoreNT64(prev, next)
+				a.mem.StoreNT64(cur-headerSize, uint64(total-headerSize)<<1)
+				return cur
+			}
+			prev = cur
+			cur = a.mem.Load64(cur)
+		}
+		return nvm.Null
+	}
+	head := a.mem.Load64(headSlot)
+	if head == nvm.Null {
+		return nvm.Null
+	}
+	next := a.mem.Load64(head) // free blocks store the next pointer in payload word 0
+	a.mem.StoreNT64(headSlot, next)
+	a.mem.StoreNT64(head-headerSize, uint64(total-headerSize)<<1)
+	return head
+}
+
+func (a *Allocator) freeSlot(c int) uint64 {
+	if c < 0 {
+		c = len(classTotals)
+	}
+	return offClasses + uint64(c)*8
+}
+
+func (a *Allocator) blockTotal(addr uint64) int {
+	return int(a.mem.Load64(addr-headerSize)>>1) + headerSize
+}
+
+// BlockSize returns the payload capacity of an allocated block.
+func (a *Allocator) BlockSize(addr uint64) int {
+	return int(a.mem.Load64(addr-headerSize) >> 1)
+}
+
+// Free returns a block to its free list. Freeing an already-free block is a
+// no-op, which makes replay of DELETE log records after a crash safe. The
+// write order (next pointer, freed bit, list head) guarantees a crash at any
+// point either leaves the block allocated, or marked free but leaked — never
+// reachable twice.
+func (a *Allocator) Free(addr uint64) {
+	if addr == nvm.Null {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+
+	hdr := a.mem.Load64(addr - headerSize)
+	if hdr&freedBit != 0 {
+		return // idempotent: already free
+	}
+	total := int(hdr>>1) + headerSize
+	headSlot := a.freeSlot(classFor(total))
+
+	a.mem.StoreNT64(addr, a.mem.Load64(headSlot))  // next pointer
+	a.mem.StoreNT64(addr-headerSize, hdr|freedBit) // mark free (replay barrier)
+	a.mem.StoreNT64(headSlot, addr)                // publish
+}
+
+// IsFree reports whether the block is currently marked free. It exists for
+// tests and for DELETE-record replay diagnostics.
+func (a *Allocator) IsFree(addr uint64) bool {
+	return a.mem.Load64(addr-headerSize)&freedBit != 0
+}
+
+// Root returns the value of persistent root slot i.
+func (a *Allocator) Root(i int) uint64 {
+	if i < 0 || i >= NumRoots {
+		panic(fmt.Sprintf("pmem: root index %d out of range", i))
+	}
+	return a.mem.Load64(rootBase + uint64(i)*8)
+}
+
+// SetRoot durably stores addr into root slot i.
+func (a *Allocator) SetRoot(i int, addr uint64) {
+	if i < 0 || i >= NumRoots {
+		panic(fmt.Sprintf("pmem: root index %d out of range", i))
+	}
+	a.mem.StoreNT64(rootBase+uint64(i)*8, addr)
+	a.mem.Fence()
+}
+
+// HeapUsed returns the number of bytes between the heap base and the bump
+// pointer (an upper bound on live data; freed blocks are not subtracted).
+func (a *Allocator) HeapUsed() int {
+	return int(a.mem.Load64(offBump)) - HeapBase
+}

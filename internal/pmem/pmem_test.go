@@ -1,0 +1,338 @@
+package pmem
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"github.com/rewind-db/rewind/internal/nvm"
+)
+
+func newHeap(t *testing.T) (*nvm.Memory, *Allocator) {
+	t.Helper()
+	m := nvm.New(nvm.Config{Size: 4 << 20, TrackPersistence: true})
+	return m, Format(m)
+}
+
+func TestAllocReturnsAlignedDistinctBlocks(t *testing.T) {
+	_, a := newHeap(t)
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		addr := a.Alloc(64)
+		if addr%8 != 0 {
+			t.Fatalf("misaligned block %#x", addr)
+		}
+		if addr < HeapBase {
+			t.Fatalf("block %#x below heap base", addr)
+		}
+		if seen[addr] {
+			t.Fatalf("block %#x served twice", addr)
+		}
+		seen[addr] = true
+	}
+}
+
+func TestBlockSizeAtLeastRequested(t *testing.T) {
+	_, a := newHeap(t)
+	for _, size := range []int{1, 8, 24, 64, 100, 1000, 4096, 20000} {
+		addr := a.Alloc(size)
+		if got := a.BlockSize(addr); got < size {
+			t.Fatalf("Alloc(%d): BlockSize = %d", size, got)
+		}
+	}
+}
+
+func TestFreeThenReuseSameClass(t *testing.T) {
+	_, a := newHeap(t)
+	addr := a.Alloc(64)
+	a.Free(addr)
+	if !a.IsFree(addr) {
+		t.Fatal("block not marked free")
+	}
+	again := a.Alloc(64)
+	if again != addr {
+		t.Fatalf("freed block not recycled: got %#x want %#x", again, addr)
+	}
+	if a.IsFree(again) {
+		t.Fatal("recycled block still marked free")
+	}
+}
+
+func TestFreeIsIdempotent(t *testing.T) {
+	_, a := newHeap(t)
+	x := a.Alloc(64)
+	y := a.Alloc(64)
+	a.Free(x)
+	a.Free(x) // double free must be a no-op
+	a.Free(x)
+	got1 := a.Alloc(64)
+	got2 := a.Alloc(64)
+	if got1 == got2 {
+		t.Fatalf("double free caused double allocation: %#x", got1)
+	}
+	_ = y
+}
+
+func TestFreeNullIsNoop(t *testing.T) {
+	_, a := newHeap(t)
+	a.Free(nvm.Null) // must not panic
+}
+
+func TestLargeBlocks(t *testing.T) {
+	_, a := newHeap(t)
+	big := a.Alloc(100_000)
+	if got := a.BlockSize(big); got < 100_000 {
+		t.Fatalf("large BlockSize = %d", got)
+	}
+	a.Free(big)
+	big2 := a.Alloc(100_000)
+	if big2 != big {
+		t.Fatalf("large block not recycled: %#x vs %#x", big2, big)
+	}
+	// A different large size must not match the recycled block.
+	a.Free(big2)
+	other := a.Alloc(200_000)
+	if other == big {
+		t.Fatalf("large list served a block of the wrong size")
+	}
+}
+
+func TestOutOfMemory(t *testing.T) {
+	m := nvm.New(nvm.Config{Size: 64 << 10, TrackPersistence: true})
+	a := Format(m)
+	if _, err := a.TryAlloc(128 << 10); err != ErrOutOfMemory {
+		t.Fatalf("TryAlloc oversize: err = %v", err)
+	}
+	defer func() {
+		if recover() != ErrOutOfMemory {
+			t.Fatal("Alloc did not panic with ErrOutOfMemory")
+		}
+	}()
+	for {
+		a.Alloc(4096)
+	}
+}
+
+func TestTryAllocRejectsBadSize(t *testing.T) {
+	_, a := newHeap(t)
+	if _, err := a.TryAlloc(0); err == nil {
+		t.Fatal("TryAlloc(0) succeeded")
+	}
+	if _, err := a.TryAlloc(-5); err == nil {
+		t.Fatal("TryAlloc(-5) succeeded")
+	}
+}
+
+func TestRoots(t *testing.T) {
+	_, a := newHeap(t)
+	for i := 0; i < NumRoots; i++ {
+		if a.Root(i) != nvm.Null {
+			t.Fatalf("fresh root %d not null", i)
+		}
+	}
+	a.SetRoot(3, 0xdead0)
+	if got := a.Root(3); got != 0xdead0 {
+		t.Fatalf("Root(3) = %#x", got)
+	}
+}
+
+func TestRootsSurviveCrash(t *testing.T) {
+	m, a := newHeap(t)
+	a.SetRoot(7, 0xbeef0)
+	if err := m.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	a2, err := Open(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a2.Root(7); got != 0xbeef0 {
+		t.Fatalf("root lost on crash: %#x", got)
+	}
+}
+
+func TestRootIndexBounds(t *testing.T) {
+	_, a := newHeap(t)
+	for _, i := range []int{-1, NumRoots} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Root(%d) did not panic", i)
+				}
+			}()
+			a.Root(i)
+		}()
+	}
+}
+
+func TestOpenRejectsUnformatted(t *testing.T) {
+	m := nvm.New(nvm.Config{Size: 1 << 20, TrackPersistence: true})
+	if _, err := Open(m); err != ErrNotFormatted {
+		t.Fatalf("Open unformatted: err = %v", err)
+	}
+}
+
+func TestOpenAfterImageRestore(t *testing.T) {
+	m, a := newHeap(t)
+	addr := a.Alloc(64)
+	m.WriteNT(addr, []byte("persist me"))
+	a.SetRoot(0, addr)
+	img, err := m.PersistentImage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := nvm.New(nvm.Config{Size: 4 << 20, TrackPersistence: true})
+	if err := m2.LoadImage(img); err != nil {
+		t.Fatal(err)
+	}
+	a2, err := Open(m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 10)
+	m2.Read(a2.Root(0), got)
+	if string(got) != "persist me" {
+		t.Fatalf("payload lost across image restore: %q", got)
+	}
+}
+
+func TestHeapUsedGrows(t *testing.T) {
+	_, a := newHeap(t)
+	before := a.HeapUsed()
+	a.Alloc(1024)
+	if a.HeapUsed() <= before {
+		t.Fatal("HeapUsed did not grow")
+	}
+}
+
+// TestCrashDuringAllocNeverDoubleServes drives alloc/free sequences with a
+// crash injected at every successive durable operation and checks the
+// central allocator invariant: after reattach, no two live allocations
+// overlap and every block survives intact.
+func TestCrashDuringAllocNeverDoubleServes(t *testing.T) {
+	for crashAt := 1; crashAt < 60; crashAt++ {
+		m := nvm.New(nvm.Config{Size: 1 << 20, TrackPersistence: true})
+		a := Format(m)
+		// Prepare some history so free lists are non-trivial.
+		warm := make([]uint64, 0, 8)
+		for i := 0; i < 8; i++ {
+			warm = append(warm, a.Alloc(64))
+		}
+		for _, w := range warm[:4] {
+			a.Free(w)
+		}
+		m.SetCrashAfter(crashAt)
+		crashed := m.RunToCrash(func() {
+			x := a.Alloc(64)
+			y := a.Alloc(128)
+			a.Free(x)
+			z := a.Alloc(64)
+			a.Free(y)
+			a.Free(z)
+			w := a.Alloc(256)
+			a.Free(w)
+		})
+		if !crashed {
+			// The whole sequence fits in fewer durable ops: injection is
+			// still armed, so disarm before verification and stop.
+			m.SetCrashAfter(0)
+		}
+		a2, err := Open(m)
+		if err != nil {
+			t.Fatalf("crashAt=%d: reattach failed: %v", crashAt, err)
+		}
+		// Allocate many blocks and require them all distinct and inside
+		// the heap: metadata corruption would surface here.
+		seen := map[uint64]bool{}
+		for i := 0; i < 50; i++ {
+			addr := a2.Alloc(64)
+			if seen[addr] {
+				t.Fatalf("crashAt=%d: block %#x served twice after recovery", crashAt, addr)
+			}
+			if addr < HeapBase || addr >= uint64(m.Size()) {
+				t.Fatalf("crashAt=%d: block %#x out of heap", crashAt, addr)
+			}
+			seen[addr] = true
+		}
+	}
+}
+
+func TestConcurrentAllocFree(t *testing.T) {
+	_, a := newHeap(t)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	all := map[uint64]int{}
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			local := []uint64{}
+			for i := 0; i < 300; i++ {
+				if len(local) > 0 && rng.Intn(3) == 0 {
+					a.Free(local[len(local)-1])
+					local = local[:len(local)-1]
+					continue
+				}
+				addr := a.Alloc(16 + rng.Intn(200))
+				local = append(local, addr)
+				mu.Lock()
+				all[addr]++
+				mu.Unlock()
+			}
+			// Blocks still held must be unique across goroutines; we
+			// verify by writing a signature and reading it back.
+			for i, addr := range local {
+				a.Mem().StoreNT64(addr, uint64(g)<<32|uint64(i))
+			}
+			for i, addr := range local {
+				if got := a.Mem().Load64(addr); got != uint64(g)<<32|uint64(i) {
+					t.Errorf("g=%d block %#x clobbered", g, addr)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestQuickAllocFreeInvariant property-tests that any interleaved sequence
+// of allocations and frees preserves block disjointness.
+func TestQuickAllocFreeInvariant(t *testing.T) {
+	f := func(ops []uint16) bool {
+		m := nvm.New(nvm.Config{Size: 4 << 20, TrackPersistence: true})
+		a := Format(m)
+		type blk struct {
+			addr uint64
+			size int
+		}
+		live := []blk{}
+		for _, op := range ops {
+			if len(live) > 0 && op%3 == 0 {
+				i := int(op) % len(live)
+				a.Free(live[i].addr)
+				live = append(live[:i], live[i+1:]...)
+				continue
+			}
+			size := 8 + int(op)%2048
+			addr, err := a.TryAlloc(size)
+			if err != nil {
+				return true // arena exhausted: acceptable, not a violation
+			}
+			live = append(live, blk{addr, a.BlockSize(addr)})
+		}
+		// Verify pairwise disjointness of live blocks.
+		for i := 0; i < len(live); i++ {
+			for j := i + 1; j < len(live); j++ {
+				x, y := live[i], live[j]
+				if x.addr < y.addr+uint64(y.size) && y.addr < x.addr+uint64(x.size) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

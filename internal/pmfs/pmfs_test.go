@@ -1,0 +1,121 @@
+package pmfs
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"github.com/rewind-db/rewind/internal/nvm"
+)
+
+func newFS(t testing.TB) (*nvm.Memory, *FS) {
+	t.Helper()
+	m := nvm.New(nvm.Config{Size: 16 << 20, TrackPersistence: true})
+	return m, New(m, 4096, DefaultCallOverhead)
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	_, fs := newFS(t)
+	f := fs.Create("data")
+	payload := bytes.Repeat([]byte("0123456789abcdef"), 100)
+	f.WriteAt(payload, 0)
+	got := make([]byte, len(payload))
+	if err := f.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("round trip mismatch")
+	}
+	if f.Size() != int64(len(payload)) {
+		t.Fatalf("Size = %d", f.Size())
+	}
+}
+
+func TestWriteAtUnalignedOffsets(t *testing.T) {
+	_, fs := newFS(t)
+	f := fs.Create("data")
+	f.WriteAt([]byte("aaaaaaaaaa"), 0)
+	f.WriteAt([]byte("bbb"), 3) // unaligned overwrite
+	got := make([]byte, 10)
+	if err := f.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "aaabbbaaaa" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestWriteAcrossExtentBoundary(t *testing.T) {
+	_, fs := newFS(t)
+	f := fs.Create("data")
+	payload := bytes.Repeat([]byte{7}, 3*ExtentSize/2)
+	f.WriteAt(payload, ExtentSize/2)
+	got := make([]byte, len(payload))
+	if err := f.ReadAt(got, ExtentSize/2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("cross-extent mismatch")
+	}
+}
+
+func TestReadPastEndFails(t *testing.T) {
+	_, fs := newFS(t)
+	f := fs.Create("data")
+	f.WriteAt([]byte("xyz"), 0)
+	if err := f.ReadAt(make([]byte, 10), 0); err == nil {
+		t.Fatal("short read succeeded")
+	}
+}
+
+func TestSyncMakesDataDurable(t *testing.T) {
+	m, fs := newFS(t)
+	f := fs.Create("wal")
+	f.WriteAt([]byte("committed-data--"), 0)
+	f.Sync()
+	f.WriteAt([]byte("unsynced-data---"), 16)
+	extents := f.Extents()
+	size := f.Size()
+	if err := m.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	f2 := fs.Attach("wal", extents, size)
+	got := make([]byte, 16)
+	if err := f2.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "committed-data--" {
+		t.Fatalf("synced data lost: %q", got)
+	}
+	if err := f2.ReadAt(got, 16); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) == "unsynced-data---" {
+		t.Fatal("unsynced data survived the crash")
+	}
+}
+
+func TestCallOverheadCharged(t *testing.T) {
+	m := nvm.New(nvm.Config{Size: 1 << 20})
+	fs := New(m, 4096, 2*time.Microsecond)
+	f := fs.Create("x")
+	before := m.Stats().Simulated()
+	f.WriteAt([]byte{1}, 0)
+	if d := m.Stats().Simulated() - before; d < 2*time.Microsecond {
+		t.Fatalf("overhead not charged: %v", d)
+	}
+}
+
+func TestCreateIsIdempotent(t *testing.T) {
+	_, fs := newFS(t)
+	a := fs.Create("same")
+	b := fs.Create("same")
+	if a != b {
+		t.Fatal("Create returned distinct handles")
+	}
+	fs.Remove("same")
+	c := fs.Create("same")
+	if c == a {
+		t.Fatal("Remove did not detach the file")
+	}
+}

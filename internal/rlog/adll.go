@@ -1,0 +1,159 @@
+package rlog
+
+import (
+	"github.com/rewind-db/rewind/internal/nvm"
+	"github.com/rewind-db/rewind/internal/pmem"
+)
+
+// The Atomic Doubly-Linked List (paper §3.2) is the keystone of REWIND: a
+// doubly-linked list in NVM whose append and remove operations are atomic
+// with respect to crashes. It logs its own internal state in three single
+// words that hardware can update atomically (lastTail, toAppend, toRemove),
+// and its operations are written so that redoing the one pending operation
+// — repeatedly, partially, from any crash point — leaves the list correct.
+//
+// Every write on the critical path is a non-temporal (durable) store, per
+// the paper: "We force all updates on the basic data structure to be
+// performed directly on NVM".
+
+// ADLL header layout (five words at the header address).
+const (
+	adllHead      = 0
+	adllTail      = 8
+	adllLastTail  = 16 // tail before the pending append (undo info, Alg. 1 line 4)
+	adllToAppend  = 24 // node being appended; non-NULL marks an unfinished append
+	adllToRemove  = 32 // node being removed; non-NULL marks an unfinished removal
+	adllHeaderLen = 40
+)
+
+// ADLL node layout.
+const (
+	nodePrior   = 0
+	nodeNext    = 8
+	nodeElement = 16
+	nodeSize    = 24
+)
+
+// adll operates on an ADLL whose header lives at hdr. The zero-initialized
+// header (all words NULL) is a valid empty list, so creation needs no
+// separate format step beyond zeroing.
+type adll struct {
+	mem *nvm.Memory
+	a   *pmem.Allocator
+	hdr uint64
+}
+
+func (d *adll) head() uint64     { return d.mem.Load64(d.hdr + adllHead) }
+func (d *adll) tail() uint64     { return d.mem.Load64(d.hdr + adllTail) }
+func (d *adll) lastTail() uint64 { return d.mem.Load64(d.hdr + adllLastTail) }
+func (d *adll) toAppend() uint64 { return d.mem.Load64(d.hdr + adllToAppend) }
+func (d *adll) toRemove() uint64 { return d.mem.Load64(d.hdr + adllToRemove) }
+
+func (d *adll) prior(n uint64) uint64   { return d.mem.Load64(n + nodePrior) }
+func (d *adll) next(n uint64) uint64    { return d.mem.Load64(n + nodeNext) }
+func (d *adll) element(n uint64) uint64 { return d.mem.Load64(n + nodeElement) }
+
+// append implements Algorithm 1. It creates a node for element, makes the
+// node durable, then performs the atomic insertion protocol. It returns the
+// new node's address.
+func (d *adll) append(element uint64) uint64 {
+	m := d.mem
+	// Set up the new node "off-line" and make it durable before any list
+	// pointer can reach it.
+	n := d.a.Alloc(nodeSize)
+	m.Store64(n+nodePrior, d.tail())
+	m.Store64(n+nodeNext, nvm.Null)
+	m.Store64(n+nodeElement, element)
+	m.FlushRange(n, nodeSize)
+	m.Fence()
+
+	// Undo information. Order is critical (Alg. 1 lines 4-5): lastTail
+	// must be durable before toAppend arms recovery.
+	m.StoreNT64(d.hdr+adllLastTail, d.tail())
+	m.StoreNT64(d.hdr+adllToAppend, n)
+
+	// Critical section: each step is idempotent under redo-with-lastTail.
+	if d.head() == nvm.Null {
+		m.StoreNT64(d.hdr+adllHead, n)
+	}
+	if t := d.tail(); t != nvm.Null {
+		m.StoreNT64(t+nodeNext, n)
+	}
+	m.StoreNT64(d.hdr+adllTail, n)
+
+	// Append finished; clear the undo info.
+	m.StoreNT64(d.hdr+adllToAppend, nvm.Null)
+	return n
+}
+
+// redoAppend repeats the critical section of a crashed append. Following
+// the paper, it uses lastTail instead of tail so that it is itself safely
+// re-executable after further crashes.
+func (d *adll) redoAppend() {
+	m := d.mem
+	n := d.toAppend()
+	lt := d.lastTail()
+	if lt == nvm.Null {
+		// The list was empty when the append started.
+		m.StoreNT64(d.hdr+adllHead, n)
+	} else {
+		m.StoreNT64(lt+nodeNext, n)
+	}
+	m.StoreNT64(d.hdr+adllTail, n)
+	m.StoreNT64(d.hdr+adllToAppend, nvm.Null)
+}
+
+// remove unlinks node n and frees it. The removal protocol mirrors append:
+// toRemove is set first, each unlink step can be repeated safely (the
+// victim's own pointers are never modified, so redo re-reads them), and the
+// node is deallocated only after toRemove is cleared (§3.4's rule of
+// delaying deallocation until the operation has completed).
+func (d *adll) remove(n uint64) {
+	m := d.mem
+	m.StoreNT64(d.hdr+adllToRemove, n)
+	d.unlink(n)
+	m.StoreNT64(d.hdr+adllToRemove, nvm.Null)
+	d.a.Free(n)
+}
+
+func (d *adll) unlink(n uint64) {
+	m := d.mem
+	if d.head() == n {
+		m.StoreNT64(d.hdr+adllHead, d.next(n))
+	}
+	if d.tail() == n {
+		m.StoreNT64(d.hdr+adllTail, d.prior(n))
+	}
+	if p := d.prior(n); p != nvm.Null {
+		m.StoreNT64(p+nodeNext, d.next(n))
+	}
+	if x := d.next(n); x != nvm.Null {
+		m.StoreNT64(x+nodePrior, d.prior(n))
+	}
+}
+
+// recover redoes the pending operation, if any (§3.2 "ADLL recovery"). It
+// is idempotent: running it any number of times, with crashes in between,
+// converges to the completed operation.
+func (d *adll) recover() {
+	if n := d.toAppend(); n != nvm.Null {
+		d.redoAppend()
+	}
+	if n := d.toRemove(); n != nvm.Null {
+		d.unlink(n)
+		d.mem.StoreNT64(d.hdr+adllToRemove, nvm.Null)
+		d.a.Free(n) // idempotent free: safe even if the original free completed
+	}
+}
+
+// empty reports whether the list has no nodes.
+func (d *adll) empty() bool { return d.head() == nvm.Null }
+
+// len walks the list counting nodes (diagnostics and tests only).
+func (d *adll) len() int {
+	n := 0
+	for cur := d.head(); cur != nvm.Null; cur = d.next(cur) {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,357 @@
+package rlog
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/rewind-db/rewind/internal/nvm"
+	"github.com/rewind-db/rewind/internal/pmem"
+)
+
+// Kind selects one of the three log implementations evaluated in the paper
+// (§5: Simple, Optimized, Batch).
+type Kind int
+
+// The zero Kind is deliberately invalid so that a zero-valued
+// configuration is distinguishable from an explicit choice of Simple.
+const (
+	// Simple is the plain ADLL: one list node per log record (§3.2).
+	Simple Kind = iota + 1
+	// Optimized is the hybrid layout of Figure 2: fixed-size buckets of
+	// record pointers appended to the ADLL; inserting a record is a single
+	// durable store into a bucket cell (§3.3).
+	Optimized
+	// Batch extends Optimized by packing multiple record pointers per
+	// cache line and issuing one flush + fence + persisted-index update
+	// per group of GroupSize records (§3.3, "Multiple log records per
+	// cacheline").
+	Batch
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Simple:
+		return "Simple"
+	case Optimized:
+		return "Optimized"
+	case Batch:
+		return "Batch"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Defaults matching the paper's configuration (§5: bucket size 1,000
+// records; 64-byte cache lines with 8-byte pointers give groups of 8).
+const (
+	DefaultBucketSize = 1000
+	DefaultGroupSize  = nvm.WordsPerLine
+)
+
+// tombstone marks a cleared cell (the paper's "marked gaps", §3.3). Real
+// record addresses are always >= pmem.HeapBase, so 1 is unambiguous.
+const tombstone = 1
+
+// Log header layout in NVM.
+const (
+	lhKind       = 0
+	lhBucketSize = 8
+	lhADLL       = 16
+	lhSize       = lhADLL + adllHeaderLen
+)
+
+// Bucket layout: one persisted-index word, then the cells, line-aligned so
+// that a group of 8 cells occupies exactly one cache line.
+const bucketIdx = 0
+
+func cellsBase(bucket uint64) uint64 {
+	return (bucket + 8 + nvm.LineSize - 1) &^ (nvm.LineSize - 1)
+}
+
+func cellAddr(bucket uint64, pos int) uint64 {
+	return cellsBase(bucket) + uint64(pos)*8
+}
+
+// Config selects the log layout and its tuning knobs.
+type Config struct {
+	Kind Kind
+	// BucketSize is the number of record pointers per bucket
+	// (Optimized/Batch). Default 1,000, as in the paper.
+	BucketSize int
+	// GroupSize is the number of records per flush/fence group (Batch).
+	// Default 8 (64-byte line / 8-byte pointer); Figure 10 sweeps 8/16/32.
+	GroupSize int
+	// RootSlot is the pmem root slot that owns this log's header, so the
+	// log can be reattached after a crash and atomically swapped by Reset.
+	RootSlot int
+}
+
+func (c Config) withDefaults() Config {
+	if c.BucketSize <= 0 {
+		c.BucketSize = DefaultBucketSize
+	}
+	if c.GroupSize <= 0 {
+		c.GroupSize = DefaultGroupSize
+	}
+	return c
+}
+
+// bucketState is the volatile per-bucket bookkeeping the paper deliberately
+// does not persist (§3.3): the next free cell and the live-record count are
+// reconstructed during the analysis phase after a crash.
+type bucketState struct {
+	next int // next free cell index
+	live int // cells holding a record (not empty, not tombstone)
+}
+
+// Log is a recoverable REWIND log. Appends and removals are atomic with
+// respect to crashes; volatile bookkeeping is rebuilt by Open.
+//
+// Locking: mu protects structural mutations and volatile state and is held
+// only per-step. clearMu serializes clearing passes (which invalidate
+// iterators, §2) against open iterators: iterators hold it shared for their
+// lifetime, ClearScan holds it exclusively. Appends take only mu, so
+// concurrent transactions keep using the log while a checkpoint clears it
+// (§4.6).
+type Log struct {
+	mem  *nvm.Memory
+	a    *pmem.Allocator
+	cfg  Config
+	hdr  uint64
+	list adll
+
+	mu      sync.Mutex
+	clearMu sync.RWMutex
+	states  map[uint64]*bucketState // bucket addr -> volatile state
+	live    int                     // total live records
+	// Batch bookkeeping: first cell index of the active bucket not yet
+	// covered by a group flush.
+	pendingFrom int
+}
+
+// New allocates a fresh log, durably publishes its header in cfg.RootSlot,
+// and returns it.
+func New(a *pmem.Allocator, cfg Config) *Log {
+	cfg = cfg.withDefaults()
+	m := a.Mem()
+	hdr := a.Alloc(lhSize)
+	m.Zero(hdr, lhSize)
+	m.Store64(hdr+lhKind, uint64(cfg.Kind))
+	m.Store64(hdr+lhBucketSize, uint64(cfg.BucketSize))
+	m.FlushRange(hdr, lhSize)
+	m.Fence()
+	a.SetRoot(cfg.RootSlot, hdr)
+	return attach(a, cfg, hdr)
+}
+
+// Open reattaches to the log published in cfg.RootSlot, performs the
+// structural recovery of §3.2 (redo the one pending ADLL operation) and
+// rebuilds the volatile bucket state from the durable image, honouring each
+// bucket's persisted index in Batch mode.
+func Open(a *pmem.Allocator, cfg Config) (*Log, error) {
+	cfg = cfg.withDefaults()
+	m := a.Mem()
+	hdr := a.Root(cfg.RootSlot)
+	if hdr == nvm.Null {
+		return nil, fmt.Errorf("rlog: root slot %d holds no log", cfg.RootSlot)
+	}
+	if k := Kind(m.Load64(hdr + lhKind)); k != cfg.Kind {
+		return nil, fmt.Errorf("rlog: log at slot %d has kind %v, config wants %v", cfg.RootSlot, k, cfg.Kind)
+	}
+	if bs := int(m.Load64(hdr + lhBucketSize)); bs != cfg.BucketSize {
+		return nil, fmt.Errorf("rlog: log at slot %d has bucket size %d, config wants %d", cfg.RootSlot, bs, cfg.BucketSize)
+	}
+	l := attach(a, cfg, hdr)
+	l.list.recover()
+	l.rebuild()
+	return l, nil
+}
+
+func attach(a *pmem.Allocator, cfg Config, hdr uint64) *Log {
+	return &Log{
+		mem:    a.Mem(),
+		a:      a,
+		cfg:    cfg,
+		hdr:    hdr,
+		list:   adll{mem: a.Mem(), a: a, hdr: hdr + lhADLL},
+		states: make(map[uint64]*bucketState),
+	}
+}
+
+// rebuild reconstructs the volatile bucket states from durable contents
+// (the paper's "we reconstruct the information during the analysis phase").
+func (l *Log) rebuild() {
+	l.live = 0
+	for node := l.list.head(); node != nvm.Null; node = l.list.next(node) {
+		if l.cfg.Kind == Simple {
+			l.live++
+			continue
+		}
+		bucket := l.list.element(node)
+		st := &bucketState{}
+		limit := l.cfg.BucketSize
+		if l.cfg.Kind == Batch {
+			// Only records below the persisted index are real (§3.3);
+			// anything beyond is junk from a lost cache and is cleared so
+			// the cells can be reused.
+			limit = int(l.mem.Load64(bucket + bucketIdx))
+			for pos := limit; pos < l.cfg.BucketSize; pos++ {
+				if l.mem.Load64(cellAddr(bucket, pos)) != 0 {
+					l.mem.Store64(cellAddr(bucket, pos), 0)
+				}
+			}
+		}
+		st.next = limit
+		if l.cfg.Kind == Optimized {
+			// The last occupied cell is found by skipping trailing empty
+			// cells (cleared cells are tombstones, so a zero is always
+			// "never written").
+			st.next = 0
+			for pos := l.cfg.BucketSize - 1; pos >= 0; pos-- {
+				if l.mem.Load64(cellAddr(bucket, pos)) != 0 {
+					st.next = pos + 1
+					break
+				}
+			}
+		}
+		for pos := 0; pos < st.next; pos++ {
+			if v := l.mem.Load64(cellAddr(bucket, pos)); v != 0 && v != tombstone {
+				st.live++
+			}
+		}
+		l.states[bucket] = st
+		l.live += st.live
+	}
+	l.pendingFrom = 0
+	if tail := l.list.tail(); tail != nvm.Null && l.cfg.Kind == Batch {
+		l.pendingFrom = l.states[l.list.element(tail)].next
+	}
+}
+
+// Kind returns the log's layout kind.
+func (l *Log) Kind() Kind { return l.cfg.Kind }
+
+// HeaderAddr returns the NVM address of the log header.
+func (l *Log) HeaderAddr() uint64 { return l.hdr }
+
+// Len returns the number of live records.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.live
+}
+
+// Empty reports whether the log holds no live records.
+func (l *Log) Empty() bool { return l.Len() == 0 }
+
+// Buckets returns the number of buckets (or nodes, for Simple) currently
+// linked, for memory-utilization experiments.
+func (l *Log) Buckets() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.list.len()
+}
+
+// Append atomically inserts a record pointer at the log tail. end marks END
+// records, which force a group flush in Batch mode (§3.3: "or when we find
+// an END record"). It reports whether the append left every prior record
+// durable (always true for Simple/Optimized; true at group boundaries for
+// Batch), which the transaction manager uses to release deferred user
+// writes.
+func (l *Log) Append(rec uint64, end bool) (flushed bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.cfg.Kind == Simple {
+		l.list.append(rec)
+		l.live++
+		return true
+	}
+
+	bucket, st := l.activeBucket()
+	pos := st.next
+	addr := cellAddr(bucket, pos)
+	if l.cfg.Kind == Optimized {
+		// One durable store: the atomic, cheap insert of Figure 2.
+		l.mem.StoreNT64(addr, rec)
+		flushed = true
+	} else {
+		l.mem.Store64(addr, rec)
+	}
+	st.next++
+	st.live++
+	l.live++
+
+	if l.cfg.Kind == Batch {
+		pending := st.next - l.pendingFrom
+		if end || pending >= l.cfg.GroupSize || st.next == l.cfg.BucketSize {
+			l.flushGroupLocked(bucket, st)
+			flushed = true
+		}
+	}
+	return flushed
+}
+
+// ForceFlush flushes any pending Batch group, reporting whether all
+// appended records are now durable. It is a no-op for other kinds.
+func (l *Log) ForceFlush() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.cfg.Kind != Batch {
+		return true
+	}
+	tail := l.list.tail()
+	if tail == nvm.Null {
+		return true
+	}
+	bucket := l.list.element(tail)
+	l.flushGroupLocked(bucket, l.states[bucket])
+	return true
+}
+
+// flushGroupLocked persists the active bucket's pending cells and advances
+// the persisted index: flush the cell lines, fence, then one non-temporal
+// store of the index. Records referenced by the pending cells were written
+// with cached stores, so they are flushed here too — this is what reduces
+// the fence count to one per group.
+func (l *Log) flushGroupLocked(bucket uint64, st *bucketState) {
+	if st.next <= l.pendingFrom {
+		return
+	}
+	for pos := l.pendingFrom; pos < st.next; pos++ {
+		if rec := l.mem.Load64(cellAddr(bucket, pos)); rec != 0 && rec != tombstone {
+			l.mem.FlushRange(rec, RecordSize)
+		}
+	}
+	l.mem.FlushRange(cellAddr(bucket, l.pendingFrom), (st.next-l.pendingFrom)*8)
+	l.mem.Fence()
+	l.mem.StoreNT64(bucket+bucketIdx, uint64(st.next))
+	l.pendingFrom = st.next
+}
+
+// activeBucket returns the tail bucket with free space, creating and
+// linking a new one when needed. New buckets are zeroed and made durable
+// before the ADLL append publishes them (§3.3: "We initialize the cells of
+// each bucket to zero").
+func (l *Log) activeBucket() (uint64, *bucketState) {
+	tail := l.list.tail()
+	if tail != nvm.Null {
+		bucket := l.list.element(tail)
+		if st := l.states[bucket]; st.next < l.cfg.BucketSize {
+			return bucket, st
+		}
+		if l.cfg.Kind == Batch {
+			// Close out the full bucket before moving on.
+			l.flushGroupLocked(bucket, l.states[bucket])
+		}
+	}
+	size := int(cellsBase(0)) + l.cfg.BucketSize*8 + nvm.LineSize // alignment slack
+	bucket := l.a.Alloc(size)
+	l.mem.Zero(bucket, size)
+	l.mem.FlushRange(bucket, size)
+	l.mem.Fence()
+	l.list.append(bucket)
+	st := &bucketState{}
+	l.states[bucket] = st
+	l.pendingFrom = 0
+	return bucket, st
+}

@@ -1,0 +1,164 @@
+// Package rlog implements REWIND's recoverable log structures (paper §3):
+// the log record format, the Atomic Doubly-Linked List (ADLL, §3.2,
+// Algorithm 1), and the optimized bucketed and batched log layouts (§3.3).
+//
+// Everything in this package lives in simulated NVM and is itself
+// recoverable: a crash at any point leaves a state from which Open restores
+// a structurally consistent log by redoing at most the one pending ADLL
+// operation, exactly as the paper prescribes.
+package rlog
+
+import (
+	"fmt"
+
+	"github.com/rewind-db/rewind/internal/nvm"
+	"github.com/rewind-db/rewind/internal/pmem"
+)
+
+// Type enumerates log record types (§4.1). The set follows ARIES plus the
+// paper's additions: ROLLBACK marks the start of an abort (Algorithm 2) and
+// DELETE carries deferred memory deallocation (§4.3).
+type Type uint32
+
+const (
+	TypeInvalid Type = iota
+	TypeUpdate
+	TypeCLR
+	TypeEnd
+	TypeRollback
+	TypeCheckpoint
+	TypeDelete
+)
+
+func (t Type) String() string {
+	switch t {
+	case TypeUpdate:
+		return "UPDATE"
+	case TypeCLR:
+		return "CLR"
+	case TypeEnd:
+		return "END"
+	case TypeRollback:
+		return "ROLLBACK"
+	case TypeCheckpoint:
+		return "CHECKPOINT"
+	case TypeDelete:
+		return "DELETE"
+	default:
+		return fmt.Sprintf("Type(%d)", uint32(t))
+	}
+}
+
+// Record flags (low byte of the header word).
+const (
+	// FlagUndoable marks UPDATE records whose effect can be undone
+	// (Algorithm 2 consults it before generating a CLR).
+	FlagUndoable = 1 << 0
+)
+
+// RecordSize is the record footprint: 7 words. Together with the
+// allocator's 8-byte block header a record occupies exactly one cache
+// line, matching the paper's observation that a record carries the
+// standard ARIES fields and its cost model of roughly one NVM line write
+// per record.
+const RecordSize = 56
+
+// Record field offsets (bytes from the record address). The LSN, type and
+// flags share the header word: 48 bits of LSN, 8 of type, 8 of flags.
+const (
+	recHeader   = 0  // LSN<<16 | Type<<8 | flags
+	recTxn      = 8  // transaction ID
+	recAddr     = 16 // address of the modified memory location
+	recOld      = 24 // previous value
+	recNew      = 32 // new value
+	recUndoNext = 40 // LSN of the next record to undo (CLR / 2L chains)
+	recPrevTxn  = 48 // address of this transaction's previous record (2L)
+)
+
+// Record is a view over a log record stored in NVM.
+type Record struct {
+	mem  *nvm.Memory
+	Addr uint64
+}
+
+// View wraps an existing record address.
+func View(mem *nvm.Memory, addr uint64) Record { return Record{mem, addr} }
+
+// Fields is the material used to create a record.
+type Fields struct {
+	LSN      uint64
+	Txn      uint64
+	Type     Type
+	Flags    uint32
+	Addr     uint64
+	Old      uint64
+	New      uint64
+	UndoNext uint64
+	PrevTxn  uint64
+}
+
+// Alloc creates a record "off-line" (§3.2): the fields are written with
+// regular stores, then flushed and fenced so that the record is fully
+// durable before any pointer to it is published. This is the fence the
+// paper's §4.2 issues per record ("a memory fence is issued to ensure the
+// record fields have reached the memory").
+func Alloc(a *pmem.Allocator, f Fields) Record {
+	r := AllocDeferred(a, f)
+	r.mem.FlushRange(r.Addr, RecordSize)
+	r.mem.Fence()
+	return r
+}
+
+// AllocDeferred creates a record with cached stores only, leaving its
+// persistence to a later group flush. This is the Batch-mode path (§3.3):
+// the record becomes durable together with its bucket cells under a single
+// fence per group, which is what Figure 10 measures.
+func AllocDeferred(a *pmem.Allocator, f Fields) Record {
+	m := a.Mem()
+	addr := a.Alloc(RecordSize)
+	m.Store64(addr+recHeader, f.LSN<<16|uint64(f.Type)<<8|uint64(f.Flags)&0xff)
+	m.Store64(addr+recTxn, f.Txn)
+	m.Store64(addr+recAddr, f.Addr)
+	m.Store64(addr+recOld, f.Old)
+	m.Store64(addr+recNew, f.New)
+	m.Store64(addr+recUndoNext, f.UndoNext)
+	m.Store64(addr+recPrevTxn, f.PrevTxn)
+	return Record{m, addr}
+}
+
+// LSN returns the record ID.
+func (r Record) LSN() uint64 { return r.mem.Load64(r.Addr+recHeader) >> 16 }
+
+// Txn returns the transaction ID.
+func (r Record) Txn() uint64 { return r.mem.Load64(r.Addr + recTxn) }
+
+// Type returns the record type.
+func (r Record) Type() Type { return Type(r.mem.Load64(r.Addr+recHeader) >> 8 & 0xff) }
+
+// Flags returns the record flags.
+func (r Record) Flags() uint32 { return uint32(r.mem.Load64(r.Addr+recHeader) & 0xff) }
+
+// Undoable reports whether the record may be undone.
+func (r Record) Undoable() bool { return r.Flags()&FlagUndoable != 0 }
+
+// Target returns the address of the memory location the record describes.
+func (r Record) Target() uint64 { return r.mem.Load64(r.Addr + recAddr) }
+
+// Old returns the before-image value.
+func (r Record) Old() uint64 { return r.mem.Load64(r.Addr + recOld) }
+
+// New returns the after-image value.
+func (r Record) New() uint64 { return r.mem.Load64(r.Addr + recNew) }
+
+// UndoNext returns the LSN of the next record to undo (ARIES undoNextLSN).
+func (r Record) UndoNext() uint64 { return r.mem.Load64(r.Addr + recUndoNext) }
+
+// PrevTxn returns the address of the same transaction's previous record
+// (the two-layer configuration's per-transaction back-chain).
+func (r Record) PrevTxn() uint64 { return r.mem.Load64(r.Addr + recPrevTxn) }
+
+// String renders the record for diagnostics.
+func (r Record) String() string {
+	return fmt.Sprintf("[lsn=%d txn=%d %s addr=%#x old=%d new=%d undoNext=%d]",
+		r.LSN(), r.Txn(), r.Type(), r.Target(), r.Old(), r.New(), r.UndoNext())
+}

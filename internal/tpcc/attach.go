@@ -1,0 +1,76 @@
+package tpcc
+
+import (
+	"github.com/rewind-db/rewind"
+	"github.com/rewind-db/rewind/btree"
+	"sync"
+)
+
+// Attach reopens a TPC-C database over a recovered store (the schema must
+// have been created by Setup with the same layout). The distributed-log
+// managers are reopened — and independently recovered — as well.
+func Attach(s *rewind.Store, layout Layout, mode Mode, terminals int) (*DB, error) {
+	db := &DB{s: s, layout: layout, mode: mode, distMu: make([]sync.Mutex, DistrictsPerWH)}
+	slot := rootBase
+	at := func(valSize int) (*btree.Tree, error) {
+		t, err := btree.Attach(s, btree.Config{MaxKeys: 32, LeafCap: 16, ValueSize: valSize, RootSlot: slot})
+		slot++
+		return t, err
+	}
+	var err error
+	if db.warehouse, err = at(whValSize); err != nil {
+		return nil, err
+	}
+	if db.district, err = at(distValSize); err != nil {
+		return nil, err
+	}
+	if db.customer, err = at(custValSize); err != nil {
+		return nil, err
+	}
+	if db.item, err = at(itemValSize); err != nil {
+		return nil, err
+	}
+	if db.stock, err = at(stockValSize); err != nil {
+		return nil, err
+	}
+	side := s.Root(slot)
+	nOrderTrees := 1
+	if layout == Optimized {
+		nOrderTrees = DistrictsPerWH
+	}
+	for i := 0; i < nOrderTrees; i++ {
+		o, err := attachSideTree(s, side, 0*DistrictsPerWH+i, orderValSize)
+		if err != nil {
+			return nil, err
+		}
+		no, err := attachSideTree(s, side, 1*DistrictsPerWH+i, nordValSize)
+		if err != nil {
+			return nil, err
+		}
+		ol, err := attachSideTree(s, side, 2*DistrictsPerWH+i, olValSize)
+		if err != nil {
+			return nil, err
+		}
+		db.orders = append(db.orders, o)
+		db.newOrder = append(db.newOrder, no)
+		db.orderLine = append(db.orderLine, ol)
+	}
+	if mode == DistributedLog {
+		for i := 0; i < terminals; i++ {
+			tm, err := s.NewTM()
+			if err != nil {
+				return nil, err
+			}
+			db.tms = append(db.tms, tm)
+		}
+	}
+	// Infer the loaded scale from the item tree.
+	db.items = db.item.Len()
+	db.custs = db.customer.Len() / DistrictsPerWH
+	return db, nil
+}
+
+func attachSideTree(s *rewind.Store, side uint64, idx, valSize int) (*btree.Tree, error) {
+	hdr := s.Read64(side + uint64(idx)*8)
+	return btree.AttachAt(s, btree.Config{MaxKeys: 32, LeafCap: 16, ValueSize: valSize}, hdr)
+}

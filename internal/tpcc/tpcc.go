@@ -1,0 +1,289 @@
+// Package tpcc implements the paper's TPC-C variant (§5.3): the TPC-C
+// schema stored in B+-trees directly in NVM, a new-order-only transaction
+// mix at scale factor one with ten terminals, and the three data layouts
+// the paper contrasts:
+//
+//   - Naive: one B+-tree per table, compound keys encoded into 64 bits;
+//   - Optimized: the co-designed layout — the order tables (orders,
+//     order_line, new_order) become arrays of ten per-district B+-trees
+//     keyed by order id alone, exploiting the tiny warehouse/district
+//     domains (§5.3);
+//   - Optimized + distributed log: one transaction manager (hence one log)
+//     per terminal (§5.3, after Pelley et al.).
+//
+// A non-recoverable mode (plain persistent B+-trees, no logging) provides
+// the baseline the paper reports overheads against.
+package tpcc
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"sync"
+
+	"github.com/rewind-db/rewind"
+	"github.com/rewind-db/rewind/btree"
+	"github.com/rewind-db/rewind/internal/core"
+)
+
+// Scale constants (scale factor one).
+const (
+	Warehouses        = 1
+	DistrictsPerWH    = 10
+	CustomersPerDist  = 3000
+	Items             = 100000
+	InitialOrders     = 0 // order tables start empty; new-order fills them
+	MaxOrderLines     = 15
+	MinOrderLines     = 5
+	AbortPercent      = 1 // §5.3: 1% of transactions abort
+	remoteWarehousePc = 0 // single warehouse at scale factor one
+)
+
+// Layout selects the physical design.
+type Layout int
+
+const (
+	// Naive is one tree per table with compound keys.
+	Naive Layout = iota
+	// Optimized splits the order tables into per-district trees.
+	Optimized
+)
+
+// Mode selects the persistence regime.
+type Mode int
+
+const (
+	// NonRecoverable uses plain persistent B+-trees (no logging) — the
+	// paper's "Simple NVM B+Trees" bar.
+	NonRecoverable Mode = iota
+	// SingleLog runs all terminals through the store's primary manager.
+	SingleLog
+	// DistributedLog gives each terminal its own manager and log.
+	DistributedLog
+)
+
+// Value sizes per table (fixed-size tree records).
+const (
+	whValSize    = 16 // tax, ytd
+	distValSize  = 24 // tax, ytd, next_o_id
+	custValSize  = 24 // discount, last, credit
+	itemValSize  = 24 // price, name, data
+	stockValSize = 32 // quantity, ytd, order_cnt, remote_cnt
+	orderValSize = 32 // c_id, entry_d, ol_cnt, all_local
+	nordValSize  = 8  // presence marker
+	olValSize    = 32 // i_id, supply_w, quantity, amount
+)
+
+// Root slots for the trees (within the application range).
+const rootBase = rewind.AppRootFirst
+
+// DB is a loaded TPC-C database.
+type DB struct {
+	s      *rewind.Store
+	layout Layout
+	mode   Mode
+
+	warehouse *btree.Tree
+	district  *btree.Tree
+	customer  *btree.Tree
+	item      *btree.Tree
+	stock     *btree.Tree
+	// Naive layout: single trees; Optimized: per-district.
+	orders    []*btree.Tree
+	newOrder  []*btree.Tree
+	orderLine []*btree.Tree
+
+	// Concurrency control (user-level, §4.7): the naive layout takes one
+	// coarse lock per transaction; the optimized layout locks per
+	// district plus a short stock-table lock — lock striping is part of
+	// the co-design story.
+	globalMu sync.Mutex
+	distMu   []sync.Mutex
+	stockMu  sync.Mutex
+
+	tms []*core.TM // per-terminal managers (DistributedLog)
+
+	// Loaded scale (LoadSmall shrinks these for tests).
+	items int
+	custs int
+}
+
+// Key encodings.
+func distKey(w, d uint64) uint64       { return w*DistrictsPerWH + d }
+func custKey(w, d, c uint64) uint64    { return (w*DistrictsPerWH+d)*CustomersPerDist + c }
+func stockKey(w, i uint64) uint64      { return w*Items + i }
+func orderKeyC(w, d, o uint64) uint64  { return (w*DistrictsPerWH+d)*10_000_000 + o }
+func olKeyC(w, d, o, ol uint64) uint64 { return orderKeyC(w, d, o)*16 + ol }
+func orderKeyD(o uint64) uint64        { return o }
+func olKeyD(o, ol uint64) uint64       { return o*16 + ol }
+
+// Setup creates the schema on a store.
+func Setup(s *rewind.Store, layout Layout, mode Mode, terminals int) (*DB, error) {
+	db := &DB{s: s, layout: layout, mode: mode, distMu: make([]sync.Mutex, DistrictsPerWH)}
+	slot := rootBase
+	mk := func(valSize int) (*btree.Tree, error) {
+		t, err := btree.New(s, btree.Config{MaxKeys: 32, LeafCap: 16, ValueSize: valSize, RootSlot: slot})
+		slot++
+		return t, err
+	}
+	var err error
+	if db.warehouse, err = mk(whValSize); err != nil {
+		return nil, err
+	}
+	if db.district, err = mk(distValSize); err != nil {
+		return nil, err
+	}
+	if db.customer, err = mk(custValSize); err != nil {
+		return nil, err
+	}
+	if db.item, err = mk(itemValSize); err != nil {
+		return nil, err
+	}
+	if db.stock, err = mk(stockValSize); err != nil {
+		return nil, err
+	}
+	nOrderTrees := 1
+	if layout == Optimized {
+		nOrderTrees = DistrictsPerWH
+	}
+	// The per-district trees exceed the root-slot budget, so they publish
+	// their headers in a side table under a single root slot.
+	side := s.Alloc(3 * DistrictsPerWH * 8)
+	s.SetRoot(slot, side)
+	for i := 0; i < nOrderTrees; i++ {
+		o, err := newSideTree(s, side, 0*DistrictsPerWH+i, orderValSize)
+		if err != nil {
+			return nil, err
+		}
+		no, err := newSideTree(s, side, 1*DistrictsPerWH+i, nordValSize)
+		if err != nil {
+			return nil, err
+		}
+		ol, err := newSideTree(s, side, 2*DistrictsPerWH+i, olValSize)
+		if err != nil {
+			return nil, err
+		}
+		db.orders = append(db.orders, o)
+		db.newOrder = append(db.newOrder, no)
+		db.orderLine = append(db.orderLine, ol)
+	}
+	if mode == DistributedLog {
+		for i := 0; i < terminals; i++ {
+			tm, err := s.NewTM()
+			if err != nil {
+				return nil, err
+			}
+			db.tms = append(db.tms, tm)
+		}
+	}
+	return db, nil
+}
+
+// newSideTree creates a tree whose header pointer lives in a side table
+// instead of a root slot.
+func newSideTree(s *rewind.Store, side uint64, idx, valSize int) (*btree.Tree, error) {
+	// Borrow the last app slot transiently, then move the pointer.
+	t, err := btree.New(s, btree.Config{MaxKeys: 32, LeafCap: 16, ValueSize: valSize, RootSlot: rewind.AppRootLast})
+	if err != nil {
+		return nil, err
+	}
+	hdr := s.Root(rewind.AppRootLast)
+	s.Mem().StoreNT64(side+uint64(idx)*8, hdr)
+	s.Mem().Fence()
+	return t, nil
+}
+
+// Load populates the static tables. Loading uses the non-recoverable
+// writer (bulk load precedes logging in the paper's setup).
+func (db *DB) Load(rng *rand.Rand) error {
+	db.items = Items
+	db.custs = CustomersPerDist
+	w := btree.NVMWriter{Mem: db.s.Mem(), A: db.s.Allocator()}
+	v := make([]byte, whValSize)
+	putU64(v, 0, 7)   // tax (basis points, arbitrary fixed)
+	putU64(v, 8, 300) // ytd
+	if _, err := db.warehouse.Insert(w, 1, v); err != nil {
+		return err
+	}
+	for d := uint64(0); d < DistrictsPerWH; d++ {
+		v := make([]byte, distValSize)
+		putU64(v, 0, uint64(5+d))
+		putU64(v, 8, 3000)
+		putU64(v, 16, 1) // next_o_id
+		if _, err := db.district.Insert(w, distKey(1, d), v); err != nil {
+			return err
+		}
+		for c := uint64(0); c < CustomersPerDist; c++ {
+			cv := make([]byte, custValSize)
+			putU64(cv, 0, uint64(rng.Intn(50))) // discount
+			putU64(cv, 8, c*31)                 // last-name hash
+			putU64(cv, 16, uint64(rng.Intn(2))) // credit
+			if _, err := db.customer.Insert(w, custKey(1, d, c), cv); err != nil {
+				return err
+			}
+		}
+	}
+	for i := uint64(1); i <= Items; i++ {
+		iv := make([]byte, itemValSize)
+		putU64(iv, 0, uint64(rng.Intn(9900)+100)) // price
+		putU64(iv, 8, i*7)
+		putU64(iv, 16, i*13)
+		if _, err := db.item.Insert(w, i, iv); err != nil {
+			return err
+		}
+		sv := make([]byte, stockValSize)
+		putU64(sv, 0, uint64(rng.Intn(90)+10)) // quantity
+		if _, err := db.stock.Insert(w, stockKey(1, i), sv); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadSmall populates a scaled-down database (items/customers divided by
+// factor) for tests and quick benchmark runs.
+func (db *DB) LoadSmall(rng *rand.Rand, factor int) error {
+	if factor <= 1 {
+		return db.Load(rng)
+	}
+	w := btree.NVMWriter{Mem: db.s.Mem(), A: db.s.Allocator()}
+	v := make([]byte, whValSize)
+	putU64(v, 0, 7)
+	if _, err := db.warehouse.Insert(w, 1, v); err != nil {
+		return err
+	}
+	items := Items / factor
+	custs := CustomersPerDist / factor
+	for d := uint64(0); d < DistrictsPerWH; d++ {
+		dv := make([]byte, distValSize)
+		putU64(dv, 0, uint64(5+d))
+		putU64(dv, 16, 1)
+		if _, err := db.district.Insert(w, distKey(1, d), dv); err != nil {
+			return err
+		}
+		for c := uint64(0); c < uint64(custs); c++ {
+			cv := make([]byte, custValSize)
+			putU64(cv, 0, uint64(rng.Intn(50)))
+			if _, err := db.customer.Insert(w, custKey(1, d, c), cv); err != nil {
+				return err
+			}
+		}
+	}
+	for i := uint64(1); i <= uint64(items); i++ {
+		iv := make([]byte, itemValSize)
+		putU64(iv, 0, uint64(rng.Intn(9900)+100))
+		if _, err := db.item.Insert(w, i, iv); err != nil {
+			return err
+		}
+		sv := make([]byte, stockValSize)
+		putU64(sv, 0, uint64(rng.Intn(90)+10))
+		if _, err := db.stock.Insert(w, stockKey(1, i), sv); err != nil {
+			return err
+		}
+	}
+	db.items = items
+	db.custs = custs
+	return nil
+}
+
+func putU64(b []byte, off int, v uint64) { binary.LittleEndian.PutUint64(b[off:], v) }
+func getU64(b []byte, off int) uint64    { return binary.LittleEndian.Uint64(b[off:]) }

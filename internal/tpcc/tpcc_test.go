@@ -1,0 +1,163 @@
+package tpcc
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/rewind-db/rewind"
+)
+
+func setup(t testing.TB, layout Layout, mode Mode, terminals int) (*rewind.Store, *DB) {
+	t.Helper()
+	s, err := rewind.Open(rewind.Options{ArenaSize: 512 << 20, Policy: rewind.NoForce, LogKind: rewind.Batch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := Setup(s, layout, mode, terminals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.LoadSmall(rand.New(rand.NewSource(1)), 50); err != nil {
+		t.Fatal(err)
+	}
+	return s, db
+}
+
+func runTerminals(t *testing.T, db *DB, terminals, txns int) []*Terminal {
+	t.Helper()
+	terms := make([]*Terminal, terminals)
+	var wg sync.WaitGroup
+	for i := 0; i < terminals; i++ {
+		terms[i] = db.Terminal(i, int64(i)+1)
+		wg.Add(1)
+		go func(tt *Terminal) {
+			defer wg.Done()
+			for k := 0; k < txns; k++ {
+				if _, err := tt.NewOrder(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(terms[i])
+	}
+	wg.Wait()
+	return terms
+}
+
+// checkConsistency verifies the district order counters line up with the
+// committed orders (the TPC-C consistency condition the workload can check
+// without full auditing).
+func checkConsistency(t *testing.T, db *DB, terms []*Terminal) {
+	t.Helper()
+	perDist := map[int]int{}
+	for _, tt := range terms {
+		perDist[tt.district] += tt.Executed
+	}
+	for d, want := range perDist {
+		if got := db.OrderCount(d); got != want {
+			t.Fatalf("district %d: %d orders recorded, %d committed", d, got, want)
+		}
+		if next := db.NextOrderID(d); int(next-1) != want {
+			t.Fatalf("district %d: next_o_id %d, want %d", d, next, want+1)
+		}
+	}
+}
+
+func TestNewOrderSingleTerminal(t *testing.T) {
+	for _, layout := range []Layout{Naive, Optimized} {
+		_, db := setup(t, layout, SingleLog, 1)
+		term := db.Terminal(0, 42)
+		for k := 0; k < 50; k++ {
+			if _, err := term.NewOrder(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if term.Executed+term.Aborted != 50 {
+			t.Fatalf("executed=%d aborted=%d", term.Executed, term.Aborted)
+		}
+		checkConsistency(t, db, []*Terminal{term})
+	}
+}
+
+func TestNewOrderTenTerminals(t *testing.T) {
+	for _, tc := range []struct {
+		layout Layout
+		mode   Mode
+	}{
+		{Naive, SingleLog},
+		{Optimized, SingleLog},
+		{Optimized, DistributedLog},
+		{Naive, NonRecoverable},
+	} {
+		_, db := setup(t, tc.layout, tc.mode, 10)
+		terms := runTerminals(t, db, 10, 20)
+		checkConsistency(t, db, terms)
+	}
+}
+
+func TestAbortsRollBackAllTables(t *testing.T) {
+	_, db := setup(t, Optimized, SingleLog, 1)
+	term := db.Terminal(0, 7)
+	// Run enough transactions to hit the 1% abort path repeatedly.
+	for k := 0; k < 300; k++ {
+		if _, err := term.NewOrder(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if term.Aborted == 0 {
+		t.Skip("abort path not hit with this seed")
+	}
+	checkConsistency(t, db, []*Terminal{term})
+}
+
+func TestCrashRecoveryMidWorkload(t *testing.T) {
+	s, db := setup(t, Optimized, SingleLog, 1)
+	term := db.Terminal(0, 3)
+	for k := 0; k < 30; k++ {
+		term.NewOrder()
+	}
+	executed := term.Executed
+	s2, err := s.Crash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reattach the schema over the recovered store.
+	db2, err := Attach(s2, Optimized, SingleLog, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := 0; d < DistrictsPerWH; d++ {
+		want := 0
+		if d == 0 {
+			want = executed
+		}
+		if got := db2.OrderCount(d); got != want {
+			t.Fatalf("district %d after crash: %d orders, want %d", d, got, want)
+		}
+	}
+}
+
+func TestDistributedLogIndependentRecovery(t *testing.T) {
+	s, db := setup(t, Optimized, DistributedLog, 4)
+	terms := runTerminals(t, db, 4, 10)
+	total := 0
+	for _, tt := range terms {
+		total += tt.Executed
+	}
+	s2, err := s.Crash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Attach(s2, Optimized, DistributedLog, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	for d := 0; d < DistrictsPerWH; d++ {
+		got += db2.OrderCount(d)
+	}
+	if got != total {
+		t.Fatalf("orders after crash = %d, want %d", got, total)
+	}
+}

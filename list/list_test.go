@@ -1,0 +1,251 @@
+package list
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"github.com/rewind-db/rewind"
+)
+
+const slot = rewind.AppRootFirst
+
+func newList(t testing.TB, opts rewind.Options) (*rewind.Store, *List) {
+	t.Helper()
+	opts.ArenaSize = 16 << 20
+	s, err := rewind.Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := New(s, slot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, l
+}
+
+func TestPushBackFrontAndValues(t *testing.T) {
+	_, l := newList(t, rewind.Options{})
+	l.PushBack(2)
+	l.PushBack(3)
+	l.PushFront(1)
+	got := l.Values()
+	want := []uint64{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("Values = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Values = %v, want %v", got, want)
+		}
+	}
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoveHeadMiddleTail(t *testing.T) {
+	_, l := newList(t, rewind.Options{})
+	for v := uint64(1); v <= 5; v++ {
+		l.PushBack(v)
+	}
+	if err := l.RemoveValue(1); err != nil { // head
+		t.Fatal(err)
+	}
+	if err := l.RemoveValue(3); err != nil { // middle
+		t.Fatal(err)
+	}
+	if err := l.RemoveValue(5); err != nil { // tail
+		t.Fatal(err)
+	}
+	got := l.Values()
+	if len(got) != 2 || got[0] != 2 || got[1] != 4 {
+		t.Fatalf("Values = %v", got)
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoveOnlyElement(t *testing.T) {
+	_, l := newList(t, rewind.Options{})
+	l.PushBack(42)
+	if err := l.RemoveValue(42); err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 0 || len(l.Values()) != 0 {
+		t.Fatalf("list not empty: %v", l.Values())
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoveMissingValue(t *testing.T) {
+	_, l := newList(t, rewind.Options{})
+	l.PushBack(1)
+	if err := l.RemoveValue(9); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestNodeMemoryFreedAfterRemove(t *testing.T) {
+	s, l := newList(t, rewind.Options{Policy: rewind.Force, LogKind: rewind.Optimized})
+	n, err := l.PushBack(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Remove(n); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Allocator().IsFree(n) {
+		t.Fatal("removed node not deallocated after commit")
+	}
+}
+
+func TestAttachAfterCrash(t *testing.T) {
+	for _, opts := range []rewind.Options{
+		{Policy: rewind.NoForce, Layers: rewind.OneLayer, LogKind: rewind.Batch},
+		{Policy: rewind.Force, Layers: rewind.TwoLayer, LogKind: rewind.Optimized},
+	} {
+		s, l := newList(t, opts)
+		for v := uint64(1); v <= 10; v++ {
+			l.PushBack(v)
+		}
+		l.RemoveValue(5)
+		s2, err := s.Crash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		l2, err := Attach(s2, slot)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := l2.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		if l2.Len() != 9 {
+			t.Fatalf("Len after crash = %d", l2.Len())
+		}
+		if l2.Find(5) != 0 {
+			t.Fatal("removed value reappeared")
+		}
+	}
+}
+
+func TestAttachEmptySlotFails(t *testing.T) {
+	s, _ := newList(t, rewind.Options{})
+	if _, err := Attach(s, slot+1); err == nil {
+		t.Fatal("attach to empty slot succeeded")
+	}
+}
+
+// TestCrashAtEveryPointDuringRemove is the paper's own scenario (Listing 1)
+// under exhaustive crash injection: removal of a middle node must be atomic
+// — after recovery the list either still contains the node (fully linked)
+// or not (fully unlinked), with invariants intact either way.
+func TestCrashAtEveryPointDuringRemove(t *testing.T) {
+	for crashAt := 1; ; crashAt++ {
+		s, l := newList(t, rewind.Options{Policy: rewind.Force, LogKind: rewind.Optimized})
+		for v := uint64(1); v <= 5; v++ {
+			l.PushBack(v)
+		}
+		n := l.Find(3)
+		s.Mem().SetCrashAfter(crashAt)
+		crashed := s.Mem().RunToCrash(func() { l.Remove(n) })
+		s.Mem().SetCrashAfter(0)
+		s2, err := rewind.Reattach(s.Options(), s.Mem())
+		if err != nil {
+			t.Fatalf("crashAt=%d: %v", crashAt, err)
+		}
+		l2, err := Attach(s2, slot)
+		if err != nil {
+			t.Fatalf("crashAt=%d: %v", crashAt, err)
+		}
+		if err := l2.CheckInvariants(); err != nil {
+			t.Fatalf("crashAt=%d: %v", crashAt, err)
+		}
+		vals := l2.Values()
+		switch len(vals) {
+		case 5: // removal rolled back
+			for i, v := range vals {
+				if v != uint64(i+1) {
+					t.Fatalf("crashAt=%d: values %v", crashAt, vals)
+				}
+			}
+		case 4: // removal committed
+			want := []uint64{1, 2, 4, 5}
+			for i, v := range vals {
+				if v != want[i] {
+					t.Fatalf("crashAt=%d: values %v", crashAt, vals)
+				}
+			}
+		default:
+			t.Fatalf("crashAt=%d: %d values: %v", crashAt, len(vals), vals)
+		}
+		if !crashed {
+			return
+		}
+	}
+}
+
+// TestQuickRandomOps property-tests list operations against a slice model,
+// with a crash+recovery at the end of every sequence.
+func TestQuickRandomOps(t *testing.T) {
+	f := func(ops []uint16) bool {
+		opts := rewind.Options{ArenaSize: 16 << 20, Policy: rewind.NoForce, LogKind: rewind.Batch}
+		s, err := rewind.Open(opts)
+		if err != nil {
+			return false
+		}
+		l, err := New(s, slot)
+		if err != nil {
+			return false
+		}
+		var model []uint64
+		next := uint64(1)
+		for _, op := range ops {
+			switch {
+			case op%4 == 3 && len(model) > 0:
+				i := int(op) % len(model)
+				l.RemoveValue(model[i])
+				model = append(model[:i], model[i+1:]...)
+			case op%4 == 2:
+				l.PushFront(next)
+				model = append([]uint64{next}, model...)
+				next++
+			default:
+				l.PushBack(next)
+				model = append(model, next)
+				next++
+			}
+		}
+		if l.CheckInvariants() != nil {
+			return false
+		}
+		s2, err := s.Crash()
+		if err != nil {
+			return false
+		}
+		l2, err := Attach(s2, slot)
+		if err != nil {
+			return false
+		}
+		got := l2.Values()
+		if len(got) != len(model) {
+			return false
+		}
+		for i := range model {
+			if got[i] != model[i] {
+				return false
+			}
+		}
+		return l2.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,331 @@
+// Package rewind is a Go reproduction of REWIND — the Recovery Write-ahead
+// system for In-memory Non-volatile Data-structures (Chatzistergiou, Cintra,
+// Viglas; PVLDB 8(5), 2015).
+//
+// REWIND is a user-mode library for transactional recoverability of
+// arbitrary data structures kept directly in byte-addressable non-volatile
+// memory (NVM). Persistent data is accessed through loads and stores at
+// word granularity; a write-ahead log — itself a recoverable in-NVM data
+// structure — guarantees that committed transactions survive crashes and
+// uncommitted ones roll back.
+//
+// Because Go's runtime hides cache-line flush control, this implementation
+// runs over a simulated NVM device (see DESIGN.md for the substitution
+// argument): the simulator reproduces the paper's persistence contract
+// exactly (durable non-temporal stores, cached stores lost on crash,
+// flushes, persistent fences, configurable latencies) and adds
+// deterministic crash injection, which the test suite uses to validate
+// recovery from a torn state at every instruction boundary.
+//
+// Basic usage:
+//
+//	st, _ := rewind.Open(rewind.Options{})
+//	addr := st.Alloc(16)                     // a persistent block
+//	err := st.Atomic(func(tx *rewind.Tx) error {
+//	    tx.Write64(addr, 1)                  // logged + applied
+//	    tx.Write64(addr+8, 2)
+//	    return nil                           // commit (non-nil would roll back)
+//	})
+//
+// The four configurations of the paper (§2) are selected with
+// Options.Policy and Options.Layers; the three log implementations (§3)
+// with Options.LogKind.
+package rewind
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"github.com/rewind-db/rewind/internal/core"
+	"github.com/rewind-db/rewind/internal/nvm"
+	"github.com/rewind-db/rewind/internal/pmem"
+	"github.com/rewind-db/rewind/internal/rlog"
+)
+
+// Policy re-exports the force/no-force choice (§2).
+type Policy = core.Policy
+
+// Policies.
+const (
+	// NoForce leaves user updates cached until a checkpoint; recovery
+	// redoes committed work. Lowest logging overhead.
+	NoForce = core.NoForce
+	// Force persists user updates immediately and clears the log at
+	// commit; recovery is two-phase but commits are slower.
+	Force = core.Force
+)
+
+// Layers re-exports the one-/two-layer logging choice (§2).
+type Layers = core.Layers
+
+// Layer choices.
+const (
+	// OneLayer logs into the bucketed ADLL directly: fastest logging,
+	// whole-log scans for selective rollback.
+	OneLayer = core.OneLayer
+	// TwoLayer indexes records per transaction in an AVL tree: slower
+	// logging, fast selective rollback.
+	TwoLayer = core.TwoLayer
+)
+
+// LogKind re-exports the log implementation choice (§3).
+type LogKind = rlog.Kind
+
+// Log implementations.
+const (
+	// Simple is the plain atomic doubly-linked list (§3.2).
+	Simple = rlog.Simple
+	// Optimized blocks records into buckets (§3.3, Figure 2).
+	Optimized = rlog.Optimized
+	// Batch groups multiple records per flush/fence (§3.3).
+	Batch = rlog.Batch
+)
+
+// Options configures a Store. The zero value gives the paper's headline
+// configuration: one-layer logging, no-force policy, Batch log, 1,000
+// record buckets, groups of 8, 150ns NVM write latency.
+type Options struct {
+	// ArenaSize is the NVM arena size in bytes (default 256 MiB).
+	ArenaSize int
+	// Policy selects Force or NoForce (default NoForce).
+	Policy Policy
+	// Layers selects OneLayer or TwoLayer (default OneLayer).
+	Layers Layers
+	// LogKind selects Simple, Optimized or Batch (default Batch).
+	// TwoLayer requires Simple or Optimized.
+	LogKind LogKind
+	// BucketSize is the records-per-bucket count (default 1,000).
+	BucketSize int
+	// GroupSize is the records-per-fence group in Batch mode (default 8).
+	GroupSize int
+	// WriteLatency and FenceLatency configure the simulated device
+	// (defaults: 150ns and 100ns). ReadLatency is charged per word load
+	// when non-zero (default zero, per the paper's read-cost assumption).
+	WriteLatency time.Duration
+	FenceLatency time.Duration
+	ReadLatency  time.Duration
+	// EmulateLatency busy-waits to make wall-clock time track the
+	// simulated device, as in the paper's testbed.
+	EmulateLatency bool
+	// DisableTracking turns off the durable shadow image. Crash and
+	// SaveImage become unavailable; throughput improves. Benchmarks use
+	// this; applications that want crash simulation must not.
+	DisableTracking bool
+	// ImagePath, when set, makes Open load a previously saved durable
+	// image from this file (if it exists) and Close save one, giving
+	// cross-process durability.
+	ImagePath string
+}
+
+func (o Options) withDefaults() Options {
+	if o.ArenaSize <= 0 {
+		o.ArenaSize = 256 << 20
+	}
+	if o.LogKind == 0 && o.Layers == TwoLayer {
+		o.LogKind = Optimized
+	} else if o.LogKind == 0 {
+		o.LogKind = Batch
+	}
+	return o
+}
+
+// Store is an open REWIND store: a simulated NVM arena, a persistent
+// allocator, and a transaction recovery manager. All methods are safe for
+// concurrent use; concurrency control over user data is the caller's
+// responsibility, as in the paper (§4.7).
+type Store struct {
+	opts  Options
+	mem   *nvm.Memory
+	alloc *pmem.Allocator
+	tm    *core.TM
+
+	mu     sync.Mutex
+	extra  int // root base consumed by additional managers
+	closed bool
+
+	// Recovery reports what the recovery pass at Open found.
+	Recovery core.RecoveryStats
+}
+
+// rootBase for the primary manager; further managers stack above it.
+const primaryRootBase = 8
+
+// Reserved root slots applications may use for their own structures.
+const (
+	// AppRootFirst..AppRootLast are root slots never touched by REWIND;
+	// applications store the entry points of their persistent data
+	// structures there (e.g. a B+-tree header). Slots below AppRootFirst
+	// belong to transaction managers: the primary at 8, and up to eleven
+	// additional managers (NewTM) above it.
+	AppRootFirst = 56
+	AppRootLast  = 63
+)
+
+var errClosed = errors.New("rewind: store is closed")
+
+// Open creates a store, or reattaches to one when Options.ImagePath names
+// an existing image — in which case recovery (§4.5) runs and its outcome is
+// available in Store.Recovery.
+func Open(opts Options) (*Store, error) {
+	opts = opts.withDefaults()
+	mem := nvm.New(nvm.Config{
+		Size:             opts.ArenaSize,
+		WriteLatency:     opts.WriteLatency,
+		FenceLatency:     opts.FenceLatency,
+		ReadLatency:      opts.ReadLatency,
+		EmulateLatency:   opts.EmulateLatency,
+		TrackPersistence: !opts.DisableTracking,
+	})
+	if opts.ImagePath != "" {
+		if img, err := os.ReadFile(opts.ImagePath); err == nil {
+			if err := mem.LoadImage(img); err != nil {
+				return nil, fmt.Errorf("rewind: loading image %s: %w", opts.ImagePath, err)
+			}
+			return attach(opts, mem)
+		} else if !errors.Is(err, os.ErrNotExist) {
+			return nil, err
+		}
+	}
+	alloc := pmem.Format(mem)
+	tm, err := core.New(alloc, coreConfig(opts, primaryRootBase))
+	if err != nil {
+		return nil, err
+	}
+	return &Store{opts: opts, mem: mem, alloc: alloc, tm: tm}, nil
+}
+
+// Reattach opens a store over an existing arena (used after Crash and by
+// tests that manage the arena themselves). Recovery runs.
+func Reattach(opts Options, mem *nvm.Memory) (*Store, error) {
+	return attach(opts.withDefaults(), mem)
+}
+
+func attach(opts Options, mem *nvm.Memory) (*Store, error) {
+	alloc, err := pmem.Open(mem)
+	if err != nil {
+		return nil, err
+	}
+	tm, rs, err := core.Open(alloc, coreConfig(opts, primaryRootBase))
+	if err != nil {
+		return nil, err
+	}
+	return &Store{opts: opts, mem: mem, alloc: alloc, tm: tm, Recovery: *rs}, nil
+}
+
+func coreConfig(opts Options, rootBase int) core.Config {
+	return core.Config{
+		Policy: opts.Policy, Layers: opts.Layers, LogKind: opts.LogKind,
+		BucketSize: opts.BucketSize, GroupSize: opts.GroupSize, RootBase: rootBase,
+	}
+}
+
+// Options returns the options the store was opened with.
+func (s *Store) Options() Options { return s.opts }
+
+// Mem exposes the simulated NVM device (stats, crash injection).
+func (s *Store) Mem() *nvm.Memory { return s.mem }
+
+// Allocator exposes the persistent allocator.
+func (s *Store) Allocator() *pmem.Allocator { return s.alloc }
+
+// TM exposes the primary transaction manager.
+func (s *Store) TM() *core.TM { return s.tm }
+
+// Alloc allocates a persistent block of at least size bytes outside any
+// transaction (see Tx.Alloc for the transactional pattern).
+func (s *Store) Alloc(size int) uint64 { return s.alloc.Alloc(size) }
+
+// Root returns application root slot i (AppRootFirst..AppRootLast).
+func (s *Store) Root(i int) uint64 { return s.alloc.Root(i) }
+
+// SetRoot durably publishes addr in application root slot i.
+func (s *Store) SetRoot(i int, addr uint64) { s.alloc.SetRoot(i, addr) }
+
+// Read64 loads a word without any transaction.
+func (s *Store) Read64(addr uint64) uint64 { return s.mem.Load64(addr) }
+
+// ReadBytes reads n bytes at addr.
+func (s *Store) ReadBytes(addr uint64, n int) []byte { return s.tm.ReadBytes(addr, n) }
+
+// Checkpoint trims the log under the no-force policy (§4.6); it is a no-op
+// under force, whose commits clear their own records.
+func (s *Store) Checkpoint() { s.tm.Checkpoint() }
+
+// Stats returns the simulated device counters.
+func (s *Store) Stats() nvm.Stats { return s.mem.Stats() }
+
+// TMStats returns transaction manager activity counters.
+func (s *Store) TMStats() core.Stats { return s.tm.Stats() }
+
+// Crash simulates a power failure and reattaches with full recovery,
+// returning the recovered store. The receiver must not be used afterwards.
+func (s *Store) Crash() (*Store, error) {
+	if err := s.mem.Crash(); err != nil {
+		return nil, err
+	}
+	return attach(s.opts, s.mem)
+}
+
+// SaveImage writes the durable image to path (or Options.ImagePath when
+// path is empty).
+func (s *Store) SaveImage(path string) error {
+	if path == "" {
+		path = s.opts.ImagePath
+	}
+	if path == "" {
+		return errors.New("rewind: no image path")
+	}
+	img, err := s.mem.PersistentImage()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, img, 0o644)
+}
+
+// Close performs a clean shutdown: under no-force it checkpoints and
+// flushes; when Options.ImagePath is set the durable image is saved.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.tm.Close()
+	if s.opts.ImagePath != "" {
+		return s.SaveImage("")
+	}
+	return nil
+}
+
+// NewTM creates an additional transaction manager with its own log over the
+// same arena — the distributed-logging configuration of §5.3 (one manager
+// per worker means one log per worker). Its root slots stack above the
+// primary manager's. If the slot range already holds a manager (the store
+// was reattached after a crash), the existing manager is reopened and
+// recovered instead, so every distributed log recovers independently.
+func (s *Store) NewTM() (*core.TM, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	base := primaryRootBase + (s.extra+1)*core.SlotsPerTM
+	if base+core.SlotsPerTM > AppRootFirst {
+		return nil, errors.New("rewind: no root slots left for another manager")
+	}
+	cfg := coreConfig(s.opts, base)
+	var tm *core.TM
+	var err error
+	if s.alloc.Root(base) != 0 {
+		tm, _, err = core.Open(s.alloc, cfg)
+	} else {
+		tm, err = core.New(s.alloc, cfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	s.extra++
+	return tm, nil
+}

@@ -1,0 +1,126 @@
+package rewind
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/rewind-db/rewind/internal/nvm"
+)
+
+// Tx is a handle on one REWIND transaction. It corresponds to the
+// transaction identifier the runtime creates at the top of a
+// persistent_atomic block (paper §2, Listing 2): every critical update goes
+// through Write64/WriteBytes, which log ahead of the write (WAL), and the
+// block ends with Commit or Rollback.
+//
+// A Tx is not safe for concurrent use by multiple goroutines; run one
+// transaction per goroutine instead (the manager itself is concurrent).
+type Tx struct {
+	s    *Store
+	id   uint64
+	done bool
+}
+
+// Begin starts a transaction.
+func (s *Store) Begin() *Tx {
+	return &Tx{s: s, id: s.tm.Begin()}
+}
+
+// ID returns the transaction identifier.
+func (tx *Tx) ID() uint64 { return tx.id }
+
+// ErrTxDone is returned when a finished transaction is used again.
+var ErrTxDone = errors.New("rewind: transaction already finished")
+
+func (tx *Tx) active() error {
+	if tx.done {
+		return ErrTxDone
+	}
+	return nil
+}
+
+// Write64 logs and applies one word write (the expansion of a critical
+// update inside a persistent_atomic block).
+func (tx *Tx) Write64(addr, val uint64) error {
+	if err := tx.active(); err != nil {
+		return err
+	}
+	return tx.s.tm.Write64(tx.id, addr, val)
+}
+
+// WriteBytes logs and applies a multi-word write, word by word (physical
+// logging at the paper's granularity). addr must be 8-byte aligned.
+func (tx *Tx) WriteBytes(addr uint64, p []byte) error {
+	if err := tx.active(); err != nil {
+		return err
+	}
+	return tx.s.tm.WriteBytes(tx.id, addr, p)
+}
+
+// Read64 loads a word. Reads are direct; no logging.
+func (tx *Tx) Read64(addr uint64) uint64 { return tx.s.mem.Load64(addr) }
+
+// ReadBytes reads n bytes at addr.
+func (tx *Tx) ReadBytes(addr uint64, n int) []byte { return tx.s.tm.ReadBytes(addr, n) }
+
+// Alloc allocates a persistent block. The allocation itself is not undone
+// by rollback (a crash or abort merely leaks it, as in the paper's model);
+// allocate first, then publish the block with logged writes.
+func (tx *Tx) Alloc(size int) uint64 { return tx.s.alloc.Alloc(size) }
+
+// Free schedules deallocation of a block for after commit (a DELETE record,
+// §4.3). The paper's Listing 2 places delete(n) after tm->commit; this API
+// makes the deferral explicit and crash-safe: if the transaction rolls
+// back, the block stays allocated.
+func (tx *Tx) Free(addr uint64) error {
+	if err := tx.active(); err != nil {
+		return err
+	}
+	return tx.s.tm.Delete(tx.id, addr)
+}
+
+// Commit ends the transaction, making its updates durable (§4.3).
+func (tx *Tx) Commit() error {
+	if err := tx.active(); err != nil {
+		return err
+	}
+	tx.done = true
+	return tx.s.tm.Commit(tx.id)
+}
+
+// Rollback aborts the transaction, restoring every logged location to its
+// previous value (§4.4).
+func (tx *Tx) Rollback() error {
+	if err := tx.active(); err != nil {
+		return err
+	}
+	tx.done = true
+	return tx.s.tm.Rollback(tx.id)
+}
+
+// Atomic runs fn inside a transaction — the library form of the paper's
+// persistent_atomic block (Listing 1). A nil return commits; a non-nil
+// return (or a panic, which is re-raised) rolls back. An injected NVM
+// crash unwinding through the block is passed through untouched: a machine
+// that lost power cannot run a rollback, and the recovery at the next Open
+// aborts the transaction instead.
+func (s *Store) Atomic(fn func(tx *Tx) error) error {
+	tx := s.Begin()
+	defer func() {
+		if v := recover(); v != nil {
+			if !tx.done && !nvm.IsCrash(v) {
+				if rbErr := tx.Rollback(); rbErr != nil {
+					panic(fmt.Sprintf("rewind: rollback during panic failed: %v (panic: %v)", rbErr, v))
+				}
+			}
+			panic(v)
+		}
+	}()
+	if err := fn(tx); err != nil {
+		if rbErr := tx.Rollback(); rbErr != nil {
+			return fmt.Errorf("rewind: rollback failed: %v (after %w)", rbErr, err)
+		}
+		return err
+	}
+	return tx.Commit()
+}
