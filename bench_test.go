@@ -149,6 +149,44 @@ func BenchmarkFig11TPCC(b *testing.B) {
 	}
 }
 
+func BenchmarkShardScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := bench.ShardScaling(bench.Quick)
+		b.ReportMetric(first(f, "REWIND Batch"), "ktxn/s@1shard")
+		b.ReportMetric(last(f, "REWIND Batch"), "ktxn/s@8shards")
+		b.ReportMetric(last(f, "shard balance"), "balance@8shards")
+	}
+}
+
+// TestShardScalingSpeedup asserts the sharded log's headline: with 4 worker
+// goroutines, 4 shards deliver at least twice the commit throughput of the
+// single global log on the simulated device. It runs in -short mode too —
+// it is quick, and it guards the feature this PR exists for.
+func TestShardScalingSpeedup(t *testing.T) {
+	f := bench.ShardScaling(bench.Quick)
+	at := func(series string, x float64) float64 {
+		for _, s := range f.Series {
+			if s.Name != series {
+				continue
+			}
+			for _, p := range s.Points {
+				if p.X == x {
+					return p.Y
+				}
+			}
+		}
+		t.Fatalf("series %q has no point at x=%v", series, x)
+		return 0
+	}
+	one, four := at("REWIND Batch", 1), at("REWIND Batch", 4)
+	if four < 2*one {
+		t.Errorf("4 shards = %.1f ktxn/s, 1 shard = %.1f ktxn/s: speedup %.2fx < 2x", four, one, four/one)
+	}
+	if bal := at("shard balance", 4); bal < 0.9 {
+		t.Errorf("shard balance %.2f at 4 shards; striping by txn id should stay near 1.0", bal)
+	}
+}
+
 // TestFigureShapes asserts the qualitative claims the paper makes — who
 // wins, in which direction curves move — so a regression in any subsystem
 // that would flip a conclusion fails the suite, not just the eyeball.

@@ -1,0 +1,3 @@
+module github.com/rewind-db/rewind
+
+go 1.22

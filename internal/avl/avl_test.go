@@ -190,7 +190,7 @@ func snapshot(tr *Tree) map[uint64][2]uint64 {
 // at any durable-op boundary during InsertRecord leaves, after recovery,
 // either the exact before state or the exact after state.
 func TestCrashAtEveryPointDuringInsert(t *testing.T) {
-	for crashAt := 1; ; crashAt++ {
+	for crashAt := 1; ; crashAt += crashStride() {
 		m := nvm.New(nvm.Config{Size: 64 << 20, TrackPersistence: true})
 		a := pmem.Format(m)
 		tr := New(a, cfg())
@@ -246,7 +246,7 @@ func TestCrashAtEveryPointDuringInsert(t *testing.T) {
 // TestCrashAtEveryPointDuringRemove mirrors the insert test for removals,
 // which exercise the deepest rebalancing paths.
 func TestCrashAtEveryPointDuringRemove(t *testing.T) {
-	for crashAt := 1; ; crashAt++ {
+	for crashAt := 1; ; crashAt += crashStride() {
 		m := nvm.New(nvm.Config{Size: 64 << 20, TrackPersistence: true})
 		a := pmem.Format(m)
 		tr := New(a, cfg())
@@ -372,4 +372,14 @@ func TestQuickRandomOpsKeepInvariants(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// crashStride spaces the injected crash points of the crash matrices:
+// every durable operation in normal runs, a sample of them under -short
+// (the matrices dominate the package's test time).
+func crashStride() int {
+	if testing.Short() {
+		return 5
+	}
+	return 1
 }

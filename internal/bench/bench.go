@@ -139,6 +139,7 @@ func Runners() []Runner {
 		{"fig9", "Multithreaded B+-tree logging", Fig9},
 		{"fig10", "Memory fence sensitivity", Fig10},
 		{"fig11", "TPC-C new-order throughput", Fig11},
+		{"shards", "Sharded-log commit throughput", ShardScaling},
 	}
 }
 

@@ -1,0 +1,103 @@
+package bench
+
+import (
+	"sync"
+
+	"github.com/rewind-db/rewind"
+)
+
+// ShardScaling measures multi-goroutine commit throughput against the
+// number of log shards — the concurrency experiment the sharded log exists
+// for, in the spirit of Figure 9 and of §5.3's distributed-logging
+// observation (one log per worker removes the logging bottleneck).
+//
+// Four worker goroutines run small update transactions (8 logged writes
+// plus commit each) through the public Atomic API. The device charges are
+// attributed to shards by their share of log appends — transactions are
+// striped over shards, so each shard's share is the simulated time its own
+// NVM bank spends — and the modeled makespan is the busiest shard's time:
+// independent logs on independent banks overlap, exactly as the per-worker
+// logs of §5.3 do. Throughput is transactions per simulated second at that
+// makespan. The shard-balance series (min/max appends across shards)
+// verifies the striping keeps the banks evenly loaded; 1.0 is perfect.
+func ShardScaling(scale Scale) Figure {
+	const workers = 4
+	txns := scale.pick(4_000, 100_000)
+	fig := Figure{
+		ID: "shards", Title: "Sharded-log commit throughput, 4 worker goroutines",
+		XLabel: "log shards", YLabel: "ktxn/s (simulated) / balance ratio",
+		Notes: "makespan = busiest shard's attributed device time (independent per-shard NVM banks, cf. §5.3)",
+	}
+	var thr, bal []Point
+	for _, shards := range []int{1, 2, 4, 8} {
+		t, b := shardScalingPoint(shards, workers, txns)
+		thr = append(thr, Point{X: float64(shards), Y: t / 1e3})
+		bal = append(bal, Point{X: float64(shards), Y: b})
+	}
+	fig.Series = append(fig.Series,
+		Series{Name: "REWIND Batch", Points: thr},
+		Series{Name: "shard balance", Points: bal},
+	)
+	return fig
+}
+
+// shardScalingPoint returns commit throughput (txn/s of simulated time)
+// and shard balance for one shard count.
+func shardScalingPoint(shards, workers, txns int) (throughput, balance float64) {
+	s, err := rewind.Open(rewind.Options{
+		Policy:          rewind.NoForce,
+		LogKind:         rewind.Batch,
+		LogShards:       shards,
+		ArenaSize:       1 << 29,
+		DisableTracking: true,
+	})
+	if err != nil {
+		panic(err)
+	}
+	// One private 8-word region per worker: the workload measures logging
+	// and commit cost, not user-data contention (§4.7 leaves that to the
+	// caller).
+	regions := make([]uint64, workers)
+	for w := range regions {
+		regions[w] = s.Alloc(64)
+	}
+	before := s.Stats()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < txns/workers; i++ {
+				err := s.Atomic(func(tx *rewind.Tx) error {
+					for k := uint64(0); k < 8; k++ {
+						if err := tx.Write64(regions[w]+k*8, uint64(i)+k); err != nil {
+							return err
+						}
+					}
+					return nil
+				})
+				if err != nil {
+					panic(err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	delta := s.Stats().Sub(before)
+
+	var total, max, min int64
+	for i, sh := range s.ShardStats() {
+		total += sh.Appends
+		if sh.Appends > max {
+			max = sh.Appends
+		}
+		if i == 0 || sh.Appends < min {
+			min = sh.Appends
+		}
+	}
+	if total == 0 || max == 0 {
+		return 0, 0
+	}
+	makespanNS := float64(delta.SimulatedNS) * float64(max) / float64(total)
+	return float64(txns) / (makespanNS / 1e9), float64(min) / float64(max)
+}

@@ -7,50 +7,72 @@ import (
 // Checkpoint trims the log under the NoForce policy (§4.6, the paper's
 // "cache-consistent" checkpoint):
 //
-//  1. a CHECKPOINT record is inserted (before the cache flush — the other
-//     order could make records appended during the flush look persistent);
-//  2. any pending Batch group is force-flushed, so no cached user write can
-//     be persisted ahead of its record;
-//  3. the whole cache is flushed, making every user update durable;
-//  4. the records of transactions that had finished by the checkpoint are
-//     removed, applying committed DELETE deallocations on the way, with
+//  1. with every shard mutex held, a CHECKPOINT record is inserted into
+//     each shard (before the cache flush — the other order could make
+//     records appended during the flush look persistent) and any pending
+//     Batch groups are force-flushed, so no cached user write can be
+//     persisted ahead of its record;
+//  2. the whole cache is flushed, making every user update durable;
+//  3. the transactions that had finished by the checkpoint are snapshotted
+//     and the shard mutexes released;
+//  4. each shard is then cleared independently: the records of snapshotted
+//     transactions are removed (all of a transaction's records live in its
+//     shard), applying committed DELETE deallocations on the way, with
 //     each END record removed after the rest of its transaction.
 //
-// Steps 1–3 hold the logging lock (briefly, relative to the clearing scan);
-// step 4 runs while new transactions keep appending. Under Force the log is
-// already cleared at commit time, so Checkpoint is a no-op.
+// Steps 1–3 hold the shard locks briefly, relative to the clearing scans;
+// step 4 runs one shard at a time while new transactions keep appending —
+// a long clear on one shard never stalls logging on the others. Under
+// Force the log is already cleared at commit time, so Checkpoint is a
+// no-op.
 func (tm *TM) Checkpoint() {
 	if tm.cfg.Policy == Force {
 		return
 	}
 
-	tm.logMu.Lock()
-	var ckptLSN uint64
-	if tm.cfg.Layers == OneLayer {
-		tm.lsn++
-		ckptLSN = tm.lsn
-		rec := tm.allocRecord(rlog.Fields{LSN: ckptLSN, Txn: 0, Type: rlog.TypeCheckpoint})
-		tm.log.Append(rec, false)
-		tm.forceLogLocked()
-	} else {
-		ckptLSN = tm.lsn
+	// Step 1: freeze all shards and stamp each with a CHECKPOINT record.
+	// Every record already in any shard got its LSN before the stamp, so
+	// it compares below its shard's checkpoint LSN.
+	for _, sh := range tm.shards {
+		sh.mu.Lock()
 	}
+	ckptLSN := make([]uint64, len(tm.shards))
+	if tm.cfg.Layers == OneLayer {
+		for i, sh := range tm.shards {
+			ckptLSN[i] = tm.lsn.Add(1)
+			rec := tm.allocRecord(rlog.Fields{LSN: ckptLSN[i], Txn: 0, Type: rlog.TypeCheckpoint})
+			sh.log.Append(rec, false)
+			tm.forceLogShard(sh)
+		}
+	} else {
+		ckptLSN[0] = tm.lsn.Load()
+	}
+	// Step 2: flush the cache while no shard can append, so every record
+	// a snapshotted transaction wrote is durable alongside its data.
 	tm.mem.FlushAll()
-	// Snapshot the transactions that are finished as of the checkpoint;
-	// later finishers wait for the next one.
+	// Step 3: snapshot the transactions that are finished as of the
+	// checkpoint; later finishers wait for the next one. (A commit racing
+	// us has either appended its END — it needed the shard lock, so it
+	// did so before step 1 — or it has not yet marked the transaction
+	// finished and is left for the next checkpoint.)
 	type doneTxn struct {
 		id        uint64
 		committed bool
 	}
 	var done []doneTxn
+	tm.mu.Lock()
 	for _, x := range tm.table {
 		if x.status == statusFinished {
 			done = append(done, doneTxn{x.id, !x.aborted})
 		}
 	}
 	tm.stats.Checkpoints++
-	tm.logMu.Unlock()
+	tm.mu.Unlock()
+	for _, sh := range tm.shards {
+		sh.mu.Unlock()
+	}
 
+	// Step 4: clear shard by shard, appends elsewhere unimpeded.
 	if tm.cfg.Layers == TwoLayer {
 		for _, d := range done {
 			tm.clearFinishedChain(d.id, d.committed)
@@ -60,30 +82,34 @@ func (tm *TM) Checkpoint() {
 		for _, d := range done {
 			doneSet[d.id] = d.committed
 		}
-		tm.log.ClearScan(false, func(r rlog.Record) rlog.ClearAction {
-			if r.Txn() == 0 && r.Type() == rlog.TypeCheckpoint && r.LSN() < ckptLSN {
-				return rlog.RemoveFree // stale checkpoint markers
-			}
-			committed, finished := doneSet[r.Txn()]
-			if !finished || r.LSN() > ckptLSN {
-				return rlog.Keep
-			}
-			if committed && r.Type() == rlog.TypeDelete {
-				tm.a.Free(r.Target())
-			}
-			return rlog.RemoveFree
-		})
+		for i, sh := range tm.shards {
+			lsn := ckptLSN[i]
+			sh.log.ClearScan(false, func(r rlog.Record) rlog.ClearAction {
+				if r.Txn() == 0 && r.Type() == rlog.TypeCheckpoint && r.LSN() < lsn {
+					return rlog.RemoveFree // stale checkpoint markers
+				}
+				committed, finished := doneSet[r.Txn()]
+				if !finished || r.LSN() > lsn {
+					return rlog.Keep
+				}
+				if committed && r.Type() == rlog.TypeDelete {
+					tm.a.Free(r.Target())
+				}
+				return rlog.RemoveFree
+			})
+		}
 	}
 
-	tm.logMu.Lock()
+	tm.mu.Lock()
 	for _, d := range done {
 		delete(tm.table, d.id)
 	}
-	tm.logMu.Unlock()
+	tm.mu.Unlock()
 }
 
 // allocRecord allocates a record honouring the log kind's persistence
-// discipline. Callers hold logMu and have already assigned the LSN.
+// discipline. Callers hold the shard mutex and have already assigned the
+// LSN.
 func (tm *TM) allocRecord(f rlog.Fields) uint64 {
 	if tm.cfg.LogKind == rlog.Batch {
 		return rlog.AllocDeferred(tm.a, f).Addr

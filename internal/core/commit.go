@@ -10,30 +10,41 @@ import (
 // record, then clear the transaction's log records (applying any deferred
 // DELETE deallocations on the way, END removed last). Under NoForce only
 // the END record is written; checkpoints clear the log later.
+//
+// Only the transaction's own shard is locked, so commits on different
+// shards proceed in parallel. The transaction is marked finished in the
+// (volatile) table strictly after its END record is in the log, which is
+// the invariant checkpoints rely on when they clear finished transactions.
 func (tm *TM) Commit(tid uint64) error {
-	tm.logMu.Lock()
 	x, err := tm.running(tid)
 	if err != nil {
-		tm.logMu.Unlock()
 		return err
 	}
+	sh, contended := tm.lockShard(tid)
 	if tm.cfg.Policy == Force {
 		// User updates were issued as durable stores (or deferred to
 		// group flushes); force the tail of the log and fence so
 		// everything is in NVM before END marks the transaction durable.
-		tm.forceLogLocked()
+		tm.forceLogShard(sh)
 		tm.mem.Fence()
 	}
-	tm.appendLocked(x, rlog.Fields{Txn: tid, Type: rlog.TypeEnd}, true)
+	tm.appendShard(sh, x, rlog.Fields{Txn: tid, Type: rlog.TypeEnd}, true)
+	sh.mu.Unlock()
+	sh.commits.Add(1)
+	if !contended {
+		sh.uncontended.Add(1)
+	}
+
+	tm.mu.Lock()
 	x.status = statusFinished
 	tm.stats.Committed++
-	tm.logMu.Unlock()
+	tm.mu.Unlock()
 
 	if tm.cfg.Policy == Force {
 		tm.clearFinished(x, true)
-		tm.logMu.Lock()
+		tm.mu.Lock()
 		delete(tm.table, tid)
-		tm.logMu.Unlock()
+		tm.mu.Unlock()
 	}
 	return nil
 }
@@ -44,19 +55,26 @@ func (tm *TM) Commit(tid uint64) error {
 // their END records but before their records were cleared, so recovery has
 // to skip them while aborting the one unfinished transaction.
 func (tm *TM) CommitKeepLog(tid uint64) error {
-	tm.logMu.Lock()
-	defer tm.logMu.Unlock()
 	x, err := tm.running(tid)
 	if err != nil {
 		return err
 	}
+	sh, contended := tm.lockShard(tid)
 	if tm.cfg.Policy == Force {
-		tm.forceLogLocked()
+		tm.forceLogShard(sh)
 		tm.mem.Fence()
 	}
-	tm.appendLocked(x, rlog.Fields{Txn: tid, Type: rlog.TypeEnd}, true)
+	tm.appendShard(sh, x, rlog.Fields{Txn: tid, Type: rlog.TypeEnd}, true)
+	sh.mu.Unlock()
+	sh.commits.Add(1)
+	if !contended {
+		sh.uncontended.Add(1)
+	}
+
+	tm.mu.Lock()
 	x.status = statusFinished
 	tm.stats.Committed++
+	tm.mu.Unlock()
 	return nil
 }
 
@@ -66,52 +84,59 @@ func (tm *TM) CommitKeepLog(tid uint64) error {
 // The rollback is restartable: a crash mid-way leaves CLRs from which
 // recovery resumes at the right record.
 func (tm *TM) Rollback(tid uint64) error {
-	tm.logMu.Lock()
 	x, err := tm.running(tid)
 	if err != nil {
-		tm.logMu.Unlock()
 		return err
 	}
+	tm.mu.Lock()
 	x.status = statusAborted
 	x.aborted = true
-	tm.appendLocked(x, rlog.Fields{Txn: tid, Type: rlog.TypeRollback}, false)
-	tm.logMu.Unlock()
+	tm.mu.Unlock()
+
+	sh := tm.shardFor(tid)
+	sh.mu.Lock()
+	tm.appendShard(sh, x, rlog.Fields{Txn: tid, Type: rlog.TypeRollback}, false)
+	sh.mu.Unlock()
 
 	if tm.cfg.Layers == TwoLayer {
-		tm.rollbackChain(x)
+		tm.rollbackChain(sh, x)
 	} else {
-		tm.rollbackScan(x)
+		tm.rollbackScan(sh, x)
 	}
 
-	tm.logMu.Lock()
+	sh.mu.Lock()
 	if tm.cfg.Policy == Force {
 		// The undo writes must be durable before END can declare the
 		// rollback complete — under Batch some may still be deferred in
 		// the pending group (the corner case §4.4 guards with CLR redo,
 		// which group-deferral widens to every CLR in the group).
-		tm.forceLogLocked()
+		tm.forceLogShard(sh)
 		tm.mem.Fence()
 	}
-	tm.appendLocked(x, rlog.Fields{Txn: tid, Type: rlog.TypeEnd}, true)
+	tm.appendShard(sh, x, rlog.Fields{Txn: tid, Type: rlog.TypeEnd}, true)
+	sh.mu.Unlock()
+
+	tm.mu.Lock()
 	x.status = statusFinished
 	tm.stats.RolledBack++
-	tm.logMu.Unlock()
+	tm.mu.Unlock()
 
 	if tm.cfg.Policy == Force {
 		tm.clearFinished(x, false)
-		tm.logMu.Lock()
+		tm.mu.Lock()
 		delete(tm.table, tid)
-		tm.logMu.Unlock()
+		tm.mu.Unlock()
 	}
 	return nil
 }
 
-// rollbackScan undoes one transaction by scanning the whole log backwards
+// rollbackScan undoes one transaction by scanning its whole shard backwards
 // (one-layer: there is no per-transaction chain, so every intervening
-// record of other transactions is inspected and skipped — the "skip
-// records" whose cost Figures 3 and 4 quantify).
-func (tm *TM) rollbackScan(x *txnState) {
-	it := tm.log.End()
+// record of other transactions on the shard is inspected and skipped — the
+// "skip records" whose cost Figures 3 and 4 quantify). Records of other
+// shards are never touched: a transaction's records all live in its shard.
+func (tm *TM) rollbackScan(sh *logShard, x *txnState) {
+	it := sh.log.End()
 	resume := ^uint64(0)
 	for it.Prev() {
 		r := it.Record()
@@ -125,7 +150,7 @@ func (tm *TM) rollbackScan(x *txnState) {
 			}
 		case rlog.TypeUpdate:
 			if r.Undoable() && r.LSN() < resume {
-				tm.compensate(x, r)
+				tm.compensate(sh, x, r)
 			}
 		}
 	}
@@ -134,7 +159,7 @@ func (tm *TM) rollbackScan(x *txnState) {
 
 // rollbackChain undoes one transaction by walking its AAVLT record chain
 // (two-layer: no unrelated records are touched).
-func (tm *TM) rollbackChain(x *txnState) {
+func (tm *TM) rollbackChain(sh *logShard, x *txnState) {
 	_, tail, ok := tm.tree.Lookup(x.id)
 	if !ok {
 		return
@@ -149,7 +174,7 @@ func (tm *TM) rollbackChain(x *txnState) {
 			}
 		case rlog.TypeUpdate:
 			if r.Undoable() && r.LSN() < resume {
-				tm.compensate(x, r)
+				tm.compensate(sh, x, r)
 			}
 		}
 		cur = r.PrevTxn()
@@ -161,18 +186,18 @@ func (tm *TM) rollbackChain(x *txnState) {
 // above it are known to be undone already. Under Force the undo itself is
 // written durably (§4.4: "under the force policy the undos should be made
 // persistent as well").
-func (tm *TM) compensate(x *txnState, r rlog.Record) {
-	tm.logMu.Lock()
-	defer tm.logMu.Unlock()
-	flushed := tm.appendLocked(x, rlog.Fields{
+func (tm *TM) compensate(sh *logShard, x *txnState, r rlog.Record) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	flushed := tm.appendShard(sh, x, rlog.Fields{
 		Txn: x.id, Type: rlog.TypeCLR,
 		Addr: r.Target(), Old: r.New(), New: r.Old(),
 		UndoNext: r.LSN(),
 	}, false)
-	tm.applyLocked(r.Target(), r.Old(), flushed)
+	tm.applyShard(sh, r.Target(), r.Old(), flushed)
 }
 
-// clearFinished removes a finished transaction's records from the log
+// clearFinished removes a finished transaction's records from its shard
 // (Force policy's clear-at-commit, §4.3/§4.6). commit selects whether
 // DELETE records perform their deferred deallocation (aborted transactions
 // never free). The forward direction makes the END record the last one
@@ -183,7 +208,7 @@ func (tm *TM) clearFinished(x *txnState, commit bool) {
 		tm.clearFinishedChain(x.id, commit)
 		return
 	}
-	tm.log.ClearScan(false, func(r rlog.Record) rlog.ClearAction {
+	tm.shardFor(x.id).log.ClearScan(false, func(r rlog.Record) rlog.ClearAction {
 		if r.Txn() != x.id {
 			return rlog.Keep
 		}

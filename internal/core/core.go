@@ -22,12 +22,34 @@
 // Batch defers user-update persistence to group-flush boundaries, which the
 // manager honours by re-issuing buffered durable writes when the log
 // signals a flush — the compiler-reordering scheme of §3.3 in library form.
+//
+// # Sharded logging
+//
+// Config.LogShards splits the one-layer primary log into N independent
+// rlog.Log instances, one NVM root slot each. A transaction is hashed to a
+// shard by its identifier and all of its records live in that shard, so
+// commits on different shards never contend: each shard has its own mutex
+// and its own Batch pending-write buffer. LSNs still come from one global
+// atomic counter, so a total order over records exists across shards;
+// recovery opens every shard and merges their surviving records by LSN into
+// a single analysis/redo/undo pass, and checkpoints clear shards
+// independently (a long clearing scan on one shard no longer stalls appends
+// on the others). LogShards=1 (the default) reproduces the paper's single
+// global log exactly; the shard fan-out generalizes §5.3's distributed-
+// logging observation that independent logs are what unlock multicore
+// persistent-log throughput.
+//
+// Lock order: shard mutexes (ascending index) before the manager's table
+// mutex. Concurrency control over user data remains the caller's job
+// (§4.7): two transactions racing on the same word are as unsynchronized
+// here as on real hardware.
 package core
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"github.com/rewind-db/rewind/internal/avl"
 	"github.com/rewind-db/rewind/internal/nvm"
@@ -80,14 +102,15 @@ const (
 	statusFinished
 )
 
-// SlotsPerTM is the number of pmem root slots a manager occupies, so
-// multiple managers (the distributed-logging configuration of §5.3) can be
-// packed side by side.
+// SlotsPerTM is the minimum number of pmem root slots a manager occupies,
+// so multiple managers (the distributed-logging configuration of §5.3) can
+// be packed side by side. A sharded manager may occupy more: see
+// Config.Slots.
 const SlotsPerTM = 4
 
 const (
 	slotState   = iota // manager state block
-	slotLog            // primary log header
+	slotLog            // primary log header (shard 0; shard i lives at slotLog+i)
 	slotTree           // AAVLT header (two-layer)
 	slotTreeLog        // AAVLT mini-log header (two-layer)
 )
@@ -112,8 +135,13 @@ type Config struct {
 	// BucketSize and GroupSize tune the bucketed and batched logs.
 	BucketSize int
 	GroupSize  int
-	// RootBase is the first of the SlotsPerTM pmem root slots this
-	// manager owns.
+	// LogShards is the number of independent primary logs the one-layer
+	// configuration stripes transactions over (default 1, the paper's
+	// single global log). Each shard owns one root slot above RootBase.
+	// TwoLayer requires LogShards <= 1: its records live in the AAVLT.
+	LogShards int
+	// RootBase is the first of the Slots() pmem root slots this manager
+	// owns.
 	RootBase int
 }
 
@@ -124,7 +152,24 @@ func (c Config) withDefaults() Config {
 	if c.GroupSize <= 0 {
 		c.GroupSize = rlog.DefaultGroupSize
 	}
+	if c.LogShards <= 0 {
+		c.LogShards = 1
+	}
 	return c
+}
+
+// Slots returns the number of pmem root slots the configuration occupies:
+// the state block plus one per log shard, never less than SlotsPerTM (the
+// two-layer slots keep their historical positions).
+func (c Config) Slots() int {
+	shards := c.LogShards
+	if shards <= 0 {
+		shards = 1
+	}
+	if n := 1 + shards; n > SlotsPerTM {
+		return n
+	}
+	return SlotsPerTM
 }
 
 func (c Config) validate() error {
@@ -134,28 +179,48 @@ func (c Config) validate() error {
 	if c.Layers == OneLayer && (c.LogKind < rlog.Simple || c.LogKind > rlog.Batch) {
 		return fmt.Errorf("core: invalid log kind %d", c.LogKind)
 	}
-	if c.RootBase < 0 || c.RootBase+SlotsPerTM > pmem.NumRoots {
+	if c.Layers == TwoLayer && c.LogShards > 1 {
+		return errors.New("core: the two-layer configuration keeps its records in the AAVLT; LogShards applies to one-layer logging")
+	}
+	if c.LogShards > maxLogShards {
+		return fmt.Errorf("core: %d log shards exceed the maximum of %d", c.LogShards, maxLogShards)
+	}
+	if c.RootBase < 0 || c.RootBase+c.Slots() > pmem.NumRoots {
 		return fmt.Errorf("core: root base %d out of range", c.RootBase)
 	}
 	return nil
 }
 
+// maxLogShards bounds the shard count so it fits both the root-slot space
+// and the fingerprint's shard bits.
+const maxLogShards = 47
+
 // fingerprint packs the shape of the configuration for Open-time checks.
+// LogShards is encoded as shards-1 so single-shard images keep the exact
+// fingerprint of the pre-sharding layout.
 func (c Config) fingerprint() uint64 {
 	return uint64(stateMagicBase)<<32 |
+		uint64(c.LogShards-1)<<25 |
 		uint64(c.Policy)<<24 | uint64(c.Layers)<<16 | uint64(c.LogKind)<<8 |
 		uint64(c.BucketSize%251)
 }
 
 // String renders the configuration the way the paper labels its plots
-// (e.g. "1L-NFP/Optimized").
+// (e.g. "1L-NFP/Optimized"), with a shard suffix when sharded.
 func (c Config) String() string {
-	return fmt.Sprintf("%v-%v/%v", c.Layers, c.Policy, c.LogKind)
+	s := fmt.Sprintf("%v-%v/%v", c.Layers, c.Policy, c.LogKind)
+	if c.LogShards > 1 {
+		s += fmt.Sprintf("x%d", c.LogShards)
+	}
+	return s
 }
 
 // txnState is the volatile transaction-table entry (§4.1). It is never
 // persisted: the one-layer configuration reconstructs it during recovery,
 // and the two-layer configuration additionally maintains it while logging.
+// id and status are guarded by TM.mu; the remaining fields belong to the
+// transaction's own goroutine (a Tx is single-goroutine) and are only read
+// by others inside recovery, which is single-threaded.
 type txnState struct {
 	id      uint64
 	status  status
@@ -171,6 +236,37 @@ type pendingWrite struct {
 	addr, val uint64
 }
 
+// logShard is one stripe of the primary log: an independent rlog.Log with
+// its own mutex, Batch pending-write buffer and activity counters, so
+// transactions on different shards log and commit without contending. In
+// the two-layer configuration there is a single shard whose log is nil (the
+// AAVLT holds the records) and whose mutex serializes record insertion.
+type logShard struct {
+	mu      sync.Mutex
+	log     *rlog.Log // nil in the two-layer configuration
+	pending []pendingWrite
+
+	appends     atomic.Int64
+	flushes     atomic.Int64
+	commits     atomic.Int64
+	uncontended atomic.Int64
+}
+
+// ShardStats counts one shard's activity since creation.
+type ShardStats struct {
+	// Appends counts log records inserted into this shard.
+	Appends int64
+	// Flushes counts Batch group flushes issued on this shard (forced or at
+	// group boundaries).
+	Flushes int64
+	// Commits counts transactions committed on this shard.
+	Commits int64
+	// UncontendedCommits counts commits that acquired the shard mutex
+	// without waiting — with enough shards relative to workers this
+	// approaches Commits, which is the scaling the sharded log buys.
+	UncontendedCommits int64
+}
+
 // Stats counts manager activity since creation.
 type Stats struct {
 	Begun       int64
@@ -178,6 +274,10 @@ type Stats struct {
 	RolledBack  int64
 	Records     int64
 	Checkpoints int64
+	// Shards holds per-shard counters, one entry per log shard (a single
+	// entry for unsharded and two-layer managers). Records equals the sum
+	// of the shards' Appends.
+	Shards []ShardStats
 }
 
 // RecoveryStats reports what Open's recovery pass did.
@@ -185,8 +285,15 @@ type RecoveryStats struct {
 	// CrashDetected is true when the previous session did not close
 	// cleanly.
 	CrashDetected bool
-	// RecordsScanned counts records visited during analysis.
+	// RecordsScanned counts records visited during analysis, across every
+	// shard.
 	RecordsScanned int
+	// ShardRecords counts the surviving records found in each shard (nil
+	// for the two-layer configuration).
+	ShardRecords []int
+	// MaxLSN is the highest LSN among surviving records; the global LSN
+	// counter resumes above it.
+	MaxLSN uint64
 	// Redone counts redo-phase record applications (NoForce only).
 	Redone int
 	// Undone counts updates compensated during the undo phase.
@@ -204,16 +311,19 @@ type TM struct {
 	cfg   Config
 	state uint64 // state block address
 
-	log  *rlog.Log
-	tree *avl.Tree // two-layer only
+	shards []*logShard
+	tree   *avl.Tree // two-layer only
 
-	// logMu serializes LSN assignment with log insertion so records enter
-	// the log in LSN order, and guards the Batch pending-write buffer.
-	logMu   sync.Mutex
-	lsn     uint64
-	nextTxn uint64
-	table   map[uint64]*txnState
-	pending []pendingWrite // Batch: user writes awaiting group flush
+	// lsn is the global LSN allocator: a single atomic counter, no mutex,
+	// so a total record order exists across shards without serializing
+	// them. Records may enter a shard's log slightly out of global LSN
+	// order (each transaction's own records stay ordered); recovery sorts
+	// by LSN where cross-transaction order matters.
+	lsn     atomic.Uint64
+	lastTxn atomic.Uint64 // last assigned transaction id
+
+	mu    sync.Mutex // guards table, scalar stats, dirty marking
+	table map[uint64]*txnState
 
 	stats Stats
 }
@@ -231,7 +341,7 @@ func New(a *pmem.Allocator, cfg Config) (*TM, error) {
 	m.Fence()
 	a.SetRoot(cfg.RootBase+slotState, state)
 
-	tm := &TM{mem: m, a: a, cfg: cfg, state: state, table: map[uint64]*txnState{}, nextTxn: 1}
+	tm := &TM{mem: m, a: a, cfg: cfg, state: state, table: map[uint64]*txnState{}}
 	if cfg.Layers == TwoLayer {
 		// In the two-layer configuration the ADLL's role is played by the
 		// AAVLT's internal mini-log; there is no separate primary log.
@@ -239,11 +349,15 @@ func New(a *pmem.Allocator, cfg Config) (*TM, error) {
 			TreeSlot: cfg.RootBase + slotTree, LogSlot: cfg.RootBase + slotTreeLog,
 			BucketSize: cfg.BucketSize,
 		})
+		tm.shards = []*logShard{{}}
 	} else {
-		tm.log = rlog.New(a, rlog.Config{
-			Kind: cfg.LogKind, BucketSize: cfg.BucketSize, GroupSize: cfg.GroupSize,
-			RootSlot: cfg.RootBase + slotLog,
-		})
+		for i := 0; i < cfg.LogShards; i++ {
+			log := rlog.New(a, rlog.Config{
+				Kind: cfg.LogKind, BucketSize: cfg.BucketSize, GroupSize: cfg.GroupSize,
+				RootSlot: cfg.RootBase + slotLog + i,
+			})
+			tm.shards = append(tm.shards, &logShard{log: log})
+		}
 	}
 	return tm, nil
 }
@@ -265,21 +379,28 @@ func Open(a *pmem.Allocator, cfg Config) (*TM, *RecoveryStats, error) {
 		return nil, nil, fmt.Errorf("core: configuration fingerprint mismatch (stored %#x, config %v)", fp, cfg)
 	}
 
-	tm := &TM{mem: m, a: a, cfg: cfg, state: state, table: map[uint64]*txnState{}, nextTxn: 1}
-	var err error
+	tm := &TM{mem: m, a: a, cfg: cfg, state: state, table: map[uint64]*txnState{}}
 	if cfg.Layers == TwoLayer {
-		tm.tree, err = avl.Open(a, avl.Config{
+		tree, err := avl.Open(a, avl.Config{
 			TreeSlot: cfg.RootBase + slotTree, LogSlot: cfg.RootBase + slotTreeLog,
 			BucketSize: cfg.BucketSize,
 		})
+		if err != nil {
+			return nil, nil, err
+		}
+		tm.tree = tree
+		tm.shards = []*logShard{{}}
 	} else {
-		tm.log, err = rlog.Open(a, rlog.Config{
-			Kind: cfg.LogKind, BucketSize: cfg.BucketSize, GroupSize: cfg.GroupSize,
-			RootSlot: cfg.RootBase + slotLog,
-		})
-	}
-	if err != nil {
-		return nil, nil, err
+		for i := 0; i < cfg.LogShards; i++ {
+			log, err := rlog.Open(a, rlog.Config{
+				Kind: cfg.LogKind, BucketSize: cfg.BucketSize, GroupSize: cfg.GroupSize,
+				RootSlot: cfg.RootBase + slotLog + i,
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			tm.shards = append(tm.shards, &logShard{log: log})
+		}
 	}
 	rs := tm.recover()
 	return tm, rs, nil
@@ -294,25 +415,48 @@ func (tm *TM) Mem() *nvm.Memory { return tm.mem }
 // Alloc returns the persistent allocator.
 func (tm *TM) Alloc() *pmem.Allocator { return tm.a }
 
-// RawLog exposes the primary log for diagnostics and experiments. It is
+// RawLog exposes the first log shard for diagnostics and experiments. It is
 // nil in the two-layer configuration, whose records live in the AAVLT.
-func (tm *TM) RawLog() *rlog.Log { return tm.log }
+func (tm *TM) RawLog() *rlog.Log { return tm.shards[0].log }
+
+// ShardLog exposes shard i's log (nil in the two-layer configuration).
+func (tm *TM) ShardLog(i int) *rlog.Log { return tm.shards[i].log }
+
+// NumShards returns the number of log shards (1 unless Config.LogShards).
+func (tm *TM) NumShards() int { return len(tm.shards) }
+
+// ShardOf returns the index of the shard transaction tid logs to.
+func (tm *TM) ShardOf(tid uint64) int { return int(tid % uint64(len(tm.shards))) }
+
+// LSN returns the last LSN handed out by the global counter.
+func (tm *TM) LSN() uint64 { return tm.lsn.Load() }
 
 // Tree exposes the AAVLT index (two-layer only; nil otherwise).
 func (tm *TM) Tree() *avl.Tree { return tm.tree }
 
 // Stats returns a snapshot of manager activity counters.
 func (tm *TM) Stats() Stats {
-	tm.logMu.Lock()
-	defer tm.logMu.Unlock()
-	return tm.stats
+	tm.mu.Lock()
+	s := tm.stats
+	tm.mu.Unlock()
+	s.Shards = make([]ShardStats, len(tm.shards))
+	for i, sh := range tm.shards {
+		s.Shards[i] = ShardStats{
+			Appends:            sh.appends.Load(),
+			Flushes:            sh.flushes.Load(),
+			Commits:            sh.commits.Load(),
+			UncontendedCommits: sh.uncontended.Load(),
+		}
+		s.Records += s.Shards[i].Appends
+	}
+	return s
 }
 
 // ActiveTxns returns the number of transactions currently running or
 // aborting.
 func (tm *TM) ActiveTxns() int {
-	tm.logMu.Lock()
-	defer tm.logMu.Unlock()
+	tm.mu.Lock()
+	defer tm.mu.Unlock()
 	n := 0
 	for _, x := range tm.table {
 		if x.status != statusFinished {
@@ -322,8 +466,25 @@ func (tm *TM) ActiveTxns() int {
 	return n
 }
 
+// shardFor returns the shard transaction tid is striped to.
+func (tm *TM) shardFor(tid uint64) *logShard {
+	return tm.shards[tid%uint64(len(tm.shards))]
+}
+
+// lockShard acquires tid's shard mutex, reporting whether the acquisition
+// had to wait (the per-shard contention signal behind
+// ShardStats.UncontendedCommits).
+func (tm *TM) lockShard(tid uint64) (sh *logShard, contended bool) {
+	sh = tm.shardFor(tid)
+	if sh.mu.TryLock() {
+		return sh, false
+	}
+	sh.mu.Lock()
+	return sh, true
+}
+
 // markDirty durably records activity so a later Open can report whether a
-// crash (rather than a clean Close) preceded it.
+// crash (rather than a clean Close) preceded it. Callers hold mu.
 func (tm *TM) markDirty() {
 	if tm.mem.Load64(tm.state+stDirty) == 0 {
 		tm.mem.StoreNT64(tm.state+stDirty, 1)
@@ -338,8 +499,8 @@ func (tm *TM) Close() {
 		tm.Checkpoint()
 		tm.mem.FlushAll()
 	}
-	tm.logMu.Lock()
-	defer tm.logMu.Unlock()
+	tm.mu.Lock()
+	defer tm.mu.Unlock()
 	active := false
 	for _, x := range tm.table {
 		if x.status != statusFinished {

@@ -6,14 +6,15 @@ import (
 
 // Begin starts a transaction and returns its identifier (the runtime call
 // generated at the top of a persistent_atomic block, Listing 2 line 2).
+// Identifiers are assigned sequentially from an atomic counter, which also
+// round-robins transactions over the log shards.
 func (tm *TM) Begin() uint64 {
-	tm.logMu.Lock()
-	defer tm.logMu.Unlock()
+	id := tm.lastTxn.Add(1)
+	tm.mu.Lock()
 	tm.markDirty()
-	id := tm.nextTxn
-	tm.nextTxn++
 	tm.table[id] = &txnState{id: id, status: statusRunning}
 	tm.stats.Begun++
+	tm.mu.Unlock()
 	return id
 }
 
@@ -23,18 +24,19 @@ func (tm *TM) Begin() uint64 {
 // Batch log the durable store is deferred until the record's group flush,
 // mirroring §3.3's reordering of log calls above user writes.
 func (tm *TM) Write64(tid, addr, val uint64) error {
-	tm.logMu.Lock()
-	defer tm.logMu.Unlock()
 	x, err := tm.running(tid)
 	if err != nil {
 		return err
 	}
+	sh := tm.shardFor(tid)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	old := tm.mem.Load64(addr)
-	flushed := tm.appendLocked(x, rlog.Fields{
+	flushed := tm.appendShard(sh, x, rlog.Fields{
 		Txn: tid, Type: rlog.TypeUpdate, Flags: rlog.FlagUndoable,
 		Addr: addr, Old: old, New: val,
 	}, false)
-	tm.applyLocked(addr, val, flushed)
+	tm.applyShard(sh, addr, val, flushed)
 	return nil
 }
 
@@ -47,13 +49,14 @@ func (tm *TM) Log(tid, addr, old, val uint64) error {
 	if tm.cfg.LogKind == rlog.Batch {
 		return errLogWithBatch
 	}
-	tm.logMu.Lock()
-	defer tm.logMu.Unlock()
 	x, err := tm.running(tid)
 	if err != nil {
 		return err
 	}
-	tm.appendLocked(x, rlog.Fields{
+	sh := tm.shardFor(tid)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	tm.appendShard(sh, x, rlog.Fields{
 		Txn: tid, Type: rlog.TypeUpdate, Flags: rlog.FlagUndoable,
 		Addr: addr, Old: old, New: val,
 	}, false)
@@ -70,13 +73,14 @@ func (tm *TM) Read64(addr uint64) uint64 { return tm.mem.Load64(addr) }
 // checkpoint under NoForce, or during recovery if a crash intervenes. If
 // the transaction rolls back, the block stays allocated.
 func (tm *TM) Delete(tid, addr uint64) error {
-	tm.logMu.Lock()
-	defer tm.logMu.Unlock()
 	x, err := tm.running(tid)
 	if err != nil {
 		return err
 	}
-	tm.appendLocked(x, rlog.Fields{
+	sh := tm.shardFor(tid)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	tm.appendShard(sh, x, rlog.Fields{
 		Txn: tid, Type: rlog.TypeDelete, Addr: addr,
 	}, false)
 	return nil
@@ -89,6 +93,8 @@ type errorString string
 func (e errorString) Error() string { return string(e) }
 
 func (tm *TM) running(tid uint64) (*txnState, error) {
+	tm.mu.Lock()
+	defer tm.mu.Unlock()
 	x, ok := tm.table[tid]
 	if !ok {
 		return nil, ErrUnknownTxn
@@ -99,13 +105,14 @@ func (tm *TM) running(tid uint64) (*txnState, error) {
 	return x, nil
 }
 
-// appendLocked allocates a record, inserts it into the log (or the AAVLT in
-// the two-layer configuration), and updates the volatile transaction state.
-// It reports whether the log guarantees every record so far is durable
-// (used to release Batch-deferred writes). Callers hold logMu.
-func (tm *TM) appendLocked(x *txnState, f rlog.Fields, end bool) (flushed bool) {
-	tm.lsn++
-	f.LSN = tm.lsn
+// appendShard allocates a record with a fresh global LSN, inserts it into
+// the shard's log (or the AAVLT in the two-layer configuration), and
+// updates the volatile transaction state. It reports whether the log
+// guarantees every record so far is durable (used to release Batch-deferred
+// writes). Callers hold sh.mu.
+func (tm *TM) appendShard(sh *logShard, x *txnState, f rlog.Fields, end bool) (flushed bool) {
+	f.LSN = tm.lsn.Add(1)
+	sh.appends.Add(1)
 	if tm.cfg.Layers == TwoLayer {
 		// The record's back-chain pointer is set off-line, before the
 		// record is published in the index.
@@ -115,7 +122,6 @@ func (tm *TM) appendLocked(x *txnState, f rlog.Fields, end bool) (flushed bool) 
 		tm.tree.InsertRecord(x.id, rec.Addr)
 		x.lastLSN, x.lastRec = f.LSN, rec.Addr
 		x.records++
-		tm.stats.Records++
 		return true
 	}
 	var rec rlog.Record
@@ -124,26 +130,28 @@ func (tm *TM) appendLocked(x *txnState, f rlog.Fields, end bool) (flushed bool) 
 	} else {
 		rec = rlog.Alloc(tm.a, f)
 	}
-	flushed = tm.log.Append(rec.Addr, end)
+	flushed = sh.log.Append(rec.Addr, end)
+	if flushed && tm.cfg.LogKind == rlog.Batch {
+		sh.flushes.Add(1)
+	}
 	x.lastLSN, x.lastRec = f.LSN, rec.Addr
 	x.records++
-	tm.stats.Records++
 	return flushed
 }
 
-// applyLocked applies a logged user update according to policy and log
-// kind. Callers hold logMu.
-func (tm *TM) applyLocked(addr, val uint64, flushed bool) {
+// applyShard applies a logged user update according to policy and log
+// kind. Callers hold sh.mu.
+func (tm *TM) applyShard(sh *logShard, addr, val uint64, flushed bool) {
 	if tm.cfg.Policy == Force {
 		if tm.cfg.LogKind == rlog.Batch && !flushed {
 			// Keep the update visible (cached) but defer its durable
 			// store until the group flush, so it cannot overtake its log
 			// record (§3.3).
 			tm.mem.Store64(addr, val)
-			tm.pending = append(tm.pending, pendingWrite{addr, val})
+			sh.pending = append(sh.pending, pendingWrite{addr, val})
 			return
 		}
-		tm.drainPendingLocked()
+		tm.drainPending(sh)
 		tm.mem.StoreNT64(addr, val)
 		return
 	}
@@ -153,27 +161,29 @@ func (tm *TM) applyLocked(addr, val uint64, flushed bool) {
 	tm.mem.Store64(addr, val)
 }
 
-// drainPendingLocked re-issues deferred user writes durably after their
-// records' group flush. Callers hold logMu.
-func (tm *TM) drainPendingLocked() {
-	if len(tm.pending) == 0 {
+// drainPending re-issues deferred user writes durably after their records'
+// group flush. Callers hold sh.mu.
+func (tm *TM) drainPending(sh *logShard) {
+	if len(sh.pending) == 0 {
 		return
 	}
-	for _, w := range tm.pending {
+	for _, w := range sh.pending {
 		tm.mem.StoreNT64(w.addr, w.val)
 	}
-	tm.pending = tm.pending[:0]
+	sh.pending = sh.pending[:0]
 }
 
-// forceLogLocked makes every appended record durable (Batch group flush;
-// no-op otherwise) and releases deferred writes. Callers hold logMu.
-func (tm *TM) forceLogLocked() {
+// forceLogShard makes every record appended to the shard durable (Batch
+// group flush; no-op otherwise) and releases deferred writes. Callers hold
+// sh.mu.
+func (tm *TM) forceLogShard(sh *logShard) {
 	if tm.cfg.LogKind == rlog.Batch {
-		tm.log.ForceFlush()
+		sh.log.ForceFlush()
+		sh.flushes.Add(1)
 		if tm.cfg.Policy == Force {
-			tm.drainPendingLocked()
+			tm.drainPending(sh)
 		} else {
-			tm.pending = tm.pending[:0]
+			sh.pending = sh.pending[:0]
 		}
 	}
 }

@@ -11,33 +11,39 @@ import (
 // recovered by rlog.Open / avl.Open. What remains is:
 //
 //	analysis — rebuild the (volatile) transaction table by scanning the
-//	           surviving records, and re-seed the LSN / transaction-ID
-//	           counters;
+//	           surviving records of every shard, merge them into one global
+//	           LSN order, and re-seed the LSN / transaction-ID counters;
 //	redo     — NoForce only: repeat history by re-applying every surviving
 //	           record (updates and CLRs) in LSN order, since cached user
 //	           writes may have been lost;
 //	undo     — roll back every loser: Algorithm 2's single backward scan
-//	           for one-layer logging, per-chain walks for two-layer;
+//	           (over the LSN-merged records) for one-layer logging,
+//	           per-chain walks for two-layer;
 //	finish   — persist the undo effects, write END records for all losers,
 //	           apply committed transactions' deferred DELETEs, and clear
-//	           the log wholesale (the three-step swap of §4.5).
+//	           every shard wholesale (the three-step swap of §4.5).
 //
-// Every phase is idempotent, so recovery itself tolerates further crashes.
+// Sharding changes only the shape of the scan: each shard is read
+// independently and the records are merged by their globally-allocated
+// LSNs, which restores the total order a single log would have had. Every
+// phase is idempotent, so recovery itself tolerates further crashes.
 func (tm *TM) recover() *RecoveryStats {
 	rs := &RecoveryStats{
 		CrashDetected: tm.mem.Load64(tm.state+stDirty) != 0,
 	}
 
-	tm.analysis(rs)
+	// analysis: recs is every surviving record across all shards, sorted
+	// by LSN ascending (nil for two-layer, whose records live in chains).
+	recs := tm.analysis(rs)
 
 	if tm.cfg.Policy == NoForce {
-		tm.redo(rs)
+		tm.redo(rs, recs)
 	}
 
 	if tm.cfg.Layers == TwoLayer {
 		tm.undoChains(rs)
 	} else {
-		tm.undoScan(rs)
+		tm.undoScan(rs, recs)
 	}
 
 	if tm.cfg.Policy == NoForce {
@@ -51,7 +57,11 @@ func (tm *TM) recover() *RecoveryStats {
 	// deferred in a pending Batch group are made durable first: an END
 	// must never outlive the undo effects it vouches for.
 	if tm.cfg.Policy == Force {
-		tm.forceLogLocked()
+		for _, sh := range tm.shards {
+			sh.mu.Lock()
+			tm.forceLogShard(sh)
+			sh.mu.Unlock()
+		}
 		tm.mem.Fence()
 	}
 	for _, x := range tm.sortedTable() {
@@ -59,7 +69,7 @@ func (tm *TM) recover() *RecoveryStats {
 			rs.Winners++
 			continue
 		}
-		tm.appendLocked(x, rlog.Fields{Txn: x.id, Type: rlog.TypeEnd}, true)
+		tm.appendTxn(x, rlog.Fields{Txn: x.id, Type: rlog.TypeEnd}, true)
 		x.status = statusFinished
 		x.aborted = true
 		rs.LosersAborted++
@@ -68,14 +78,16 @@ func (tm *TM) recover() *RecoveryStats {
 	// Deferred deallocations of committed transactions that crashed
 	// between commit and clearing (§4.3). Frees are idempotent, so
 	// replaying them after repeated recovery crashes is safe.
-	tm.applyFinishedDeletes()
+	tm.applyFinishedDeletes(recs)
 
 	// Clear everything: after recovery all transactions are complete.
 	if tm.cfg.Layers == TwoLayer {
 		tm.freeAllChains()
 		tm.tree.Reset()
 	} else {
-		tm.log.Reset(true)
+		for _, sh := range tm.shards {
+			sh.log.Reset(true)
+		}
 	}
 
 	// Henceforth a fresh transaction table (§4.5).
@@ -85,21 +97,33 @@ func (tm *TM) recover() *RecoveryStats {
 	return rs
 }
 
-// analysis scans the surviving records forward and rebuilds the
+// appendTxn appends a record on behalf of x under its shard's mutex (the
+// recovery-path counterpart of the logging fast path).
+func (tm *TM) appendTxn(x *txnState, f rlog.Fields, end bool) (flushed bool) {
+	sh := tm.shardFor(x.id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return tm.appendShard(sh, x, f, end)
+}
+
+// analysis scans the surviving records of every shard and rebuilds the
 // transaction table (§4.5), classifying each transaction by its markers:
 // END → finished; ROLLBACK without END → mid-abort; otherwise running.
-func (tm *TM) analysis(rs *RecoveryStats) {
+// For one-layer logging it returns all surviving records merged into LSN
+// order, which the later phases scan in place of the single log.
+func (tm *TM) analysis(rs *RecoveryStats) []rlog.Record {
+	var maxLSN, maxTid uint64
 	apply := func(r rlog.Record) {
 		rs.RecordsScanned++
-		if r.LSN() > tm.lsn {
-			tm.lsn = r.LSN()
+		if r.LSN() > maxLSN {
+			maxLSN = r.LSN()
 		}
 		tid := r.Txn()
 		if tid == 0 {
 			return // pseudo-transaction (CHECKPOINT records)
 		}
-		if tid >= tm.nextTxn {
-			tm.nextTxn = tid + 1
+		if tid > maxTid {
+			maxTid = tid
 		}
 		x, ok := tm.table[tid]
 		if !ok {
@@ -134,13 +158,33 @@ func (tm *TM) analysis(rs *RecoveryStats) {
 				x.lastLSN = rlog.View(tm.mem, c.Tail).LSN()
 			}
 		}
-		return
+		tm.seedCounters(maxLSN, maxTid, rs)
+		return nil
 	}
-	it := tm.log.Begin()
-	for it.Next() {
-		apply(it.Record())
+	var recs []rlog.Record
+	rs.ShardRecords = make([]int, len(tm.shards))
+	for i, sh := range tm.shards {
+		it := sh.log.Begin()
+		for it.Next() {
+			r := it.Record()
+			apply(r)
+			recs = append(recs, r)
+			rs.ShardRecords[i]++
+		}
+		it.Close()
 	}
-	it.Close()
+	// Merge the shards into the global record order their LSNs define.
+	sort.Slice(recs, func(i, j int) bool { return recs[i].LSN() < recs[j].LSN() })
+	tm.seedCounters(maxLSN, maxTid, rs)
+	return recs
+}
+
+// seedCounters resumes the global LSN and transaction-id counters above
+// everything the surviving records used.
+func (tm *TM) seedCounters(maxLSN, maxTid uint64, rs *RecoveryStats) {
+	tm.lsn.Store(maxLSN)
+	tm.lastTxn.Store(maxTid)
+	rs.MaxLSN = maxLSN
 }
 
 // redo repeats history (NoForce three-phase recovery): every surviving
@@ -148,7 +192,7 @@ func (tm *TM) analysis(rs *RecoveryStats) {
 // value, CLRs write their restored value. Re-applying CLRs is what makes a
 // crash during a previous rollback safe (§4.5: "the redo phase handles a
 // crash during a previous rollback").
-func (tm *TM) redo(rs *RecoveryStats) {
+func (tm *TM) redo(rs *RecoveryStats, recs []rlog.Record) {
 	redoOne := func(r rlog.Record) {
 		switch r.Type() {
 		case rlog.TypeUpdate:
@@ -174,29 +218,26 @@ func (tm *TM) redo(rs *RecoveryStats) {
 		}
 		return
 	}
-	it := tm.log.Begin()
-	for it.Next() {
-		redoOne(it.Record())
+	for _, r := range recs {
+		redoOne(r)
 	}
-	it.Close()
 }
 
-// undoScan is Algorithm 2: a single backward scan undoes every loser.
-// CLRs encountered first (they are newest) set each transaction's resume
-// point, so updates already compensated by a crashed rollback are skipped;
-// under Force each CLR is re-applied in case the crash fell between the CLR
-// and its durable user write.
-func (tm *TM) undoScan(rs *RecoveryStats) {
+// undoScan is Algorithm 2: a single backward pass over the LSN-merged
+// records undoes every loser. CLRs encountered first (they are newest) set
+// each transaction's resume point, so updates already compensated by a
+// crashed rollback are skipped; under Force each CLR is re-applied in case
+// the crash fell between the CLR and its durable user write.
+func (tm *TM) undoScan(rs *RecoveryStats, recs []rlog.Record) {
 	undoMap := map[uint64]uint64{}
-	it := tm.log.End()
-	for it.Prev() {
-		r := it.Record()
+	for i := len(recs) - 1; i >= 0; i-- {
+		r := recs[i]
 		x, ok := tm.table[r.Txn()]
 		if !ok || x.status == statusFinished {
 			continue
 		}
 		if x.status == statusRunning {
-			tm.appendLocked(x, rlog.Fields{Txn: x.id, Type: rlog.TypeRollback}, false)
+			tm.appendTxn(x, rlog.Fields{Txn: x.id, Type: rlog.TypeRollback}, false)
 			x.status = statusAborted
 			x.aborted = true
 		}
@@ -214,17 +255,19 @@ func (tm *TM) undoScan(rs *RecoveryStats) {
 			}
 			resume, seen := undoMap[r.Txn()]
 			if !seen || r.LSN() < resume {
-				flushed := tm.appendLocked(x, rlog.Fields{
+				sh := tm.shardFor(x.id)
+				sh.mu.Lock()
+				flushed := tm.appendShard(sh, x, rlog.Fields{
 					Txn: x.id, Type: rlog.TypeCLR,
 					Addr: r.Target(), Old: r.New(), New: r.Old(),
 					UndoNext: r.LSN(),
 				}, false)
-				tm.applyLocked(r.Target(), r.Old(), flushed)
+				tm.applyShard(sh, r.Target(), r.Old(), flushed)
+				sh.mu.Unlock()
 				rs.Undone++
 			}
 		}
 	}
-	it.Close()
 }
 
 // undoChains rolls back each two-layer loser through its AAVLT chain.
@@ -234,7 +277,7 @@ func (tm *TM) undoChains(rs *RecoveryStats) {
 			continue
 		}
 		if x.status == statusRunning {
-			tm.appendLocked(x, rlog.Fields{Txn: x.id, Type: rlog.TypeRollback}, false)
+			tm.appendTxn(x, rlog.Fields{Txn: x.id, Type: rlog.TypeRollback}, false)
 			x.status = statusAborted
 			x.aborted = true
 		}
@@ -242,6 +285,7 @@ func (tm *TM) undoChains(rs *RecoveryStats) {
 		if !ok {
 			continue
 		}
+		sh := tm.shardFor(x.id)
 		resume := ^uint64(0)
 		for cur := tail; cur != nvm.Null; {
 			r := rlog.View(tm.mem, cur)
@@ -256,12 +300,14 @@ func (tm *TM) undoChains(rs *RecoveryStats) {
 				}
 			case rlog.TypeUpdate:
 				if r.Undoable() && r.LSN() < resume {
-					flushed := tm.appendLocked(x, rlog.Fields{
+					sh.mu.Lock()
+					flushed := tm.appendShard(sh, x, rlog.Fields{
 						Txn: x.id, Type: rlog.TypeCLR,
 						Addr: r.Target(), Old: r.New(), New: r.Old(),
 						UndoNext: r.LSN(),
 					}, false)
-					tm.applyLocked(r.Target(), r.Old(), flushed)
+					tm.applyShard(sh, r.Target(), r.Old(), flushed)
+					sh.mu.Unlock()
 					rs.Undone++
 				}
 			}
@@ -273,7 +319,7 @@ func (tm *TM) undoChains(rs *RecoveryStats) {
 // applyFinishedDeletes performs the deferred deallocation carried by
 // DELETE records of committed transactions (§4.3). Aborted transactions'
 // DELETE records are ignored: the deletion logically never happened.
-func (tm *TM) applyFinishedDeletes() {
+func (tm *TM) applyFinishedDeletes(recs []rlog.Record) {
 	committed := func(tid uint64) bool {
 		x, ok := tm.table[tid]
 		return ok && x.status == statusFinished && !x.aborted
@@ -293,14 +339,11 @@ func (tm *TM) applyFinishedDeletes() {
 		}
 		return
 	}
-	it := tm.log.Begin()
-	for it.Next() {
-		r := it.Record()
+	for _, r := range recs {
 		if r.Type() == rlog.TypeDelete && committed(r.Txn()) {
 			tm.a.Free(r.Target())
 		}
 	}
-	it.Close()
 }
 
 // freeAllChains releases every record block indexed by the tree, ahead of

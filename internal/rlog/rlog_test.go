@@ -381,7 +381,7 @@ func TestOpenRejectsMismatchedConfig(t *testing.T) {
 func TestCrashAtEveryPointDuringAppends(t *testing.T) {
 	for _, kind := range []Kind{Simple, Optimized} {
 		t.Run(kind.String(), func(t *testing.T) {
-			for crashAt := 1; ; crashAt++ {
+			for crashAt := 1; ; crashAt += crashStride() {
 				m, a := newEnv(t)
 				l := New(a, Config{Kind: kind, BucketSize: 4, GroupSize: 2, RootSlot: testSlot})
 				m.SetCrashAfter(crashAt)
@@ -424,7 +424,7 @@ func TestCrashAtEveryPointDuringAppends(t *testing.T) {
 func TestCrashAtEveryPointDuringClear(t *testing.T) {
 	for _, kind := range []Kind{Simple, Optimized} {
 		t.Run(kind.String(), func(t *testing.T) {
-			for crashAt := 1; ; crashAt++ {
+			for crashAt := 1; ; crashAt += crashStride() {
 				m, a := newEnv(t)
 				l := New(a, Config{Kind: kind, BucketSize: 4, GroupSize: 2, RootSlot: testSlot})
 				for i := uint64(1); i <= 12; i++ {
@@ -473,7 +473,7 @@ func TestCrashAtEveryPointDuringClear(t *testing.T) {
 // after a crash the root points either to the fully intact old log or to
 // the fresh empty one.
 func TestCrashAtEveryPointDuringReset(t *testing.T) {
-	for crashAt := 1; ; crashAt++ {
+	for crashAt := 1; ; crashAt += crashStride() {
 		m, a := newEnv(t)
 		l := New(a, Config{Kind: Optimized, BucketSize: 4, RootSlot: testSlot})
 		for i := uint64(1); i <= 10; i++ {
@@ -659,4 +659,14 @@ func BenchmarkAppend(b *testing.B) {
 			}
 		})
 	}
+}
+
+// crashStride spaces the injected crash points of the crash matrices:
+// every durable operation in normal runs, a sample of them under -short
+// (the matrices dominate the package's test time).
+func crashStride() int {
+	if testing.Short() {
+		return 5
+	}
+	return 1
 }

@@ -101,6 +101,12 @@ type Options struct {
 	BucketSize int
 	// GroupSize is the records-per-fence group in Batch mode (default 8).
 	GroupSize int
+	// LogShards stripes the one-layer log over this many independent
+	// shard logs (default 1, the paper's single global log). Transactions
+	// are hashed to a shard by id and commits on different shards never
+	// contend, which is what multi-goroutine commit throughput scales
+	// with; see core.Config.LogShards. TwoLayer requires LogShards <= 1.
+	LogShards int
 	// WriteLatency and FenceLatency configure the simulated device
 	// (defaults: 150ns and 100ns). ReadLatency is charged per word load
 	// when non-zero (default zero, per the paper's read-cost assumption).
@@ -158,8 +164,10 @@ const (
 	// AppRootFirst..AppRootLast are root slots never touched by REWIND;
 	// applications store the entry points of their persistent data
 	// structures there (e.g. a B+-tree header). Slots below AppRootFirst
-	// belong to transaction managers: the primary at 8, and up to eleven
-	// additional managers (NewTM) above it.
+	// belong to transaction managers: the primary at 8 and additional
+	// managers (NewTM) above it — up to eleven at the default shard
+	// count, fewer when Options.LogShards widens each manager's slot
+	// footprint (core.Config.Slots).
 	AppRootFirst = 56
 	AppRootLast  = 63
 )
@@ -218,7 +226,8 @@ func attach(opts Options, mem *nvm.Memory) (*Store, error) {
 func coreConfig(opts Options, rootBase int) core.Config {
 	return core.Config{
 		Policy: opts.Policy, Layers: opts.Layers, LogKind: opts.LogKind,
-		BucketSize: opts.BucketSize, GroupSize: opts.GroupSize, RootBase: rootBase,
+		BucketSize: opts.BucketSize, GroupSize: opts.GroupSize,
+		LogShards: opts.LogShards, RootBase: rootBase,
 	}
 }
 
@@ -257,8 +266,14 @@ func (s *Store) Checkpoint() { s.tm.Checkpoint() }
 // Stats returns the simulated device counters.
 func (s *Store) Stats() nvm.Stats { return s.mem.Stats() }
 
-// TMStats returns transaction manager activity counters.
+// TMStats returns transaction manager activity counters, including the
+// per-shard breakdown in Stats.Shards (appends, group flushes, commits and
+// contention-free commits per log shard).
 func (s *Store) TMStats() core.Stats { return s.tm.Stats() }
+
+// ShardStats returns the per-shard activity counters alone — the shard
+// balance and contention view the scaling benchmark reports.
+func (s *Store) ShardStats() []core.ShardStats { return s.tm.Stats().Shards }
 
 // Crash simulates a power failure and reattaches with full recovery,
 // returning the recovered store. The receiver must not be used afterwards.
@@ -311,8 +326,9 @@ func (s *Store) Close() error {
 func (s *Store) NewTM() (*core.TM, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	base := primaryRootBase + (s.extra+1)*core.SlotsPerTM
-	if base+core.SlotsPerTM > AppRootFirst {
+	slots := coreConfig(s.opts, primaryRootBase).Slots()
+	base := primaryRootBase + (s.extra+1)*slots
+	if base+slots > AppRootFirst {
 		return nil, errors.New("rewind: no root slots left for another manager")
 	}
 	cfg := coreConfig(s.opts, base)
