@@ -149,6 +149,16 @@ func BenchmarkFig11TPCC(b *testing.B) {
 	}
 }
 
+func BenchmarkSpanLogging(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := bench.SpanLogging(bench.Quick)
+		b.ReportMetric(first(f, "append ratio"), "append-ratio@2w")
+		b.ReportMetric(last(f, "append ratio"), "append-ratio@32w")
+		b.ReportMetric(last(f, "fence ratio"), "fence-ratio@32w")
+		b.ReportMetric(last(f, "sim-time speedup"), "speedup@32w")
+	}
+}
+
 func BenchmarkShardScaling(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		f := bench.ShardScaling(bench.Quick)
@@ -184,6 +194,43 @@ func TestShardScalingSpeedup(t *testing.T) {
 	}
 	if bal := at("shard balance", 4); bal < 0.9 {
 		t.Errorf("shard balance %.2f at 4 shards; striping by txn id should stay near 1.0", bal)
+	}
+}
+
+// TestSpanLoggingSavings asserts the span-record headline: a WriteBytes of
+// 8 words issues at least 4x fewer log appends and fences than logging the
+// same words one record each, and is measurably faster on the simulated
+// device. It runs in -short mode too — it is quick, and it guards the
+// feature this PR exists for (crash-recovery equivalence of the two paths
+// is proven separately by core's TestSpanCrashMatrix).
+func TestSpanLoggingSavings(t *testing.T) {
+	f := bench.SpanLogging(bench.Quick)
+	at := func(series string, x float64) float64 {
+		for _, s := range f.Series {
+			if s.Name != series {
+				continue
+			}
+			for _, p := range s.Points {
+				if p.X == x {
+					return p.Y
+				}
+			}
+		}
+		t.Fatalf("series %q has no point at x=%v", series, x)
+		return 0
+	}
+	if r := at("append ratio", 8); r < 4 {
+		t.Errorf("8-word span issues only %.2fx fewer log appends, want >= 4x", r)
+	}
+	if r := at("fence ratio", 8); r < 4 {
+		t.Errorf("8-word span issues only %.2fx fewer fences, want >= 4x", r)
+	}
+	if s := at("sim-time speedup", 8); s < 1.5 {
+		t.Errorf("8-word span only %.2fx faster on the simulated device, want >= 1.5x", s)
+	}
+	// The savings must grow with the span, not plateau at the gate.
+	if at("append ratio", 32) <= at("append ratio", 8) {
+		t.Error("append savings do not grow with span width")
 	}
 }
 

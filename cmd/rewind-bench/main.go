@@ -8,9 +8,11 @@
 //	rewind-bench -fig fig7a      # one figure
 //	rewind-bench -scale full     # paper-scale sizes (minutes)
 //	rewind-bench -list           # list figure ids
+//	rewind-bench -json           # also write BENCH_rewind.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,10 +21,27 @@ import (
 	"github.com/rewind-db/rewind/internal/bench"
 )
 
+// benchJSONPath is where -json writes the machine-readable results, so the
+// perf trajectory can be tracked across PRs without scraping tables.
+const benchJSONPath = "BENCH_rewind.json"
+
+// jsonFigure is one figure plus how long it took to regenerate.
+type jsonFigure struct {
+	bench.Figure
+	ElapsedMS int64 `json:"elapsed_ms"`
+}
+
+// jsonReport is the top-level BENCH_rewind.json document.
+type jsonReport struct {
+	Scale   string       `json:"scale"`
+	Figures []jsonFigure `json:"figures"`
+}
+
 func main() {
 	figID := flag.String("fig", "", "figure id to run (default: all)")
 	scaleName := flag.String("scale", "quick", `experiment scale: "quick" or "full"`)
 	list := flag.Bool("list", false, "list figure ids and exit")
+	jsonOut := flag.Bool("json", false, "write results to "+benchJSONPath)
 	flag.Parse()
 
 	if *list {
@@ -44,6 +63,12 @@ func main() {
 
 	runners := bench.Runners()
 	if *figID != "" {
+		if *jsonOut {
+			// BENCH_rewind.json tracks the full figure set across PRs; a
+			// single-figure report would silently clobber the trajectory.
+			fmt.Fprintln(os.Stderr, "-json records the full figure set; omit -fig")
+			os.Exit(2)
+		}
 		r, ok := bench.Find(*figID)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "unknown figure %q; try -list\n", *figID)
@@ -52,10 +77,26 @@ func main() {
 		runners = []bench.Runner{r}
 	}
 
+	report := jsonReport{Scale: scale.String()}
 	for _, r := range runners {
 		start := time.Now()
 		fig := r.Run(scale)
+		elapsed := time.Since(start)
 		fig.Print(os.Stdout)
-		fmt.Printf("   [%s in %v at %s scale]\n\n", r.ID, time.Since(start).Round(time.Millisecond), scale)
+		fmt.Printf("   [%s in %v at %s scale]\n\n", r.ID, elapsed.Round(time.Millisecond), scale)
+		report.Figures = append(report.Figures, jsonFigure{Figure: fig, ElapsedMS: elapsed.Milliseconds()})
+	}
+
+	if *jsonOut {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "encoding %s: %v\n", benchJSONPath, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(benchJSONPath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", benchJSONPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d figures, %s scale)\n", benchJSONPath, len(report.Figures), scale)
 	}
 }

@@ -22,26 +22,27 @@ import (
 	"github.com/rewind-db/rewind/internal/rlog"
 )
 
-// Point is one measurement.
+// Point is one measurement. The JSON tags feed rewind-bench's -json
+// output (BENCH_rewind.json), which tracks the perf trajectory across PRs.
 type Point struct {
-	X float64
-	Y float64
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
 }
 
 // Series is one labelled line of a figure.
 type Series struct {
-	Name   string
-	Points []Point
+	Name   string  `json:"name"`
+	Points []Point `json:"points"`
 }
 
 // Figure is a regenerated paper figure.
 type Figure struct {
-	ID     string
-	Title  string
-	XLabel string
-	YLabel string
-	Series []Series
-	Notes  string
+	ID     string   `json:"id"`
+	Title  string   `json:"title"`
+	XLabel string   `json:"xlabel"`
+	YLabel string   `json:"ylabel"`
+	Series []Series `json:"series"`
+	Notes  string   `json:"notes,omitempty"`
 }
 
 // Print renders the figure as an aligned table, one row per X value.
@@ -140,6 +141,7 @@ func Runners() []Runner {
 		{"fig10", "Memory fence sensitivity", Fig10},
 		{"fig11", "TPC-C new-order throughput", Fig11},
 		{"shards", "Sharded-log commit throughput", ShardScaling},
+		{"span", "Span-record vs per-word logging", SpanLogging},
 	}
 }
 

@@ -46,12 +46,12 @@ func Fig3a(scale Scale) Figure {
 			memR, a, tm := newEnv(64<<20, cfg, scanReadLatency)
 			tableR := a.Alloc(tableSlots * 8)
 			baseR := memR.Stats()
-			tid := tm.Begin()
+			x := tm.Begin()
 			for i := 0; i < updates; i++ {
-				tm.Write64(tid, tableR+uint64(i*17%tableSlots)*8, uint64(i))
+				x.Write64(tableR+uint64(i*17%tableSlots)*8, uint64(i))
 				memR.AdvanceClock(compute)
 			}
-			tm.Commit(tid)
+			x.Commit()
 			rw := simSeconds(memR.Stats().Sub(baseR))
 
 			pts = append(pts, Point{X: float64(intensity), Y: rw / plain})
@@ -85,21 +85,21 @@ func Fig3b(scale Scale) Figure {
 				perGap = 1
 			}
 			target := tm.Begin()
-			others := make([]uint64, perGap)
+			others := make([]*core.Txn, perGap)
 			for i := range others {
 				others[i] = tm.Begin()
 			}
 			var targetCost time.Duration
 			for i := 0; i < targetWrites; i++ {
 				before := memR.Stats()
-				tm.Write64(target, table+uint64(i*17%64)*8, uint64(i))
+				target.Write64(table+uint64(i*17%64)*8, uint64(i))
 				targetCost += time.Duration(memR.Stats().Sub(before).SimulatedNS)
 				for _, o := range others {
-					tm.Write64(o, table+uint64((i*17+29)%64)*8, uint64(i))
+					o.Write64(table+uint64((i*17+29)%64)*8, uint64(i))
 				}
 			}
 			before := memR.Stats()
-			tm.Commit(target)
+			target.Commit()
 			targetCost += time.Duration(memR.Stats().Sub(before).SimulatedNS)
 
 			// Non-recoverable equivalent of the target's work.

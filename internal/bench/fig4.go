@@ -12,7 +12,7 @@ import (
 // skipSetup builds the skip-record scenario shared by Figures 4a and 4b:
 // one target transaction whose records are interleaved with skip records
 // from other transactions.
-func skipSetup(cfg core.Config, targetWrites, skip int) (*nvm.Memory, *core.TM, uint64, []uint64) {
+func skipSetup(cfg core.Config, targetWrites, skip int) (*nvm.Memory, *core.TM, *core.Txn, []*core.Txn) {
 	mem := nvm.New(nvm.Config{Size: 256 << 20, ReadLatency: scanReadLatency, TrackPersistence: true})
 	a := pmem.Format(mem)
 	tm, err := core.New(a, cfg)
@@ -25,14 +25,14 @@ func skipSetup(cfg core.Config, targetWrites, skip int) (*nvm.Memory, *core.TM, 
 		perGap = 1
 	}
 	target := tm.Begin()
-	others := make([]uint64, perGap)
+	others := make([]*core.Txn, perGap)
 	for i := range others {
 		others[i] = tm.Begin()
 	}
 	for i := 0; i < targetWrites; i++ {
-		tm.Write64(target, table+uint64(i*17%64)*8, uint64(i))
+		target.Write64(table+uint64(i*17%64)*8, uint64(i))
 		for _, o := range others {
-			tm.Write64(o, table+uint64((i*17+29)%64)*8, uint64(i))
+			o.Write64(table+uint64((i*17+29)%64)*8, uint64(i))
 		}
 	}
 	return mem, tm, target, others
@@ -51,9 +51,9 @@ func Fig4a(scale Scale) Figure {
 	for _, cfg := range []core.Config{fourConfigs()[0], fourConfigs()[2]} { // 2L-FP, 1L-FP
 		var pts []Point
 		for skip := 100; skip <= 1000; skip += 100 {
-			mem, tm, target, _ := skipSetup(cfg, targetWrites, skip)
+			mem, _, target, _ := skipSetup(cfg, targetWrites, skip)
 			before := mem.Stats()
-			tm.Rollback(target)
+			target.Rollback()
 			d := mem.Stats().Sub(before)
 			pts = append(pts, Point{X: float64(skip), Y: float64(d.SimulatedNS) / 1e6})
 		}
@@ -76,10 +76,10 @@ func Fig4b(scale Scale) Figure {
 	for _, cfg := range []core.Config{fourConfigs()[0], fourConfigs()[2]} { // 2L-FP, 1L-FP
 		var pts []Point
 		for skip := 100; skip <= 1000; skip += 100 {
-			mem, tm, _, others := skipSetup(cfg, targetWrites, skip)
+			mem, _, _, others := skipSetup(cfg, targetWrites, skip)
 			// Others commit without clearing; the target stays running.
 			for _, o := range others {
-				tm.CommitKeepLog(o)
+				o.CommitKeepLog()
 			}
 			if err := mem.Crash(); err != nil {
 				panic(err)
@@ -130,18 +130,18 @@ func Fig5(scale Scale) Figure {
 					if done+n > numTxns {
 						n = numTxns - done
 					}
-					tids := make([]uint64, n)
-					for i := range tids {
-						tids[i] = tm.Begin()
+					txns := make([]*core.Txn, n)
+					for i := range txns {
+						txns[i] = tm.Begin()
 					}
 					for w := 0; w < writesPer; w++ {
-						for i, tid := range tids {
-							tm.Write64(tid, table+uint64((w*17+i*29)%64)*8, uint64(w))
+						for i, x := range txns {
+							x.Write64(table+uint64((w*17+i*29)%64)*8, uint64(w))
 						}
 					}
-					for i, tid := range tids {
+					for i, x := range txns {
 						if done+i < numTxns-recoverCount {
-							tm.CommitKeepLog(tid) // clearing factored out
+							x.CommitKeepLog() // clearing factored out
 						}
 					}
 					done += n

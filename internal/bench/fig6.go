@@ -35,11 +35,11 @@ func Fig6(scale Scale) Figure {
 		before := mem.Stats()
 		nextCkpt := int64(period)
 		for done := 0; done < totalRecords; {
-			tid := tm.Begin()
+			x := tm.Begin()
 			for w := 0; w < writesPerTxn; w++ {
-				tm.Write64(tid, table+uint64((done*17+w*29)%256)*8, uint64(w))
+				x.Write64(table+uint64((done*17+w*29)%256)*8, uint64(w))
 			}
-			tm.Commit(tid)
+			x.Commit()
 			done += writesPerTxn
 			if period > 0 {
 				if sim := mem.Stats().Sub(before).SimulatedNS; sim >= nextCkpt {

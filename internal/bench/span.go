@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"github.com/rewind-db/rewind/internal/core"
+	"github.com/rewind-db/rewind/internal/rlog"
+)
+
+// SpanLogging measures the span-record write path against per-word
+// logging for multi-word transactional writes — the workload shape of
+// B+-tree node images and TPC-C row values, both of which reach the log
+// through WriteBytes and therefore get span records for free. For each
+// span width the same bytes are written once as a single WriteBytes (one
+// span record) and once as one Write64 per word (the paper's §4.1
+// granularity); the series report how many times fewer log appends and
+// memory fences the span path issues during the writes, and the resulting
+// simulated-time speedup. Commit cost is excluded from the deltas: the
+// claim under test is the per-call logging cost.
+//
+// The configuration is 1L-FP/Optimized, where every record is persisted
+// with its own flush + fence (Figure 2's single durable store per insert),
+// so the per-record cost the span amortizes is sharpest. Batch already
+// amortizes fences over groups; spans cut its appends and group flushes by
+// the same factor.
+func SpanLogging(scale Scale) Figure {
+	txns := scale.pick(200, 5_000)
+	fig := Figure{
+		ID: "span", Title: "Span-record vs per-word logging for multi-word writes",
+		XLabel: "span width (words)", YLabel: "per-word / span ratio",
+		Notes: "1L-FP/Optimized; write phase only; btree/TPC-C inherit spans via WriteBytes",
+	}
+	var appends, fences, speedup []Point
+	for _, words := range []int{2, 4, 8, 16, 32} {
+		a, f, s := spanLoggingPoint(words, txns)
+		appends = append(appends, Point{X: float64(words), Y: a})
+		fences = append(fences, Point{X: float64(words), Y: f})
+		speedup = append(speedup, Point{X: float64(words), Y: s})
+	}
+	fig.Series = append(fig.Series,
+		Series{Name: "append ratio", Points: appends},
+		Series{Name: "fence ratio", Points: fences},
+		Series{Name: "sim-time speedup", Points: speedup},
+	)
+	return fig
+}
+
+// spanLoggingPoint runs the two write paths at one span width and returns
+// the per-word/span ratios for log appends and fences and the simulated
+// write-time speedup.
+func spanLoggingPoint(words, txns int) (appendRatio, fenceRatio, speedup float64) {
+	cfg := core.Config{Policy: core.Force, Layers: core.OneLayer, LogKind: rlog.Optimized, RootBase: 8}
+
+	run := func(span bool) (appends, fences, simNS int64) {
+		mem, a, tm := newEnv(256<<20, cfg, 0)
+		data := a.Alloc(words * 8)
+		img := make([]byte, words*8)
+		for i := range img {
+			img[i] = byte(i)
+		}
+		var wAppends, wFences, wSim int64
+		for t := 0; t < txns; t++ {
+			x := tm.Begin()
+			before := mem.Stats()
+			recsBefore := tm.Stats().Records
+			if span {
+				if err := x.WriteBytes(data, img); err != nil {
+					panic(err)
+				}
+			} else {
+				for w := 0; w < words; w++ {
+					if err := x.Write64(data+uint64(w)*8, uint64(t+w)); err != nil {
+						panic(err)
+					}
+				}
+			}
+			d := mem.Stats().Sub(before)
+			wAppends += tm.Stats().Records - recsBefore
+			wFences += d.Fences
+			wSim += d.SimulatedNS
+			if err := x.Commit(); err != nil {
+				panic(err)
+			}
+		}
+		return wAppends, wFences, wSim
+	}
+
+	pa, pf, ps := run(false)
+	sa, sf, ss := run(true)
+	if sa == 0 || sf == 0 || ss == 0 {
+		return 0, 0, 0
+	}
+	return float64(pa) / float64(sa), float64(pf) / float64(sf), float64(ps) / float64(ss)
+}

@@ -11,16 +11,17 @@ import (
 // DELETE deallocations on the way, END removed last). Under NoForce only
 // the END record is written; checkpoints clear the log later.
 //
-// Only the transaction's own shard is locked, so commits on different
-// shards proceed in parallel. The transaction is marked finished in the
-// (volatile) table strictly after its END record is in the log, which is
-// the invariant checkpoints rely on when they clear finished transactions.
-func (tm *TM) Commit(tid uint64) error {
-	x, err := tm.running(tid)
-	if err != nil {
+// Only the transaction's own shard is locked — reached directly through
+// the handle — so commits on different shards proceed in parallel. The
+// transaction is marked finished in the (volatile) table strictly after
+// its END record is in the log, which is the invariant checkpoints rely on
+// when they clear finished transactions.
+func (x *Txn) Commit() error {
+	if err := x.running(); err != nil {
 		return err
 	}
-	sh, contended := tm.lockShard(tid)
+	tm, sh := x.tm, x.sh
+	contended := sh.lock()
 	if tm.cfg.Policy == Force {
 		// User updates were issued as durable stores (or deferred to
 		// group flushes); force the tail of the log and fence so
@@ -28,7 +29,7 @@ func (tm *TM) Commit(tid uint64) error {
 		tm.forceLogShard(sh)
 		tm.mem.Fence()
 	}
-	tm.appendShard(sh, x, rlog.Fields{Txn: tid, Type: rlog.TypeEnd}, true)
+	tm.appendShard(sh, x.st, rlog.Fields{Txn: x.st.id, Type: rlog.TypeEnd}, true)
 	sh.mu.Unlock()
 	sh.commits.Add(1)
 	if !contended {
@@ -36,14 +37,14 @@ func (tm *TM) Commit(tid uint64) error {
 	}
 
 	tm.mu.Lock()
-	x.status = statusFinished
+	x.st.status = statusFinished
 	tm.stats.Committed++
 	tm.mu.Unlock()
 
 	if tm.cfg.Policy == Force {
-		tm.clearFinished(x, true)
+		tm.clearFinished(x.st, true)
 		tm.mu.Lock()
-		delete(tm.table, tid)
+		delete(tm.table, x.st.id)
 		tm.mu.Unlock()
 	}
 	return nil
@@ -54,17 +55,17 @@ func (tm *TM) Commit(tid uint64) error {
 // constructs the state of a system that crashed after transactions logged
 // their END records but before their records were cleared, so recovery has
 // to skip them while aborting the one unfinished transaction.
-func (tm *TM) CommitKeepLog(tid uint64) error {
-	x, err := tm.running(tid)
-	if err != nil {
+func (x *Txn) CommitKeepLog() error {
+	if err := x.running(); err != nil {
 		return err
 	}
-	sh, contended := tm.lockShard(tid)
+	tm, sh := x.tm, x.sh
+	contended := sh.lock()
 	if tm.cfg.Policy == Force {
 		tm.forceLogShard(sh)
 		tm.mem.Fence()
 	}
-	tm.appendShard(sh, x, rlog.Fields{Txn: tid, Type: rlog.TypeEnd}, true)
+	tm.appendShard(sh, x.st, rlog.Fields{Txn: x.st.id, Type: rlog.TypeEnd}, true)
 	sh.mu.Unlock()
 	sh.commits.Add(1)
 	if !contended {
@@ -72,7 +73,7 @@ func (tm *TM) CommitKeepLog(tid uint64) error {
 	}
 
 	tm.mu.Lock()
-	x.status = statusFinished
+	x.st.status = statusFinished
 	tm.stats.Committed++
 	tm.mu.Unlock()
 	return nil
@@ -80,28 +81,28 @@ func (tm *TM) CommitKeepLog(tid uint64) error {
 
 // Rollback aborts a transaction (§4.4): its records are scanned newest to
 // oldest, each undoable update gets a compensation log record (CLR) and its
-// old value written back, and an END record marks the completed rollback.
-// The rollback is restartable: a crash mid-way leaves CLRs from which
-// recovery resumes at the right record.
-func (tm *TM) Rollback(tid uint64) error {
-	x, err := tm.running(tid)
-	if err != nil {
+// old value written back — a span record gets one span CLR restoring the
+// whole run — and an END record marks the completed rollback. The rollback
+// is restartable: a crash mid-way leaves CLRs from which recovery resumes
+// at the right record.
+func (x *Txn) Rollback() error {
+	if err := x.running(); err != nil {
 		return err
 	}
+	tm, sh := x.tm, x.sh
 	tm.mu.Lock()
-	x.status = statusAborted
-	x.aborted = true
+	x.st.status = statusAborted
+	x.st.aborted = true
 	tm.mu.Unlock()
 
-	sh := tm.shardFor(tid)
 	sh.mu.Lock()
-	tm.appendShard(sh, x, rlog.Fields{Txn: tid, Type: rlog.TypeRollback}, false)
+	tm.appendShard(sh, x.st, rlog.Fields{Txn: x.st.id, Type: rlog.TypeRollback}, false)
 	sh.mu.Unlock()
 
 	if tm.cfg.Layers == TwoLayer {
-		tm.rollbackChain(sh, x)
+		tm.rollbackChain(sh, x.st)
 	} else {
-		tm.rollbackScan(sh, x)
+		tm.rollbackScan(sh, x.st)
 	}
 
 	sh.mu.Lock()
@@ -113,21 +114,49 @@ func (tm *TM) Rollback(tid uint64) error {
 		tm.forceLogShard(sh)
 		tm.mem.Fence()
 	}
-	tm.appendShard(sh, x, rlog.Fields{Txn: tid, Type: rlog.TypeEnd}, true)
+	tm.appendShard(sh, x.st, rlog.Fields{Txn: x.st.id, Type: rlog.TypeEnd}, true)
 	sh.mu.Unlock()
 
 	tm.mu.Lock()
-	x.status = statusFinished
+	x.st.status = statusFinished
 	tm.stats.RolledBack++
 	tm.mu.Unlock()
 
 	if tm.cfg.Policy == Force {
-		tm.clearFinished(x, false)
+		tm.clearFinished(x.st, false)
 		tm.mu.Lock()
-		delete(tm.table, tid)
+		delete(tm.table, x.st.id)
 		tm.mu.Unlock()
 	}
 	return nil
+}
+
+// Commit is the tid-based compatibility wrapper over Txn.Commit.
+func (tm *TM) Commit(tid uint64) error {
+	x, err := tm.handle(tid)
+	if err != nil {
+		return err
+	}
+	return x.Commit()
+}
+
+// CommitKeepLog is the tid-based compatibility wrapper over
+// Txn.CommitKeepLog.
+func (tm *TM) CommitKeepLog(tid uint64) error {
+	x, err := tm.handle(tid)
+	if err != nil {
+		return err
+	}
+	return x.CommitKeepLog()
+}
+
+// Rollback is the tid-based compatibility wrapper over Txn.Rollback.
+func (tm *TM) Rollback(tid uint64) error {
+	x, err := tm.handle(tid)
+	if err != nil {
+		return err
+	}
+	return x.Rollback()
 }
 
 // rollbackScan undoes one transaction by scanning its whole shard backwards
@@ -181,14 +210,36 @@ func (tm *TM) rollbackChain(sh *logShard, x *txnState) {
 	}
 }
 
-// compensate writes a CLR for r and applies the undo. The CLR's UndoNext
-// records the compensated LSN: during a later backward pass, records at or
-// above it are known to be undone already. Under Force the undo itself is
-// written durably (§4.4: "under the force policy the undos should be made
-// persistent as well").
+// compensate writes a CLR for r and applies the undo, taking the shard
+// mutex. See compensateLocked.
 func (tm *TM) compensate(sh *logShard, x *txnState, r rlog.Record) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	tm.compensateLocked(sh, x, r)
+}
+
+// compensateLocked writes a CLR for r and applies the undo. The CLR's
+// UndoNext records the compensated LSN: during a later backward pass,
+// records at or above it are known to be undone already. A span record is
+// compensated by one span CLR whose images are the original's, swapped —
+// the undo stays a single log insert however wide the span. Under Force
+// the undo itself is written durably (§4.4: "under the force policy the
+// undos should be made persistent as well"). Callers hold sh.mu.
+func (tm *TM) compensateLocked(sh *logShard, x *txnState, r rlog.Record) {
+	if n := r.Words(); n > 1 {
+		oldS := make([]uint64, n)
+		newS := make([]uint64, n)
+		for i := 0; i < n; i++ {
+			oldS[i], newS[i] = r.NewAt(i), r.OldAt(i)
+		}
+		flushed := tm.appendShard(sh, x, rlog.Fields{
+			Txn: x.id, Type: rlog.TypeCLR,
+			Addr: r.Target(), OldSpan: oldS, NewSpan: newS,
+			UndoNext: r.LSN(),
+		}, false)
+		tm.applySpan(sh, r.Target(), newS, flushed)
+		return
+	}
 	flushed := tm.appendShard(sh, x, rlog.Fields{
 		Txn: x.id, Type: rlog.TypeCLR,
 		Addr: r.Target(), Old: r.New(), New: r.Old(),

@@ -39,6 +39,20 @@
 // logging observation that independent logs are what unlock multicore
 // persistent-log throughput.
 //
+// # Span records and the handle fast path
+//
+// Two departures from the paper's letter (not its guarantees) serve the
+// production goal. First, WriteBytes logs a contiguous multi-word update
+// as a single variable-length span record (rlog.FlagSpan) instead of one
+// 7-word record per word: one log insert and — under Simple/Optimized —
+// one flush + fence per span, the amortization in-cache-line logging
+// systems apply to cache-line units. Rollback and recovery compensate a
+// span with one span CLR and redo/undo it word-wise. Second, Begin returns
+// a *Txn handle carrying the transaction's shard pointer and table entry,
+// so the hot path never takes the manager's global mutex; the tid-keyed
+// table stays underneath for recovery and checkpointing, reachable through
+// tid-based compatibility wrappers.
+//
 // Lock order: shard mutexes (ascending index) before the manager's table
 // mutex. Concurrency control over user data remains the caller's job
 // (§4.7): two transactions racing on the same word are as unsynchronized
@@ -228,6 +242,35 @@ type txnState struct {
 	lastLSN uint64
 	lastRec uint64 // address of the newest record (two-layer chain tail)
 	records int
+}
+
+// Txn is a handle on one running transaction: it carries the transaction's
+// shard pointer and table entry, so the hot path (Write64, WriteBytes,
+// Delete, Commit, Rollback) goes handle→shard directly, with no tid-keyed
+// map lookup under the manager's global mutex per call. The tid-keyed table
+// remains behind it for recovery and checkpointing, and the tid-based TM
+// methods stay as thin compatibility wrappers that resolve a handle first.
+//
+// A Txn is not safe for concurrent use by multiple goroutines; run one
+// transaction per goroutine (the manager itself is concurrent). The status
+// check on each call reads the entry without the global mutex: the only
+// writers are the handle's own goroutine (Commit/Rollback) and recovery,
+// which never runs concurrently with live handles.
+type Txn struct {
+	tm *TM
+	sh *logShard
+	st *txnState
+}
+
+// ID returns the transaction identifier.
+func (x *Txn) ID() uint64 { return x.st.id }
+
+// running rejects use of a finished handle.
+func (x *Txn) running() error {
+	if x.st.status == statusFinished {
+		return ErrTxnFinished
+	}
+	return nil
 }
 
 // pendingWrite is a user update waiting for its Batch group flush before it
@@ -471,16 +514,31 @@ func (tm *TM) shardFor(tid uint64) *logShard {
 	return tm.shards[tid%uint64(len(tm.shards))]
 }
 
-// lockShard acquires tid's shard mutex, reporting whether the acquisition
-// had to wait (the per-shard contention signal behind
+// handle resolves a transaction id to a handle through the tid-keyed table
+// — the slow path behind the compatibility wrappers. Handle holders skip
+// this lookup (and its global mutex) entirely.
+func (tm *TM) handle(tid uint64) (*Txn, error) {
+	tm.mu.Lock()
+	defer tm.mu.Unlock()
+	st, ok := tm.table[tid]
+	if !ok {
+		return nil, ErrUnknownTxn
+	}
+	if st.status == statusFinished {
+		return nil, ErrTxnFinished
+	}
+	return &Txn{tm: tm, sh: tm.shardFor(tid), st: st}, nil
+}
+
+// lock acquires the shard mutex, reporting whether the acquisition had to
+// wait (the per-shard contention signal behind
 // ShardStats.UncontendedCommits).
-func (tm *TM) lockShard(tid uint64) (sh *logShard, contended bool) {
-	sh = tm.shardFor(tid)
+func (sh *logShard) lock() (contended bool) {
 	if sh.mu.TryLock() {
-		return sh, false
+		return false
 	}
 	sh.mu.Lock()
-	return sh, true
+	return true
 }
 
 // markDirty durably records activity so a later Open can report whether a
@@ -518,4 +576,10 @@ func (tm *TM) Close() {
 var (
 	ErrUnknownTxn  = errors.New("core: unknown transaction")
 	ErrTxnFinished = errors.New("core: transaction already finished")
+	// ErrUnalignedWrite is returned by WriteBytes when the target address
+	// is not 8-byte aligned: physical logging works on whole words.
+	ErrUnalignedWrite = errors.New("core: WriteBytes address is not 8-byte aligned")
+	// ErrLogWithBatch is returned by the explicit Log call under the Batch
+	// log, where the caller cannot know when a record becomes durable.
+	ErrLogWithBatch = errors.New("core: explicit Log is unavailable under the Batch log; use Write64")
 )

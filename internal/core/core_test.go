@@ -69,7 +69,7 @@ func TestCommitMakesUpdatesDurable(t *testing.T) {
 			data := dataBlock(a, 8, 100)
 			a.SetRoot(30, data)
 
-			tid := tm.Begin()
+			tid := tm.Begin().ID()
 			for i := uint64(0); i < 8; i++ {
 				if err := tm.Write64(tid, data+i*8, 200+i); err != nil {
 					t.Fatal(err)
@@ -109,7 +109,7 @@ func TestUncommittedUpdatesRolledBackOnRecovery(t *testing.T) {
 			data := dataBlock(a, 8, 100)
 			a.SetRoot(30, data)
 
-			tid := tm.Begin()
+			tid := tm.Begin().ID()
 			for i := uint64(0); i < 8; i++ {
 				if err := tm.Write64(tid, data+i*8, 200+i); err != nil {
 					t.Fatal(err)
@@ -145,7 +145,7 @@ func TestExplicitRollbackRestoresOldValues(t *testing.T) {
 		t.Run(cfg.String(), func(t *testing.T) {
 			_, a, tm := newTM(t, cfg)
 			data := dataBlock(a, 4, 10)
-			tid := tm.Begin()
+			tid := tm.Begin().ID()
 			for i := uint64(0); i < 4; i++ {
 				if err := tm.Write64(tid, data+i*8, 99); err != nil {
 					t.Fatal(err)
@@ -176,8 +176,8 @@ func TestInterleavedCommitAndRollback(t *testing.T) {
 		t.Run(cfg.String(), func(t *testing.T) {
 			_, a, tm := newTM(t, cfg)
 			data := dataBlock(a, 2, 0)
-			t1 := tm.Begin()
-			t2 := tm.Begin()
+			t1 := tm.Begin().ID()
+			t2 := tm.Begin().ID()
 			if err := tm.Write64(t1, data, 111); err != nil {
 				t.Fatal(err)
 			}
@@ -206,7 +206,7 @@ func TestTxnErrors(t *testing.T) {
 	if err := tm.Write64(42, data, 1); err != ErrUnknownTxn {
 		t.Fatalf("unknown txn: err = %v", err)
 	}
-	tid := tm.Begin()
+	tid := tm.Begin().ID()
 	if err := tm.Commit(tid); err != nil {
 		t.Fatal(err)
 	}
@@ -224,7 +224,7 @@ func TestLogExplicitWAL(t *testing.T) {
 	cfg := Config{Policy: Force, Layers: OneLayer, LogKind: rlog.Optimized, BucketSize: 16, RootBase: rootBase}
 	m, a, tm := newTM(t, cfg)
 	data := dataBlock(a, 1, 5)
-	tid := tm.Begin()
+	tid := tm.Begin().ID()
 	if err := tm.Log(tid, data, 5, 50); err != nil {
 		t.Fatal(err)
 	}
@@ -241,7 +241,7 @@ func TestLogExplicitWAL(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	bt := btm.Begin()
+	bt := btm.Begin().ID()
 	if err := btm.Log(bt, data, 50, 60); err == nil {
 		t.Fatal("explicit Log allowed under Batch")
 	}
@@ -251,7 +251,7 @@ func TestForceClearsLogAtCommit(t *testing.T) {
 	cfg := Config{Policy: Force, Layers: OneLayer, LogKind: rlog.Optimized, BucketSize: 16, RootBase: rootBase}
 	_, a, tm := newTM(t, cfg)
 	data := dataBlock(a, 4, 0)
-	tid := tm.Begin()
+	tid := tm.Begin().ID()
 	for i := uint64(0); i < 4; i++ {
 		tm.Write64(tid, data+i*8, i)
 	}
@@ -268,7 +268,7 @@ func TestNoForceKeepsLogUntilCheckpoint(t *testing.T) {
 	cfg := Config{Policy: NoForce, Layers: OneLayer, LogKind: rlog.Optimized, BucketSize: 16, RootBase: rootBase}
 	m, a, tm := newTM(t, cfg)
 	data := dataBlock(a, 4, 0)
-	tid := tm.Begin()
+	tid := tm.Begin().ID()
 	for i := uint64(0); i < 4; i++ {
 		tm.Write64(tid, data+i*8, 50+i)
 	}
@@ -297,7 +297,7 @@ func TestTwoLayerCheckpointClearsTree(t *testing.T) {
 	_, a, tm := newTM(t, cfg)
 	data := dataBlock(a, 4, 0)
 	for k := 0; k < 3; k++ {
-		tid := tm.Begin()
+		tid := tm.Begin().ID()
 		tm.Write64(tid, data, uint64(k))
 		tm.Commit(tid)
 	}
@@ -317,13 +317,13 @@ func TestDeleteFreedOnCommitKeptOnRollback(t *testing.T) {
 			blockA := a.Alloc(64)
 			blockB := a.Alloc(64)
 
-			tid := tm.Begin()
+			tid := tm.Begin().ID()
 			if err := tm.Delete(tid, blockA); err != nil {
 				t.Fatal(err)
 			}
 			tm.Commit(tid)
 
-			tid2 := tm.Begin()
+			tid2 := tm.Begin().ID()
 			if err := tm.Delete(tid2, blockB); err != nil {
 				t.Fatal(err)
 			}
@@ -348,7 +348,7 @@ func TestDeleteAppliedByRecovery(t *testing.T) {
 	cfg := Config{Policy: NoForce, Layers: OneLayer, LogKind: rlog.Optimized, BucketSize: 16, RootBase: rootBase}
 	m, a, tm := newTM(t, cfg)
 	block := a.Alloc(64)
-	tid := tm.Begin()
+	tid := tm.Begin().ID()
 	tm.Delete(tid, block)
 	tm.Commit(tid)
 	// Crash before any checkpoint.
@@ -372,7 +372,7 @@ func TestCleanCloseReopen(t *testing.T) {
 		t.Run(cfg.String(), func(t *testing.T) {
 			m, a, tm := newTM(t, cfg)
 			data := dataBlock(a, 2, 0)
-			tid := tm.Begin()
+			tid := tm.Begin().ID()
 			tm.Write64(tid, data, 42)
 			tm.Commit(tid)
 			tm.Close()
@@ -419,7 +419,7 @@ func TestCountersReseededAfterRecovery(t *testing.T) {
 	data := dataBlock(a, 1, 0)
 	var lastTid uint64
 	for i := 0; i < 5; i++ {
-		lastTid = tm.Begin()
+		lastTid = tm.Begin().ID()
 		tm.Write64(lastTid, data, uint64(i))
 	}
 	if err := m.Crash(); err != nil {
@@ -430,7 +430,7 @@ func TestCountersReseededAfterRecovery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := tm2.Begin(); got <= lastTid {
+	if got := tm2.Begin().ID(); got <= lastTid {
 		t.Fatalf("transaction ID %d reused (last was %d)", got, lastTid)
 	}
 }
@@ -463,9 +463,9 @@ func TestCrashAtEveryPointEndToEnd(t *testing.T) {
 				committed1 := false
 				m.SetCrashAfter(crashAt)
 				crashed := m.RunToCrash(func() {
-					t1 := tm.Begin()
-					t2 := tm.Begin()
-					t3 := tm.Begin()
+					t1 := tm.Begin().ID()
+					t2 := tm.Begin().ID()
+					t3 := tm.Begin().ID()
 					for i := uint64(0); i < 4; i++ {
 						tm.Write64(t1, d1+i*8, 110+i)
 						tm.Write64(t2, d2+i*8, 120+i)
@@ -516,7 +516,7 @@ func TestCrashAtEveryPointEndToEnd(t *testing.T) {
 				check("t3", d3, 30, 130, false, true)    // never committed
 
 				// The recovered manager must be fully usable.
-				nt := tm2.Begin()
+				nt := tm2.Begin().ID()
 				if err := tm2.Write64(nt, d1, 999); err != nil {
 					t.Fatalf("crashAt=%d: post-recovery write: %v", crashAt, err)
 				}
@@ -546,7 +546,7 @@ func TestDoubleCrashDuringRecovery(t *testing.T) {
 			// Crash mid-transaction.
 			m.SetCrashAfter(25)
 			m.RunToCrash(func() {
-				tid := tm.Begin()
+				tid := tm.Begin().ID()
 				for i := uint64(0); i < 4; i++ {
 					tm.Write64(tid, data+i*8, 110+i)
 				}
@@ -608,7 +608,7 @@ func TestConcurrentTransactions(t *testing.T) {
 				go func(g int) {
 					defer wg.Done()
 					for k := 0; k < txnsPerG; k++ {
-						tid := tm.Begin()
+						tid := tm.Begin().ID()
 						for i := uint64(0); i < 8; i++ {
 							if err := tm.Write64(tid, regions[g]+i*8, uint64(k*100+int(i))); err != nil {
 								t.Error(err)
@@ -648,7 +648,7 @@ func TestWriteBytesRoundTrip(t *testing.T) {
 	_, a, tm := newTM(t, cfg)
 	data := a.Alloc(64)
 	payload := []byte("recoverable byte payload!")
-	tid := tm.Begin()
+	tid := tm.Begin().ID()
 	if err := tm.WriteBytes(tid, data, payload); err != nil {
 		t.Fatal(err)
 	}
@@ -657,7 +657,7 @@ func TestWriteBytesRoundTrip(t *testing.T) {
 		t.Fatalf("ReadBytes = %q", got)
 	}
 	// And rollback restores the previous bytes.
-	tid2 := tm.Begin()
+	tid2 := tm.Begin().ID()
 	tm.WriteBytes(tid2, data, []byte("XXXXXXXXXXXXXXXXXXXXXXXXX"))
 	tm.Rollback(tid2)
 	if got := tm.ReadBytes(data, len(payload)); string(got) != string(payload) {
@@ -670,7 +670,7 @@ func TestRollbackDuringBatchGroup(t *testing.T) {
 	cfg := Config{Policy: Force, Layers: OneLayer, LogKind: rlog.Batch, BucketSize: 64, GroupSize: 32, RootBase: rootBase}
 	_, a, tm := newTM(t, cfg)
 	data := dataBlock(a, 4, 10)
-	tid := tm.Begin()
+	tid := tm.Begin().ID()
 	for i := uint64(0); i < 4; i++ {
 		tm.Write64(tid, data+i*8, 110+i) // group of 32 never fills
 	}
@@ -688,10 +688,10 @@ func TestRecoveryStatsShape(t *testing.T) {
 	cfg := Config{Policy: NoForce, Layers: OneLayer, LogKind: rlog.Optimized, BucketSize: 16, RootBase: rootBase}
 	m, a, tm := newTM(t, cfg)
 	data := dataBlock(a, 2, 0)
-	c := tm.Begin()
+	c := tm.Begin().ID()
 	tm.Write64(c, data, 1)
 	tm.Commit(c)
-	l := tm.Begin()
+	l := tm.Begin().ID()
 	tm.Write64(l, data+8, 2)
 	// crash with one winner, one loser
 	if err := m.Crash(); err != nil {
@@ -719,7 +719,7 @@ func TestManyTransactionsAcrossBuckets(t *testing.T) {
 			m, a, tm := newTM(t, cfg)
 			data := dataBlock(a, 64, 0)
 			for k := 0; k < 40; k++ { // bucket size 16: many buckets
-				tid := tm.Begin()
+				tid := tm.Begin().ID()
 				for i := uint64(0); i < 4; i++ {
 					tm.Write64(tid, data+(uint64(k%16)*4+i)*8, uint64(k+1)*1000+i)
 				}
@@ -767,7 +767,7 @@ func TestStressManySmallTxns(t *testing.T) {
 			}
 			data := dataBlock(a, 128, 0)
 			for k := 0; k < 5000; k++ {
-				tid := tm.Begin()
+				tid := tm.Begin().ID()
 				for i := uint64(0); i < 4; i++ {
 					tm.Write64(tid, data+(uint64(k)%128)*8, uint64(k)<<8|i)
 				}
@@ -788,7 +788,7 @@ func ExampleTM() {
 	a := pmem.Format(m)
 	tm, _ := New(a, Config{Policy: Force, Layers: OneLayer, LogKind: rlog.Optimized, RootBase: 8})
 	slot := a.Alloc(8)
-	tid := tm.Begin()
+	tid := tm.Begin().ID()
 	tm.Write64(tid, slot, 42)
 	tm.Commit(tid)
 	fmt.Println(tm.Read64(slot))

@@ -4,18 +4,22 @@ import (
 	"github.com/rewind-db/rewind/internal/rlog"
 )
 
-// Begin starts a transaction and returns its identifier (the runtime call
+// Begin starts a transaction and returns its handle (the runtime call
 // generated at the top of a persistent_atomic block, Listing 2 line 2).
 // Identifiers are assigned sequentially from an atomic counter, which also
-// round-robins transactions over the log shards.
-func (tm *TM) Begin() uint64 {
+// round-robins transactions over the log shards; the handle pins the
+// transaction's shard and table entry so subsequent calls skip the global
+// table lookup.
+func (tm *TM) Begin() *Txn {
 	id := tm.lastTxn.Add(1)
+	st := &txnState{id: id, status: statusRunning}
+	sh := tm.shardFor(id)
 	tm.mu.Lock()
 	tm.markDirty()
-	tm.table[id] = &txnState{id: id, status: statusRunning}
+	tm.table[id] = st
 	tm.stats.Begun++
 	tm.mu.Unlock()
-	return id
+	return &Txn{tm: tm, sh: sh, st: st}
 }
 
 // Write64 performs one recoverable update: it logs the write ahead of the
@@ -23,20 +27,72 @@ func (tm *TM) Begin() uint64 {
 // non-temporal store under Force, cached store under NoForce. Under the
 // Batch log the durable store is deferred until the record's group flush,
 // mirroring §3.3's reordering of log calls above user writes.
-func (tm *TM) Write64(tid, addr, val uint64) error {
-	x, err := tm.running(tid)
-	if err != nil {
+func (x *Txn) Write64(addr, val uint64) error {
+	if err := x.running(); err != nil {
 		return err
 	}
-	sh := tm.shardFor(tid)
+	tm, sh := x.tm, x.sh
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	old := tm.mem.Load64(addr)
-	flushed := tm.appendShard(sh, x, rlog.Fields{
-		Txn: tid, Type: rlog.TypeUpdate, Flags: rlog.FlagUndoable,
+	flushed := tm.appendShard(sh, x.st, rlog.Fields{
+		Txn: x.st.id, Type: rlog.TypeUpdate, Flags: rlog.FlagUndoable,
 		Addr: addr, Old: old, New: val,
 	}, false)
 	tm.applyShard(sh, addr, val, flushed)
+	return nil
+}
+
+// WriteBytes performs a recoverable multi-word update. addr must be 8-byte
+// aligned (ErrUnalignedWrite otherwise). The whole run of words is logged
+// as a single span record — one log insert and, under Simple/Optimized,
+// one flush + fence for the entire span, instead of one per word — and
+// then applied word by word under the policy. A final partial word is
+// read-modified-written: the bytes of p land at their offsets and the
+// word's remaining bytes keep their current memory contents.
+func (x *Txn) WriteBytes(addr uint64, p []byte) error {
+	if err := x.running(); err != nil {
+		return err
+	}
+	if addr%8 != 0 {
+		return ErrUnalignedWrite
+	}
+	if len(p) == 0 {
+		return nil
+	}
+	tm, sh := x.tm, x.sh
+	n := (len(p) + 7) / 8
+	oldS := make([]uint64, n)
+	newS := make([]uint64, n)
+
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	var word [8]byte
+	for i := 0; i < n; i++ {
+		w := addr + uint64(i)*8
+		cur := tm.mem.Load64(w)
+		oldS[i] = cur
+		if c := copy(word[:], p[i*8:]); c < 8 {
+			// Tail read-modify-write: preserve the word's surviving bytes.
+			for b := c; b < 8; b++ {
+				word[b] = byte(cur >> (8 * uint(b)))
+			}
+		}
+		newS[i] = le64(word[:])
+	}
+	if n == 1 {
+		flushed := tm.appendShard(sh, x.st, rlog.Fields{
+			Txn: x.st.id, Type: rlog.TypeUpdate, Flags: rlog.FlagUndoable,
+			Addr: addr, Old: oldS[0], New: newS[0],
+		}, false)
+		tm.applyShard(sh, addr, newS[0], flushed)
+		return nil
+	}
+	flushed := tm.appendShard(sh, x.st, rlog.Fields{
+		Txn: x.st.id, Type: rlog.TypeUpdate, Flags: rlog.FlagUndoable,
+		Addr: addr, OldSpan: oldS, NewSpan: newS,
+	}, false)
+	tm.applySpan(sh, addr, newS, flushed)
 	return nil
 }
 
@@ -45,65 +101,83 @@ func (tm *TM) Write64(tid, addr, val uint64) error {
 // Listing 2). It is only valid for Simple and Optimized logs: under Batch
 // the caller cannot know when the record becomes durable, so the paired
 // Write64 must be used instead.
-func (tm *TM) Log(tid, addr, old, val uint64) error {
-	if tm.cfg.LogKind == rlog.Batch {
-		return errLogWithBatch
+func (x *Txn) Log(addr, old, val uint64) error {
+	if x.tm.cfg.LogKind == rlog.Batch {
+		return ErrLogWithBatch
 	}
-	x, err := tm.running(tid)
-	if err != nil {
+	if err := x.running(); err != nil {
 		return err
 	}
-	sh := tm.shardFor(tid)
+	sh := x.sh
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	tm.appendShard(sh, x, rlog.Fields{
-		Txn: tid, Type: rlog.TypeUpdate, Flags: rlog.FlagUndoable,
+	x.tm.appendShard(sh, x.st, rlog.Fields{
+		Txn: x.st.id, Type: rlog.TypeUpdate, Flags: rlog.FlagUndoable,
 		Addr: addr, Old: old, New: val,
 	}, false)
 	return nil
 }
-
-// Read64 loads a word. Reads need no logging; they are served directly
-// from (possibly cached) NVM.
-func (tm *TM) Read64(addr uint64) uint64 { return tm.mem.Load64(addr) }
 
 // Delete registers a deferred deallocation (§4.3): a DELETE record joins
 // the transaction, and the block is actually freed only after the
 // transaction commits — at commit-time clearing under Force, at the next
 // checkpoint under NoForce, or during recovery if a crash intervenes. If
 // the transaction rolls back, the block stays allocated.
-func (tm *TM) Delete(tid, addr uint64) error {
-	x, err := tm.running(tid)
-	if err != nil {
+func (x *Txn) Delete(addr uint64) error {
+	if err := x.running(); err != nil {
 		return err
 	}
-	sh := tm.shardFor(tid)
+	sh := x.sh
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	tm.appendShard(sh, x, rlog.Fields{
-		Txn: tid, Type: rlog.TypeDelete, Addr: addr,
+	x.tm.appendShard(sh, x.st, rlog.Fields{
+		Txn: x.st.id, Type: rlog.TypeDelete, Addr: addr,
 	}, false)
 	return nil
 }
 
-var errLogWithBatch = errorString("core: explicit Log is unavailable under the Batch log; use Write64")
-
-type errorString string
-
-func (e errorString) Error() string { return string(e) }
-
-func (tm *TM) running(tid uint64) (*txnState, error) {
-	tm.mu.Lock()
-	defer tm.mu.Unlock()
-	x, ok := tm.table[tid]
-	if !ok {
-		return nil, ErrUnknownTxn
+// Write64 is the tid-based compatibility wrapper over Txn.Write64.
+func (tm *TM) Write64(tid, addr, val uint64) error {
+	x, err := tm.handle(tid)
+	if err != nil {
+		return err
 	}
-	if x.status == statusFinished {
-		return nil, ErrTxnFinished
-	}
-	return x, nil
+	return x.Write64(addr, val)
 }
+
+// WriteBytes is the tid-based compatibility wrapper over Txn.WriteBytes.
+func (tm *TM) WriteBytes(tid, addr uint64, p []byte) error {
+	x, err := tm.handle(tid)
+	if err != nil {
+		return err
+	}
+	return x.WriteBytes(addr, p)
+}
+
+// Log is the tid-based compatibility wrapper over Txn.Log.
+func (tm *TM) Log(tid, addr, old, val uint64) error {
+	if tm.cfg.LogKind == rlog.Batch {
+		return ErrLogWithBatch
+	}
+	x, err := tm.handle(tid)
+	if err != nil {
+		return err
+	}
+	return x.Log(addr, old, val)
+}
+
+// Delete is the tid-based compatibility wrapper over Txn.Delete.
+func (tm *TM) Delete(tid, addr uint64) error {
+	x, err := tm.handle(tid)
+	if err != nil {
+		return err
+	}
+	return x.Delete(addr)
+}
+
+// Read64 loads a word. Reads need no logging; they are served directly
+// from (possibly cached) NVM.
+func (tm *TM) Read64(addr uint64) uint64 { return tm.mem.Load64(addr) }
 
 // appendShard allocates a record with a fresh global LSN, inserts it into
 // the shard's log (or the AAVLT in the two-layer configuration), and
@@ -161,6 +235,14 @@ func (tm *TM) applyShard(sh *logShard, addr, val uint64, flushed bool) {
 	tm.mem.Store64(addr, val)
 }
 
+// applySpan applies a span's worth of logged user updates, word-wise,
+// under the same policy rules as applyShard. Callers hold sh.mu.
+func (tm *TM) applySpan(sh *logShard, addr uint64, vals []uint64, flushed bool) {
+	for i, v := range vals {
+		tm.applyShard(sh, addr+uint64(i)*8, v, flushed)
+	}
+}
+
 // drainPending re-issues deferred user writes durably after their records'
 // group flush. Callers hold sh.mu.
 func (tm *TM) drainPending(sh *logShard) {
@@ -186,29 +268,6 @@ func (tm *TM) forceLogShard(sh *logShard) {
 			sh.pending = sh.pending[:0]
 		}
 	}
-}
-
-// WriteBytes performs a recoverable multi-word update by logging each
-// 8-byte word. addr must be 8-byte aligned; the value is padded with its
-// current memory contents to a word multiple. Physical word logging is the
-// paper's granularity; this helper keeps bulk updates convenient.
-func (tm *TM) WriteBytes(tid, addr uint64, p []byte) error {
-	var word [8]byte
-	for off := 0; off < len(p); off += 8 {
-		n := copy(word[:], p[off:])
-		w := addr + uint64(off)
-		if n < 8 {
-			cur := tm.mem.Load64(w)
-			for i := n; i < 8; i++ {
-				word[i] = byte(cur >> (8 * uint(i)))
-			}
-		}
-		v := le64(word[:])
-		if err := tm.Write64(tid, w, v); err != nil {
-			return err
-		}
-	}
-	return nil
 }
 
 // ReadBytes reads n bytes at addr.

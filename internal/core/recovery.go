@@ -189,17 +189,17 @@ func (tm *TM) seedCounters(maxLSN, maxTid uint64, rs *RecoveryStats) {
 
 // redo repeats history (NoForce three-phase recovery): every surviving
 // record's effect is re-applied in LSN order — updates write their new
-// value, CLRs write their restored value. Re-applying CLRs is what makes a
-// crash during a previous rollback safe (§4.5: "the redo phase handles a
-// crash during a previous rollback").
+// value, CLRs write their restored value. Span records redo word-wise:
+// the record chains as one unit but its whole after-image is re-applied.
+// Re-applying CLRs is what makes a crash during a previous rollback safe
+// (§4.5: "the redo phase handles a crash during a previous rollback").
 func (tm *TM) redo(rs *RecoveryStats, recs []rlog.Record) {
 	redoOne := func(r rlog.Record) {
 		switch r.Type() {
-		case rlog.TypeUpdate:
-			tm.mem.Store64(r.Target(), r.New())
-			rs.Redone++
-		case rlog.TypeCLR:
-			tm.mem.Store64(r.Target(), r.New())
+		case rlog.TypeUpdate, rlog.TypeCLR:
+			for i, n := 0, r.Words(); i < n; i++ {
+				tm.mem.Store64(r.TargetAt(i), r.NewAt(i))
+			}
 			rs.Redone++
 		}
 	}
@@ -226,8 +226,9 @@ func (tm *TM) redo(rs *RecoveryStats, recs []rlog.Record) {
 // undoScan is Algorithm 2: a single backward pass over the LSN-merged
 // records undoes every loser. CLRs encountered first (they are newest) set
 // each transaction's resume point, so updates already compensated by a
-// crashed rollback are skipped; under Force each CLR is re-applied in case
-// the crash fell between the CLR and its durable user write.
+// crashed rollback are skipped; under Force each CLR is re-applied — all
+// of its words, for span CLRs — in case the crash fell between the CLR
+// and its durable user write.
 func (tm *TM) undoScan(rs *RecoveryStats, recs []rlog.Record) {
 	undoMap := map[uint64]uint64{}
 	for i := len(recs) - 1; i >= 0; i-- {
@@ -247,7 +248,9 @@ func (tm *TM) undoScan(rs *RecoveryStats, recs []rlog.Record) {
 				undoMap[r.Txn()] = r.UndoNext()
 			}
 			if tm.cfg.Policy == Force {
-				tm.mem.StoreNT64(r.Target(), r.New())
+				for w, n := 0, r.Words(); w < n; w++ {
+					tm.mem.StoreNT64(r.TargetAt(w), r.NewAt(w))
+				}
 			}
 		case rlog.TypeUpdate:
 			if !r.Undoable() {
@@ -257,12 +260,7 @@ func (tm *TM) undoScan(rs *RecoveryStats, recs []rlog.Record) {
 			if !seen || r.LSN() < resume {
 				sh := tm.shardFor(x.id)
 				sh.mu.Lock()
-				flushed := tm.appendShard(sh, x, rlog.Fields{
-					Txn: x.id, Type: rlog.TypeCLR,
-					Addr: r.Target(), Old: r.New(), New: r.Old(),
-					UndoNext: r.LSN(),
-				}, false)
-				tm.applyShard(sh, r.Target(), r.Old(), flushed)
+				tm.compensateLocked(sh, x, r)
 				sh.mu.Unlock()
 				rs.Undone++
 			}
@@ -296,17 +294,14 @@ func (tm *TM) undoChains(rs *RecoveryStats) {
 					resume = r.UndoNext()
 				}
 				if tm.cfg.Policy == Force {
-					tm.mem.StoreNT64(r.Target(), r.New())
+					for w, n := 0, r.Words(); w < n; w++ {
+						tm.mem.StoreNT64(r.TargetAt(w), r.NewAt(w))
+					}
 				}
 			case rlog.TypeUpdate:
 				if r.Undoable() && r.LSN() < resume {
 					sh.mu.Lock()
-					flushed := tm.appendShard(sh, x, rlog.Fields{
-						Txn: x.id, Type: rlog.TypeCLR,
-						Addr: r.Target(), Old: r.New(), New: r.Old(),
-						UndoNext: r.LSN(),
-					}, false)
-					tm.applyShard(sh, r.Target(), r.Old(), flushed)
+					tm.compensateLocked(sh, x, r)
 					sh.mu.Unlock()
 					rs.Undone++
 				}

@@ -88,7 +88,7 @@ func TestShardedCrashRecoveryStress(t *testing.T) {
 					go func(w int) {
 						defer wg.Done()
 						for i := 0; i < txnsPerW; i++ {
-							tid := tm.Begin()
+							tid := tm.Begin().ID()
 							for k := 0; k < wordsPerTxn; k++ {
 								addr := regions[w] + uint64((i*wordsPerTxn+k)*8)
 								if err := tm.Write64(tid, addr, uint64(5000*(w+1)+i)); err != nil {
@@ -114,7 +114,7 @@ func TestShardedCrashRecoveryStress(t *testing.T) {
 				loserRegions := map[uint64]uint64{}
 				shardsHit := map[int]bool{}
 				for j := 0; j < shards; j++ {
-					tid := tm.Begin()
+					tid := tm.Begin().ID()
 					shardsHit[tm.ShardOf(tid)] = true
 					region := dataBlock(a, 2*cfg.GroupSize, uint64(100*(j+1)))
 					loserRegions[tid] = region
@@ -195,7 +195,7 @@ func TestShardedCrashRecoveryStress(t *testing.T) {
 				if rs.MaxLSN > preLSN {
 					t.Fatalf("recovered MaxLSN %d exceeds pre-crash counter %d", rs.MaxLSN, preLSN)
 				}
-				nt := tm2.Begin()
+				nt := tm2.Begin().ID()
 				if err := tm2.Write64(nt, regions[0], 42); err != nil {
 					t.Fatal(err)
 				}
@@ -224,7 +224,7 @@ func TestShardedLSNMergeOrder(t *testing.T) {
 			x := dataBlock(a, 1, 5)
 			n := 2*shards + 1 // wrap every shard at least twice
 			for i := 1; i <= n; i++ {
-				tid := tm.Begin()
+				tid := tm.Begin().ID()
 				if err := tm.Write64(tid, x, uint64(100+i)); err != nil {
 					t.Fatal(err)
 				}
@@ -278,9 +278,9 @@ func TestShardedCrashMatrix(t *testing.T) {
 				committed1 := false
 				m.SetCrashAfter(crashAt)
 				crashed := m.RunToCrash(func() {
-					t1 := tm.Begin()
-					t2 := tm.Begin()
-					t3 := tm.Begin()
+					t1 := tm.Begin().ID()
+					t2 := tm.Begin().ID()
+					t3 := tm.Begin().ID()
 					if tm.ShardOf(t1) == tm.ShardOf(t2) || tm.ShardOf(t2) == tm.ShardOf(t3) {
 						t.Error("test transactions share a shard")
 					}
@@ -333,7 +333,7 @@ func TestShardedCrashMatrix(t *testing.T) {
 				check("t2", d2, 20, 120, false, crashed)
 				check("t3", d3, 30, 130, false, true)
 
-				nt := tm2.Begin()
+				nt := tm2.Begin().ID()
 				if err := tm2.Write64(nt, d1, 999); err != nil {
 					t.Fatalf("crashAt=%d: post-recovery write: %v", crashAt, err)
 				}
@@ -392,7 +392,7 @@ func TestShardedCheckpointUnderLoad(t *testing.T) {
 				go func(w int) {
 					defer wg.Done()
 					for i := 0; i < txnsPerW; i++ {
-						tid := tm.Begin()
+						tid := tm.Begin().ID()
 						if err := tm.Write64(tid, regions[w]+uint64(i*8), uint64(10_000+i)); err != nil {
 							t.Error(err)
 							return
@@ -461,7 +461,7 @@ func TestShardStatsBalance(t *testing.T) {
 	d := dataBlock(a, 64, 0)
 	const txns = 32
 	for i := 0; i < txns; i++ {
-		tid := tm.Begin()
+		tid := tm.Begin().ID()
 		if err := tm.Write64(tid, d+uint64(i*8), uint64(i)); err != nil {
 			t.Fatal(err)
 		}

@@ -319,7 +319,9 @@ func (l *Log) flushGroupLocked(bucket uint64, st *bucketState) {
 	}
 	for pos := l.pendingFrom; pos < st.next; pos++ {
 		if rec := l.mem.Load64(cellAddr(bucket, pos)); rec != 0 && rec != tombstone {
-			l.mem.FlushRange(rec, RecordSize)
+			// Span records carry a variable-length payload; flush the
+			// record's full footprint, not just the fixed header.
+			l.mem.FlushRange(rec, View(l.mem, rec).Size())
 		}
 	}
 	l.mem.FlushRange(cellAddr(bucket, l.pendingFrom), (st.next-l.pendingFrom)*8)

@@ -54,13 +54,20 @@ const (
 	// FlagUndoable marks UPDATE records whose effect can be undone
 	// (Algorithm 2 consults it before generating a CLR).
 	FlagUndoable = 1 << 0
+	// FlagSpan marks a variable-length span record: one UPDATE (or CLR)
+	// covering a contiguous run of words. The fixed header is followed by
+	// the before-image words and then the after-image words; the word
+	// count lives in the header's old-value slot. Span records amortize
+	// the paper's per-record persistence cost (one flush + fence) over a
+	// whole multi-word update, in the spirit of in-cache-line logging.
+	FlagSpan = 1 << 1
 )
 
-// RecordSize is the record footprint: 7 words. Together with the
+// RecordSize is the fixed record footprint: 7 words. Together with the
 // allocator's 8-byte block header a record occupies exactly one cache
 // line, matching the paper's observation that a record carries the
 // standard ARIES fields and its cost model of roughly one NVM line write
-// per record.
+// per record. Span records extend past it with their payload (SpanSize).
 const RecordSize = 56
 
 // Record field offsets (bytes from the record address). The LSN, type and
@@ -69,11 +76,15 @@ const (
 	recHeader   = 0  // LSN<<16 | Type<<8 | flags
 	recTxn      = 8  // transaction ID
 	recAddr     = 16 // address of the modified memory location
-	recOld      = 24 // previous value
-	recNew      = 32 // new value
+	recOld      = 24 // previous value (span records: word count)
+	recNew      = 32 // new value (span records: unused)
 	recUndoNext = 40 // LSN of the next record to undo (CLR / 2L chains)
 	recPrevTxn  = 48 // address of this transaction's previous record (2L)
+	recPayload  = 56 // span records: count old words, then count new words
 )
+
+// SpanSize returns the footprint of a span record covering words words.
+func SpanSize(words int) int { return RecordSize + 2*8*words }
 
 // Record is a view over a log record stored in NVM.
 type Record struct {
@@ -84,7 +95,10 @@ type Record struct {
 // View wraps an existing record address.
 func View(mem *nvm.Memory, addr uint64) Record { return Record{mem, addr} }
 
-// Fields is the material used to create a record.
+// Fields is the material used to create a record. A non-empty OldSpan makes
+// the record a span record (FlagSpan): OldSpan and NewSpan, which must have
+// equal length, are its before- and after-images for the contiguous words
+// starting at Addr, and Old/New are ignored.
 type Fields struct {
 	LSN      uint64
 	Txn      uint64
@@ -95,16 +109,19 @@ type Fields struct {
 	New      uint64
 	UndoNext uint64
 	PrevTxn  uint64
+	OldSpan  []uint64
+	NewSpan  []uint64
 }
 
 // Alloc creates a record "off-line" (§3.2): the fields are written with
 // regular stores, then flushed and fenced so that the record is fully
 // durable before any pointer to it is published. This is the fence the
 // paper's §4.2 issues per record ("a memory fence is issued to ensure the
-// record fields have reached the memory").
+// record fields have reached the memory") — a span record's whole payload
+// rides under this one flush + fence, which is the span-logging win.
 func Alloc(a *pmem.Allocator, f Fields) Record {
 	r := AllocDeferred(a, f)
-	r.mem.FlushRange(r.Addr, RecordSize)
+	r.mem.FlushRange(r.Addr, r.Size())
 	r.mem.Fence()
 	return r
 }
@@ -115,7 +132,16 @@ func Alloc(a *pmem.Allocator, f Fields) Record {
 // fence per group, which is what Figure 10 measures.
 func AllocDeferred(a *pmem.Allocator, f Fields) Record {
 	m := a.Mem()
-	addr := a.Alloc(RecordSize)
+	size := RecordSize
+	if n := len(f.OldSpan); n > 0 {
+		if len(f.NewSpan) != n {
+			panic(fmt.Sprintf("rlog: span images differ in length (%d old, %d new)", n, len(f.NewSpan)))
+		}
+		f.Flags |= FlagSpan
+		f.Old, f.New = uint64(n), 0
+		size = SpanSize(n)
+	}
+	addr := a.Alloc(size)
 	m.Store64(addr+recHeader, f.LSN<<16|uint64(f.Type)<<8|uint64(f.Flags)&0xff)
 	m.Store64(addr+recTxn, f.Txn)
 	m.Store64(addr+recAddr, f.Addr)
@@ -123,6 +149,12 @@ func AllocDeferred(a *pmem.Allocator, f Fields) Record {
 	m.Store64(addr+recNew, f.New)
 	m.Store64(addr+recUndoNext, f.UndoNext)
 	m.Store64(addr+recPrevTxn, f.PrevTxn)
+	for i, v := range f.OldSpan {
+		m.Store64(addr+recPayload+uint64(i)*8, v)
+	}
+	for i, v := range f.NewSpan {
+		m.Store64(addr+recPayload+uint64(len(f.OldSpan)+i)*8, v)
+	}
 	return Record{m, addr}
 }
 
@@ -141,14 +173,57 @@ func (r Record) Flags() uint32 { return uint32(r.mem.Load64(r.Addr+recHeader) & 
 // Undoable reports whether the record may be undone.
 func (r Record) Undoable() bool { return r.Flags()&FlagUndoable != 0 }
 
-// Target returns the address of the memory location the record describes.
+// IsSpan reports whether the record is a variable-length span record.
+func (r Record) IsSpan() bool { return r.Flags()&FlagSpan != 0 }
+
+// Target returns the address of the memory location the record describes
+// (the first word, for span records).
 func (r Record) Target() uint64 { return r.mem.Load64(r.Addr + recAddr) }
 
-// Old returns the before-image value.
+// Words returns the number of contiguous words the record covers: 1 for
+// plain records, the span length for span records.
+func (r Record) Words() int {
+	if !r.IsSpan() {
+		return 1
+	}
+	return int(r.mem.Load64(r.Addr + recOld))
+}
+
+// Size returns the record's footprint in bytes.
+func (r Record) Size() int {
+	if !r.IsSpan() {
+		return RecordSize
+	}
+	return SpanSize(r.Words())
+}
+
+// TargetAt returns the address of the record's i-th covered word.
+func (r Record) TargetAt(i int) uint64 { return r.Target() + uint64(i)*8 }
+
+// Old returns the before-image value. For span records it holds the word
+// count; use OldAt to read the span's before-image.
 func (r Record) Old() uint64 { return r.mem.Load64(r.Addr + recOld) }
 
-// New returns the after-image value.
+// New returns the after-image value. For span records use NewAt.
 func (r Record) New() uint64 { return r.mem.Load64(r.Addr + recNew) }
+
+// OldAt returns the before-image of the record's i-th covered word,
+// decoding both record shapes.
+func (r Record) OldAt(i int) uint64 {
+	if !r.IsSpan() {
+		return r.Old()
+	}
+	return r.mem.Load64(r.Addr + recPayload + uint64(i)*8)
+}
+
+// NewAt returns the after-image of the record's i-th covered word,
+// decoding both record shapes.
+func (r Record) NewAt(i int) uint64 {
+	if !r.IsSpan() {
+		return r.New()
+	}
+	return r.mem.Load64(r.Addr + recPayload + uint64(r.Words()+i)*8)
+}
 
 // UndoNext returns the LSN of the next record to undo (ARIES undoNextLSN).
 func (r Record) UndoNext() uint64 { return r.mem.Load64(r.Addr + recUndoNext) }
@@ -159,6 +234,10 @@ func (r Record) PrevTxn() uint64 { return r.mem.Load64(r.Addr + recPrevTxn) }
 
 // String renders the record for diagnostics.
 func (r Record) String() string {
+	if r.IsSpan() {
+		return fmt.Sprintf("[lsn=%d txn=%d %s addr=%#x span=%d undoNext=%d]",
+			r.LSN(), r.Txn(), r.Type(), r.Target(), r.Words(), r.UndoNext())
+	}
 	return fmt.Sprintf("[lsn=%d txn=%d %s addr=%#x old=%d new=%d undoNext=%d]",
 		r.LSN(), r.Txn(), r.Type(), r.Target(), r.Old(), r.New(), r.UndoNext())
 }

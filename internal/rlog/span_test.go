@@ -1,0 +1,192 @@
+package rlog
+
+import (
+	"testing"
+
+	"github.com/rewind-db/rewind/internal/nvm"
+	"github.com/rewind-db/rewind/internal/pmem"
+)
+
+func spanFields(lsn uint64, words int) Fields {
+	oldS := make([]uint64, words)
+	newS := make([]uint64, words)
+	for i := range oldS {
+		oldS[i] = 100 + uint64(i)
+		newS[i] = 200 + uint64(i)
+	}
+	return Fields{LSN: lsn, Txn: 3, Type: TypeUpdate, Flags: FlagUndoable,
+		Addr: 0x2000, OldSpan: oldS, NewSpan: newS}
+}
+
+func TestSpanRecordRoundTrip(t *testing.T) {
+	_, a := newEnv(t)
+	const words = 6
+	r := Alloc(a, spanFields(9, words))
+	if !r.IsSpan() || !r.Undoable() {
+		t.Fatalf("flags lost: %#x", r.Flags())
+	}
+	if r.LSN() != 9 || r.Txn() != 3 || r.Type() != TypeUpdate || r.Target() != 0x2000 {
+		t.Fatalf("header mismatch: %v", r)
+	}
+	if r.Words() != words {
+		t.Fatalf("Words = %d, want %d", r.Words(), words)
+	}
+	if r.Size() != SpanSize(words) || r.Size() != RecordSize+16*words {
+		t.Fatalf("Size = %d, want %d", r.Size(), SpanSize(words))
+	}
+	for i := 0; i < words; i++ {
+		if r.OldAt(i) != 100+uint64(i) || r.NewAt(i) != 200+uint64(i) {
+			t.Fatalf("word %d: old=%d new=%d", i, r.OldAt(i), r.NewAt(i))
+		}
+		if r.TargetAt(i) != 0x2000+uint64(i)*8 {
+			t.Fatalf("word %d: target %#x", i, r.TargetAt(i))
+		}
+	}
+}
+
+// Plain records must decode identically through the span-aware accessors,
+// so record-wise code can iterate every record word-wise without branching
+// on shape.
+func TestPlainRecordThroughSpanAccessors(t *testing.T) {
+	_, a := newEnv(t)
+	r := Alloc(a, Fields{LSN: 4, Txn: 1, Type: TypeUpdate, Addr: 0x3000, Old: 7, New: 8})
+	if r.IsSpan() {
+		t.Fatal("plain record reports span")
+	}
+	if r.Words() != 1 || r.Size() != RecordSize {
+		t.Fatalf("Words=%d Size=%d", r.Words(), r.Size())
+	}
+	if r.OldAt(0) != 7 || r.NewAt(0) != 8 || r.TargetAt(0) != 0x3000 {
+		t.Fatalf("accessors: old=%d new=%d target=%#x", r.OldAt(0), r.NewAt(0), r.TargetAt(0))
+	}
+}
+
+func TestMismatchedSpanImagesPanic(t *testing.T) {
+	_, a := newEnv(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched span images accepted")
+		}
+	}()
+	Alloc(a, Fields{Type: TypeUpdate, OldSpan: []uint64{1, 2}, NewSpan: []uint64{1}})
+}
+
+// TestSpanRecordDurableAfterAlloc checks that Alloc persists the whole
+// variable-length payload under its single flush + fence: after a crash the
+// payload tail must survive, not just the fixed header's cache line.
+func TestSpanRecordDurableAfterAlloc(t *testing.T) {
+	m, a := newEnv(t)
+	const words = 40 // payload spans several cache lines
+	r := Alloc(a, spanFields(5, words))
+	if err := m.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < words; i++ {
+		if r.OldAt(i) != 100+uint64(i) || r.NewAt(i) != 200+uint64(i) {
+			t.Fatalf("word %d lost after crash: old=%d new=%d", i, r.OldAt(i), r.NewAt(i))
+		}
+	}
+}
+
+// TestSpanRecordsThroughLog appends a mix of plain and span records to every
+// log kind and checks iteration yields both shapes intact — including after
+// a crash and Open (Batch group boundaries persist the variable footprint).
+func TestSpanRecordsThroughLog(t *testing.T) {
+	for _, kind := range allKinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			m, a, l := newLog(t, kind)
+			// Alternate plain and span records; mark the last one end so
+			// Batch closes its group.
+			for lsn := uint64(1); lsn <= 8; lsn++ {
+				var r Record
+				f := Fields{LSN: lsn, Txn: 3, Type: TypeUpdate, Flags: FlagUndoable,
+					Addr: 0x2000, Old: lsn, New: lsn + 100}
+				if lsn%2 == 0 {
+					f = spanFields(lsn, 5)
+				}
+				if kind == Batch {
+					r = AllocDeferred(a, f)
+				} else {
+					r = Alloc(a, f)
+				}
+				l.Append(r.Addr, lsn == 8)
+			}
+
+			check := func(l *Log) {
+				t.Helper()
+				it := l.Begin()
+				defer it.Close()
+				var lsn uint64
+				for it.Next() {
+					lsn++
+					r := it.Record()
+					if r.LSN() != lsn {
+						t.Fatalf("lsn %d, want %d", r.LSN(), lsn)
+					}
+					wantWords := 1
+					if lsn%2 == 0 {
+						wantWords = 5
+					}
+					if r.Words() != wantWords {
+						t.Fatalf("lsn %d: %d words, want %d", lsn, r.Words(), wantWords)
+					}
+					for i := 0; i < r.Words(); i++ {
+						if r.NewAt(i) != r.OldAt(i)+100 {
+							t.Fatalf("lsn %d word %d: old=%d new=%d", lsn, i, r.OldAt(i), r.NewAt(i))
+						}
+					}
+				}
+				if lsn != 8 {
+					t.Fatalf("saw %d records, want 8", lsn)
+				}
+			}
+			check(l)
+
+			if err := m.Crash(); err != nil {
+				t.Fatal(err)
+			}
+			a2, err := pmem.Open(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			l2, err := Open(a2, Config{Kind: kind, BucketSize: 16, GroupSize: 4, RootSlot: testSlot})
+			if err != nil {
+				t.Fatal(err)
+			}
+			check(l2)
+
+			// Clearing must free the variable-size blocks cleanly.
+			l2.ClearScan(false, func(Record) ClearAction { return RemoveFree })
+			if !l2.Empty() {
+				t.Fatalf("log not empty after clear: %d", l2.Len())
+			}
+		})
+	}
+}
+
+// TestSpanBatchDeferredPayloadLost documents the Batch contract for spans: a
+// deferred span record that never reached a group flush is junk after a
+// crash (its cell is beyond the persisted index), exactly like a plain
+// record.
+func TestSpanBatchDeferredPayloadLost(t *testing.T) {
+	m, a, l := newLog(t, Batch)
+	r := AllocDeferred(a, spanFields(1, 4))
+	if l.Append(r.Addr, false) {
+		t.Fatal("lone deferred append reported flushed")
+	}
+	if err := m.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	a2, err := pmem.Open(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(a2, Config{Kind: Batch, BucketSize: 16, GroupSize: 4, RootSlot: testSlot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := l2.Len(); n != 0 {
+		t.Fatalf("unflushed span survived: %d records", n)
+	}
+	_ = nvm.Null
+}

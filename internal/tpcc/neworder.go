@@ -9,18 +9,20 @@ import (
 	"github.com/rewind-db/rewind/internal/pmem"
 )
 
-// tmWriter adapts an arbitrary transaction manager (the distributed-log
-// configuration has one per terminal) to the tree Writer interface.
+// tmWriter adapts a transaction handle (the distributed-log configuration
+// has one manager per terminal) to the tree Writer interface. Going
+// through the handle keeps every tree write on the shard fast path, and
+// multi-word WriteBytes calls — TPC-C row images — log one span record
+// each.
 type tmWriter struct {
-	tm  *core.TM
-	tid uint64
-	a   *pmem.Allocator
+	x *core.Txn
+	a *pmem.Allocator
 }
 
-func (w tmWriter) Write64(addr, val uint64) error         { return w.tm.Write64(w.tid, addr, val) }
-func (w tmWriter) WriteBytes(addr uint64, p []byte) error { return w.tm.WriteBytes(w.tid, addr, p) }
+func (w tmWriter) Write64(addr, val uint64) error         { return w.x.Write64(addr, val) }
+func (w tmWriter) WriteBytes(addr uint64, p []byte) error { return w.x.WriteBytes(addr, p) }
 func (w tmWriter) Alloc(size int) uint64                  { return w.a.Alloc(size) }
-func (w tmWriter) Free(addr uint64) error                 { return w.tm.Delete(w.tid, addr) }
+func (w tmWriter) Free(addr uint64) error                 { return w.x.Delete(addr) }
 
 // errSimulatedAbort models the 1% of new-order transactions TPC-C requires
 // to abort (an unused item number).
@@ -99,14 +101,14 @@ func (t *Terminal) NewOrder() (bool, error) {
 		return true, nil
 	}
 
-	tid := t.tm.Begin()
-	w := tmWriter{tm: t.tm, tid: tid, a: t.db.s.Allocator()}
+	x := t.tm.Begin()
+	w := tmWriter{x: x, a: t.db.s.Allocator()}
 	err := t.body(w)
 	if err == nil && abort {
 		err = errSimulatedAbort
 	}
 	if err != nil {
-		if rbErr := t.tm.Rollback(tid); rbErr != nil {
+		if rbErr := x.Rollback(); rbErr != nil {
 			return false, rbErr
 		}
 		t.Aborted++
@@ -115,7 +117,7 @@ func (t *Terminal) NewOrder() (bool, error) {
 		}
 		return false, err
 	}
-	if err := t.tm.Commit(tid); err != nil {
+	if err := x.Commit(); err != nil {
 		return false, err
 	}
 	t.Executed++

@@ -8,6 +8,7 @@
 package list
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 
@@ -81,9 +82,11 @@ func (l *List) PushBack(v uint64) (uint64, error) {
 	n := l.s.Alloc(nodeSize)
 	err := l.s.Atomic(func(tx *rewind.Tx) error {
 		t := l.tail()
-		tx.Write64(n+nodePrev, t)
-		tx.Write64(n+nodeNext, 0)
-		tx.Write64(n+nodeValue, v)
+		// The node image (prev, next, value) is one contiguous run, so it
+		// is logged as a single span record rather than word by word.
+		if err := tx.WriteBytes(n, nodeImage(t, 0, v)); err != nil {
+			return err
+		}
 		if t == 0 {
 			tx.Write64(l.hdr+hdrHead, n)
 		} else {
@@ -103,9 +106,9 @@ func (l *List) PushFront(v uint64) (uint64, error) {
 	n := l.s.Alloc(nodeSize)
 	err := l.s.Atomic(func(tx *rewind.Tx) error {
 		h := l.head()
-		tx.Write64(n+nodePrev, 0)
-		tx.Write64(n+nodeNext, h)
-		tx.Write64(n+nodeValue, v)
+		if err := tx.WriteBytes(n, nodeImage(0, h, v)); err != nil {
+			return err
+		}
 		if h == 0 {
 			tx.Write64(l.hdr+hdrTail, n)
 		} else {
@@ -118,6 +121,16 @@ func (l *List) PushFront(v uint64) (uint64, error) {
 		return 0, err
 	}
 	return n, nil
+}
+
+// nodeImage renders a node's three words (prev, next, value) as the byte
+// image a span-logged WriteBytes expects.
+func nodeImage(prev, next, value uint64) []byte {
+	p := make([]byte, nodeSize)
+	binary.LittleEndian.PutUint64(p[nodePrev:], prev)
+	binary.LittleEndian.PutUint64(p[nodeNext:], next)
+	binary.LittleEndian.PutUint64(p[nodeValue:], value)
+	return p
 }
 
 // ErrNotFound is returned when a value is absent.

@@ -215,7 +215,7 @@ func TestNewTMDistributedLogs(t *testing.T) {
 	if err := s.Atomic(func(tx *Tx) error { return tx.Write64(a1, 1) }); err != nil {
 		t.Fatal(err)
 	}
-	tid := tm2.Begin()
+	tid := tm2.Begin().ID()
 	if err := tm2.Write64(tid, a2, 2); err != nil {
 		t.Fatal(err)
 	}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"github.com/rewind-db/rewind/internal/core"
 	"github.com/rewind-db/rewind/internal/nvm"
 )
 
@@ -13,21 +14,25 @@ import (
 // through Write64/WriteBytes, which log ahead of the write (WAL), and the
 // block ends with Commit or Rollback.
 //
+// Tx wraps a core.Txn handle that pins the transaction's log shard and
+// table entry, so every call below goes straight to the shard — no global
+// manager mutex, no tid-keyed map lookup on the hot path.
+//
 // A Tx is not safe for concurrent use by multiple goroutines; run one
 // transaction per goroutine instead (the manager itself is concurrent).
 type Tx struct {
 	s    *Store
-	id   uint64
+	h    *core.Txn
 	done bool
 }
 
 // Begin starts a transaction.
 func (s *Store) Begin() *Tx {
-	return &Tx{s: s, id: s.tm.Begin()}
+	return &Tx{s: s, h: s.tm.Begin()}
 }
 
 // ID returns the transaction identifier.
-func (tx *Tx) ID() uint64 { return tx.id }
+func (tx *Tx) ID() uint64 { return tx.h.ID() }
 
 // ErrTxDone is returned when a finished transaction is used again.
 var ErrTxDone = errors.New("rewind: transaction already finished")
@@ -45,16 +50,19 @@ func (tx *Tx) Write64(addr, val uint64) error {
 	if err := tx.active(); err != nil {
 		return err
 	}
-	return tx.s.tm.Write64(tx.id, addr, val)
+	return tx.h.Write64(addr, val)
 }
 
-// WriteBytes logs and applies a multi-word write, word by word (physical
-// logging at the paper's granularity). addr must be 8-byte aligned.
+// WriteBytes logs and applies a multi-word write as a single span record:
+// one log insert (and one flush + fence under Simple/Optimized) covers the
+// whole run, instead of one per word. addr must be 8-byte aligned
+// (core.ErrUnalignedWrite otherwise); a final partial word is
+// read-modified-written, preserving the bytes past len(p).
 func (tx *Tx) WriteBytes(addr uint64, p []byte) error {
 	if err := tx.active(); err != nil {
 		return err
 	}
-	return tx.s.tm.WriteBytes(tx.id, addr, p)
+	return tx.h.WriteBytes(addr, p)
 }
 
 // Read64 loads a word. Reads are direct; no logging.
@@ -76,7 +84,7 @@ func (tx *Tx) Free(addr uint64) error {
 	if err := tx.active(); err != nil {
 		return err
 	}
-	return tx.s.tm.Delete(tx.id, addr)
+	return tx.h.Delete(addr)
 }
 
 // Commit ends the transaction, making its updates durable (§4.3).
@@ -85,7 +93,7 @@ func (tx *Tx) Commit() error {
 		return err
 	}
 	tx.done = true
-	return tx.s.tm.Commit(tx.id)
+	return tx.h.Commit()
 }
 
 // Rollback aborts the transaction, restoring every logged location to its
@@ -95,7 +103,7 @@ func (tx *Tx) Rollback() error {
 		return err
 	}
 	tx.done = true
-	return tx.s.tm.Rollback(tx.id)
+	return tx.h.Rollback()
 }
 
 // Atomic runs fn inside a transaction — the library form of the paper's
