@@ -1,0 +1,118 @@
+package rewind_test
+
+import (
+	"testing"
+
+	"github.com/rewind-db/rewind"
+)
+
+// TestAllocRollbackLeaksNeverDoubleServes pins the allocator contract
+// Tx.Alloc documents (and internal/pmem's header comment promises): an
+// allocation made inside a transaction that then rolls back is NOT undone.
+// The block is leaked — still marked allocated, unreachable — and, the
+// part that is load-bearing for correctness, it is never handed out a
+// second time. The opposite behavior (freeing on rollback) would let a
+// crashed replay double-serve the block; leaking is the failure mode the
+// paper accepts and defers to NV-heap-style allocators.
+func TestAllocRollbackLeaksNeverDoubleServes(t *testing.T) {
+	st, err := rewind.Open(rewind.Options{ArenaSize: 32 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := st.Begin()
+	leaked := tx.Alloc(128)
+	if err := tx.Write64(leaked, 0xdead); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+
+	if st.Allocator().IsFree(leaked) {
+		t.Fatal("rollback freed the transaction's allocation; it must leak instead")
+	}
+	// The leaked block must never be served again.
+	seen := map[uint64]bool{leaked: true}
+	for i := 0; i < 2000; i++ {
+		addr := st.Alloc(128)
+		if addr == leaked {
+			t.Fatalf("leaked block %#x handed out again after %d allocations", leaked, i)
+		}
+		if seen[addr] {
+			t.Fatalf("block %#x double-served", addr)
+		}
+		seen[addr] = true
+	}
+}
+
+// TestAllocCrashLeaksNeverDoubleServes is the crash-shaped variant: a
+// transaction allocates and the machine dies before commit. After
+// recovery the block is still allocated (leaked) — recovery aborts the
+// transaction but, like rollback, must not free what Alloc handed out —
+// and fresh allocations never collide with it.
+func TestAllocCrashLeaksNeverDoubleServes(t *testing.T) {
+	st, err := rewind.Open(rewind.Options{ArenaSize: 32 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := st.Begin()
+	leaked := tx.Alloc(256)
+	if err := tx.Write64(leaked, 1); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := st.Crash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Under the default Batch log the transaction's records may not have
+	// reached a group flush, in which case recovery sees nothing of it at
+	// all; either way the allocation must stay leaked, never freed.
+	if st2.Recovery.LosersAborted > 1 {
+		t.Fatalf("recovery aborted %d transactions, want at most 1", st2.Recovery.LosersAborted)
+	}
+	if st2.Allocator().IsFree(leaked) {
+		t.Fatal("recovery freed the aborted transaction's allocation; it must leak")
+	}
+	for i := 0; i < 2000; i++ {
+		if addr := st2.Alloc(256); addr == leaked {
+			t.Fatalf("leaked block %#x handed out again after recovery (allocation %d)", leaked, i)
+		}
+	}
+}
+
+// TestFreeIsDeferredToCommit is the flip side: Tx.Free must not release
+// the block until the transaction commits, and a rollback must keep it
+// allocated (DELETE records defer deallocation, §4.3).
+func TestFreeIsDeferredToCommit(t *testing.T) {
+	st, err := rewind.Open(rewind.Options{ArenaSize: 32 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	block := st.Alloc(128)
+
+	tx := st.Begin()
+	if err := tx.Free(block); err != nil {
+		t.Fatal(err)
+	}
+	if st.Allocator().IsFree(block) {
+		t.Fatal("Free released the block before commit")
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if st.Allocator().IsFree(block) {
+		t.Fatal("rolled-back Free still released the block")
+	}
+
+	tx2 := st.Begin()
+	if err := tx2.Free(block); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	st.Checkpoint() // NoForce: deferred DELETEs apply at the checkpoint
+	if !st.Allocator().IsFree(block) {
+		t.Fatal("committed Free never released the block")
+	}
+}

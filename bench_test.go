@@ -197,6 +197,52 @@ func TestShardScalingSpeedup(t *testing.T) {
 	}
 }
 
+// TestServerGroupCommitSpeedup asserts the rewindd subsystem's headline
+// (the ISSUE 3 acceptance gate): with 8 client connections against the
+// real TCP server stack, acked-commit throughput on the simulated device
+// is at least 2x higher with cross-connection group commit than without,
+// and the batching is real (measured commits-per-flush well above 1). It
+// runs in -short mode too — it guards the feature this PR exists for.
+func TestServerGroupCommitSpeedup(t *testing.T) {
+	f := bench.ServerThroughput(bench.Quick)
+	at := func(series string, x float64) float64 {
+		for _, s := range f.Series {
+			if s.Name != series {
+				continue
+			}
+			for _, p := range s.Points {
+				if p.X == x {
+					return p.Y
+				}
+			}
+		}
+		t.Fatalf("series %q has no point at x=%v", series, x)
+		return 0
+	}
+	on, off := at("group-commit on", 8), at("group-commit off", 8)
+	if on < 2*off {
+		t.Errorf("8 conns: group commit on = %.1f kops/s, off = %.1f kops/s: speedup %.2fx < 2x",
+			on, off, on/off)
+	}
+	if fi := at("commits/flush", 8); fi < 2 {
+		t.Errorf("commits/flush = %.2f at 8 conns; rounds are not batching", fi)
+	}
+	// The speedup must come from concurrency: a single connection has
+	// nothing to share a round with.
+	if solo := at("group-commit on", 1); solo > 1.5*at("group-commit off", 1) {
+		t.Errorf("1-conn group commit %.1fx faster than off; the win should need fan-in", solo/at("group-commit off", 1))
+	}
+}
+
+func BenchmarkServerThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := bench.ServerThroughput(bench.Quick)
+		b.ReportMetric(last(f, "group-commit on"), "kops/s-gc@8conns")
+		b.ReportMetric(last(f, "group-commit off"), "kops/s-nogc@8conns")
+		b.ReportMetric(last(f, "commits/flush"), "commits/flush@8conns")
+	}
+}
+
 // TestSpanLoggingSavings asserts the span-record headline: a WriteBytes of
 // 8 words issues at least 4x fewer log appends and fences than logging the
 // same words one record each, and is measurably faster on the simulated

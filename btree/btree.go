@@ -136,6 +136,20 @@ type Tree struct {
 // initial structure is created with durable stores outside any transaction
 // (nothing references it until the root-slot store publishes it).
 func New(s *rewind.Store, cfg Config) (*Tree, error) {
+	t, err := NewAt(s, cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.SetRoot(t.cfg.RootSlot, t.hdr)
+	return t, nil
+}
+
+// NewAt creates an empty tree WITHOUT publishing it in a root slot: the
+// caller stores Header() somewhere durable and reachable instead (e.g. a
+// side table of many trees, as the kv package's stripes do — root slots
+// are scarce). Until then the tree is unreachable; a crash merely leaks
+// its two blocks.
+func NewAt(s *rewind.Store, cfg Config) (*Tree, error) {
 	cfg = cfg.withDefaults()
 	t := &Tree{s: s, mem: s.Mem(), cfg: cfg}
 	hdr := s.Alloc(hdrSize)
@@ -146,10 +160,13 @@ func New(s *rewind.Store, cfg Config) (*Tree, error) {
 	t.mem.StoreNT64(hdr+hdrRoot, leaf)
 	t.mem.StoreNT64(hdr+hdrCount, 0)
 	t.mem.Fence()
-	s.SetRoot(cfg.RootSlot, hdr)
 	t.hdr = hdr
 	return t, nil
 }
+
+// Header returns the NVM address of the tree header, for callers that
+// publish trees through their own durable structures (see NewAt/AttachAt).
+func (t *Tree) Header() uint64 { return t.hdr }
 
 // Attach reopens the tree published in cfg.RootSlot.
 func Attach(s *rewind.Store, cfg Config) (*Tree, error) {

@@ -1,0 +1,420 @@
+// Package client is the Go client for rewindd's binary protocol.
+//
+// A Client owns a pool of TCP connections. Requests are assigned a
+// connection round-robin and a per-connection id; a reader goroutine per
+// connection dispatches responses back to waiters by id, so any number of
+// callers (and any number of in-flight requests per caller) share the pool
+// with full pipelining — exactly the multi-connection commit pressure the
+// server's group-commit rounds feed on.
+//
+// Failures: a connection error fails every request in flight on that
+// connection; the failing call redials and retries up to Options.Retries
+// times. All protocol operations are idempotent (a replayed PUT stores the
+// same value, a replayed DEL may report found=false for work its first
+// attempt did), so retrying after an ambiguous failure is safe in the
+// at-least-once sense.
+package client
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/rewind-db/rewind/internal/wire"
+)
+
+// Options tunes a Client.
+type Options struct {
+	// Conns is the pool size (default 4).
+	Conns int
+	// Retries is how many times a failed call is retried on a fresh
+	// connection. Zero means the default of 2; a negative value disables
+	// retries entirely (at-most-once submission).
+	Retries int
+	// DialTimeout bounds each dial (default 5s).
+	DialTimeout time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Conns <= 0 {
+		o.Conns = 4
+	}
+	if o.Retries < 0 {
+		o.Retries = 0
+	} else if o.Retries == 0 {
+		o.Retries = 2
+	}
+	if o.DialTimeout == 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	return o
+}
+
+// ErrNotFound is returned by Get for absent keys.
+var ErrNotFound = errors.New("client: key not found")
+
+// Client is a pooled, pipelining rewindd client. Safe for concurrent use.
+type Client struct {
+	addr string
+	opts Options
+
+	mu     sync.Mutex
+	pool   []*conn
+	closed bool
+	rr     atomic.Uint32
+}
+
+// conn is one pooled connection with its response dispatcher. Two locks
+// keep response dispatch independent of socket writes: mu guards the
+// waiter map and liveness state only, wmu serializes the (possibly
+// blocking) frame writes. readLoop must never wait on a socket write —
+// otherwise a sender blocked on a full send buffer while the server
+// streams responses would wedge both directions permanently.
+type conn struct {
+	mu      sync.Mutex // waiters + dead + id assignment; never held across I/O
+	wmu     sync.Mutex // write path (frame write + flush)
+	c       net.Conn
+	bw      *bufio.Writer
+	nextID  uint32
+	waiters map[uint32]chan response
+	dead    error
+}
+
+type response struct {
+	status byte
+	body   []byte
+	err    error
+}
+
+// Dial creates a client for addr. Connections are established lazily.
+func Dial(addr string, opts Options) *Client {
+	opts = opts.withDefaults()
+	return &Client{addr: addr, opts: opts, pool: make([]*conn, opts.Conns)}
+}
+
+// Close tears down the pool. In-flight requests fail.
+func (cl *Client) Close() error {
+	cl.mu.Lock()
+	cl.closed = true
+	pool := append([]*conn(nil), cl.pool...)
+	cl.mu.Unlock()
+	for _, cn := range pool {
+		if cn != nil {
+			cn.fail(errors.New("client: closed"))
+		}
+	}
+	return nil
+}
+
+// pick returns the slot's connection, dialing if absent or dead.
+func (cl *Client) pick() (*conn, error) {
+	slot := int(cl.rr.Add(1) % uint32(cl.opts.Conns))
+	cl.mu.Lock()
+	if cl.closed {
+		cl.mu.Unlock()
+		return nil, errors.New("client: closed")
+	}
+	cn := cl.pool[slot]
+	if cn != nil {
+		cn.mu.Lock()
+		dead := cn.dead
+		cn.mu.Unlock()
+		if dead == nil {
+			cl.mu.Unlock()
+			return cn, nil
+		}
+	}
+	cl.mu.Unlock()
+
+	// Dial outside the pool lock.
+	nc, err := net.DialTimeout("tcp", cl.addr, cl.opts.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	fresh := &conn{c: nc, bw: bufio.NewWriterSize(nc, 64<<10), waiters: map[uint32]chan response{}}
+
+	cl.mu.Lock()
+	if cl.closed {
+		cl.mu.Unlock()
+		nc.Close()
+		return nil, errors.New("client: closed")
+	}
+	// A concurrent caller may have replaced the slot while we dialed;
+	// adopt the winner and discard our dial instead of leaking it.
+	if cur := cl.pool[slot]; cur != nil && cur != cn {
+		cur.mu.Lock()
+		alive := cur.dead == nil
+		cur.mu.Unlock()
+		if alive {
+			cl.mu.Unlock()
+			nc.Close()
+			return cur, nil
+		}
+	}
+	cl.pool[slot] = fresh
+	cl.mu.Unlock()
+	go fresh.readLoop()
+	return fresh, nil
+}
+
+// readLoop dispatches responses to waiters by request id.
+func (cn *conn) readLoop() {
+	br := bufio.NewReaderSize(cn.c, 64<<10)
+	for {
+		id, status, body, err := wire.ReadFrame(br)
+		if err != nil {
+			cn.fail(fmt.Errorf("client: connection lost: %w", err))
+			return
+		}
+		cn.mu.Lock()
+		ch := cn.waiters[id]
+		delete(cn.waiters, id)
+		cn.mu.Unlock()
+		if ch != nil {
+			ch <- response{status: status, body: body}
+		}
+	}
+}
+
+// fail marks the connection dead and releases every waiter.
+func (cn *conn) fail(err error) {
+	cn.mu.Lock()
+	if cn.dead == nil {
+		cn.dead = err
+		cn.c.Close()
+	}
+	waiters := cn.waiters
+	cn.waiters = map[uint32]chan response{}
+	cn.mu.Unlock()
+	for _, ch := range waiters {
+		ch <- response{err: err}
+	}
+}
+
+// ErrFrameTooLarge rejects a request too big for one wire frame before it
+// can poison the shared connection.
+var ErrFrameTooLarge = fmt.Errorf("client: request exceeds the %d-byte frame limit", wire.MaxFrame)
+
+// send writes one frame and returns the channel its response will land on.
+func (cn *conn) send(op byte, body []byte) (chan response, error) {
+	if len(body)+5 > wire.MaxFrame {
+		// The server would drop the connection on an oversized frame,
+		// failing every pipelined request sharing it; reject locally.
+		return nil, ErrFrameTooLarge
+	}
+	ch := make(chan response, 1)
+	cn.mu.Lock()
+	if cn.dead != nil {
+		err := cn.dead
+		cn.mu.Unlock()
+		return nil, err
+	}
+	cn.nextID++
+	id := cn.nextID
+	cn.waiters[id] = ch
+	cn.mu.Unlock()
+
+	// The waiter is registered before the frame hits the wire, so the
+	// response cannot race past it; the write itself happens outside mu
+	// so readLoop keeps draining responses while we block here.
+	frame := wire.AppendFrame(nil, id, op, body)
+	cn.wmu.Lock()
+	_, werr := cn.bw.Write(frame)
+	if werr == nil {
+		werr = cn.bw.Flush()
+	}
+	cn.wmu.Unlock()
+	if werr != nil {
+		cn.mu.Lock()
+		delete(cn.waiters, id)
+		cn.mu.Unlock()
+		cn.fail(werr)
+		return nil, werr
+	}
+	return ch, nil
+}
+
+// call performs one request with retries.
+func (cl *Client) call(op byte, body []byte) (byte, []byte, error) {
+	var lastErr error
+	for attempt := 0; attempt <= cl.opts.Retries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(time.Duration(attempt) * 10 * time.Millisecond)
+		}
+		cn, err := cl.pick()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		ch, err := cn.send(op, body)
+		if errors.Is(err, ErrFrameTooLarge) {
+			return 0, nil, err // no retry can make the request fit
+		}
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		resp := <-ch
+		if resp.err != nil {
+			lastErr = resp.err
+			continue
+		}
+		return resp.status, resp.body, nil
+	}
+	return 0, nil, lastErr
+}
+
+// Get fetches the value under key (ErrNotFound for absent keys).
+func (cl *Client) Get(key uint64) ([]byte, error) {
+	status, body, err := cl.call(wire.OpGet, wire.AppendU64(nil, key))
+	if err != nil {
+		return nil, err
+	}
+	switch status {
+	case wire.StatusOK:
+		return body, nil
+	case wire.StatusNotFound:
+		return nil, ErrNotFound
+	}
+	return nil, errors.New(string(body))
+}
+
+// Put durably stores value under key. When Put returns nil the write has
+// been committed and flushed server-side.
+func (cl *Client) Put(key uint64, value []byte) error {
+	body := wire.AppendU64(nil, key)
+	body = wire.AppendBytes(body, value)
+	return cl.expectOK(cl.call(wire.OpPut, body))
+}
+
+// Delete removes key, reporting whether it was present.
+func (cl *Client) Delete(key uint64) (bool, error) {
+	status, body, err := cl.call(wire.OpDel, wire.AppendU64(nil, key))
+	if err != nil {
+		return false, err
+	}
+	if status != wire.StatusOK {
+		return false, errors.New(string(body))
+	}
+	return len(body) == 1 && body[0] == 1, nil
+}
+
+// Pair is one scan result.
+type Pair struct {
+	Key   uint64
+	Value []byte
+}
+
+// Scan returns the pairs with keys in [from, to], sorted by key, up to
+// limit (limit <= 0 means all). The server caps each response at a page
+// that fits one wire frame; Scan paginates transparently, resuming each
+// page from the last returned key, so the result is never silently
+// truncated by the server's page size.
+func (cl *Client) Scan(from, to uint64, limit int) ([]Pair, error) {
+	var out []Pair
+	for {
+		pairs, err := cl.scanPage(from, to, limit-len(out))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pairs...)
+		if len(pairs) == 0 || (limit > 0 && len(out) >= limit) {
+			break
+		}
+		last := pairs[len(pairs)-1].Key
+		if last >= to {
+			break
+		}
+		from = last + 1
+	}
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out, nil
+}
+
+// scanPage fetches one server-sized page. remaining <= 0 requests the
+// server's full page.
+func (cl *Client) scanPage(from, to uint64, remaining int) ([]Pair, error) {
+	if remaining < 0 {
+		remaining = 0
+	}
+	body := wire.AppendU64(nil, from)
+	body = wire.AppendU64(body, to)
+	body = wire.AppendU32(body, uint32(remaining))
+	status, resp, err := cl.call(wire.OpScan, body)
+	if err != nil {
+		return nil, err
+	}
+	if status != wire.StatusOK {
+		return nil, errors.New(string(resp))
+	}
+	r := &wire.Reader{B: resp}
+	n, err := r.U32()
+	if err != nil {
+		return nil, err
+	}
+	pairs := make([]Pair, 0, n)
+	for i := uint32(0); i < n; i++ {
+		k, err := r.U64()
+		if err != nil {
+			return nil, err
+		}
+		v, err := r.Bytes()
+		if err != nil {
+			return nil, err
+		}
+		pairs = append(pairs, Pair{Key: k, Value: v})
+	}
+	return pairs, nil
+}
+
+// Op mirrors kv.Op on the wire.
+type Op struct {
+	Delete bool
+	Key    uint64
+	Value  []byte
+}
+
+// Batch applies ops atomically server-side: all-or-none.
+func (cl *Client) Batch(ops []Op) error {
+	body := wire.AppendU32(nil, uint32(len(ops)))
+	for _, op := range ops {
+		kind := byte(0)
+		if op.Delete {
+			kind = 1
+		}
+		body = append(body, kind)
+		body = wire.AppendU64(body, op.Key)
+		if !op.Delete {
+			body = wire.AppendBytes(body, op.Value)
+		}
+	}
+	return cl.expectOK(cl.call(wire.OpBatch, body))
+}
+
+// Stats fetches the server's STATS JSON document.
+func (cl *Client) Stats() ([]byte, error) {
+	status, body, err := cl.call(wire.OpStats, nil)
+	if err != nil {
+		return nil, err
+	}
+	if status != wire.StatusOK {
+		return nil, errors.New(string(body))
+	}
+	return body, nil
+}
+
+func (cl *Client) expectOK(status byte, body []byte, err error) error {
+	if err != nil {
+		return err
+	}
+	if status != wire.StatusOK {
+		return errors.New(string(body))
+	}
+	return nil
+}

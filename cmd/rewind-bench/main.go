@@ -25,6 +25,11 @@ import (
 // perf trajectory can be tracked across PRs without scraping tables.
 const benchJSONPath = "BENCH_rewind.json"
 
+// serverJSONPath gets a standalone copy of the rewindd service figure
+// (the "server" runner): CI uploads it as its own artifact so the
+// service-layer trajectory is trackable without parsing the full set.
+const serverJSONPath = "BENCH_server.json"
+
 // jsonFigure is one figure plus how long it took to regenerate.
 type jsonFigure struct {
 	bench.Figure
@@ -88,15 +93,25 @@ func main() {
 	}
 
 	if *jsonOut {
-		data, err := json.MarshalIndent(report, "", "  ")
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "encoding %s: %v\n", benchJSONPath, err)
-			os.Exit(1)
-		}
-		if err := os.WriteFile(benchJSONPath, append(data, '\n'), 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "writing %s: %v\n", benchJSONPath, err)
-			os.Exit(1)
-		}
+		writeJSON(benchJSONPath, report)
 		fmt.Printf("wrote %s (%d figures, %s scale)\n", benchJSONPath, len(report.Figures), scale)
+		for _, fig := range report.Figures {
+			if fig.ID == "server" {
+				writeJSON(serverJSONPath, jsonReport{Scale: report.Scale, Figures: []jsonFigure{fig}})
+				fmt.Printf("wrote %s\n", serverJSONPath)
+			}
+		}
+	}
+}
+
+func writeJSON(path string, report jsonReport) {
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "encoding %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "writing %s: %v\n", path, err)
+		os.Exit(1)
 	}
 }

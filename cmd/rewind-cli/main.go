@@ -1,0 +1,165 @@
+// Command rewind-cli talks to a rewindd daemon.
+//
+// Usage:
+//
+//	rewind-cli [-addr host:port] get <key>
+//	rewind-cli [-addr host:port] put <key> <value>
+//	rewind-cli [-addr host:port] del <key>
+//	rewind-cli [-addr host:port] scan <from> <to> [limit]
+//	rewind-cli [-addr host:port] stats
+//	rewind-cli [-addr host:port] bench [-n ops] [-c conns]
+//
+// Keys are uint64s; values are arbitrary strings. bench floods the daemon
+// with pipelined PUTs from -c concurrent connections and reports acked
+// ops/sec — a quick way to watch group commit earn its keep (compare a
+// daemon started with -group-commit=false).
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/rewind-db/rewind/client"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: rewind-cli [-addr host:port] <get|put|del|scan|stats|bench> ...")
+	os.Exit(2)
+}
+
+func parseKey(s string) uint64 {
+	k, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rewind-cli: bad key %q: %v\n", s, err)
+		os.Exit(2)
+	}
+	return k
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7707", "daemon address")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+	cl := client.Dial(*addr, client.Options{})
+	defer cl.Close()
+
+	die := func(err error) {
+		fmt.Fprintf(os.Stderr, "rewind-cli: %v\n", err)
+		os.Exit(1)
+	}
+
+	switch args[0] {
+	case "get":
+		if len(args) != 2 {
+			usage()
+		}
+		v, err := cl.Get(parseKey(args[1]))
+		if errors.Is(err, client.ErrNotFound) {
+			fmt.Println("(not found)")
+			os.Exit(1)
+		}
+		if err != nil {
+			die(err)
+		}
+		fmt.Printf("%s\n", v)
+
+	case "put":
+		if len(args) != 3 {
+			usage()
+		}
+		if err := cl.Put(parseKey(args[1]), []byte(args[2])); err != nil {
+			die(err)
+		}
+		fmt.Println("OK")
+
+	case "del":
+		if len(args) != 2 {
+			usage()
+		}
+		found, err := cl.Delete(parseKey(args[1]))
+		if err != nil {
+			die(err)
+		}
+		if found {
+			fmt.Println("deleted")
+		} else {
+			fmt.Println("(not found)")
+		}
+
+	case "scan":
+		if len(args) < 3 || len(args) > 4 {
+			usage()
+		}
+		limit := 100
+		if len(args) == 4 {
+			limit = int(parseKey(args[3]))
+		}
+		pairs, err := cl.Scan(parseKey(args[1]), parseKey(args[2]), limit)
+		if err != nil {
+			die(err)
+		}
+		for _, p := range pairs {
+			fmt.Printf("%d\t%s\n", p.Key, p.Value)
+		}
+		fmt.Fprintf(os.Stderr, "(%d keys)\n", len(pairs))
+
+	case "stats":
+		doc, err := cl.Stats()
+		if err != nil {
+			die(err)
+		}
+		fmt.Printf("%s\n", doc)
+
+	case "bench":
+		fs := flag.NewFlagSet("bench", flag.ExitOnError)
+		n := fs.Int("n", 10000, "total PUTs")
+		c := fs.Int("c", 8, "concurrent connections")
+		fs.Parse(args[1:])
+		bench(*addr, *n, *c, die)
+
+	default:
+		usage()
+	}
+}
+
+// bench floods the daemon with PUTs over c connections and prints acked
+// throughput.
+func bench(addr string, n, c int, die func(error)) {
+	var wg sync.WaitGroup
+	start := time.Now()
+	errs := make(chan error, c)
+	for w := 0; w < c; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl := client.Dial(addr, client.Options{Conns: 1})
+			defer cl.Close()
+			val := []byte(fmt.Sprintf("bench-%d", w))
+			for i := 0; i < n/c; i++ {
+				key := uint64(w)<<32 | uint64(i)
+				if err := cl.Put(key, val); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		die(err)
+	default:
+	}
+	el := time.Since(start)
+	acked := n / c * c
+	fmt.Printf("%d acked PUTs over %d conns in %v: %.0f ops/sec\n",
+		acked, c, el.Round(time.Millisecond), float64(acked)/el.Seconds())
+}

@@ -1,8 +1,9 @@
-// Kvstore builds a durable key-value store on the recoverable B+-tree and
-// exercises it across a process "restart" via a saved NVM image — the
-// cross-process durability story: writes that committed before the
-// shutdown are all present afterwards, with no replay logic in the
-// application.
+// Kvstore builds a durable key-value store on the kv package — the same
+// striped engine rewindd serves over TCP — and exercises it across a
+// process "restart" via a saved NVM image: writes that committed before
+// the shutdown are all present afterwards, with no replay logic in the
+// application. (rewindd itself uses Options.BackingFile for continuous
+// durability; the image path shown here is the embedded-library variant.)
 package main
 
 import (
@@ -12,29 +13,8 @@ import (
 	"path/filepath"
 
 	"github.com/rewind-db/rewind"
-	"github.com/rewind-db/rewind/btree"
+	"github.com/rewind-db/rewind/kv"
 )
-
-const treeSlot = rewind.AppRootFirst
-
-func put(t *btree.Tree, k uint64, s string) error {
-	v := make([]byte, 32)
-	copy(v, s)
-	_, err := t.InsertAtomic(k, v)
-	return err
-}
-
-func get(t *btree.Tree, k uint64) (string, bool) {
-	v, ok := t.Lookup(k)
-	if !ok {
-		return "", false
-	}
-	n := 0
-	for n < len(v) && v[n] != 0 {
-		n++
-	}
-	return string(v[:n]), true
-}
 
 func main() {
 	dir, err := os.MkdirTemp("", "rewind-kv")
@@ -43,51 +23,53 @@ func main() {
 	}
 	defer os.RemoveAll(dir)
 	img := filepath.Join(dir, "store.img")
-	opts := rewind.Options{ArenaSize: 32 << 20, ImagePath: img}
+	opts := rewind.Options{ArenaSize: 32 << 20, ImagePath: img, GroupCommit: true}
+	cfg := kv.Config{Stripes: 4, MaxValue: 32}
 
 	// --- first process lifetime ---
 	st, err := rewind.Open(opts)
 	if err != nil {
 		log.Fatal(err)
 	}
-	t, err := btree.New(st, btree.Config{ValueSize: 32, RootSlot: treeSlot})
+	s, err := kv.Open(st, cfg) // creates the striped store
 	if err != nil {
 		log.Fatal(err)
 	}
 	pairs := map[uint64]string{
 		1: "persistent", 2: "byte", 3: "addressable", 4: "memory", 5: "store",
 	}
-	for k, s := range pairs {
-		if err := put(t, k, s); err != nil {
+	for k, v := range pairs {
+		if err := s.Put(k, []byte(v)); err != nil {
 			log.Fatal(err)
 		}
 	}
-	if _, err := t.DeleteAtomic(4); err != nil {
+	// A cross-stripe batch applies atomically: overwrite one key, delete
+	// another, in ONE transaction.
+	if err := s.Batch([]kv.Op{
+		{Key: 2, Value: []byte("BYTE")},
+		{Key: 4, Delete: true},
+	}); err != nil {
 		log.Fatal(err)
 	}
 	if err := st.Close(); err != nil { // checkpoints and saves the image
 		log.Fatal(err)
 	}
-	fmt.Println("first lifetime: stored", len(pairs), "keys, deleted one, closed")
+	fmt.Println("first lifetime: stored", len(pairs), "keys, batched an overwrite+delete, closed")
 
 	// --- second process lifetime ---
 	st2, err := rewind.Open(opts) // loads the image, runs recovery
 	if err != nil {
 		log.Fatal(err)
 	}
-	t2, err := btree.Attach(st2, btree.Config{ValueSize: 32, RootSlot: treeSlot})
+	s2, err := kv.Attach(st2, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := t2.CheckInvariants(); err != nil {
+	if err := s2.CheckInvariants(); err != nil {
 		log.Fatal(err)
 	}
-	for _, k := range []uint64{1, 2, 3, 4, 5} {
-		if s, ok := get(t2, k); ok {
-			fmt.Printf("  key %d = %q\n", k, s)
-		} else {
-			fmt.Printf("  key %d = (deleted)\n", k)
-		}
+	for _, p := range s2.Scan(0, ^uint64(0), 0) {
+		fmt.Printf("  key %d = %q\n", p.Key, p.Value)
 	}
-	fmt.Printf("second lifetime: %d keys survive the restart\n", t2.Len())
+	fmt.Printf("second lifetime: %d keys survive the restart\n", s2.Len())
 }

@@ -142,6 +142,7 @@ func Runners() []Runner {
 		{"fig11", "TPC-C new-order throughput", Fig11},
 		{"shards", "Sharded-log commit throughput", ShardScaling},
 		{"span", "Span-record vs per-word logging", SpanLogging},
+		{"server", "rewindd group-commit throughput", ServerThroughput},
 	}
 }
 

@@ -1,0 +1,135 @@
+package bench
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/rewind-db/rewind"
+	"github.com/rewind-db/rewind/client"
+	"github.com/rewind-db/rewind/kv"
+	"github.com/rewind-db/rewind/server"
+)
+
+// serverFenceLatency is the persistent-fence cost the server figure
+// charges: 5µs, the top of Figure 10's 0–5µs sensitivity sweep. Group
+// commit is a fence-amortization device, so the figure runs in the regime
+// the paper itself identifies as the expensive-fence end of NVM hardware;
+// the per-line write latency stays at the paper's 150ns default.
+const serverFenceLatency = 5 * time.Microsecond
+
+// ServerThroughput measures rewindd's acked-commit throughput against
+// connection count, with and without cross-connection group commit — the
+// service-layer experiment the kv/server subsystem exists for.
+//
+// Real stack, real sockets: a server.Server on a loopback listener backed
+// by a kv.Store over the simulated device, driven by N client connections
+// each overwriting its own keys (the keyspace is preloaded outside the
+// measurement, so a transaction is one value-span record plus END — the
+// update-in-place shape of the paper's microbenchmarks) and waiting for
+// every durability ack. Throughput is acked operations per second of
+// simulated device time, the same virtual-clock metric as the other
+// figures, so the batching effect is measured as fences-not-paid rather
+// than as Go scheduler noise. The commits/flush series reports the
+// measured group-commit fan-in (1.0 when off); the speedup gate in
+// bench_test.go asserts >= 2x at 8 connections.
+func ServerThroughput(scale Scale) Figure {
+	opsPerConn := scale.pick(250, 2_500)
+	fig := Figure{
+		ID: "server", Title: "rewindd acked-PUT throughput vs connections",
+		XLabel: "client connections", YLabel: "kops/s (simulated) / commits-per-flush",
+		Notes: fmt.Sprintf("loopback TCP, %v fence (Fig10 regime), group window 300µs", serverFenceLatency),
+	}
+	var on, off, fanIn []Point
+	for _, conns := range []int{1, 2, 4, 8} {
+		y, fi := serverPoint(true, conns, opsPerConn)
+		on = append(on, Point{X: float64(conns), Y: y / 1e3})
+		fanIn = append(fanIn, Point{X: float64(conns), Y: fi})
+		y, _ = serverPoint(false, conns, opsPerConn)
+		off = append(off, Point{X: float64(conns), Y: y / 1e3})
+	}
+	fig.Series = append(fig.Series,
+		Series{Name: "group-commit on", Points: on},
+		Series{Name: "group-commit off", Points: off},
+		Series{Name: "commits/flush", Points: fanIn},
+	)
+	return fig
+}
+
+// serverPoint runs one full client/server stack and returns acked PUTs per
+// simulated second plus the measured commits-per-flush fan-in.
+func serverPoint(gc bool, conns, opsPerConn int) (throughput, fanIn float64) {
+	st, err := rewind.Open(rewind.Options{
+		ArenaSize: 1 << 28,
+		// GroupSize 64 keeps the Batch log's own record-count flush out of
+		// the way: with the default 8, the log would flush (and fence)
+		// every 8 records on its own schedule, capping what a commit round
+		// can amortize. Both configurations get the same log shape; only
+		// the GroupCommit flag differs.
+		GroupSize:         64,
+		GroupCommit:       gc,
+		GroupCommitWindow: 300 * time.Microsecond,
+		GroupCommitMax:    conns,
+		FenceLatency:      serverFenceLatency,
+		DisableTracking:   true,
+	})
+	if err != nil {
+		panic(err)
+	}
+	kvs, err := kv.Create(st, kv.Config{Stripes: 8, MaxValue: 16})
+	if err != nil {
+		panic(err)
+	}
+	srv := server.New(kvs)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+	addr := ln.Addr().String()
+
+	// Preload outside the measurement: the timed phase overwrites these
+	// keys in place. Round-robin assignment gives conn c every conns-th
+	// key, spread over all stripes.
+	for c := 0; c < conns; c++ {
+		for i := 0; i < opsPerConn; i++ {
+			if err := kvs.Put(uint64(i*conns+c+1), []byte{0, 0}); err != nil {
+				panic(err)
+			}
+		}
+	}
+
+	before := st.Stats()
+	shBefore := st.ShardStats()
+	var wg sync.WaitGroup
+	for c := 0; c < conns; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl := client.Dial(addr, client.Options{Conns: 1})
+			defer cl.Close()
+			val := []byte{byte(c), 0xee}
+			for i := 0; i < opsPerConn; i++ {
+				if err := cl.Put(uint64(i*conns+c+1), val); err != nil {
+					panic(err)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	delta := st.Stats().Sub(before)
+
+	var commits, rounds int64
+	for i, sh := range st.ShardStats() {
+		commits += sh.Commits - shBefore[i].Commits
+		rounds += sh.GroupCommitRounds - shBefore[i].GroupCommitRounds
+	}
+	fanIn = 1
+	if rounds > 0 {
+		fanIn = float64(commits) / float64(rounds)
+	}
+	acked := conns * opsPerConn
+	return float64(acked) / simSeconds(delta), fanIn
+}

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"runtime"
+	"time"
+
 	"github.com/rewind-db/rewind/internal/nvm"
 	"github.com/rewind-db/rewind/internal/rlog"
 )
@@ -21,6 +24,7 @@ func (x *Txn) Commit() error {
 		return err
 	}
 	tm, sh := x.tm, x.sh
+	gc := tm.cfg.GroupCommit
 	contended := sh.lock()
 	if tm.cfg.Policy == Force {
 		// User updates were issued as durable stores (or deferred to
@@ -29,17 +33,24 @@ func (x *Txn) Commit() error {
 		tm.forceLogShard(sh)
 		tm.mem.Fence()
 	}
-	tm.appendShard(sh, x.st, rlog.Fields{Txn: x.st.id, Type: rlog.TypeEnd}, true)
+	// Under group commit the END record joins the log without forcing its
+	// own group flush (end=false); durability comes from the shared round
+	// flush below, which Commit waits for before returning.
+	tm.appendShard(sh, x.st, rlog.Fields{Txn: x.st.id, Type: rlog.TypeEnd}, !gc)
 	sh.mu.Unlock()
 	sh.commits.Add(1)
 	if !contended {
 		sh.uncontended.Add(1)
+	}
+	if gc {
+		tm.groupWait(sh)
 	}
 
 	tm.mu.Lock()
 	x.st.status = statusFinished
 	tm.stats.Committed++
 	tm.mu.Unlock()
+	sh.running.Add(-1)
 
 	if tm.cfg.Policy == Force {
 		tm.clearFinished(x.st, true)
@@ -49,6 +60,106 @@ func (x *Txn) Commit() error {
 	}
 	return nil
 }
+
+// groupWait blocks until a group-commit flush covers the caller's freshly
+// appended END record (§3.3 generalized across transactions).
+//
+// The first committer to arrive opens a round and becomes its leader: it
+// waits up to GroupCommitWindow for other commits to join (or until
+// GroupCommitMax have; not at all if it is the only unfinished
+// transaction — nobody exists who could join), then acquires the shard,
+// closes the round, and issues ONE ForceFlush — flush + fence +
+// persisted-index store — on behalf of every member. Followers just wait
+// for the leader's done signal.
+//
+// Correctness of the shared flush: a follower can only join a round that
+// is still open, and the leader closes the round only after it holds the
+// shard mutex. A follower's END was appended under the shard mutex before
+// it tried to join, so by the time the leader holds that mutex, every
+// member's END is in the log and the flush covers it. Closing after the
+// mutex acquisition (not before) also means commits arriving while the
+// leader waits for a busy shard still join this round instead of leading
+// size-1 rounds of their own. Commits that arrive after the close open
+// the next round — nothing is ever left waiting on a flush that already
+// happened.
+func (tm *TM) groupWait(sh *logShard) {
+	sh.gcMu.Lock()
+	if r := sh.gcRound; r != nil {
+		// Join the open round as a follower.
+		r.n++
+		if r.n >= tm.cfg.GroupCommitMax && !r.fullSent {
+			r.fullSent = true
+			close(r.full)
+		}
+		sh.gcMu.Unlock()
+		<-r.done
+		return
+	}
+	// Lead a new round.
+	r := &gcRound{n: 1, full: make(chan struct{}), done: make(chan struct{})}
+	sh.gcRound = r
+	sh.gcMu.Unlock()
+
+	if tm.cfg.GroupCommitWindow > 0 && tm.cfg.GroupCommitMax > 1 {
+		// Yield once so committers that are already runnable (e.g.
+		// connection handlers with requests sitting in their sockets) get
+		// to reach the round, then decide whether gathering is worth a
+		// window of latency. Wait when there is any sign of company: a
+		// joiner already arrived, another transaction is unfinished, or
+		// the previous round had joiners (momentum). A leader with no
+		// such sign flushes immediately — a lone sequential client must
+		// not pay the window per commit — except on every gcProbeEvery-th
+		// joinerless round, where one full window is paid on purpose:
+		// concurrency that hides in socket buffers (handlers not yet
+		// scheduled, one-CPU convoys) is only discoverable by actually
+		// waiting, and without the probe a serialized system would stay
+		// serialized forever.
+		runtime.Gosched()
+		sh.gcMu.Lock()
+		wait := r.n > 1 || sh.gcMomentum
+		if !wait && sh.running.Load() <= 1 {
+			sh.gcSoloStreak++
+			if sh.gcSoloStreak >= gcProbeEvery {
+				sh.gcSoloStreak = 0
+				wait = true
+			}
+		} else if !wait {
+			wait = true // another transaction is in flight
+		}
+		sh.gcMu.Unlock()
+		if wait {
+			t := time.NewTimer(tm.cfg.GroupCommitWindow)
+			select {
+			case <-r.full:
+				t.Stop()
+			case <-t.C:
+			}
+		}
+	}
+
+	sh.mu.Lock()
+	sh.gcMu.Lock()
+	sh.gcRound = nil // close the round: later commits start the next one
+	n := r.n
+	sh.gcMomentum = n > 1
+	if n > 1 {
+		sh.gcSoloStreak = 0
+	}
+	sh.gcMu.Unlock()
+	tm.forceLogShard(sh)
+	sh.mu.Unlock()
+
+	sh.gcRounds.Add(1)
+	if n > 1 {
+		sh.gcGrouped.Add(int64(n))
+	}
+	close(r.done)
+}
+
+// gcProbeEvery is the solo-round period at which a group-commit leader
+// pays one gather window despite seeing no company, to re-discover
+// concurrency (see groupWait). Amortized lone-client cost: window/16.
+const gcProbeEvery = 16
 
 // CommitKeepLog commits without the force policy's commit-time clearing.
 // It exists for the recovery experiments (Figure 4 right): the paper
@@ -76,6 +187,7 @@ func (x *Txn) CommitKeepLog() error {
 	x.st.status = statusFinished
 	tm.stats.Committed++
 	tm.mu.Unlock()
+	sh.running.Add(-1)
 	return nil
 }
 
@@ -121,6 +233,7 @@ func (x *Txn) Rollback() error {
 	x.st.status = statusFinished
 	tm.stats.RolledBack++
 	tm.mu.Unlock()
+	sh.running.Add(-1)
 
 	if tm.cfg.Policy == Force {
 		tm.clearFinished(x.st, false)

@@ -64,6 +64,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/rewind-db/rewind/internal/avl"
 	"github.com/rewind-db/rewind/internal/nvm"
@@ -154,6 +155,33 @@ type Config struct {
 	// single global log). Each shard owns one root slot above RootBase.
 	// TwoLayer requires LogShards <= 1: its records live in the AAVLT.
 	LogShards int
+	// GroupCommit merges commits from concurrent transactions into shared
+	// log flushes: END records are appended without their usual per-
+	// transaction group flush, and a per-shard commit round — led by the
+	// first committer, joined by everyone who commits while the round is
+	// open — issues ONE flush + fence + persisted-index store covering all
+	// of them. Commit does not return until the flush that covers its END,
+	// so the durability contract is unchanged; only the fence bill is
+	// split. It generalizes the Batch log's group flush (§3.3) from
+	// one-transaction-many-records to many-transactions, and requires the
+	// configuration it extends: OneLayer + Batch + NoForce. (Under Force a
+	// commit must persist its own user data before its END; ordering that
+	// inside a shared flush would reintroduce the per-commit fence the
+	// feature exists to remove.)
+	GroupCommit bool
+	// GroupCommitWindow bounds how long a round's leader waits for
+	// joiners before flushing. Zero means the 100µs default; a negative
+	// window skips the wait, batching only commits that arrive while the
+	// leader is acquiring the shard and flushing. The wait is adaptive:
+	// a leader with no sign of company (no joiner, no other unfinished
+	// transaction, no joiners in the previous round) flushes immediately
+	// and only probes with a full window every 16th such round, so a
+	// lone sequential client pays ~window/16 average added latency while
+	// concurrent committers are still discovered and batched.
+	GroupCommitWindow time.Duration
+	// GroupCommitMax closes a round early once this many commits have
+	// joined (default 64).
+	GroupCommitMax int
 	// RootBase is the first of the Slots() pmem root slots this manager
 	// owns.
 	RootBase int
@@ -168,6 +196,14 @@ func (c Config) withDefaults() Config {
 	}
 	if c.LogShards <= 0 {
 		c.LogShards = 1
+	}
+	if c.GroupCommit {
+		if c.GroupCommitWindow == 0 {
+			c.GroupCommitWindow = 100 * time.Microsecond
+		}
+		if c.GroupCommitMax <= 0 {
+			c.GroupCommitMax = 64
+		}
 	}
 	return c
 }
@@ -198,6 +234,9 @@ func (c Config) validate() error {
 	}
 	if c.LogShards > maxLogShards {
 		return fmt.Errorf("core: %d log shards exceed the maximum of %d", c.LogShards, maxLogShards)
+	}
+	if c.GroupCommit && (c.Layers != OneLayer || c.LogKind != rlog.Batch || c.Policy != NoForce) {
+		return errors.New("core: group commit extends the Batch log's group flush; it requires OneLayer + Batch + NoForce")
 	}
 	if c.RootBase < 0 || c.RootBase+c.Slots() > pmem.NumRoots {
 		return fmt.Errorf("core: root base %d out of range", c.RootBase)
@@ -289,10 +328,39 @@ type logShard struct {
 	log     *rlog.Log // nil in the two-layer configuration
 	pending []pendingWrite
 
+	// Group commit: gcMu guards the open round and the adaptive-wait
+	// state. The leader (the committer that opens a round) gathers
+	// joiners for the configured window, then flushes once on behalf of
+	// everyone (see TM.groupWait). gcMomentum remembers whether the last
+	// round had joiners; gcSoloStreak counts consecutive joinerless
+	// rounds between probe waits.
+	gcMu         sync.Mutex
+	gcRound      *gcRound
+	gcMomentum   bool
+	gcSoloStreak int
+	// running counts transactions begun on this shard but not yet
+	// finished. A group-commit leader consults it to decide whether a
+	// joiner could even exist: only same-shard transactions can join its
+	// round, so the count is per shard, not process-wide.
+	running atomic.Int64
+
 	appends     atomic.Int64
 	flushes     atomic.Int64
 	commits     atomic.Int64
 	uncontended atomic.Int64
+	gcRounds    atomic.Int64
+	gcGrouped   atomic.Int64
+}
+
+// gcRound is one group-commit round on a shard: the set of commits that
+// will share a single log flush. full is closed when GroupCommitMax
+// commits have joined (the leader stops waiting early); done is closed by
+// the leader once the shared flush has made every member's END durable.
+type gcRound struct {
+	n        int
+	fullSent bool
+	full     chan struct{}
+	done     chan struct{}
 }
 
 // ShardStats counts one shard's activity since creation.
@@ -308,6 +376,13 @@ type ShardStats struct {
 	// without waiting — with enough shards relative to workers this
 	// approaches Commits, which is the scaling the sharded log buys.
 	UncontendedCommits int64
+	// GroupCommitRounds counts shared flushes issued by group-commit
+	// round leaders. Commits / GroupCommitRounds is the average number of
+	// transactions retired per log flush — the fan-in group commit buys.
+	GroupCommitRounds int64
+	// GroupedCommits counts commits that shared their round with at least
+	// one other transaction (i.e. actually split a fence bill).
+	GroupedCommits int64
 }
 
 // Stats counts manager activity since creation.
@@ -489,6 +564,8 @@ func (tm *TM) Stats() Stats {
 			Flushes:            sh.flushes.Load(),
 			Commits:            sh.commits.Load(),
 			UncontendedCommits: sh.uncontended.Load(),
+			GroupCommitRounds:  sh.gcRounds.Load(),
+			GroupedCommits:     sh.gcGrouped.Load(),
 		}
 		s.Records += s.Shards[i].Appends
 	}

@@ -14,6 +14,7 @@ func (tm *TM) Begin() *Txn {
 	id := tm.lastTxn.Add(1)
 	st := &txnState{id: id, status: statusRunning}
 	sh := tm.shardFor(id)
+	sh.running.Add(1)
 	tm.mu.Lock()
 	tm.markDirty()
 	tm.table[id] = st

@@ -1,0 +1,151 @@
+package nvm
+
+// File-backed durable images.
+//
+// The in-memory simulator's durable shadow (Config.TrackPersistence) models
+// what survives a power failure, but it lives in the process heap: a killed
+// process loses everything, which is fine for tests that crash and recover
+// inside one process, and useless for a daemon that must honour
+// acknowledged writes across a SIGKILL. OpenFile moves the shadow onto an
+// mmapped file: every durable operation (non-temporal store, dirty-line
+// flush) lands in a MAP_SHARED mapping, so when the process dies — however
+// violently — the OS page cache still holds exactly the durable image, and
+// the next OpenFile resumes from it. This is the fidelity boundary of the
+// simulation: process death is survived byte-for-byte; only a kernel panic
+// or power loss between Sync calls could lose page-cache contents, which is
+// where real NVM hardware takes over from the simulator.
+//
+// File layout: one header page (magic, arena size) followed by the raw
+// persistent words, mapped directly as the shadow array. The cache-visible
+// word array and the dirty-line bitmap remain volatile heap state, exactly
+// as on real hardware (caches do not survive reboots).
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+)
+
+// backingMagic identifies a file-backed arena ("RWNDNVB1").
+const backingMagic = 0x3142564e444e5752
+
+// backingHeader is the size of the file header page. The persistent words
+// start at this offset, which keeps them page- and line-aligned.
+const backingHeader = 4096
+
+// OpenFile creates or reopens a file-backed NVM device. When the file
+// already holds an arena, its durable image becomes the device's initial
+// state (both durable and cache-visible, as after a reboot) and existed
+// reports true; the stored arena size overrides cfg.Size. Persistence
+// tracking is implied. The returned device keeps the file mapped until
+// CloseFile.
+func OpenFile(cfg Config, path string) (m *Memory, existed bool, err error) {
+	cfg.TrackPersistence = true
+	cfg = cfg.withDefaults()
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, false, err
+	}
+	ok := false
+	defer func() {
+		if !ok {
+			f.Close()
+		}
+	}()
+	// Exclusive advisory lock for the life of the mapping: a second
+	// process opening the same file (supervisor restart overlap, stale
+	// pidfile) would run recovery under a live writer and corrupt the
+	// heap. The descriptor is kept open to hold the lock.
+	if err := flockExclusive(f); err != nil {
+		return nil, false, fmt.Errorf("nvm: backing file %s is in use by another process: %w", path, err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return nil, false, err
+	}
+	if st.Size() > 0 {
+		var hdr [16]byte
+		if _, err := f.ReadAt(hdr[:], 0); err != nil {
+			return nil, false, fmt.Errorf("nvm: reading backing header of %s: %w", path, err)
+		}
+		magic := binary.LittleEndian.Uint64(hdr[0:8])
+		size := int(binary.LittleEndian.Uint64(hdr[8:16]))
+		switch {
+		case magic == backingMagic:
+			if size <= 0 || size%LineSize != 0 || int64(backingHeader+size) > st.Size() {
+				return nil, false, fmt.Errorf("nvm: backing file %s has implausible arena size %d", path, size)
+			}
+			cfg.Size = size
+			existed = true
+		case magic == 0 && size == 0:
+			// A crash between Truncate and the header store leaves a
+			// sized file with a zero header; nothing can have been acked
+			// before the header existed, so treat it as fresh.
+			if err := f.Truncate(int64(backingHeader + cfg.Size)); err != nil {
+				return nil, false, err
+			}
+		default:
+			return nil, false, fmt.Errorf("nvm: %s is not a REWIND backing file", path)
+		}
+	} else {
+		if err := f.Truncate(int64(backingHeader + cfg.Size)); err != nil {
+			return nil, false, err
+		}
+	}
+
+	data, err := mmapFile(f, backingHeader+cfg.Size)
+	if err != nil {
+		return nil, false, fmt.Errorf("nvm: mapping %s: %w", path, err)
+	}
+	ok = true
+	m = &Memory{
+		cfg:      cfg,
+		words:    make([]uint64, cfg.Size/WordSize),
+		mapped:   data,
+		lockFile: f,
+	}
+	m.persist = wordsOf(data[backingHeader : backingHeader+cfg.Size])
+	m.dirty = make([]uint64, (len(m.words)/WordsPerLine+63)/64+1)
+	if existed {
+		// Reboot semantics: the cache starts as a copy of the durable image.
+		copy(m.words, m.persist)
+	} else {
+		binary.LittleEndian.PutUint64(data[0:8], backingMagic)
+		binary.LittleEndian.PutUint64(data[8:16], uint64(cfg.Size))
+	}
+	return m, existed, nil
+}
+
+// Backed reports whether the device's durable image lives in a file
+// mapping (created by OpenFile).
+func (m *Memory) Backed() bool { return m.mapped != nil }
+
+// Sync flushes the mapped durable image through to storage (msync). It is
+// only needed to survive machine-level failures; process death alone never
+// loses mapped writes. No-op for unbacked devices.
+func (m *Memory) Sync() error {
+	if m.mapped == nil {
+		return nil
+	}
+	return msync(m.mapped)
+}
+
+// CloseFile syncs and unmaps a file-backed device. The Memory must not be
+// used afterwards. No-op for unbacked devices.
+func (m *Memory) CloseFile() error {
+	if m.mapped == nil {
+		return nil
+	}
+	if err := msync(m.mapped); err != nil {
+		return err
+	}
+	data := m.mapped
+	m.mapped = nil
+	m.persist = nil
+	err := munmap(data)
+	if m.lockFile != nil {
+		m.lockFile.Close() // releases the advisory lock
+		m.lockFile = nil
+	}
+	return err
+}

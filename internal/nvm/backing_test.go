@@ -1,0 +1,147 @@
+//go:build linux || darwin
+
+package nvm
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestFileBackedDurability pins the contract rewindd's crash story rides
+// on: durable operations land in the mapped file immediately, cached
+// stores do not, and a second OpenFile — with no Close or Sync in between,
+// as after a SIGKILL — sees exactly the durable image.
+func TestFileBackedDurability(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "arena.nvm")
+	m, existed, err := OpenFile(Config{Size: 1 << 20}, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if existed {
+		t.Fatal("fresh file reported as existing")
+	}
+	m.StoreNT64(64, 42) // durable: must survive
+	m.Store64(128, 7)   // cached, never flushed: must not survive
+	m.Store64(192, 9)   // cached then flushed: must survive
+	m.Flush(192)
+	// The process "dies" here: drop the mapping and lock with no msync
+	// and no orderly Close. The dirty pages stay in the page cache, which
+	// is exactly what outlives a SIGKILL.
+	dieWithoutSync(m)
+
+	m2, existed, err := OpenFile(Config{Size: 1 << 20}, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !existed {
+		t.Fatal("existing file reported as fresh")
+	}
+	if got := m2.Load64(64); got != 42 {
+		t.Errorf("durable store lost: word(64) = %d, want 42", got)
+	}
+	if got := m2.Load64(128); got != 0 {
+		t.Errorf("cached store survived the kill: word(128) = %d, want 0", got)
+	}
+	if got := m2.Load64(192); got != 9 {
+		t.Errorf("flushed store lost: word(192) = %d, want 9", got)
+	}
+	if !m2.Backed() {
+		t.Error("reopened device does not report Backed")
+	}
+	// Crash simulation still works on a backed device.
+	m2.Store64(256, 5)
+	if err := m2.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m2.Load64(256); got != 0 {
+		t.Errorf("Crash kept a cached store: word(256) = %d", got)
+	}
+	if err := m2.CloseFile(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// dieWithoutSync simulates SIGKILL for an in-process device: the mapping
+// and the advisory lock vanish (as they would with the process) without
+// any msync or orderly shutdown.
+func dieWithoutSync(m *Memory) {
+	munmap(m.mapped)
+	m.lockFile.Close()
+	m.lockFile = nil
+	m.mapped = nil
+	m.persist = nil
+}
+
+// TestFileBackedExclusiveLock: a second OpenFile on a live backing file
+// must fail cleanly instead of double-mapping the arena.
+func TestFileBackedExclusiveLock(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "arena.nvm")
+	m, _, err := OpenFile(Config{Size: 1 << 20}, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenFile(Config{Size: 1 << 20}, path); err == nil {
+		t.Fatal("second OpenFile on a locked backing file succeeded")
+	}
+	if err := m.CloseFile(); err != nil {
+		t.Fatal(err)
+	}
+	// After a clean close the file is free again.
+	m2, existed, err := OpenFile(Config{Size: 1 << 20}, path)
+	if err != nil || !existed {
+		t.Fatalf("reopen after close: %v, existed=%v", err, existed)
+	}
+	m2.CloseFile()
+}
+
+// TestFileBackedZeroHeaderIsFresh: a file killed between Truncate and the
+// header store (sized, all-zero header) must be treated as fresh, not
+// rejected forever.
+func TestFileBackedZeroHeaderIsFresh(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "arena.nvm")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Truncate(backingHeader + 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	m, existed, err := OpenFile(Config{Size: 1 << 20}, path)
+	if err != nil {
+		t.Fatalf("zero-header file rejected: %v", err)
+	}
+	if existed {
+		t.Fatal("zero-header file treated as an existing arena")
+	}
+	m.StoreNT64(64, 1)
+	if err := m.CloseFile(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFileBackedSizeFromFile verifies the stored arena size overrides the
+// configured one on reopen (a daemon restarted with different flags must
+// not reinterpret the arena).
+func TestFileBackedSizeFromFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "arena.nvm")
+	m, _, err := OpenFile(Config{Size: 1 << 20}, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.StoreNT64(64, 1)
+	if err := m.CloseFile(); err != nil {
+		t.Fatal(err)
+	}
+	m2, existed, err := OpenFile(Config{Size: 4 << 20}, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !existed || m2.Size() != 1<<20 {
+		t.Fatalf("reopen: existed=%v size=%d, want true, %d", existed, m2.Size(), 1<<20)
+	}
+	if err := m2.CloseFile(); err != nil {
+		t.Fatal(err)
+	}
+}

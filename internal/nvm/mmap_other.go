@@ -1,0 +1,21 @@
+//go:build !linux && !darwin
+
+package nvm
+
+import (
+	"errors"
+	"os"
+)
+
+// ErrNoBacking is returned on platforms without mmap support.
+var ErrNoBacking = errors.New("nvm: file-backed arenas require linux or darwin")
+
+func mmapFile(f *os.File, n int) ([]byte, error) { return nil, ErrNoBacking }
+
+func flockExclusive(f *os.File) error { return ErrNoBacking }
+
+func munmap(data []byte) error { return nil }
+
+func msync(data []byte) error { return nil }
+
+func wordsOf(b []byte) []uint64 { return nil }

@@ -1,0 +1,42 @@
+//go:build linux || darwin
+
+package nvm
+
+import (
+	"os"
+	"syscall"
+	"unsafe"
+)
+
+// mmapFile maps the first n bytes of f shared and writable.
+func mmapFile(f *os.File, n int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, n,
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+}
+
+func munmap(data []byte) error { return syscall.Munmap(data) }
+
+// flockExclusive takes a non-blocking exclusive advisory lock on f; it
+// fails immediately if another process holds one.
+func flockExclusive(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+}
+
+// msync writes the mapped pages back synchronously (MS_SYNC).
+func msync(data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	_, _, errno := syscall.Syscall(syscall.SYS_MSYNC,
+		uintptr(unsafe.Pointer(&data[0])), uintptr(len(data)), uintptr(syscall.MS_SYNC))
+	if errno != 0 {
+		return errno
+	}
+	return nil
+}
+
+// wordsOf views a page-aligned byte slice as native-endian words. The
+// mapping offset is a multiple of the page size, so alignment holds.
+func wordsOf(b []byte) []uint64 {
+	return unsafe.Slice((*uint64)(unsafe.Pointer(&b[0])), len(b)/WordSize)
+}

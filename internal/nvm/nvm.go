@@ -36,6 +36,7 @@ package nvm
 
 import (
 	"fmt"
+	"os"
 	"sync/atomic"
 	"time"
 )
@@ -115,8 +116,15 @@ func (c Config) withDefaults() Config {
 type Memory struct {
 	cfg   Config
 	words []uint64 // current (cache-visible) contents
-	// persist is the durable image; nil unless TrackPersistence.
+	// persist is the durable image; nil unless TrackPersistence. For
+	// file-backed devices (OpenFile) it views an mmapped file, so durable
+	// operations survive process death in the OS page cache.
 	persist []uint64
+	// mapped is the raw file mapping backing persist; nil for in-memory
+	// devices. lockFile holds the backing file's exclusive advisory lock
+	// for the mapping's lifetime.
+	mapped   []byte
+	lockFile *os.File
 	// dirty is a bitmap with one bit per cache line: set when the line has
 	// cached writes that are not yet durable. nil unless TrackPersistence.
 	dirty []uint64

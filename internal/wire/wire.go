@@ -1,0 +1,160 @@
+// Package wire defines rewindd's length-prefixed binary protocol, shared
+// by the server and client packages.
+//
+// Every frame — request or response — has the same envelope:
+//
+//	u32 length   // of everything after this field
+//	u32 id       // request id, echoed in the response (pipelining key)
+//	u8  op/status
+//	...body
+//
+// All integers are little-endian. A connection carries any number of
+// pipelined requests; the server answers each request exactly once, in
+// arrival order, so clients may match responses positionally or by id.
+//
+// Request bodies:
+//
+//	GET    key u64
+//	PUT    key u64, vlen u32, value bytes
+//	DEL    key u64
+//	SCAN   from u64, to u64, limit u32
+//	BATCH  count u32, then per op: kind u8 (0 put, 1 delete), key u64,
+//	       and for puts vlen u32 + value bytes — applied all-or-none
+//	STATS  (empty)
+//
+// Response bodies:
+//
+//	OK for GET: value bytes (the whole body)
+//	OK for DEL: found u8
+//	OK for SCAN: count u32, then per pair: key u64, vlen u32, value bytes
+//	OK for STATS: a JSON document
+//	OK otherwise: empty
+//	NOTFOUND, ERR: optional error text
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Ops.
+const (
+	OpGet byte = iota + 1
+	OpPut
+	OpDel
+	OpScan
+	OpBatch
+	OpStats
+)
+
+// Response statuses.
+const (
+	StatusOK byte = iota
+	StatusNotFound
+	StatusErr
+)
+
+// MaxFrame bounds a single frame (1 MiB): large enough for any scan page
+// the server returns, small enough that a corrupt length prefix cannot
+// make a peer allocate unboundedly.
+const MaxFrame = 1 << 20
+
+// Errors.
+var (
+	ErrFrameTooLarge = fmt.Errorf("wire: frame exceeds %d bytes", MaxFrame)
+	ErrShortBody     = fmt.Errorf("wire: truncated frame body")
+)
+
+// AppendFrame appends a frame to dst and returns the extended slice.
+func AppendFrame(dst []byte, id uint32, op byte, body []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(4+1+len(body)))
+	dst = binary.LittleEndian.AppendUint32(dst, id)
+	dst = append(dst, op)
+	return append(dst, body...)
+}
+
+// ReadFrame reads one frame. The returned body aliases a fresh buffer.
+func ReadFrame(r *bufio.Reader) (id uint32, op byte, body []byte, err error) {
+	var hdr [4]byte
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n < 5 {
+		return 0, 0, nil, fmt.Errorf("wire: frame length %d too small", n)
+	}
+	if n > MaxFrame {
+		return 0, 0, nil, ErrFrameTooLarge
+	}
+	buf := make([]byte, n)
+	if _, err = io.ReadFull(r, buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, 0, nil, err
+	}
+	return binary.LittleEndian.Uint32(buf[0:4]), buf[4], buf[5:], nil
+}
+
+// U64 / U32 body helpers.
+
+// AppendU64 appends v little-endian.
+func AppendU64(dst []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(dst, v) }
+
+// AppendU32 appends v little-endian.
+func AppendU32(dst []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(dst, v) }
+
+// AppendBytes appends a u32 length prefix and the bytes.
+func AppendBytes(dst, p []byte) []byte {
+	dst = AppendU32(dst, uint32(len(p)))
+	return append(dst, p...)
+}
+
+// Reader consumes a frame body field by field.
+type Reader struct{ B []byte }
+
+// U64 reads a u64 field.
+func (r *Reader) U64() (uint64, error) {
+	if len(r.B) < 8 {
+		return 0, ErrShortBody
+	}
+	v := binary.LittleEndian.Uint64(r.B)
+	r.B = r.B[8:]
+	return v, nil
+}
+
+// U32 reads a u32 field.
+func (r *Reader) U32() (uint32, error) {
+	if len(r.B) < 4 {
+		return 0, ErrShortBody
+	}
+	v := binary.LittleEndian.Uint32(r.B)
+	r.B = r.B[4:]
+	return v, nil
+}
+
+// Byte reads one byte.
+func (r *Reader) Byte() (byte, error) {
+	if len(r.B) < 1 {
+		return 0, ErrShortBody
+	}
+	v := r.B[0]
+	r.B = r.B[1:]
+	return v, nil
+}
+
+// Bytes reads a u32-length-prefixed byte field.
+func (r *Reader) Bytes() ([]byte, error) {
+	n, err := r.U32()
+	if err != nil {
+		return nil, err
+	}
+	if uint32(len(r.B)) < n {
+		return nil, ErrShortBody
+	}
+	v := r.B[:n]
+	r.B = r.B[n:]
+	return v, nil
+}

@@ -1,0 +1,378 @@
+// Package kv builds a concurrency-safe durable map on the recoverable
+// B+-tree — the storage engine behind the rewindd network service.
+//
+// The keyspace is striped over N independent B+-trees, each guarded by its
+// own latch, so operations on keys in different stripes run fully in
+// parallel: disjoint trees mean disjoint NVM nodes (the caller-side
+// concurrency control §4.7 asks for), and independent core.Txn handles
+// mean commits contend only on the log — where the sharded log and the
+// group-commit rounds take over. A stripe's trees are published through a
+// single durable side table in one application root slot, so any number of
+// stripes fit the root-slot budget.
+//
+// Values are variable-length byte strings up to Config.MaxValue, stored in
+// fixed-size tree records as [length word | payload, zero-padded]; a whole
+// record is written with one WriteBytes span record.
+//
+// Durability: every mutation runs in its own REWIND transaction and
+// returns only after Commit — under Options.GroupCommit that means after
+// the shared round flush — so a Put/Delete/Batch that returned survives
+// any crash. Batch applies all its operations inside ONE transaction:
+// all-or-none, however many stripes it spans.
+package kv
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"github.com/rewind-db/rewind"
+	"github.com/rewind-db/rewind/btree"
+)
+
+// kvMagic tags the side table ("\0\0KVDNWR" in the high six bytes, low 16
+// bits left clear for the packed stripe count).
+const kvMagic = 0x31564b444e570000
+
+// Side-table layout: [magic|stripes, valueSize, tree headers...].
+const (
+	tblMagic = 0
+	tblVSize = 8
+	tblTrees = 16
+)
+
+// Config shapes the store.
+type Config struct {
+	// Stripes is the number of independent key stripes (default 8). A key
+	// belongs to stripe key % Stripes, so low-bit-diverse keyspaces
+	// spread evenly. Fixed at creation; Attach validates it.
+	Stripes int
+	// MaxValue is the largest value size in bytes (default 512). Fixed at
+	// creation.
+	MaxValue int
+	// RootSlot is the application root slot publishing the side table
+	// (default rewind.AppRootFirst).
+	RootSlot int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Stripes <= 0 {
+		c.Stripes = 8
+	}
+	if c.MaxValue <= 0 {
+		c.MaxValue = 512
+	}
+	if c.RootSlot == 0 {
+		c.RootSlot = rewind.AppRootFirst
+	}
+	return c
+}
+
+// valueSize is the tree record size for a MaxValue: one length word plus
+// the padded payload.
+func (c Config) valueSize() int { return 8 + (c.MaxValue+7)&^7 }
+
+// Errors.
+var (
+	// ErrValueTooLarge is returned by Put when the value exceeds MaxValue.
+	ErrValueTooLarge = errors.New("kv: value exceeds MaxValue")
+	// ErrNotFound marks the side table's absence in Attach.
+	ErrNotFound = errors.New("kv: no store published in root slot")
+)
+
+// stripe is one latch + tree pair.
+type stripe struct {
+	mu   sync.Mutex
+	tree *btree.Tree
+}
+
+// Store is a striped durable map over a rewind.Store.
+type Store struct {
+	st      *rewind.Store
+	cfg     Config
+	stripes []*stripe
+
+	gets, puts, dels, scans, batches atomic.Int64
+}
+
+// Create builds a fresh store: one tree per stripe, published through a
+// durable side table in cfg.RootSlot. A crash before the final root-slot
+// store leaks the half-built table (the allocator's documented failure
+// mode) and a re-Create starts over.
+func Create(st *rewind.Store, cfg Config) (*Store, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Stripes >= 1<<16 {
+		return nil, fmt.Errorf("kv: %d stripes exceed the side table's limit", cfg.Stripes)
+	}
+	if cfg.MaxValue > 0xffff {
+		return nil, fmt.Errorf("kv: MaxValue %d exceeds the record length field", cfg.MaxValue)
+	}
+	mem := st.Mem()
+	tblSize := tblTrees + cfg.Stripes*8
+	tbl := st.Alloc(tblSize)
+	s := &Store{st: st, cfg: cfg}
+	for i := 0; i < cfg.Stripes; i++ {
+		t, err := btree.NewAt(st, btree.Config{ValueSize: cfg.valueSize()})
+		if err != nil {
+			return nil, err
+		}
+		mem.Store64(tbl+tblTrees+uint64(i)*8, t.Header())
+		s.stripes = append(s.stripes, &stripe{tree: t})
+	}
+	mem.Store64(tbl+tblMagic, kvMagic|uint64(cfg.Stripes))
+	mem.Store64(tbl+tblVSize, uint64(cfg.valueSize()))
+	mem.FlushRange(tbl, tblSize)
+	mem.Fence()
+	st.SetRoot(cfg.RootSlot, tbl) // atomic durable publish
+	return s, nil
+}
+
+// Attach reopens the store published in cfg.RootSlot, validating that the
+// configured shape matches the stored one.
+func Attach(st *rewind.Store, cfg Config) (*Store, error) {
+	cfg = cfg.withDefaults()
+	tbl := st.Root(cfg.RootSlot)
+	if tbl == 0 {
+		return nil, ErrNotFound
+	}
+	mem := st.Mem()
+	tag := mem.Load64(tbl + tblMagic)
+	if tag&^0xffff != kvMagic {
+		return nil, fmt.Errorf("kv: root slot %d holds no kv side table", cfg.RootSlot)
+	}
+	stripes := int(tag & 0xffff)
+	if stripes != cfg.Stripes {
+		return nil, fmt.Errorf("kv: store has %d stripes, config wants %d", stripes, cfg.Stripes)
+	}
+	if vs := int(mem.Load64(tbl + tblVSize)); vs != cfg.valueSize() {
+		return nil, fmt.Errorf("kv: store has %d-byte records, config wants %d", vs, cfg.valueSize())
+	}
+	s := &Store{st: st, cfg: cfg}
+	for i := 0; i < stripes; i++ {
+		hdr := mem.Load64(tbl + tblTrees + uint64(i)*8)
+		t, err := btree.AttachAt(st, btree.Config{ValueSize: cfg.valueSize()}, hdr)
+		if err != nil {
+			return nil, err
+		}
+		s.stripes = append(s.stripes, &stripe{tree: t})
+	}
+	return s, nil
+}
+
+// Open attaches to an existing store or creates a fresh one — the
+// open-or-boot call rewindd makes after a restart of unknown provenance.
+func Open(st *rewind.Store, cfg Config) (*Store, error) {
+	s, err := Attach(st, cfg)
+	if errors.Is(err, ErrNotFound) {
+		return Create(st, cfg)
+	}
+	return s, err
+}
+
+// Rewind exposes the underlying store (stats, checkpointing).
+func (s *Store) Rewind() *rewind.Store { return s.st }
+
+// Config returns the configuration (with defaults resolved).
+func (s *Store) Config() Config { return s.cfg }
+
+func (s *Store) stripeOf(key uint64) *stripe {
+	return s.stripes[key%uint64(len(s.stripes))]
+}
+
+// encode builds the tree record for a value.
+func (s *Store) encode(v []byte) []byte {
+	rec := make([]byte, s.cfg.valueSize())
+	rec[0] = byte(len(v))
+	rec[1] = byte(len(v) >> 8)
+	copy(rec[8:], v)
+	return rec
+}
+
+// decode extracts the value from a tree record.
+func decode(rec []byte) []byte {
+	n := int(rec[0]) | int(rec[1])<<8
+	if n > len(rec)-8 {
+		n = len(rec) - 8
+	}
+	return rec[8 : 8+n]
+}
+
+// Get returns the value stored under key.
+func (s *Store) Get(key uint64) ([]byte, bool) {
+	s.gets.Add(1)
+	sp := s.stripeOf(key)
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	rec, ok := sp.tree.Lookup(key)
+	if !ok {
+		return nil, false
+	}
+	return decode(rec), true
+}
+
+// Put durably stores value under key, replacing any prior value. When Put
+// returns, the write has been committed and flushed (shared-round flushed
+// under group commit): it survives any subsequent crash.
+func (s *Store) Put(key uint64, value []byte) error {
+	if len(value) > s.cfg.MaxValue {
+		return ErrValueTooLarge
+	}
+	s.puts.Add(1)
+	rec := s.encode(value)
+	sp := s.stripeOf(key)
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	return s.st.Atomic(func(tx *rewind.Tx) error {
+		_, err := sp.tree.Insert(tx, key, rec)
+		return err
+	})
+}
+
+// Delete durably removes key, reporting whether it was present.
+func (s *Store) Delete(key uint64) (bool, error) {
+	s.dels.Add(1)
+	sp := s.stripeOf(key)
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	found := false
+	err := s.st.Atomic(func(tx *rewind.Tx) error {
+		var err error
+		found, err = sp.tree.Delete(tx, key)
+		return err
+	})
+	return found, err
+}
+
+// Pair is one key/value result.
+type Pair struct {
+	Key   uint64
+	Value []byte
+}
+
+// Scan returns up to limit pairs with keys in [from, to], globally sorted
+// by key. Stripes are collected one at a time under their latches and
+// merged; the result is consistent per stripe, not a global snapshot
+// (concurrent writers may land between stripe visits, as in any latch-
+// striped map).
+func (s *Store) Scan(from, to uint64, limit int) []Pair {
+	s.scans.Add(1)
+	if limit <= 0 {
+		limit = 1 << 20
+	}
+	var out []Pair
+	for _, sp := range s.stripes {
+		sp.mu.Lock()
+		n := 0
+		sp.tree.Scan(from, to, func(k uint64, rec []byte) bool {
+			// rec is a fresh per-record buffer (btree.Scan allocates it),
+			// so the decoded sub-slice can be retained without a copy.
+			out = append(out, Pair{Key: k, Value: decode(rec)})
+			n++
+			return n < limit
+		})
+		sp.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	if len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// Op is one Batch operation.
+type Op struct {
+	// Delete selects removal; otherwise the op is a put of Value.
+	Delete bool
+	Key    uint64
+	Value  []byte
+}
+
+// Batch applies every operation inside ONE transaction: either all of
+// them are durably applied or — after a crash or an error — none are.
+// Stripe latches are taken in ascending order (the same order Scan and
+// multi-stripe internals use), so Batch never deadlocks against itself.
+func (s *Store) Batch(ops []Op) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	s.batches.Add(1)
+	// Collect and lock the involved stripes in ascending index order.
+	involved := map[uint64]bool{}
+	for _, op := range ops {
+		if !op.Delete && len(op.Value) > s.cfg.MaxValue {
+			return ErrValueTooLarge
+		}
+		involved[op.Key%uint64(len(s.stripes))] = true
+	}
+	idx := make([]int, 0, len(involved))
+	for i := range involved {
+		idx = append(idx, int(i))
+	}
+	sort.Ints(idx)
+	for _, i := range idx {
+		s.stripes[i].mu.Lock()
+	}
+	defer func() {
+		for _, i := range idx {
+			s.stripes[i].mu.Unlock()
+		}
+	}()
+	return s.st.Atomic(func(tx *rewind.Tx) error {
+		for _, op := range ops {
+			sp := s.stripeOf(op.Key)
+			if op.Delete {
+				if _, err := sp.tree.Delete(tx, op.Key); err != nil {
+					return err
+				}
+			} else {
+				if _, err := sp.tree.Insert(tx, op.Key, s.encode(op.Value)); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+}
+
+// Len returns the total number of keys across all stripes.
+func (s *Store) Len() int {
+	n := 0
+	for _, sp := range s.stripes {
+		sp.mu.Lock()
+		n += sp.tree.Len()
+		sp.mu.Unlock()
+	}
+	return n
+}
+
+// Stats counts store activity since creation (volatile).
+type Stats struct {
+	Gets, Puts, Deletes, Scans, Batches int64
+	Keys                                int
+	Stripes                             int
+}
+
+// Stats returns a snapshot of activity counters and the current key count.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Gets: s.gets.Load(), Puts: s.puts.Load(), Deletes: s.dels.Load(),
+		Scans: s.scans.Load(), Batches: s.batches.Load(),
+		Keys: s.Len(), Stripes: len(s.stripes),
+	}
+}
+
+// CheckInvariants validates every stripe tree (tests and torture
+// harnesses).
+func (s *Store) CheckInvariants() error {
+	for i, sp := range s.stripes {
+		sp.mu.Lock()
+		err := sp.tree.CheckInvariants()
+		sp.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("stripe %d: %w", i, err)
+		}
+	}
+	return nil
+}

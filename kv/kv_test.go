@@ -1,0 +1,248 @@
+package kv
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/rewind-db/rewind"
+)
+
+func newKV(t testing.TB, stripes int, gc bool) *Store {
+	t.Helper()
+	st, err := rewind.Open(rewind.Options{
+		ArenaSize: 64 << 20, GroupCommit: gc,
+		GroupCommitWindow: 50 * time.Microsecond, GroupCommitMax: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Create(st, Config{Stripes: stripes, MaxValue: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestBasicOps(t *testing.T) {
+	s := newKV(t, 4, false)
+	if _, ok := s.Get(1); ok {
+		t.Fatal("empty store has key 1")
+	}
+	if err := s.Put(1, []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(2, []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := s.Get(1); !ok || string(v) != "one" {
+		t.Fatalf("Get(1) = %q, %v", v, ok)
+	}
+	if err := s.Put(1, []byte("uno")); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := s.Get(1); string(v) != "uno" {
+		t.Fatalf("overwrite lost: %q", v)
+	}
+	if found, err := s.Delete(2); err != nil || !found {
+		t.Fatalf("Delete(2) = %v, %v", found, err)
+	}
+	if found, _ := s.Delete(2); found {
+		t.Fatal("Delete(2) found a deleted key")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+	if err := s.Put(3, make([]byte, 65)); err != ErrValueTooLarge {
+		t.Fatalf("oversized Put error = %v", err)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyAndMaxValues(t *testing.T) {
+	s := newKV(t, 2, false)
+	if err := s.Put(7, nil); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := s.Get(7); !ok || len(v) != 0 {
+		t.Fatalf("empty value round-trip: %v, %v", v, ok)
+	}
+	big := bytes.Repeat([]byte{0xab}, 64)
+	if err := s.Put(8, big); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := s.Get(8); !bytes.Equal(v, big) {
+		t.Fatal("max-size value round-trip failed")
+	}
+}
+
+// TestScanMergesStripes verifies Scan returns a globally key-sorted merge
+// of the striped trees, honouring range and limit.
+func TestScanMergesStripes(t *testing.T) {
+	s := newKV(t, 4, false)
+	for k := uint64(1); k <= 40; k++ {
+		if err := s.Put(k, []byte(fmt.Sprintf("v%d", k))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := s.Scan(10, 30, 0)
+	if len(got) != 21 {
+		t.Fatalf("Scan(10,30) returned %d pairs, want 21", len(got))
+	}
+	for i, p := range got {
+		if p.Key != uint64(10+i) {
+			t.Fatalf("pair %d has key %d, want %d (merge out of order)", i, p.Key, 10+i)
+		}
+		if string(p.Value) != fmt.Sprintf("v%d", p.Key) {
+			t.Fatalf("pair %d value %q", i, p.Value)
+		}
+	}
+	if lim := s.Scan(0, 99, 5); len(lim) != 5 || lim[4].Key != 5 {
+		t.Fatalf("limited scan = %v", lim)
+	}
+}
+
+// TestBatchAllOrNone: a failing op inside a Batch rolls back every other
+// op in it.
+func TestBatchAllOrNone(t *testing.T) {
+	s := newKV(t, 4, false)
+	if err := s.Put(5, []byte("keep")); err != nil {
+		t.Fatal(err)
+	}
+	err := s.Batch([]Op{
+		{Key: 1, Value: []byte("a")},
+		{Key: 2, Value: make([]byte, 1000)}, // too large: fails up front
+	})
+	if err != ErrValueTooLarge {
+		t.Fatalf("Batch error = %v", err)
+	}
+	if _, ok := s.Get(1); ok {
+		t.Fatal("failed batch leaked op 1")
+	}
+	// A good batch spanning all stripes applies atomically.
+	var ops []Op
+	for k := uint64(10); k < 20; k++ {
+		ops = append(ops, Op{Key: k, Value: []byte{byte(k)}})
+	}
+	ops = append(ops, Op{Key: 5, Delete: true})
+	if err := s.Batch(ops); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(5); ok {
+		t.Fatal("batched delete missed")
+	}
+	if s.Len() != 10 {
+		t.Fatalf("Len = %d after batch, want 10", s.Len())
+	}
+}
+
+// TestConcurrentStripes hammers the store from many goroutines with group
+// commit on — the server's exact concurrency shape — and then verifies
+// contents and tree invariants.
+func TestConcurrentStripes(t *testing.T) {
+	s := newKV(t, 8, true)
+	const workers, keysPer = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < keysPer; i++ {
+				k := uint64(w*keysPer + i + 1)
+				if err := s.Put(k, []byte{byte(w), byte(i)}); err != nil {
+					panic(err)
+				}
+				if rng.Intn(4) == 0 {
+					if _, err := s.Delete(k); err != nil {
+						panic(err)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < workers; w++ {
+		for i := 0; i < keysPer; i++ {
+			k := uint64(w*keysPer + i + 1)
+			if v, ok := s.Get(k); ok {
+				if len(v) != 2 || v[0] != byte(w) || v[1] != byte(i) {
+					t.Fatalf("key %d = %v", k, v)
+				}
+			}
+		}
+	}
+}
+
+// TestCrashRecovery commits through the kv API, crashes the device, and
+// verifies every acked write after reattach.
+func TestCrashRecovery(t *testing.T) {
+	s := newKV(t, 4, true)
+	for k := uint64(1); k <= 30; k++ {
+		if err := s.Put(k, []byte{byte(k)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Delete(7); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := s.Rewind().Crash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Attach(st2, Config{Stripes: 4, MaxValue: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(1); k <= 30; k++ {
+		v, ok := s2.Get(k)
+		if k == 7 {
+			if ok {
+				t.Fatal("deleted key 7 resurrected")
+			}
+			continue
+		}
+		if !ok || len(v) != 1 || v[0] != byte(k) {
+			t.Fatalf("key %d = %v, %v after crash", k, v, ok)
+		}
+	}
+}
+
+// TestAttachValidation: shape mismatches are rejected, Open boots fresh.
+func TestAttachValidation(t *testing.T) {
+	st, err := rewind.Open(rewind.Options{ArenaSize: 32 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Attach(st, Config{}); err != ErrNotFound {
+		t.Fatalf("Attach on empty slot = %v", err)
+	}
+	s, err := Open(st, Config{Stripes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Attach(st, Config{Stripes: 8}); err == nil {
+		t.Fatal("stripe mismatch accepted")
+	}
+	s2, err := Open(st, Config{Stripes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := s2.Get(1); !ok || string(v) != "x" {
+		t.Fatalf("reattached Get = %q, %v", v, ok)
+	}
+}

@@ -107,6 +107,25 @@ type Options struct {
 	// contend, which is what multi-goroutine commit throughput scales
 	// with; see core.Config.LogShards. TwoLayer requires LogShards <= 1.
 	LogShards int
+	// GroupCommit merges commits from concurrent goroutines into shared
+	// log flushes: the first committer leads a round, gathers everyone who
+	// commits within GroupCommitWindow (or until GroupCommitMax join), and
+	// issues one flush + fence for all of them. Commit still returns only
+	// after the flush covering its END record, so acknowledged commits
+	// survive crashes exactly as before — the fence bill is just split
+	// across the round. Requires the default OneLayer + Batch + NoForce
+	// configuration; see core.Config.GroupCommit.
+	GroupCommit bool
+	// GroupCommitWindow bounds the leader's wait for joiners (default
+	// 100µs; negative skips the wait, batching only what arrives while
+	// the leader acquires the shard and flushes). The wait is adaptive:
+	// with no sign of concurrency the leader flushes immediately and
+	// probes with a full window only every 16th solo round, so a lone
+	// sequential client pays ~window/16 average added latency; see
+	// core.Config.GroupCommitWindow.
+	GroupCommitWindow time.Duration
+	// GroupCommitMax closes a round early at this many commits (default 64).
+	GroupCommitMax int
 	// WriteLatency and FenceLatency configure the simulated device
 	// (defaults: 150ns and 100ns). ReadLatency is charged per word load
 	// when non-zero (default zero, per the paper's read-cost assumption).
@@ -124,6 +143,14 @@ type Options struct {
 	// image from this file (if it exists) and Close save one, giving
 	// cross-process durability.
 	ImagePath string
+	// BackingFile, when set, maps the durable image onto this file for
+	// the store's whole lifetime: every durable operation lands in the
+	// OS page cache immediately, so even a SIGKILLed process loses
+	// nothing it acknowledged — the continuous-durability mode rewindd
+	// runs on, stronger than ImagePath's save-at-Close. Reopening an
+	// existing backing file runs recovery. Mutually exclusive with
+	// ImagePath and with DisableTracking.
+	BackingFile string
 }
 
 func (o Options) withDefaults() Options {
@@ -179,6 +206,15 @@ var errClosed = errors.New("rewind: store is closed")
 // available in Store.Recovery.
 func Open(opts Options) (*Store, error) {
 	opts = opts.withDefaults()
+	if opts.BackingFile != "" {
+		if opts.ImagePath != "" {
+			return nil, errors.New("rewind: BackingFile and ImagePath are mutually exclusive")
+		}
+		if opts.DisableTracking {
+			return nil, errors.New("rewind: BackingFile requires persistence tracking")
+		}
+		return openBacked(opts)
+	}
 	mem := nvm.New(nvm.Config{
 		Size:             opts.ArenaSize,
 		WriteLatency:     opts.WriteLatency,
@@ -195,6 +231,57 @@ func Open(opts Options) (*Store, error) {
 			return attach(opts, mem)
 		} else if !errors.Is(err, os.ErrNotExist) {
 			return nil, err
+		}
+	}
+	alloc := pmem.Format(mem)
+	tm, err := core.New(alloc, coreConfig(opts, primaryRootBase))
+	if err != nil {
+		return nil, err
+	}
+	return &Store{opts: opts, mem: mem, alloc: alloc, tm: tm}, nil
+}
+
+// openBacked opens a store whose durable image lives in an mmapped file.
+// A file holding a formatted heap with a manager is attached with
+// recovery; anything less (fresh file, or a process killed inside the very
+// first format — before anything could have been acknowledged) is
+// formatted from scratch.
+func openBacked(opts Options) (s *Store, err error) {
+	mem, existed, err := nvm.OpenFile(nvm.Config{
+		Size:           opts.ArenaSize,
+		WriteLatency:   opts.WriteLatency,
+		FenceLatency:   opts.FenceLatency,
+		ReadLatency:    opts.ReadLatency,
+		EmulateLatency: opts.EmulateLatency,
+	}, opts.BackingFile)
+	if err != nil {
+		return nil, err
+	}
+	// Release the mapping and its file lock on any failure below, so a
+	// misconfigured Open (e.g. fingerprint mismatch) can be retried in
+	// the same process with corrected options.
+	defer func() {
+		if err != nil {
+			mem.CloseFile()
+		}
+	}()
+	if existed {
+		if alloc, perr := pmem.Open(mem); perr == nil {
+			if alloc.Root(primaryRootBase) != nvm.Null {
+				tm, rs, err := core.Open(alloc, coreConfig(opts, primaryRootBase))
+				if err != nil {
+					return nil, err
+				}
+				return &Store{opts: opts, mem: mem, alloc: alloc, tm: tm, Recovery: *rs}, nil
+			}
+			// Heap formatted but no manager yet: died inside first boot.
+			tm, err := core.New(alloc, coreConfig(opts, primaryRootBase))
+			if err != nil {
+				return nil, err
+			}
+			return &Store{opts: opts, mem: mem, alloc: alloc, tm: tm}, nil
+		} else if !errors.Is(perr, pmem.ErrNotFormatted) {
+			return nil, perr
 		}
 	}
 	alloc := pmem.Format(mem)
@@ -228,6 +315,9 @@ func coreConfig(opts Options, rootBase int) core.Config {
 		Policy: opts.Policy, Layers: opts.Layers, LogKind: opts.LogKind,
 		BucketSize: opts.BucketSize, GroupSize: opts.GroupSize,
 		LogShards: opts.LogShards, RootBase: rootBase,
+		GroupCommit:       opts.GroupCommit,
+		GroupCommitWindow: opts.GroupCommitWindow,
+		GroupCommitMax:    opts.GroupCommitMax,
 	}
 }
 
@@ -313,6 +403,12 @@ func (s *Store) Close() error {
 	s.tm.Close()
 	if s.opts.ImagePath != "" {
 		return s.SaveImage("")
+	}
+	if s.opts.BackingFile != "" {
+		// Sync the mapped image through to storage (process-death safety
+		// never needed this; machine-death safety does) and release the
+		// mapping. The store must not be used after Close.
+		return s.mem.CloseFile()
 	}
 	return nil
 }

@@ -1,0 +1,360 @@
+// Package server exposes a kv.Store over TCP — the rewindd service layer.
+//
+// The protocol (internal/wire) is length-prefixed binary: GET / PUT / DEL /
+// SCAN / BATCH / STATS frames with a client-chosen request id. Each
+// accepted connection gets one goroutine that decodes frames, applies them
+// to the store, and answers in arrival order; clients may pipeline as many
+// requests as they like. Cross-connection parallelism is the point: many
+// connections committing at once is exactly the shape the store's
+// group-commit rounds merge into shared log flushes, so the durability ack
+// each PUT waits for costs a fraction of a fence.
+//
+// An acknowledged mutation is durable before its response frame is
+// written: the handler only builds the OK frame after kv returns, and kv
+// returns after the commit's covering flush.
+package server
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"github.com/rewind-db/rewind/internal/wire"
+	"github.com/rewind-db/rewind/kv"
+)
+
+// bufSize sizes the per-connection reader and writer (pipelining depth).
+const bufSize = 64 << 10
+
+func newReader(c net.Conn) *bufio.Reader { return bufio.NewReaderSize(c, bufSize) }
+func newWriter(c net.Conn) *bufio.Writer { return bufio.NewWriterSize(c, bufSize) }
+
+// scanPage bounds a SCAN response page so that even a page of maximum-
+// size values fits one wire frame; clients resume from the last returned
+// key for larger ranges.
+func (s *Server) scanPage() int {
+	page := (wire.MaxFrame - 64) / (12 + s.kv.Config().MaxValue)
+	if page < 1 {
+		page = 1
+	}
+	return page
+}
+
+// Server serves a kv.Store over a listener.
+type Server struct {
+	kv *kv.Store
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	handlers sync.WaitGroup
+
+	accepted atomic.Int64
+	requests atomic.Int64
+	errored  atomic.Int64
+}
+
+// New wraps a kv store in a server.
+func New(s *kv.Store) *Server {
+	return &Server{kv: s, conns: map[net.Conn]struct{}{}}
+}
+
+// KV returns the underlying store.
+func (s *Server) KV() *kv.Store { return s.kv }
+
+// ErrServerClosed is returned by Serve after Close.
+var ErrServerClosed = errors.New("server: closed")
+
+// ListenAndServe listens on addr and serves until Close.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until Close, one goroutine per
+// connection.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrServerClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return ErrServerClosed
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.Close()
+			return ErrServerClosed
+		}
+		s.conns[c] = struct{}{}
+		s.handlers.Add(1)
+		s.mu.Unlock()
+		s.accepted.Add(1)
+		go s.handleConn(c)
+	}
+}
+
+// Addr returns the bound listener address (nil before Serve).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Close stops accepting, closes every live connection, and waits for the
+// in-flight handlers to drain, so the caller may safely tear down the kv
+// store (and its NVM mapping) afterwards. The kv store itself is left
+// open — the daemon owns its shutdown.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	s.handlers.Wait()
+	return err
+}
+
+func (s *Server) handleConn(c net.Conn) {
+	defer func() {
+		c.Close()
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		s.handlers.Done()
+	}()
+	br := newReader(c)
+	bw := newWriter(c)
+	var out []byte
+	for {
+		id, op, body, err := wire.ReadFrame(br)
+		if err != nil {
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+				s.errored.Add(1)
+			}
+			return
+		}
+		s.requests.Add(1)
+		out = s.apply(out[:0], id, op, body)
+		if _, err := bw.Write(out); err != nil {
+			return
+		}
+		// Flush before blocking on the next read unless a COMPLETE next
+		// frame is already buffered: a pipelined burst is answered with
+		// one writev-sized flush, while a partial frame (a client that
+		// writes in pieces) never holds an ack hostage.
+		if !frameBuffered(br) {
+			if err := bw.Flush(); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// frameBuffered reports whether br already holds one whole frame.
+func frameBuffered(br *bufio.Reader) bool {
+	if br.Buffered() < 4 {
+		return false
+	}
+	hdr, err := br.Peek(4)
+	if err != nil {
+		return false
+	}
+	n := binary.LittleEndian.Uint32(hdr)
+	return n <= wire.MaxFrame && br.Buffered() >= 4+int(n)
+}
+
+// apply decodes one request, applies it to the store, and appends the
+// response frame to dst. It is the whole server data path minus the
+// sockets, which is what the deterministic crash tests drive directly.
+func (s *Server) apply(dst []byte, id uint32, op byte, body []byte) []byte {
+	r := &wire.Reader{B: body}
+	fail := func(err error) []byte {
+		s.errored.Add(1)
+		return wire.AppendFrame(dst, id, wire.StatusErr, []byte(err.Error()))
+	}
+	switch op {
+	case wire.OpGet:
+		key, err := r.U64()
+		if err != nil {
+			return fail(err)
+		}
+		v, ok := s.kv.Get(key)
+		if !ok {
+			return wire.AppendFrame(dst, id, wire.StatusNotFound, nil)
+		}
+		return wire.AppendFrame(dst, id, wire.StatusOK, v)
+
+	case wire.OpPut:
+		key, err := r.U64()
+		if err != nil {
+			return fail(err)
+		}
+		v, err := r.Bytes()
+		if err != nil {
+			return fail(err)
+		}
+		if err := s.kv.Put(key, v); err != nil {
+			return fail(err)
+		}
+		return wire.AppendFrame(dst, id, wire.StatusOK, nil)
+
+	case wire.OpDel:
+		key, err := r.U64()
+		if err != nil {
+			return fail(err)
+		}
+		found, err := s.kv.Delete(key)
+		if err != nil {
+			return fail(err)
+		}
+		b := byte(0)
+		if found {
+			b = 1
+		}
+		return wire.AppendFrame(dst, id, wire.StatusOK, []byte{b})
+
+	case wire.OpScan:
+		from, err := r.U64()
+		if err != nil {
+			return fail(err)
+		}
+		to, err := r.U64()
+		if err != nil {
+			return fail(err)
+		}
+		limit, err := r.U32()
+		if err != nil {
+			return fail(err)
+		}
+		if page := uint32(s.scanPage()); limit == 0 || limit > page {
+			limit = page
+		}
+		pairs := s.kv.Scan(from, to, int(limit))
+		body := wire.AppendU32(nil, uint32(len(pairs)))
+		for _, p := range pairs {
+			body = wire.AppendU64(body, p.Key)
+			body = wire.AppendBytes(body, p.Value)
+		}
+		return wire.AppendFrame(dst, id, wire.StatusOK, body)
+
+	case wire.OpBatch:
+		ops, err := decodeBatch(r)
+		if err != nil {
+			return fail(err)
+		}
+		if err := s.kv.Batch(ops); err != nil {
+			return fail(err)
+		}
+		return wire.AppendFrame(dst, id, wire.StatusOK, nil)
+
+	case wire.OpStats:
+		doc, err := json.Marshal(s.Stats())
+		if err != nil {
+			return fail(err)
+		}
+		return wire.AppendFrame(dst, id, wire.StatusOK, doc)
+	}
+	return fail(fmt.Errorf("server: unknown op %d", op))
+}
+
+// decodeBatch parses a BATCH body into kv ops.
+func decodeBatch(r *wire.Reader) ([]kv.Op, error) {
+	n, err := r.U32()
+	if err != nil {
+		return nil, err
+	}
+	// Every op takes at least 9 encoded bytes; a count beyond that is a
+	// corrupt (or hostile) frame, not a reason to pre-allocate.
+	if int(n) > len(r.B)/9 {
+		return nil, fmt.Errorf("server: batch count %d exceeds frame body", n)
+	}
+	ops := make([]kv.Op, 0, n)
+	for i := uint32(0); i < n; i++ {
+		kind, err := r.Byte()
+		if err != nil {
+			return nil, err
+		}
+		key, err := r.U64()
+		if err != nil {
+			return nil, err
+		}
+		op := kv.Op{Key: key, Delete: kind == 1}
+		if !op.Delete {
+			if op.Value, err = r.Bytes(); err != nil {
+				return nil, err
+			}
+		}
+		ops = append(ops, op)
+	}
+	return ops, nil
+}
+
+// Stats is the STATS response document.
+type Stats struct {
+	// Accepted counts connections accepted; Requests counts frames
+	// served; Errored counts error responses and decode failures.
+	Accepted, Requests, Errored int64
+	// KV is the store's own activity snapshot.
+	KV kv.Stats
+	// GroupCommitRounds / GroupedCommits aggregate the log shards'
+	// group-commit counters: rounds is shared flushes issued, grouped is
+	// commits that split a fence with at least one other transaction.
+	GroupCommitRounds, GroupedCommits, Commits int64
+}
+
+// Stats snapshots server activity.
+func (s *Server) Stats() Stats {
+	st := Stats{
+		Accepted: s.accepted.Load(),
+		Requests: s.requests.Load(),
+		Errored:  s.errored.Load(),
+		KV:       s.kv.Stats(),
+	}
+	for _, sh := range s.kv.Rewind().ShardStats() {
+		st.GroupCommitRounds += sh.GroupCommitRounds
+		st.GroupedCommits += sh.GroupedCommits
+		st.Commits += sh.Commits
+	}
+	return st
+}
