@@ -243,6 +243,51 @@ func BenchmarkServerThroughput(b *testing.B) {
 	}
 }
 
+func BenchmarkRecoveryScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := bench.RecoveryScaling(bench.Quick)
+		b.ReportMetric(first(f, "modeled makespan"), "ms@1worker")
+		b.ReportMetric(last(f, "modeled makespan"), "ms@8workers")
+		b.ReportMetric(last(f, "speedup"), "x@8workers")
+	}
+}
+
+// TestRecoveryScalingSpeedup asserts the parallel-recovery headline (the
+// ISSUE 4 acceptance gate): on the 8-shard crash image, a 4-worker pool
+// recovers at least twice as fast as the sequential pass. The comparison is
+// the modeled makespan on the simulated device — per-shard analysis/redo
+// charges divided by the pool's static shard assignment, serial phases in
+// full — the same deterministic convention TestShardScalingSpeedup uses, so
+// the gate does not flake with host core count or load (this suite must
+// hold on a 1-CPU runner, where a wall-clock 4-worker speedup is physically
+// impossible). Byte-equivalence of what the workers produce is proven
+// separately by core's TestRecoveryCrashEquivalence. It runs in -short mode
+// too — it guards the feature this PR exists for.
+func TestRecoveryScalingSpeedup(t *testing.T) {
+	f := bench.RecoveryScaling(bench.Quick)
+	at := func(series string, x float64) float64 {
+		for _, s := range f.Series {
+			if s.Name != series {
+				continue
+			}
+			for _, p := range s.Points {
+				if p.X == x {
+					return p.Y
+				}
+			}
+		}
+		t.Fatalf("series %q has no point at x=%v", series, x)
+		return 0
+	}
+	one, four := at("modeled makespan", 1), at("modeled makespan", 4)
+	if one < 2*four {
+		t.Errorf("4-worker recovery %.1f ms vs sequential %.1f ms: speedup %.2fx < 2x", four, one, one/four)
+	}
+	if sp := at("speedup", 8); sp <= at("speedup", 4) {
+		t.Errorf("speedup plateaus: %.2fx at 8 workers vs %.2fx at 4", sp, at("speedup", 4))
+	}
+}
+
 // TestSpanLoggingSavings asserts the span-record headline: a WriteBytes of
 // 8 words issues at least 4x fewer log appends and fences than logging the
 // same words one record each, and is measurably faster on the simulated

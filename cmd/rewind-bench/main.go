@@ -30,6 +30,10 @@ const benchJSONPath = "BENCH_rewind.json"
 // service-layer trajectory is trackable without parsing the full set.
 const serverJSONPath = "BENCH_server.json"
 
+// recoveryJSONPath gets a standalone copy of the parallel-recovery figure
+// (the "recovery" runner), uploaded alongside the other two.
+const recoveryJSONPath = "BENCH_recovery.json"
+
 // jsonFigure is one figure plus how long it took to regenerate.
 type jsonFigure struct {
 	bench.Figure
@@ -95,10 +99,11 @@ func main() {
 	if *jsonOut {
 		writeJSON(benchJSONPath, report)
 		fmt.Printf("wrote %s (%d figures, %s scale)\n", benchJSONPath, len(report.Figures), scale)
+		standalone := map[string]string{"server": serverJSONPath, "recovery": recoveryJSONPath}
 		for _, fig := range report.Figures {
-			if fig.ID == "server" {
-				writeJSON(serverJSONPath, jsonReport{Scale: report.Scale, Figures: []jsonFigure{fig}})
-				fmt.Printf("wrote %s\n", serverJSONPath)
+			if path, ok := standalone[fig.ID]; ok {
+				writeJSON(path, jsonReport{Scale: report.Scale, Figures: []jsonFigure{fig}})
+				fmt.Printf("wrote %s\n", path)
 			}
 		}
 	}

@@ -143,6 +143,7 @@ func Runners() []Runner {
 		{"shards", "Sharded-log commit throughput", ShardScaling},
 		{"span", "Span-record vs per-word logging", SpanLogging},
 		{"server", "rewindd group-commit throughput", ServerThroughput},
+		{"recovery", "Parallel recovery scaling", RecoveryScaling},
 	}
 }
 

@@ -1,0 +1,171 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/rewind-db/rewind/internal/core"
+	"github.com/rewind-db/rewind/internal/nvm"
+	"github.com/rewind-db/rewind/internal/pmem"
+	"github.com/rewind-db/rewind/internal/rlog"
+)
+
+// recoveryShards is the shard count of the recovery-scaling image: wide
+// enough that a 8-worker pool has one shard per worker.
+const recoveryShards = 8
+
+// recoveryCfg is the image's manager configuration (the headline
+// NoForce/Batch regime, whose three-phase recovery has the redo pass the
+// workers parallelize).
+func recoveryCfg(workers int) core.Config {
+	return core.Config{
+		Policy: core.NoForce, Layers: core.OneLayer, LogKind: rlog.Batch,
+		LogShards: recoveryShards, RecoveryWorkers: workers, RootBase: 8,
+	}
+}
+
+// recoveryMemCfg is the device configuration for both building and
+// recovering the image. The DRAM-like read cost puts the scan-bound
+// analysis and redo work on the virtual clock, as the paper's recovery
+// figures (4b, 5, 8b) do.
+func recoveryMemCfg() nvm.Config {
+	return nvm.Config{Size: 64 << 20, TrackPersistence: true, ReadLatency: scanReadLatency}
+}
+
+// RecoveryScaling measures restart time against the recovery worker count —
+// the parallel-recovery experiment, in the spirit of Sauer & Härder's
+// parallel REDO-only restart (PAPERS.md): a crashed 8-shard image is
+// recovered at 1/2/4/8 workers and the figure reports the modeled makespan
+// of each pool next to the measured wall clock.
+//
+// The load is KV-shaped: N committed transactions, each writing one
+// 64-word (512 B) span into its own region, with one uncommitted loser per
+// shard left for the undo phase. The crash is a power failure after the
+// last commit, so recovery must redo every committed span from the log.
+//
+// The modeled makespan follows the shards figure's convention for the
+// simulated device: the per-shard analysis and redo charges divide over
+// the pool by its static shard assignment (shard i on worker i%w, so the
+// busiest worker's share of the records bounds the parallel phases), while
+// the serial phases — undo in global LSN order, the durability flush, and
+// the wholesale log clear — charge in full. Workers=1 is, by the
+// crash-equivalence harness, byte-for-byte the sequential recovery.
+func RecoveryScaling(scale Scale) Figure {
+	txns := scale.pick(2_000, 20_000)
+	fig := Figure{
+		ID: "recovery", Title: "Parallel recovery: restart time vs worker count",
+		XLabel: "recovery workers", YLabel: "ms / speedup",
+		Notes: fmt.Sprintf("%d-shard image, %d committed 64-word-span txns + %d losers; modeled makespan = serial phases + busiest worker's share of analysis+redo charges", recoveryShards, txns, recoveryShards),
+	}
+	img := buildRecoveryImage(txns)
+
+	var modeled, wall, speedup []Point
+	var base float64
+	for _, w := range []int{1, 2, 4, 8} {
+		modeledMS, wallMS := recoverImagePoint(img, w)
+		if w == 1 {
+			base = modeledMS
+		}
+		modeled = append(modeled, Point{X: float64(w), Y: modeledMS})
+		wall = append(wall, Point{X: float64(w), Y: wallMS})
+		speedup = append(speedup, Point{X: float64(w), Y: base / modeledMS})
+	}
+	fig.Series = append(fig.Series,
+		Series{Name: "modeled makespan", Points: modeled},
+		Series{Name: "wall clock", Points: wall},
+		Series{Name: "speedup", Points: speedup},
+	)
+	return fig
+}
+
+// buildRecoveryImage runs the load on a fresh device, pulls the plug, and
+// returns the durable image every worker count recovers from.
+func buildRecoveryImage(txns int) []byte {
+	mem := nvm.New(recoveryMemCfg())
+	a := pmem.Format(mem)
+	tm, err := core.New(a, recoveryCfg(1))
+	if err != nil {
+		panic(err)
+	}
+	span := make([]byte, 64*8)
+	for i := 0; i < txns; i++ {
+		region := a.Alloc(len(span))
+		x := tm.Begin()
+		for b := range span {
+			span[b] = byte(i + b)
+		}
+		if err := x.WriteBytes(region, span); err != nil {
+			panic(err)
+		}
+		if err := x.Commit(); err != nil {
+			panic(err)
+		}
+	}
+	// One loser per shard: sequential ids round-robin the shards.
+	for j := 0; j < recoveryShards; j++ {
+		region := a.Alloc(len(span))
+		x := tm.Begin()
+		if err := x.WriteBytes(region, span); err != nil {
+			panic(err)
+		}
+	}
+	if err := mem.Crash(); err != nil {
+		panic(err)
+	}
+	img, err := mem.PersistentImage()
+	if err != nil {
+		panic(err)
+	}
+	return img
+}
+
+// recoverImagePoint restores the image into a fresh device and recovers it
+// with a w-worker pool, returning the modeled makespan and the measured
+// wall clock, both in milliseconds.
+func recoverImagePoint(img []byte, w int) (modeledMS, wallMS float64) {
+	mem := nvm.New(recoveryMemCfg())
+	if err := mem.LoadImage(img); err != nil {
+		panic(err)
+	}
+	a, err := pmem.Open(mem)
+	if err != nil {
+		panic(err)
+	}
+	s0 := mem.Stats().SimulatedNS
+	start := time.Now()
+	_, rs, err := core.Open(a, recoveryCfg(w))
+	if err != nil {
+		panic(err)
+	}
+	wallMS = float64(time.Since(start).Nanoseconds()) / 1e6
+
+	total := mem.Stats().SimulatedNS - s0
+	par := rs.AnalysisSimNs + rs.RedoSimNs
+	serial := total - par
+	modeled := float64(serial) + float64(par)*busiestShare(rs.ShardRecords, rs.Workers)
+	return modeled / 1e6, wallMS
+}
+
+// busiestShare returns the largest fraction of the records any one worker
+// owns under the static round-robin shard assignment (1.0 for one worker).
+func busiestShare(shardRecords []int, workers int) float64 {
+	if workers < 1 {
+		workers = 1
+	}
+	perWorker := make([]int, workers)
+	total := 0
+	for i, n := range shardRecords {
+		perWorker[i%workers] += n
+		total += n
+	}
+	if total == 0 {
+		return 1
+	}
+	max := 0
+	for _, n := range perWorker {
+		if n > max {
+			max = n
+		}
+	}
+	return float64(max) / float64(total)
+}

@@ -1,78 +1,150 @@
 package core
 
 import (
+	"time"
+
 	"github.com/rewind-db/rewind/internal/rlog"
 )
 
-// Checkpoint trims the log under the NoForce policy (§4.6, the paper's
-// "cache-consistent" checkpoint):
-//
-//  1. with every shard mutex held, a CHECKPOINT record is inserted into
-//     each shard (before the cache flush — the other order could make
-//     records appended during the flush look persistent) and any pending
-//     Batch groups are force-flushed, so no cached user write can be
-//     persisted ahead of its record;
-//  2. the whole cache is flushed, making every user update durable;
-//  3. the transactions that had finished by the checkpoint are snapshotted
-//     and the shard mutexes released;
-//  4. each shard is then cleared independently: the records of snapshotted
-//     transactions are removed (all of a transaction's records live in its
-//     shard), applying committed DELETE deallocations on the way, with
-//     each END record removed after the rest of its transaction.
-//
-// Steps 1–3 hold the shard locks briefly, relative to the clearing scans;
-// step 4 runs one shard at a time while new transactions keep appending —
-// a long clear on one shard never stalls logging on the others. Under
-// Force the log is already cleared at commit time, so Checkpoint is a
-// no-op.
-func (tm *TM) Checkpoint() {
-	if tm.cfg.Policy == Force {
-		return
-	}
+// DefaultCheckpointBudget is the default per-freeze flush budget of the
+// paced checkpoint, in cache lines (512 lines = 32 KiB per pause).
+const DefaultCheckpointBudget = 512
 
-	// Step 1: freeze all shards and stamp each with a CHECKPOINT record.
-	// Every record already in any shard got its LSN before the stamp, so
-	// it compares below its shard's checkpoint LSN.
-	for _, sh := range tm.shards {
-		sh.mu.Lock()
+// maxCheckpointChunks bounds the number of pre-flush freezes one checkpoint
+// may take, so a writer that dirties lines faster than the budget drains
+// them cannot spin the checkpoint forever — the stamp round then flushes
+// whatever remains in one (larger) pause.
+const maxCheckpointChunks = 256
+
+// CheckpointStats reports how one checkpoint was paced.
+type CheckpointStats struct {
+	// Chunks is the number of freeze windows taken, including the final
+	// stamp round (1 means the checkpoint behaved like the paper's
+	// freeze-all).
+	Chunks int
+	// LinesFlushed is the total cache lines made durable.
+	LinesFlushed int
+	// Cleared is the number of finished transactions whose records were
+	// removed.
+	Cleared int
+	// MaxPauseNs is the longest single freeze, wall clock: the worst stall
+	// a committing transaction could have observed.
+	MaxPauseNs int64
+	// MaxPauseSimNs is the longest single freeze on the simulated device's
+	// virtual clock — the deterministic counterpart the pause-gate test
+	// asserts on.
+	MaxPauseSimNs int64
+	// TotalNs is the checkpoint's full wall-clock duration, clearing scans
+	// included.
+	TotalNs int64
+}
+
+// Checkpoint trims the log under the NoForce policy (§4.6, the paper's
+// "cache-consistent" checkpoint) with the default pause budget. Under Force
+// the log is already cleared at commit time, so Checkpoint is a no-op.
+func (tm *TM) Checkpoint() { tm.CheckpointPaced(0) }
+
+// CheckpointPaced is the incremental checkpoint. The paper's §4.6 protocol
+// freezes every shard and flushes the whole cache in one stop-the-world
+// pause; here the same durable outcome is reached in bounded steps:
+//
+//  1. pre-flush — while dirty lines exceed the budget, take a short freeze
+//     (all shard mutexes), force every shard's pending Batch group, flush
+//     at most budgetLines dirty lines, release. Forcing the logs first
+//     keeps the write-ahead invariant: a cached user write is only ever
+//     flushed in a window where its log record is already durable. The
+//     freeze must cover all shards for exactly that reason — user data of
+//     different shards shares cache lines, so flushing any line races with
+//     every shard's pending group, not just one;
+//  2. stamp round — one more freeze: a CHECKPOINT record is stamped into
+//     each shard (before the residual flush — the other order could make
+//     records appended during the flush look persistent), the remaining
+//     dirty lines (at most ~budget, the pre-flush drained the rest) are
+//     flushed, and the transactions finished by now are snapshotted;
+//  3. clearing — each shard is then cleared independently with no locks
+//     held, exactly as before: the records of snapshotted transactions are
+//     removed, applying committed DELETE deallocations on the way.
+//
+// The pause any committing transaction can observe is one freeze: the
+// budgeted line flush plus a group force — not the whole cache. budgetLines
+// <= -1 disables pacing (one freeze-all pause, the paper's original
+// protocol, kept for comparison); 0 means DefaultCheckpointBudget.
+func (tm *TM) CheckpointPaced(budgetLines int) CheckpointStats {
+	var cs CheckpointStats
+	if tm.cfg.Policy == Force {
+		return cs
 	}
-	ckptLSN := make([]uint64, len(tm.shards))
-	if tm.cfg.Layers == OneLayer {
-		for i, sh := range tm.shards {
-			ckptLSN[i] = tm.lsn.Add(1)
-			rec := tm.allocRecord(rlog.Fields{LSN: ckptLSN[i], Txn: 0, Type: rlog.TypeCheckpoint})
-			sh.log.Append(rec, false)
+	if budgetLines == 0 {
+		budgetLines = DefaultCheckpointBudget
+	}
+	start := time.Now()
+
+	// freeze runs fn with every shard frozen and every log forced, flushes
+	// up to limit dirty lines, and accounts the pause.
+	freeze := func(limit int, fn func()) {
+		t0, s0 := time.Now(), tm.mem.Stats().SimulatedNS
+		for _, sh := range tm.shards {
+			sh.mu.Lock()
+		}
+		for _, sh := range tm.shards {
 			tm.forceLogShard(sh)
 		}
-	} else {
-		ckptLSN[0] = tm.lsn.Load()
+		if fn != nil {
+			fn()
+		}
+		cs.LinesFlushed += tm.mem.FlushDirtyLimit(limit)
+		for _, sh := range tm.shards {
+			sh.mu.Unlock()
+		}
+		cs.Chunks++
+		if pause := time.Since(t0).Nanoseconds(); pause > cs.MaxPauseNs {
+			cs.MaxPauseNs = pause
+		}
+		if sim := tm.mem.Stats().SimulatedNS - s0; sim > cs.MaxPauseSimNs {
+			cs.MaxPauseSimNs = sim
+		}
 	}
-	// Step 2: flush the cache while no shard can append, so every record
-	// a snapshotted transaction wrote is durable alongside its data.
-	tm.mem.FlushAll()
-	// Step 3: snapshot the transactions that are finished as of the
-	// checkpoint; later finishers wait for the next one. (A commit racing
-	// us has either appended its END — it needed the shard lock, so it
-	// did so before step 1 — or it has not yet marked the transaction
-	// finished and is left for the next checkpoint.)
+
+	// Step 1: drain the dirty cache in budgeted freezes.
+	if budgetLines > 0 {
+		for cs.Chunks < maxCheckpointChunks && tm.mem.DirtyLineCount() > budgetLines {
+			freeze(budgetLines, nil)
+		}
+	}
+
+	// Step 2: the stamp round. Every record already in any shard got its
+	// LSN before the stamp, so it compares below its shard's checkpoint
+	// LSN; the snapshot happens inside the freeze, so a transaction is
+	// either finished with its END durably below the stamp or left intact
+	// for the next checkpoint.
 	type doneTxn struct {
 		id        uint64
 		committed bool
 	}
 	var done []doneTxn
-	tm.mu.Lock()
-	for _, x := range tm.table {
-		if x.status == statusFinished {
-			done = append(done, doneTxn{x.id, !x.aborted})
+	ckptLSN := make([]uint64, len(tm.shards))
+	freeze(-1, func() {
+		if tm.cfg.Layers == OneLayer {
+			for i, sh := range tm.shards {
+				ckptLSN[i] = tm.lsn.Add(1)
+				rec := tm.allocRecord(rlog.Fields{LSN: ckptLSN[i], Txn: 0, Type: rlog.TypeCheckpoint})
+				sh.log.Append(rec, false)
+				tm.forceLogShard(sh)
+			}
+		} else {
+			ckptLSN[0] = tm.lsn.Load()
 		}
-	}
-	tm.stats.Checkpoints++
-	tm.mu.Unlock()
-	for _, sh := range tm.shards {
-		sh.mu.Unlock()
-	}
+		tm.mu.Lock()
+		for _, x := range tm.table {
+			if x.status == statusFinished {
+				done = append(done, doneTxn{x.id, !x.aborted})
+			}
+		}
+		tm.stats.Checkpoints++
+		tm.mu.Unlock()
+	})
 
-	// Step 4: clear shard by shard, appends elsewhere unimpeded.
+	// Step 3: clear shard by shard, appends elsewhere unimpeded.
 	if tm.cfg.Layers == TwoLayer {
 		for _, d := range done {
 			tm.clearFinishedChain(d.id, d.committed)
@@ -100,11 +172,23 @@ func (tm *TM) Checkpoint() {
 		}
 	}
 
+	cs.Cleared = len(done)
+	cs.TotalNs = time.Since(start).Nanoseconds()
 	tm.mu.Lock()
 	for _, d := range done {
 		delete(tm.table, d.id)
 	}
+	tm.lastCkpt = cs
 	tm.mu.Unlock()
+	return cs
+}
+
+// LastCheckpoint returns the pacing report of the most recent checkpoint
+// (the zero value before the first one).
+func (tm *TM) LastCheckpoint() CheckpointStats {
+	tm.mu.Lock()
+	defer tm.mu.Unlock()
+	return tm.lastCkpt
 }
 
 // allocRecord allocates a record honouring the log kind's persistence

@@ -182,6 +182,14 @@ type Config struct {
 	// GroupCommitMax closes a round early once this many commits have
 	// joined (default 64).
 	GroupCommitMax int
+	// RecoveryWorkers is the number of goroutines Open's recovery pass uses
+	// for the per-shard analysis and redo phases (undo stays a single
+	// backward pass in global LSN order). Non-positive means one worker per
+	// CPU; the pool never exceeds LogShards. It is a volatile knob — not
+	// part of the durable fingerprint — so the same image may be recovered
+	// sequentially or in parallel, and the result is byte-identical (the
+	// crash-equivalence harness holds this to account).
+	RecoveryWorkers int
 	// RootBase is the first of the Slots() pmem root slots this manager
 	// owns.
 	RootBase int
@@ -414,12 +422,27 @@ type RecoveryStats struct {
 	MaxLSN uint64
 	// Redone counts redo-phase record applications (NoForce only).
 	Redone int
+	// RedoConflictWords counts words that were written by records of more
+	// than one shard and therefore re-played serially in global LSN order
+	// after the parallel per-shard redo (0 for sequential recovery).
+	RedoConflictWords int
 	// Undone counts updates compensated during the undo phase.
 	Undone int
 	// LosersAborted counts transactions rolled back by recovery.
 	LosersAborted int
 	// Winners counts committed transactions found finished.
 	Winners int
+	// Workers is the size of the worker pool the analysis and redo phases
+	// ran on (see Config.RecoveryWorkers).
+	Workers int
+	// Per-phase wall-clock durations in nanoseconds. FinishNs covers
+	// everything after undo: the durability flush, the losers' END
+	// records, deferred DELETEs, and the wholesale log clear.
+	AnalysisNs, RedoNs, UndoNs, FinishNs int64
+	// Per-phase virtual-clock charges (simulated device nanoseconds) for
+	// the two parallelizable phases, used by the recovery-scaling figure
+	// to model a worker pool's makespan deterministically.
+	AnalysisSimNs, RedoSimNs int64
 }
 
 // TM is a REWIND transaction recovery manager.
@@ -443,7 +466,8 @@ type TM struct {
 	mu    sync.Mutex // guards table, scalar stats, dirty marking
 	table map[uint64]*txnState
 
-	stats Stats
+	stats    Stats
+	lastCkpt CheckpointStats // most recent checkpoint's pacing report
 }
 
 // New creates a fresh manager on a formatted heap.

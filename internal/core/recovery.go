@@ -1,7 +1,10 @@
 package core
 
 import (
+	"runtime"
 	"sort"
+	"sync"
+	"time"
 
 	"github.com/rewind-db/rewind/internal/nvm"
 	"github.com/rewind-db/rewind/internal/rlog"
@@ -23,29 +26,47 @@ import (
 //	           apply committed transactions' deferred DELETEs, and clear
 //	           every shard wholesale (the three-step swap of §4.5).
 //
-// Sharding changes only the shape of the scan: each shard is read
-// independently and the records are merged by their globally-allocated
-// LSNs, which restores the total order a single log would have had. Every
+// Sharding changes only the shape of the scan, and — with
+// Config.RecoveryWorkers — who performs it. Analysis and redo are
+// per-shard-parallel: every transaction's records live in exactly one shard
+// (tid % shards), so each shard's scan classifies a disjoint set of
+// transactions and only the maxLSN/maxTid seeds and the table merge are
+// shared (taken under a mutex). Each shard yields a sorted run; a k-way
+// merge restores the total LSN order a single log would have had, which the
+// undo phase walks backward exactly as Algorithm 2 prescribes. Redo applies
+// per shard in shard-LSN order, with a serial conflict pass re-playing any
+// word written by more than one shard in global LSN order (see redo). Every
 // phase is idempotent, so recovery itself tolerates further crashes.
 func (tm *TM) recover() *RecoveryStats {
 	rs := &RecoveryStats{
 		CrashDetected: tm.mem.Load64(tm.state+stDirty) != 0,
+		Workers:       tm.recoveryWorkers(),
 	}
 
-	// analysis: recs is every surviving record across all shards, sorted
-	// by LSN ascending (nil for two-layer, whose records live in chains).
-	recs := tm.analysis(rs)
+	// analysis: runs[i] is shard i's surviving records sorted by LSN; recs
+	// is their k-way merge, globally LSN-ascending (nil for two-layer,
+	// whose records live in chains).
+	t0, s0 := time.Now(), tm.mem.Stats().SimulatedNS
+	recs, runs := tm.analysis(rs)
+	rs.AnalysisNs = time.Since(t0).Nanoseconds()
+	rs.AnalysisSimNs = tm.mem.Stats().SimulatedNS - s0
 
 	if tm.cfg.Policy == NoForce {
-		tm.redo(rs, recs)
+		t1, s1 := time.Now(), tm.mem.Stats().SimulatedNS
+		tm.redo(rs, recs, runs)
+		rs.RedoNs = time.Since(t1).Nanoseconds()
+		rs.RedoSimNs = tm.mem.Stats().SimulatedNS - s1
 	}
 
+	t2 := time.Now()
 	if tm.cfg.Layers == TwoLayer {
 		tm.undoChains(rs)
 	} else {
 		tm.undoScan(rs, recs)
 	}
+	rs.UndoNs = time.Since(t2).Nanoseconds()
 
+	t3 := time.Now()
 	if tm.cfg.Policy == NoForce {
 		// Make redone history and undo effects durable before the losers'
 		// END records can declare them resolved.
@@ -94,7 +115,54 @@ func (tm *TM) recover() *RecoveryStats {
 	tm.table = map[uint64]*txnState{}
 	tm.mem.StoreNT64(tm.state+stDirty, 0)
 	tm.mem.Fence()
+	rs.FinishNs = time.Since(t3).Nanoseconds()
 	return rs
+}
+
+// recoveryWorkers resolves Config.RecoveryWorkers: non-positive means one
+// worker per CPU, and the pool never exceeds the shard count (a shard is
+// the unit of recovery parallelism). The two-layer configuration has a
+// single record index, so it always recovers with one worker.
+func (tm *TM) recoveryWorkers() int {
+	if tm.cfg.Layers == TwoLayer {
+		return 1
+	}
+	w := tm.cfg.RecoveryWorkers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if n := len(tm.shards); w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// runShards invokes fn(i) for every shard index using w workers with a
+// static round-robin assignment (shard i goes to worker i%w). The static
+// split keeps the work partition deterministic, which is what lets the
+// recovery-scaling figure model a worker's makespan from the per-shard
+// record counts.
+func runShards(w, n int, fn func(int)) {
+	if w <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; i < n; i += w {
+				fn(i)
+			}
+		}(g)
+	}
+	wg.Wait()
 }
 
 // appendTxn appends a record on behalf of x under its shard's mutex (the
@@ -106,50 +174,56 @@ func (tm *TM) appendTxn(x *txnState, f rlog.Fields, end bool) (flushed bool) {
 	return tm.appendShard(sh, x, f, end)
 }
 
-// analysis scans the surviving records of every shard and rebuilds the
-// transaction table (§4.5), classifying each transaction by its markers:
-// END → finished; ROLLBACK without END → mid-abort; otherwise running.
-// For one-layer logging it returns all surviving records merged into LSN
-// order, which the later phases scan in place of the single log.
-func (tm *TM) analysis(rs *RecoveryStats) []rlog.Record {
-	var maxLSN, maxTid uint64
-	apply := func(r rlog.Record) {
-		rs.RecordsScanned++
-		if r.LSN() > maxLSN {
-			maxLSN = r.LSN()
-		}
-		tid := r.Txn()
-		if tid == 0 {
-			return // pseudo-transaction (CHECKPOINT records)
-		}
-		if tid > maxTid {
-			maxTid = tid
-		}
-		x, ok := tm.table[tid]
-		if !ok {
-			x = &txnState{id: tid, status: statusRunning}
-			tm.table[tid] = x
-		}
-		if r.LSN() >= x.lastLSN {
-			x.lastLSN = r.LSN()
-			x.lastRec = r.Addr
-		}
-		x.records++
-		switch r.Type() {
-		case rlog.TypeRollback:
-			x.status = statusAborted
-			x.aborted = true
-		case rlog.TypeEnd:
-			x.status = statusFinished
-		}
+// classify folds one record into a transaction table (§4.5's analysis
+// rules): END → finished; ROLLBACK without END → mid-abort; otherwise
+// running. It returns updated maxLSN/maxTid seeds.
+func classify(table map[uint64]*txnState, r rlog.Record, maxLSN, maxTid uint64) (uint64, uint64) {
+	if r.LSN() > maxLSN {
+		maxLSN = r.LSN()
 	}
+	tid := r.Txn()
+	if tid == 0 {
+		return maxLSN, maxTid // pseudo-transaction (CHECKPOINT records)
+	}
+	if tid > maxTid {
+		maxTid = tid
+	}
+	x, ok := table[tid]
+	if !ok {
+		x = &txnState{id: tid, status: statusRunning}
+		table[tid] = x
+	}
+	if r.LSN() >= x.lastLSN {
+		x.lastLSN = r.LSN()
+		x.lastRec = r.Addr
+	}
+	x.records++
+	switch r.Type() {
+	case rlog.TypeRollback:
+		x.status = statusAborted
+		x.aborted = true
+	case rlog.TypeEnd:
+		x.status = statusFinished
+	}
+	return maxLSN, maxTid
+}
 
+// analysis scans the surviving records of every shard and rebuilds the
+// transaction table (§4.5). Shards are scanned by the recovery worker pool:
+// a transaction's records all live in its own shard, so each worker
+// classifies a disjoint slice of the table and only the merge into the
+// shared table and the cross-shard maxLSN/maxTid seeds are serialized. For
+// one-layer logging it returns the per-shard sorted runs and their k-way
+// LSN merge, which the later phases scan in place of the single log.
+func (tm *TM) analysis(rs *RecoveryStats) ([]rlog.Record, [][]rlog.Record) {
 	if tm.cfg.Layers == TwoLayer {
+		var maxLSN, maxTid uint64
 		for _, c := range tm.tree.Txns() {
 			// Chains link newest→oldest; traverse and classify.
 			for cur := c.Tail; cur != nvm.Null; {
 				r := rlog.View(tm.mem, cur)
-				apply(r)
+				rs.RecordsScanned++
+				maxLSN, maxTid = classify(tm.table, r, maxLSN, maxTid)
 				cur = r.PrevTxn()
 			}
 			// The chain tail is authoritative for lastRec.
@@ -159,24 +233,85 @@ func (tm *TM) analysis(rs *RecoveryStats) []rlog.Record {
 			}
 		}
 		tm.seedCounters(maxLSN, maxTid, rs)
-		return nil
+		return nil, nil
 	}
-	var recs []rlog.Record
+
+	runs := make([][]rlog.Record, len(tm.shards))
 	rs.ShardRecords = make([]int, len(tm.shards))
-	for i, sh := range tm.shards {
+	var mu sync.Mutex
+	var maxLSN, maxTid uint64
+	runShards(rs.Workers, len(tm.shards), func(i int) {
+		sh := tm.shards[i]
+		local := map[uint64]*txnState{}
+		var run []rlog.Record
+		var lMaxLSN, lMaxTid uint64
 		it := sh.log.Begin()
 		for it.Next() {
 			r := it.Record()
-			apply(r)
-			recs = append(recs, r)
-			rs.ShardRecords[i]++
+			lMaxLSN, lMaxTid = classify(local, r, lMaxLSN, lMaxTid)
+			run = append(run, r)
 		}
 		it.Close()
-	}
-	// Merge the shards into the global record order their LSNs define.
-	sort.Slice(recs, func(i, j int) bool { return recs[i].LSN() < recs[j].LSN() })
+		// Records enter a shard in LSN order (the LSN is drawn and the
+		// record appended under one shard-mutex hold), so this sort is a
+		// cheap no-op pass — kept so the merge's precondition is explicit
+		// rather than an implicit logging invariant.
+		sort.Slice(run, func(a, b int) bool { return run[a].LSN() < run[b].LSN() })
+		runs[i] = run
+		rs.ShardRecords[i] = len(run)
+
+		mu.Lock()
+		for tid, x := range local {
+			tm.table[tid] = x // tids are shard-disjoint: no entry collides
+		}
+		if lMaxLSN > maxLSN {
+			maxLSN = lMaxLSN
+		}
+		if lMaxTid > maxTid {
+			maxTid = lMaxTid
+		}
+		rs.RecordsScanned += len(run)
+		mu.Unlock()
+	})
 	tm.seedCounters(maxLSN, maxTid, rs)
-	return recs
+	return mergeRuns(runs), runs
+}
+
+// mergeRuns k-way-merges per-shard LSN-sorted runs into one globally
+// LSN-ascending slice — the record order a single unsharded log would have
+// produced. LSNs are unique (one atomic counter), so the order is total.
+func mergeRuns(runs [][]rlog.Record) []rlog.Record {
+	total, nonEmpty, lastIdx := 0, 0, 0
+	for i, run := range runs {
+		total += len(run)
+		if len(run) > 0 {
+			nonEmpty++
+			lastIdx = i
+		}
+	}
+	if nonEmpty <= 1 {
+		if nonEmpty == 0 {
+			return nil
+		}
+		return runs[lastIdx]
+	}
+	out := make([]rlog.Record, 0, total)
+	idx := make([]int, len(runs))
+	for len(out) < total {
+		best := -1
+		var bestLSN uint64
+		for i, run := range runs {
+			if idx[i] >= len(run) {
+				continue
+			}
+			if lsn := run[idx[i]].LSN(); best == -1 || lsn < bestLSN {
+				best, bestLSN = i, lsn
+			}
+		}
+		out = append(out, runs[best][idx[best]])
+		idx[best]++
+	}
+	return out
 }
 
 // seedCounters resumes the global LSN and transaction-id counters above
@@ -193,16 +328,16 @@ func (tm *TM) seedCounters(maxLSN, maxTid uint64, rs *RecoveryStats) {
 // the record chains as one unit but its whole after-image is re-applied.
 // Re-applying CLRs is what makes a crash during a previous rollback safe
 // (§4.5: "the redo phase handles a crash during a previous rollback").
-func (tm *TM) redo(rs *RecoveryStats, recs []rlog.Record) {
-	redoOne := func(r rlog.Record) {
-		switch r.Type() {
-		case rlog.TypeUpdate, rlog.TypeCLR:
-			for i, n := 0, r.Words(); i < n; i++ {
-				tm.mem.Store64(r.TargetAt(i), r.NewAt(i))
-			}
-			rs.Redone++
-		}
-	}
+//
+// With more than one worker, redo runs per shard: each worker replays its
+// shards' runs in shard-LSN order, which is already the correct order for
+// every word only one shard wrote. A word written by records of two or more
+// shards (cross-shard cache lines are ordinary — unrelated transactions may
+// update neighbouring structures) ends at whichever shard's store landed
+// last, so a serial conflict pass re-plays exactly those words from the
+// LSN-merged record list: the final value of every word is then the newest
+// covering record's after-image — byte-identical to the sequential replay.
+func (tm *TM) redo(rs *RecoveryStats, recs []rlog.Record, runs [][]rlog.Record) {
 	if tm.cfg.Layers == TwoLayer {
 		var all []rlog.Record
 		for _, c := range tm.tree.Txns() {
@@ -214,13 +349,84 @@ func (tm *TM) redo(rs *RecoveryStats, recs []rlog.Record) {
 		}
 		sort.Slice(all, func(i, j int) bool { return all[i].LSN() < all[j].LSN() })
 		for _, r := range all {
-			redoOne(r)
+			if tm.redoRecord(r, nil, nil) {
+				rs.Redone++
+			}
 		}
 		return
 	}
-	for _, r := range recs {
-		redoOne(r)
+	if rs.Workers <= 1 || len(runs) <= 1 {
+		for _, r := range recs {
+			if tm.redoRecord(r, nil, nil) {
+				rs.Redone++
+			}
+		}
+		return
 	}
+
+	// Parallel per-shard replay, tracking each shard's touched words.
+	touched := make([]map[uint64]struct{}, len(runs))
+	redone := make([]int, len(runs))
+	runShards(rs.Workers, len(runs), func(i int) {
+		words := map[uint64]struct{}{}
+		for _, r := range runs[i] {
+			if tm.redoRecord(r, nil, func(a uint64) { words[a] = struct{}{} }) {
+				redone[i]++
+			}
+		}
+		touched[i] = words
+	})
+	for _, n := range redone {
+		rs.Redone += n
+	}
+
+	// Conflict pass: words written by two or more shards replay serially in
+	// global LSN order, restoring the single-log outcome.
+	owner := map[uint64]int{}
+	conflict := map[uint64]struct{}{}
+	for i, words := range touched {
+		for a := range words {
+			if j, ok := owner[a]; ok && j != i {
+				conflict[a] = struct{}{}
+			} else {
+				owner[a] = i
+			}
+		}
+	}
+	if len(conflict) == 0 {
+		return
+	}
+	rs.RedoConflictWords = len(conflict)
+	inConflict := func(a uint64) bool {
+		_, ok := conflict[a]
+		return ok
+	}
+	for _, r := range recs {
+		tm.redoRecord(r, inConflict, nil)
+	}
+}
+
+// redoRecord re-applies one record's after-image word by word — the single
+// replay primitive every redo pass (sequential, per-shard parallel, and
+// the serial conflict pass) shares, so their semantics cannot drift. A
+// non-nil filter selects which words apply; a non-nil applied observes
+// each word stored. It reports whether the record was a redoable type.
+func (tm *TM) redoRecord(r rlog.Record, filter func(uint64) bool, applied func(uint64)) bool {
+	switch r.Type() {
+	case rlog.TypeUpdate, rlog.TypeCLR:
+		for i, n := 0, r.Words(); i < n; i++ {
+			a := r.TargetAt(i)
+			if filter != nil && !filter(a) {
+				continue
+			}
+			tm.mem.Store64(a, r.NewAt(i))
+			if applied != nil {
+				applied(a)
+			}
+		}
+		return true
+	}
+	return false
 }
 
 // undoScan is Algorithm 2: a single backward pass over the LSN-merged

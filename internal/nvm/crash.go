@@ -63,6 +63,7 @@ func (m *Memory) Crash() error {
 	for i := range m.dirty {
 		atomic.StoreUint64(&m.dirty[i], 0)
 	}
+	m.dirtyLines.Store(0)
 	m.ntLine.Store(0)
 	m.stats.crashes.Add(1)
 	return nil

@@ -53,5 +53,6 @@ func (m *Memory) LoadImage(img []byte) error {
 	for i := range m.dirty {
 		m.dirty[i] = 0
 	}
+	m.dirtyLines.Store(0)
 	return nil
 }

@@ -128,6 +128,13 @@ type Memory struct {
 	// dirty is a bitmap with one bit per cache line: set when the line has
 	// cached writes that are not yet durable. nil unless TrackPersistence.
 	dirty []uint64
+	// dirtyLines counts set bits in dirty, so checkpoint pacing can size
+	// its flush chunks without scanning the bitmap.
+	dirtyLines atomic.Int64
+	// flushCursor is the bitmap word index where the next budgeted
+	// FlushDirtyLimit resumes its scan, so successive chunks sweep the
+	// whole arena instead of re-visiting hot low-address lines.
+	flushCursor atomic.Uint64
 
 	// ntLine is 1 + the line index of the last durable write since the
 	// last fence, for write coalescing; 0 means none.
@@ -258,20 +265,44 @@ func (m *Memory) Fence() {
 // FlushAll flushes every dirty cache line, then fences. This is the "flush
 // the cache" step of the paper's cache-consistent checkpoint (§4.6). It
 // returns the number of lines written.
-func (m *Memory) FlushAll() int {
+func (m *Memory) FlushAll() int { return m.FlushDirtyLimit(-1) }
+
+// FlushDirtyLimit flushes up to max dirty cache lines (all of them when max
+// is negative), then fences, and returns the number of lines written. It is
+// the incremental counterpart of FlushAll: a paced checkpoint drains the
+// cache in bounded chunks so the pause any freeze inflicts is max line
+// writes, not the whole dirty set. A budgeted scan resumes where the
+// previous one stopped and wraps once around the bitmap, so successive
+// chunks sweep every line even when writers keep re-dirtying a hot
+// low-address region; lines dirtied concurrently behind the scan position
+// are left for the next chunk.
+func (m *Memory) FlushDirtyLimit(max int) int {
 	written := 0
-	if m.dirty != nil {
-		for bi := range m.dirty {
+	if m.dirty != nil && max != 0 {
+		words := uint64(len(m.dirty))
+		start := uint64(0)
+		if max > 0 {
+			start = m.flushCursor.Load() % words
+		}
+		for off := uint64(0); off < words; off++ {
+			bi := (start + off) % words
 			if atomic.LoadUint64(&m.dirty[bi]) == 0 {
 				continue
 			}
 			for bit := 0; bit < 64; bit++ {
-				line := uint64(bi*64 + bit)
+				line := bi*64 + uint64(bit)
 				if atomic.LoadUint64(&m.dirty[bi])&(1<<bit) == 0 {
 					continue
 				}
 				m.flushLine(line)
 				written++
+				if max > 0 && written >= max {
+					// Resume this bitmap word next chunk: its remaining
+					// bits (cleared ones cost nothing) come before wrap.
+					m.flushCursor.Store(bi)
+					m.Fence()
+					return written
+				}
 			}
 		}
 	}
@@ -279,13 +310,21 @@ func (m *Memory) FlushAll() int {
 	return written
 }
 
+// DirtyLineCount returns the number of cache lines holding cached writes
+// that are not yet durable (0 when persistence tracking is disabled).
+func (m *Memory) DirtyLineCount() int { return int(m.dirtyLines.Load()) }
+
 // markDirty sets the dirty bit for a line with a CAS loop (portable to
 // go1.22, which lacks atomic.OrUint64).
 func (m *Memory) markDirty(line uint64) {
 	bi, mask := line/64, uint64(1)<<(line%64)
 	for {
 		old := atomic.LoadUint64(&m.dirty[bi])
-		if old&mask != 0 || atomic.CompareAndSwapUint64(&m.dirty[bi], old, old|mask) {
+		if old&mask != 0 {
+			return
+		}
+		if atomic.CompareAndSwapUint64(&m.dirty[bi], old, old|mask) {
+			m.dirtyLines.Add(1)
 			return
 		}
 	}
@@ -300,6 +339,7 @@ func (m *Memory) clearDirty(line uint64) bool {
 			return false
 		}
 		if atomic.CompareAndSwapUint64(&m.dirty[bi], old, old&^mask) {
+			m.dirtyLines.Add(-1)
 			return true
 		}
 	}

@@ -1,0 +1,95 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzReadFrame throws arbitrary bytes at the frame decoder — the first
+// thing rewindd runs on anything a socket delivers. Properties held:
+// ReadFrame never panics, never accepts a frame beyond MaxFrame, and any
+// frame it does accept round-trips: re-encoding (id, op, body) with
+// AppendFrame reproduces exactly the bytes consumed, and re-decoding the
+// re-encoding yields the same triple.
+func FuzzReadFrame(f *testing.F) {
+	// Well-formed frames of each op, including an empty body and a body at
+	// a length-prefix boundary.
+	f.Add(AppendFrame(nil, 1, OpGet, []byte{1, 2, 3, 4, 5, 6, 7, 8}))
+	f.Add(AppendFrame(nil, 0xffffffff, OpPut, append(AppendU64(nil, 42), AppendBytes(nil, []byte("value"))...)))
+	f.Add(AppendFrame(nil, 7, OpStats, nil))
+	f.Add(AppendFrame(nil, 2, StatusErr, bytes.Repeat([]byte{0xee}, 300)))
+	// Two pipelined frames back to back.
+	f.Add(AppendFrame(AppendFrame(nil, 1, OpDel, AppendU64(nil, 9)), 2, OpScan, make([]byte, 20)))
+	// Hostile shapes: truncated header, truncated body, undersized and
+	// oversized length prefixes.
+	f.Add([]byte{})
+	f.Add([]byte{9})
+	f.Add([]byte{9, 0, 0, 0, 1, 2})
+	f.Add([]byte{4, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add(binary.LittleEndian.AppendUint32(nil, MaxFrame+1))
+	f.Add(binary.LittleEndian.AppendUint32(nil, 0xffffffff))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		br := bufio.NewReader(bytes.NewReader(data))
+		id, op, body, err := ReadFrame(br)
+		if err != nil {
+			return // rejected input: the only requirement is not panicking
+		}
+		if len(body) > MaxFrame {
+			t.Fatalf("accepted %d-byte body beyond MaxFrame", len(body))
+		}
+		enc := AppendFrame(nil, id, op, body)
+		if len(enc) > len(data) || !bytes.Equal(enc, data[:len(enc)]) {
+			t.Fatalf("re-encoding diverges from consumed bytes:\n  in  %x\n  out %x", data[:min(len(data), len(enc))], enc)
+		}
+		id2, op2, body2, err := ReadFrame(bufio.NewReader(bytes.NewReader(enc)))
+		if err != nil || id2 != id || op2 != op || !bytes.Equal(body2, body) {
+			t.Fatalf("re-decode mismatch: (%d,%d,%x,%v) vs (%d,%d,%x)", id2, op2, body2, err, id, op, body)
+		}
+	})
+}
+
+// FuzzReader drives the body-field reader over arbitrary bytes: no panics,
+// no reads past the slice, and consumed byte counts that always match the
+// field widths.
+func FuzzReader(f *testing.F) {
+	f.Add([]byte{}, uint8(0))
+	f.Add(AppendU64(nil, 1<<63), uint8(1))
+	f.Add(AppendBytes(nil, []byte("abc")), uint8(3))
+	f.Add(binary.LittleEndian.AppendUint32(nil, 0xffffffff), uint8(3))
+	f.Fuzz(func(t *testing.T, data []byte, kind uint8) {
+		r := &Reader{B: data}
+		for {
+			before := len(r.B)
+			var consumed int
+			var err error
+			switch kind % 4 {
+			case 0:
+				_, err = r.U64()
+				consumed = 8
+			case 1:
+				_, err = r.U32()
+				consumed = 4
+			case 2:
+				_, err = r.Byte()
+				consumed = 1
+			case 3:
+				var p []byte
+				p, err = r.Bytes()
+				consumed = 4 + len(p)
+			}
+			if err != nil {
+				if len(r.B) != before {
+					t.Fatalf("failed read consumed %d bytes", before-len(r.B))
+				}
+				return
+			}
+			if before-len(r.B) != consumed {
+				t.Fatalf("consumed %d bytes, want %d", before-len(r.B), consumed)
+			}
+			kind++
+		}
+	})
+}

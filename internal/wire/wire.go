@@ -145,16 +145,18 @@ func (r *Reader) Byte() (byte, error) {
 	return v, nil
 }
 
-// Bytes reads a u32-length-prefixed byte field.
+// Bytes reads a u32-length-prefixed byte field. A truncated field consumes
+// nothing: the reader either yields the whole field or leaves its position
+// unchanged.
 func (r *Reader) Bytes() ([]byte, error) {
-	n, err := r.U32()
-	if err != nil {
-		return nil, err
-	}
-	if uint32(len(r.B)) < n {
+	if len(r.B) < 4 {
 		return nil, ErrShortBody
 	}
-	v := r.B[:n]
-	r.B = r.B[n:]
+	n := binary.LittleEndian.Uint32(r.B)
+	if uint64(len(r.B))-4 < uint64(n) {
+		return nil, ErrShortBody
+	}
+	v := r.B[4 : 4+n]
+	r.B = r.B[4+n:]
 	return v, nil
 }

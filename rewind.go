@@ -126,6 +126,12 @@ type Options struct {
 	GroupCommitWindow time.Duration
 	// GroupCommitMax closes a round early at this many commits (default 64).
 	GroupCommitMax int
+	// RecoveryWorkers is the number of goroutines the recovery pass at Open
+	// uses for its per-shard analysis and redo phases (non-positive: one
+	// per CPU, capped at LogShards). Recovery's outcome is byte-identical
+	// at any worker count; the knob trades restart latency for CPU. See
+	// core.Config.RecoveryWorkers.
+	RecoveryWorkers int
 	// WriteLatency and FenceLatency configure the simulated device
 	// (defaults: 150ns and 100ns). ReadLatency is charged per word load
 	// when non-zero (default zero, per the paper's read-cost assumption).
@@ -318,6 +324,7 @@ func coreConfig(opts Options, rootBase int) core.Config {
 		GroupCommit:       opts.GroupCommit,
 		GroupCommitWindow: opts.GroupCommitWindow,
 		GroupCommitMax:    opts.GroupCommitMax,
+		RecoveryWorkers:   opts.RecoveryWorkers,
 	}
 }
 
@@ -349,9 +356,22 @@ func (s *Store) Read64(addr uint64) uint64 { return s.mem.Load64(addr) }
 // ReadBytes reads n bytes at addr.
 func (s *Store) ReadBytes(addr uint64, n int) []byte { return s.tm.ReadBytes(addr, n) }
 
-// Checkpoint trims the log under the no-force policy (§4.6); it is a no-op
-// under force, whose commits clear their own records.
+// Checkpoint trims the log under the no-force policy (§4.6) with the
+// default pause budget; it is a no-op under force, whose commits clear
+// their own records.
 func (s *Store) Checkpoint() { s.tm.Checkpoint() }
+
+// CheckpointPaced runs an incremental checkpoint whose freezes flush at
+// most budgetLines cache lines each, so the stall any committing
+// transaction observes is bounded by the budget rather than the whole
+// dirty cache (0 uses the default budget, negative disables pacing — the
+// paper's freeze-all). It returns the pacing report.
+func (s *Store) CheckpointPaced(budgetLines int) core.CheckpointStats {
+	return s.tm.CheckpointPaced(budgetLines)
+}
+
+// LastCheckpoint returns the most recent checkpoint's pacing report.
+func (s *Store) LastCheckpoint() core.CheckpointStats { return s.tm.LastCheckpoint() }
 
 // Stats returns the simulated device counters.
 func (s *Store) Stats() nvm.Stats { return s.mem.Stats() }

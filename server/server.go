@@ -341,6 +341,13 @@ type Stats struct {
 	// group-commit counters: rounds is shared flushes issued, grouped is
 	// commits that split a fence with at least one other transaction.
 	GroupCommitRounds, GroupedCommits, Commits int64
+	// Checkpoints counts completed checkpoints; LastCheckpointPauseNs is
+	// the longest single freeze (wall clock) of the most recent one — the
+	// worst stall a commit could have seen — and LastCheckpointChunks how
+	// many budgeted freezes it was spread over.
+	Checkpoints           int64
+	LastCheckpointPauseNs int64
+	LastCheckpointChunks  int
 }
 
 // Stats snapshots server activity.
@@ -351,10 +358,15 @@ func (s *Server) Stats() Stats {
 		Errored:  s.errored.Load(),
 		KV:       s.kv.Stats(),
 	}
-	for _, sh := range s.kv.Rewind().ShardStats() {
+	tms := s.kv.Rewind().TMStats()
+	st.Checkpoints = tms.Checkpoints
+	for _, sh := range tms.Shards {
 		st.GroupCommitRounds += sh.GroupCommitRounds
 		st.GroupedCommits += sh.GroupedCommits
 		st.Commits += sh.Commits
 	}
+	ck := s.kv.Rewind().LastCheckpoint()
+	st.LastCheckpointPauseNs = ck.MaxPauseNs
+	st.LastCheckpointChunks = ck.Chunks
 	return st
 }

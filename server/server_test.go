@@ -105,6 +105,59 @@ func TestEndToEnd(t *testing.T) {
 	}
 }
 
+// TestStatsReportCheckpointPause asserts the checkpoint telemetry rewindd
+// serves: after an incremental checkpoint runs against the store, STATS
+// must report a completed checkpoint with a non-zero worst freeze pause and
+// the freeze count the budget implies — the numbers an operator tunes
+// -checkpoint-pause against.
+func TestStatsReportCheckpointPause(t *testing.T) {
+	srv, addr := startServer(t, false)
+	cl := client.Dial(addr, client.Options{Conns: 1})
+	defer cl.Close()
+
+	for k := uint64(0); k < 200; k++ {
+		if err := cl.Put(k, []byte(fmt.Sprintf("value-%d", k))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	raw, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Stats
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Checkpoints != 0 || st.LastCheckpointPauseNs != 0 {
+		t.Fatalf("checkpoint stats nonzero before any checkpoint: %+v", st)
+	}
+
+	// The daemon's ticker path: a small-budget paced checkpoint.
+	cs := srv.KV().Rewind().CheckpointPaced(16)
+	if cs.Chunks < 2 {
+		t.Fatalf("paced checkpoint of 200 dirty-line puts took %d freezes, want several", cs.Chunks)
+	}
+	raw, err = cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Checkpoints != 1 {
+		t.Fatalf("Checkpoints = %d after one checkpoint", st.Checkpoints)
+	}
+	if st.LastCheckpointPauseNs <= 0 {
+		t.Fatalf("LastCheckpointPauseNs = %d, want > 0", st.LastCheckpointPauseNs)
+	}
+	if st.LastCheckpointChunks != cs.Chunks {
+		t.Fatalf("LastCheckpointChunks = %d, want %d", st.LastCheckpointChunks, cs.Chunks)
+	}
+	if st.LastCheckpointPauseNs > cs.TotalNs {
+		t.Fatalf("worst pause %dns exceeds the whole checkpoint %dns", st.LastCheckpointPauseNs, cs.TotalNs)
+	}
+}
+
 // TestConcurrentClients drives many connections in parallel — the group-
 // commit fan-in shape — and verifies contents and that rounds were shared.
 func TestConcurrentClients(t *testing.T) {
