@@ -188,9 +188,17 @@ func AttachAt(s *rewind.Store, cfg Config, hdr uint64) (*Tree, error) {
 	return &Tree{s: s, mem: s.Mem(), cfg: cfg, hdr: hdr}, nil
 }
 
-func (t *Tree) leafSize() int {
-	return nodeKeys + (t.cfg.LeafCap+1)*8 + (t.cfg.LeafCap+1)*t.cfg.ValueSize
+// LeafSize returns the NVM footprint of one leaf node for this
+// configuration (defaults resolved): header, key array, and record array,
+// each sized one past capacity for the transient insert overflow. Callers
+// sizing arenas or validating value-size configs (the kv package) use it
+// instead of duplicating the layout arithmetic.
+func (c Config) LeafSize() int {
+	c = c.withDefaults()
+	return nodeKeys + (c.LeafCap+1)*8 + (c.LeafCap+1)*c.ValueSize
 }
+
+func (t *Tree) leafSize() int { return t.cfg.LeafSize() }
 
 func (t *Tree) internalSize() int {
 	return nodeKeys + (t.cfg.MaxKeys+1)*8 + (t.cfg.MaxKeys+2)*8
@@ -235,16 +243,7 @@ func (t *Tree) Config() Config { return t.cfg }
 
 // findPos returns the position of the first key >= k and whether it equals k.
 func (t *Tree) findPos(n uint64, k uint64) (int, bool) {
-	lo, hi := 0, t.count(n)
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if t.key(n, mid) < k {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	return lo, lo < t.count(n) && t.key(n, lo) == k
+	return t.findPosIn(n, k, t.count(n))
 }
 
 // Lookup returns the value stored under k.

@@ -1,0 +1,214 @@
+package btree
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"github.com/rewind-db/rewind"
+)
+
+func newReadTree(t *testing.T, cfg Config) (*rewind.Store, *Tree) {
+	t.Helper()
+	st, err := rewind.Open(rewind.Options{ArenaSize: 32 << 20, DisableTracking: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := New(st, Config{
+		MaxKeys: cfg.MaxKeys, LeafCap: cfg.LeafCap,
+		ValueSize: cfg.ValueSize, RootSlot: rewind.AppRootFirst,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, tr
+}
+
+// TestSeekRecordMatchesLookup: on a quiescent tree the optimistic seek
+// agrees with the latched Lookup for present and absent keys, across
+// enough inserts and deletes to exercise splits, borrows, and merges.
+func TestSeekRecordMatchesLookup(t *testing.T) {
+	st, tr := newReadTree(t, Config{MaxKeys: 4, LeafCap: 4, ValueSize: 16})
+	rng := rand.New(rand.NewSource(7))
+	live := map[uint64][]byte{}
+	err := st.Atomic(func(tx *rewind.Tx) error {
+		for i := 0; i < 600; i++ {
+			k := uint64(rng.Intn(300))
+			if rng.Intn(3) == 0 {
+				if _, err := tr.Delete(tx, k); err != nil {
+					return err
+				}
+				delete(live, k)
+				continue
+			}
+			v := make([]byte, 16)
+			rng.Read(v)
+			if _, err := tr.Insert(tx, k, v); err != nil {
+				return err
+			}
+			live[k] = v
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := st.Mem()
+	for k := uint64(0); k < 310; k++ {
+		addr, ok := tr.SeekRecord(k)
+		want, present := live[k]
+		if ok != present {
+			t.Fatalf("SeekRecord(%d) ok=%v, want %v", k, ok, present)
+		}
+		if !ok {
+			continue
+		}
+		got := make([]byte, 16)
+		mem.Read(addr, got)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("SeekRecord(%d) value %x, want %x", k, got, want)
+		}
+		lv, _ := tr.Lookup(k)
+		if !bytes.Equal(lv, got) {
+			t.Fatalf("SeekRecord(%d) disagrees with Lookup: %x vs %x", k, got, lv)
+		}
+	}
+}
+
+// TestScanRecordsMatchesScan: the optimistic range walk yields exactly the
+// latched Scan's records, in order, and reports a clean completion.
+func TestScanRecordsMatchesScan(t *testing.T) {
+	st, tr := newReadTree(t, Config{MaxKeys: 6, LeafCap: 4, ValueSize: 8})
+	err := st.Atomic(func(tx *rewind.Tx) error {
+		for k := uint64(0); k < 200; k += 3 {
+			if _, err := tr.Insert(tx, k, []byte{byte(k), 0, 0, 0, 0, 0, 0, 0}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range [][2]uint64{{0, 500}, {10, 50}, {51, 51}, {300, 400}, {7, 6}} {
+		var want []uint64
+		tr.Scan(r[0], r[1], func(k uint64, v []byte) bool {
+			want = append(want, k)
+			return true
+		})
+		var got []uint64
+		mem := st.Mem()
+		complete := tr.ScanRecords(r[0], r[1], func(k, addr uint64) bool {
+			if b := mem.Load64(addr); byte(b) != byte(k) {
+				t.Fatalf("record %d addr holds %x", k, b)
+			}
+			got = append(got, k)
+			return true
+		})
+		if !complete {
+			t.Fatalf("quiescent ScanRecords(%d,%d) reported a tripped bound", r[0], r[1])
+		}
+		if len(got) != len(want) {
+			t.Fatalf("ScanRecords(%d,%d) = %d keys, Scan = %d", r[0], r[1], len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("ScanRecords(%d,%d)[%d] = %d, want %d", r[0], r[1], i, got[i], want[i])
+			}
+		}
+	}
+	// Early stop.
+	n := 0
+	tr.ScanRecords(0, 500, func(k, addr uint64) bool {
+		n++
+		return n < 5
+	})
+	if n != 5 {
+		t.Fatalf("early-stop walk visited %d records", n)
+	}
+}
+
+// TestReadPathTornStructure scribbles the kinds of garbage a concurrent
+// (or recycled-node) writer could expose — wild pointers, absurd counts,
+// self-referential links — and asserts the optimistic walkers neither
+// panic nor hang. Their results are meaningless here by design; a real
+// reader's seqlock validation would discard them.
+func TestReadPathTornStructure(t *testing.T) {
+	build := func() (*rewind.Store, *Tree) {
+		st, tr := newReadTree(t, Config{MaxKeys: 4, LeafCap: 4, ValueSize: 8})
+		err := st.Atomic(func(tx *rewind.Tx) error {
+			for k := uint64(0); k < 64; k++ {
+				if _, err := tr.Insert(tx, k, make([]byte, 8)); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st, tr
+	}
+
+	t.Run("wild-root", func(t *testing.T) {
+		st, tr := build()
+		st.Mem().Store64(tr.hdr+hdrRoot, uint64(st.Mem().Size())+123456)
+		if _, ok := tr.SeekRecord(10); ok {
+			t.Error("wild root produced a hit")
+		}
+		if tr.ScanRecords(0, 99, func(k, a uint64) bool { return true }) {
+			t.Error("wild root scan reported clean completion")
+		}
+	})
+
+	t.Run("misaligned-child", func(t *testing.T) {
+		st, tr := build()
+		root := tr.root()
+		if tr.isLeaf(root) {
+			t.Skip("tree did not split")
+		}
+		st.Mem().Store64(tr.childAddr(root, 0), 12345) // unaligned garbage
+		tr.SeekRecord(0)
+		tr.ScanRecords(0, 99, func(k, a uint64) bool { return true })
+	})
+
+	t.Run("absurd-count", func(t *testing.T) {
+		st, tr := build()
+		root := tr.root()
+		st.Mem().Store64(root+nodeMeta, (1<<40)<<1|tr.mem.Load64(root+nodeMeta)&1)
+		tr.SeekRecord(1)
+		tr.ScanRecords(0, 99, func(k, a uint64) bool { return true })
+	})
+
+	t.Run("descent-cycle", func(t *testing.T) {
+		st, tr := build()
+		root := tr.root()
+		if tr.isLeaf(root) {
+			t.Skip("tree did not split")
+		}
+		for i := 0; i <= tr.count(root); i++ {
+			st.Mem().Store64(tr.childAddr(root, i), root) // every child points back up
+		}
+		if _, ok := tr.SeekRecord(5); ok {
+			t.Error("cyclic descent produced a hit")
+		}
+		if tr.ScanRecords(0, 99, func(k, a uint64) bool { return true }) {
+			t.Error("cyclic descent scan reported clean completion")
+		}
+	})
+
+	t.Run("next-chain-cycle", func(t *testing.T) {
+		st, tr := build()
+		// Point the rightmost leaf's next chain at itself; a scan from
+		// beyond every key starts there, and with all keys below the range
+		// the walk never produces a record to stop on.
+		n := tr.root()
+		for !tr.isLeaf(n) {
+			n = tr.child(n, tr.count(n))
+		}
+		st.Mem().Store64(n+nodeNext, n)
+		if tr.ScanRecords(1000, 2000, func(k, a uint64) bool { return true }) {
+			t.Error("next-chain cycle scan reported clean completion")
+		}
+	})
+}

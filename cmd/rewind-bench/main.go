@@ -34,6 +34,10 @@ const serverJSONPath = "BENCH_server.json"
 // (the "recovery" runner), uploaded alongside the other two.
 const recoveryJSONPath = "BENCH_recovery.json"
 
+// readpathJSONPath gets a standalone copy of the latch-free read-path
+// figure (the "readpath" runner), uploaded alongside the others.
+const readpathJSONPath = "BENCH_readpath.json"
+
 // jsonFigure is one figure plus how long it took to regenerate.
 type jsonFigure struct {
 	bench.Figure
@@ -99,7 +103,11 @@ func main() {
 	if *jsonOut {
 		writeJSON(benchJSONPath, report)
 		fmt.Printf("wrote %s (%d figures, %s scale)\n", benchJSONPath, len(report.Figures), scale)
-		standalone := map[string]string{"server": serverJSONPath, "recovery": recoveryJSONPath}
+		standalone := map[string]string{
+			"server":   serverJSONPath,
+			"recovery": recoveryJSONPath,
+			"readpath": readpathJSONPath,
+		}
 		for _, fig := range report.Figures {
 			if path, ok := standalone[fig.ID]; ok {
 				writeJSON(path, jsonReport{Scale: report.Scale, Figures: []jsonFigure{fig}})

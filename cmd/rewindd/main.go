@@ -39,6 +39,8 @@ func main() {
 	stripes := flag.Int("stripes", 8, "kv key stripes (fixed at store creation)")
 	shards := flag.Int("shards", 1, "log shards")
 	maxValue := flag.Int("max-value", 512, "largest value size in bytes (fixed at store creation)")
+	exclusiveReads := flag.Bool("exclusive-reads", false, "route GET/SCAN through the stripe latches instead of the latch-free seqlock read path (escape hatch / baseline)")
+	readRetries := flag.Int("read-retries", 0, "optimistic read attempts before a GET/SCAN falls back to the stripe latch (0 = default)")
 	groupCommit := flag.Bool("group-commit", true, "merge concurrent commits into shared log flushes")
 	gcWindow := flag.Duration("gc-window", 100*time.Microsecond, "group-commit gather window")
 	gcMax := flag.Int("gc-max", 64, "close a commit round early at this many commits")
@@ -73,11 +75,18 @@ func main() {
 			time.Duration(st.Recovery.AnalysisNs), time.Duration(st.Recovery.RedoNs),
 			time.Duration(st.Recovery.UndoNs))
 	}
-	kvs, err := kv.Open(st, kv.Config{Stripes: *stripes, MaxValue: *maxValue})
+	kvs, err := kv.Open(st, kv.Config{
+		Stripes: *stripes, MaxValue: *maxValue,
+		ExclusiveReads: *exclusiveReads, ReadRetries: *readRetries,
+	})
 	if err != nil {
 		log.Fatalf("rewindd: opening kv store: %v", err)
 	}
-	log.Printf("rewindd: %d keys across %d stripes, group commit %v", kvs.Len(), *stripes, *groupCommit)
+	readMode := "latch-free reads"
+	if *exclusiveReads {
+		readMode = "exclusive-latch reads"
+	}
+	log.Printf("rewindd: %d keys across %d stripes, group commit %v, %s", kvs.Len(), *stripes, *groupCommit, readMode)
 
 	srv := server.New(kvs)
 	done := make(chan error, 1)
@@ -131,6 +140,10 @@ func main() {
 		close(stopCkpt)
 		ckptDone.Wait() // an in-flight checkpoint must not race the unmap
 		srv.Close()     // waits for in-flight handlers too
+		if ks := kvs.Stats(); ks.Gets+ks.Scans > 0 {
+			log.Printf("rewindd: read path served %d gets / %d scans with %d seqlock retries, %d latch fallbacks",
+				ks.Gets, ks.Scans, ks.ReadRetries, ks.ReadFallbacks)
+		}
 		if err := st.Close(); err != nil {
 			log.Fatalf("rewindd: close: %v", err)
 		}

@@ -144,6 +144,7 @@ func Runners() []Runner {
 		{"span", "Span-record vs per-word logging", SpanLogging},
 		{"server", "rewindd group-commit throughput", ServerThroughput},
 		{"recovery", "Parallel recovery scaling", RecoveryScaling},
+		{"readpath", "Latch-free GET/SCAN read path", ReadPath},
 	}
 }
 

@@ -1,0 +1,159 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/rewind-db/rewind"
+	"github.com/rewind-db/rewind/client"
+	"github.com/rewind-db/rewind/kv"
+	"github.com/rewind-db/rewind/server"
+)
+
+// readPathKeys is the preloaded keyspace GETs and PUTs draw from: small
+// enough that the working set is hot, large enough to spread over every
+// stripe.
+const readPathKeys = 512
+
+// ReadPath measures GET throughput against reader-connection count over
+// the real TCP stack, with the latch-free optimistic read path versus the
+// exclusive-latch baseline (kv.Config.ExclusiveReads), under two write
+// mixes — the service-layer experiment behind the seqlock read path
+// (DESIGN.md §6).
+//
+// Readers are pure-GET connections; a separate writer pool streams PUTs
+// paced so the server's total op mix approaches the nominal read/write
+// ratio (95/5 and 50/50), with the write stream capped by what the
+// stripes' commit bandwidth allows. Every PUT commits under group commit,
+// so in the exclusive baseline each writer parks its stripe's latch for a
+// whole gather window plus flush — and every GET unlucky enough to hash to
+// that stripe parks behind it. The optimistic path closes the seqlock
+// write window before the commit wait, so the same GETs validate and
+// return without ever touching the latch. Throughput is wall-clock acked
+// GETs per second observed by the readers while the write stream runs.
+func ReadPath(scale Scale) Figure {
+	opsPerReader := scale.pick(300, 3_000)
+	fig := Figure{
+		ID: "readpath", Title: "GET throughput vs reader connections: optimistic seqlock vs exclusive latch",
+		XLabel: "reader connections", YLabel: "kGET/s (wall clock)",
+		Notes: fmt.Sprintf("loopback TCP, %v fence, group window 300µs; PUT stream paced toward the nominal mix, capped by commit bandwidth", serverFenceLatency),
+	}
+	mixes := []struct {
+		name      string
+		writeFrac float64
+		writerGos int
+	}{
+		{"95/5", 0.05, 2},
+		{"50/50", 0.50, 16},
+	}
+	for _, mix := range mixes {
+		var opt, excl []Point
+		for _, readers := range []int{1, 2, 4, 8} {
+			y := readPathPoint(false, mix.writeFrac, mix.writerGos, readers, opsPerReader)
+			opt = append(opt, Point{X: float64(readers), Y: y / 1e3})
+			y = readPathPoint(true, mix.writeFrac, mix.writerGos, readers, opsPerReader)
+			excl = append(excl, Point{X: float64(readers), Y: y / 1e3})
+		}
+		fig.Series = append(fig.Series,
+			Series{Name: "optimistic " + mix.name, Points: opt},
+			Series{Name: "exclusive " + mix.name, Points: excl},
+		)
+	}
+	return fig
+}
+
+// readPathPoint runs one full client/server stack: `readers` pure-GET
+// connections measured wall-clock while a writer pool keeps PUTs flowing
+// at writeFrac of the observed GET stream. Returns acked GETs per second.
+func readPathPoint(exclusive bool, writeFrac float64, writerGos, readers, opsPerReader int) float64 {
+	st, err := rewind.Open(rewind.Options{
+		ArenaSize:         1 << 26,
+		GroupSize:         64,
+		GroupCommit:       true,
+		GroupCommitWindow: 300 * time.Microsecond,
+		GroupCommitMax:    64,
+		FenceLatency:      serverFenceLatency,
+		DisableTracking:   true,
+	})
+	if err != nil {
+		panic(err)
+	}
+	kvs, err := kv.Create(st, kv.Config{Stripes: 4, MaxValue: 16, ExclusiveReads: exclusive})
+	if err != nil {
+		panic(err)
+	}
+	srv := server.New(kvs)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+	addr := ln.Addr().String()
+
+	// Preload outside the measurement; both streams overwrite in place.
+	for k := uint64(1); k <= readPathKeys; k++ {
+		if err := kvs.Put(k, []byte{byte(k), 0xaa}); err != nil {
+			panic(err)
+		}
+	}
+
+	var gets, puts atomic.Int64
+	stop := make(chan struct{})
+	var writerWG sync.WaitGroup
+	wcl := client.Dial(addr, client.Options{Conns: 4})
+	defer wcl.Close()
+	for w := 0; w < writerGos; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + w)))
+			val := []byte{byte(w), 0xbb}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Chase the nominal mix: hold PUTs at writeFrac of the ops
+				// the readers have completed so far.
+				target := int64(float64(gets.Load()) * writeFrac / (1 - writeFrac))
+				if puts.Load() >= target {
+					time.Sleep(20 * time.Microsecond)
+					continue
+				}
+				puts.Add(1)
+				if err := wcl.Put(uint64(rng.Intn(readPathKeys))+1, val); err != nil {
+					panic(err)
+				}
+			}
+		}(w)
+	}
+
+	var readerWG sync.WaitGroup
+	start := time.Now()
+	for r := 0; r < readers; r++ {
+		readerWG.Add(1)
+		go func(r int) {
+			defer readerWG.Done()
+			cl := client.Dial(addr, client.Options{Conns: 1})
+			defer cl.Close()
+			rng := rand.New(rand.NewSource(int64(r)))
+			for i := 0; i < opsPerReader; i++ {
+				if _, err := cl.Get(uint64(rng.Intn(readPathKeys)) + 1); err != nil {
+					panic(err)
+				}
+				gets.Add(1)
+			}
+		}(r)
+	}
+	readerWG.Wait()
+	elapsed := time.Since(start).Seconds()
+	close(stop)
+	writerWG.Wait()
+	return float64(readers*opsPerReader) / elapsed
+}

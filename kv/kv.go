@@ -19,17 +19,29 @@
 // the shared round flush — so a Put/Delete/Batch that returned survives
 // any crash. Batch applies all its operations inside ONE transaction:
 // all-or-none, however many stripes it spans.
+//
+// Reads are latch-free (DESIGN.md §6): each stripe carries a seqlock-style
+// version counter that writers bump odd/even around the tree mutation
+// inside their latch, and Get/Scan traverse optimistically — snapshot the
+// counter, walk the tree through btree's validated read path, re-check the
+// counter, retry on interference, and fall back to the latch after
+// Config.ReadRetries failed attempts. Reads issue no log records and no
+// flushes; they never queue behind a commit flush, a group-commit gather
+// window, or a checkpoint freeze.
 package kv
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
 
 	"github.com/rewind-db/rewind"
 	"github.com/rewind-db/rewind/btree"
+	"github.com/rewind-db/rewind/internal/nvm"
 )
 
 // kvMagic tags the side table ("\0\0KVDNWR" in the high six bytes, low 16
@@ -55,6 +67,17 @@ type Config struct {
 	// RootSlot is the application root slot publishing the side table
 	// (default rewind.AppRootFirst).
 	RootSlot int
+	// ReadRetries is how many optimistic attempts a Get or per-stripe Scan
+	// makes before falling back to the stripe latch (default 8). The
+	// fallback bounds reader latency under a write storm; see DESIGN.md §6.
+	// Volatile — not part of the durable shape.
+	ReadRetries int
+	// ExclusiveReads routes Get and Scan through the stripe latch, the
+	// pre-seqlock behaviour: reads serialize against reads and stall behind
+	// in-flight commits. It exists as the read-path benchmark's baseline
+	// and as an operational escape hatch. Volatile — not part of the
+	// durable shape.
+	ExclusiveReads bool
 }
 
 func (c Config) withDefaults() Config {
@@ -66,6 +89,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RootSlot == 0 {
 		c.RootSlot = rewind.AppRootFirst
+	}
+	if c.ReadRetries <= 0 {
+		c.ReadRetries = 8
 	}
 	return c
 }
@@ -82,20 +108,39 @@ var (
 	ErrNotFound = errors.New("kv: no store published in root slot")
 )
 
-// stripe is one latch + tree pair.
+// stripe is one latch + seqlock + tree triple. mu serializes writers (and
+// is the readers' fallback); seq is the seqlock version counter — odd
+// while a writer is mutating the tree image, bumped even again before the
+// commit wait so readers validate against structure changes only, never
+// against durability latency.
 type stripe struct {
 	mu   sync.Mutex
+	seq  atomic.Uint64
 	tree *btree.Tree
 }
+
+// beginWrite opens the stripe's write window (seq becomes odd). Callers
+// hold mu.
+func (sp *stripe) beginWrite() { sp.seq.Add(1) }
+
+// endWrite closes the write window (seq becomes even).
+func (sp *stripe) endWrite() { sp.seq.Add(1) }
 
 // Store is a striped durable map over a rewind.Store.
 type Store struct {
 	st      *rewind.Store
+	mem     *nvm.Memory
 	cfg     Config
 	stripes []*stripe
 
 	gets, puts, dels, scans, batches atomic.Int64
+	readRetries, readFallbacks       atomic.Int64
 }
+
+// optimisticReadHook, when non-nil, runs between an optimistic traversal
+// and its seqlock validation. Tests use it to deterministically interleave
+// a "writer" and force the retry path; it is nil in production.
+var optimisticReadHook func()
 
 // Create builds a fresh store: one tree per stripe, published through a
 // durable side table in cfg.RootSlot. A crash before the final root-slot
@@ -106,13 +151,18 @@ func Create(st *rewind.Store, cfg Config) (*Store, error) {
 	if cfg.Stripes >= 1<<16 {
 		return nil, fmt.Errorf("kv: %d stripes exceed the side table's limit", cfg.Stripes)
 	}
-	if cfg.MaxValue > 0xffff {
-		return nil, fmt.Errorf("kv: MaxValue %d exceeds the record length field", cfg.MaxValue)
+	// The record length field is the full leading word of the documented
+	// "[length word | payload]" layout, so MaxValue is bounded only by what
+	// the arena can physically hold: one tree leaf must fit a quarter of
+	// the arena, or the very first insert would exhaust it.
+	if leaf := (btree.Config{ValueSize: cfg.valueSize()}).LeafSize(); leaf > st.Mem().Size()/4 {
+		return nil, fmt.Errorf("kv: MaxValue %d needs %d-byte leaves; the %d-byte arena cannot hold them",
+			cfg.MaxValue, leaf, st.Mem().Size())
 	}
 	mem := st.Mem()
 	tblSize := tblTrees + cfg.Stripes*8
 	tbl := st.Alloc(tblSize)
-	s := &Store{st: st, cfg: cfg}
+	s := &Store{st: st, mem: mem, cfg: cfg}
 	for i := 0; i < cfg.Stripes; i++ {
 		t, err := btree.NewAt(st, btree.Config{ValueSize: cfg.valueSize()})
 		if err != nil {
@@ -149,7 +199,7 @@ func Attach(st *rewind.Store, cfg Config) (*Store, error) {
 	if vs := int(mem.Load64(tbl + tblVSize)); vs != cfg.valueSize() {
 		return nil, fmt.Errorf("kv: store has %d-byte records, config wants %d", vs, cfg.valueSize())
 	}
-	s := &Store{st: st, cfg: cfg}
+	s := &Store{st: st, mem: mem, cfg: cfg}
 	for i := 0; i < stripes; i++ {
 		hdr := mem.Load64(tbl + tblTrees + uint64(i)*8)
 		t, err := btree.AttachAt(st, btree.Config{ValueSize: cfg.valueSize()}, hdr)
@@ -177,39 +227,125 @@ func (s *Store) Rewind() *rewind.Store { return s.st }
 // Config returns the configuration (with defaults resolved).
 func (s *Store) Config() Config { return s.cfg }
 
-func (s *Store) stripeOf(key uint64) *stripe {
-	return s.stripes[key%uint64(len(s.stripes))]
+func (s *Store) stripeIndex(key uint64) int {
+	return int(key % uint64(len(s.stripes)))
 }
 
-// encode builds the tree record for a value.
+func (s *Store) stripeOf(key uint64) *stripe {
+	return s.stripes[s.stripeIndex(key)]
+}
+
+// encode builds the tree record for a value: the full 8-byte little-endian
+// length word, then the payload. (An earlier revision wrote only the low
+// two length bytes, silently truncating lengths in stores configured with
+// MaxValue > 65535; since the upper bytes were always written as zero, the
+// widened word reads every old record identically.)
 func (s *Store) encode(v []byte) []byte {
 	rec := make([]byte, s.cfg.valueSize())
-	rec[0] = byte(len(v))
-	rec[1] = byte(len(v) >> 8)
+	binary.LittleEndian.PutUint64(rec, uint64(len(v)))
 	copy(rec[8:], v)
 	return rec
 }
 
-// decode extracts the value from a tree record.
-func decode(rec []byte) []byte {
-	n := int(rec[0]) | int(rec[1])<<8
-	if n > len(rec)-8 {
-		n = len(rec) - 8
+// update runs fn inside one transaction with the given stripes latched,
+// wrapping the tree mutation in their seqlock write windows. The windows
+// close as soon as the mutation (or, on error, its rollback) is done — in
+// particular BEFORE the commit's covering flush — so optimistic readers
+// validate against structure changes only and never spin out a group-
+// commit gather or a checkpoint freeze. The stripe latches stay held
+// through the commit, keeping writer/writer ordering exactly as before.
+//
+// Closing before the commit flush means a concurrent reader may return a
+// value up to one commit latency before the writer's own ack — the
+// early-lock-release trade documented in DESIGN.md §6. The image it reads
+// is never torn: the window covers every tree write of the transaction.
+func (s *Store) update(stripes []int, fn func(tx *rewind.Tx) error) error {
+	for _, i := range stripes {
+		s.stripes[i].mu.Lock()
 	}
-	return rec[8 : 8+n]
+	defer func() {
+		for _, i := range stripes {
+			s.stripes[i].mu.Unlock()
+		}
+	}()
+	for _, i := range stripes {
+		s.stripes[i].beginWrite()
+	}
+	open := true
+	closeWindows := func() {
+		if open {
+			open = false
+			for _, i := range stripes {
+				s.stripes[i].endWrite()
+			}
+		}
+	}
+	// On the error path the windows must outlive the rollback that Atomic
+	// runs inside itself; the deferred close also covers a panic unwinding
+	// through Atomic's own rollback (crash-injection panics abandon the
+	// store, but the counters still end even).
+	defer closeWindows()
+	return s.st.Atomic(func(tx *rewind.Tx) error {
+		if err := fn(tx); err != nil {
+			return err
+		}
+		closeWindows() // mutation done; the commit wait happens seq-even
+		return nil
+	})
 }
 
-// Get returns the value stored under key.
+// readValue copies a record's payload out of the arena: length word first,
+// then only the bytes actually used — not the full ValueSize buffer the
+// latched btree.Lookup allocates. On the optimistic path the length word
+// may be torn garbage; it is clamped to the record's physical payload so
+// the copy stays in bounds, and the caller's seqlock validation rejects
+// the result if anything raced.
+func (s *Store) readValue(addr uint64) []byte {
+	n := s.mem.Load64(addr)
+	if n > uint64(s.cfg.MaxValue) {
+		n = uint64(s.cfg.MaxValue)
+	}
+	v := make([]byte, n)
+	s.mem.Read(addr+8, v)
+	return v
+}
+
+// Get returns the value stored under key. It is latch-free: optimistic
+// seqlock attempts first, the stripe latch only after Config.ReadRetries
+// failed validations (a persistent write storm on this exact stripe).
 func (s *Store) Get(key uint64) ([]byte, bool) {
 	s.gets.Add(1)
 	sp := s.stripeOf(key)
+	if !s.cfg.ExclusiveReads {
+		for attempt := 0; attempt < s.cfg.ReadRetries; attempt++ {
+			seq := sp.seq.Load()
+			if seq&1 != 0 { // writer mid-mutation: snapshot can't validate
+				s.readRetries.Add(1)
+				runtime.Gosched()
+				continue
+			}
+			addr, ok := sp.tree.SeekRecord(key)
+			var v []byte
+			if ok {
+				v = s.readValue(addr)
+			}
+			if optimisticReadHook != nil {
+				optimisticReadHook()
+			}
+			if sp.seq.Load() == seq {
+				return v, ok
+			}
+			s.readRetries.Add(1)
+		}
+		s.readFallbacks.Add(1)
+	}
 	sp.mu.Lock()
 	defer sp.mu.Unlock()
-	rec, ok := sp.tree.Lookup(key)
+	addr, ok := sp.tree.SeekRecord(key)
 	if !ok {
 		return nil, false
 	}
-	return decode(rec), true
+	return s.readValue(addr), true
 }
 
 // Put durably stores value under key, replacing any prior value. When Put
@@ -222,9 +358,7 @@ func (s *Store) Put(key uint64, value []byte) error {
 	s.puts.Add(1)
 	rec := s.encode(value)
 	sp := s.stripeOf(key)
-	sp.mu.Lock()
-	defer sp.mu.Unlock()
-	return s.st.Atomic(func(tx *rewind.Tx) error {
+	return s.update([]int{s.stripeIndex(key)}, func(tx *rewind.Tx) error {
 		_, err := sp.tree.Insert(tx, key, rec)
 		return err
 	})
@@ -234,10 +368,8 @@ func (s *Store) Put(key uint64, value []byte) error {
 func (s *Store) Delete(key uint64) (bool, error) {
 	s.dels.Add(1)
 	sp := s.stripeOf(key)
-	sp.mu.Lock()
-	defer sp.mu.Unlock()
 	found := false
-	err := s.st.Atomic(func(tx *rewind.Tx) error {
+	err := s.update([]int{s.stripeIndex(key)}, func(tx *rewind.Tx) error {
 		var err error
 		found, err = sp.tree.Delete(tx, key)
 		return err
@@ -252,33 +384,76 @@ type Pair struct {
 }
 
 // Scan returns up to limit pairs with keys in [from, to], globally sorted
-// by key. Stripes are collected one at a time under their latches and
-// merged; the result is consistent per stripe, not a global snapshot
-// (concurrent writers may land between stripe visits, as in any latch-
-// striped map).
+// by key; limit <= 0 means every pair in the range, however many (an
+// earlier revision silently capped "unlimited" at 1<<20 pairs, truncating
+// scans of larger stores with no error). Stripes are collected one at a
+// time — latch-free with per-stripe seqlock validation, falling back to
+// the latch like Get — and merged; the result is consistent per stripe,
+// not a global snapshot (concurrent writers may land between stripe
+// visits, as in any latch-striped map).
 func (s *Store) Scan(from, to uint64, limit int) []Pair {
 	s.scans.Add(1)
-	if limit <= 0 {
-		limit = 1 << 20
-	}
 	var out []Pair
-	for _, sp := range s.stripes {
-		sp.mu.Lock()
-		n := 0
-		sp.tree.Scan(from, to, func(k uint64, rec []byte) bool {
-			// rec is a fresh per-record buffer (btree.Scan allocates it),
-			// so the decoded sub-slice can be retained without a copy.
-			out = append(out, Pair{Key: k, Value: decode(rec)})
-			n++
-			return n < limit
-		})
-		sp.mu.Unlock()
+	for i := range s.stripes {
+		out = s.scanStripe(s.stripes[i], from, to, limit, out)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
-	if len(out) > limit {
+	if limit > 0 && len(out) > limit {
 		out = out[:limit]
 	}
 	return out
+}
+
+// scanSeqPollEvery is how many records an optimistic stripe scan collects
+// between seqlock polls: long walks over a mutating stripe abort early
+// instead of buffering a whole garbage pass.
+const scanSeqPollEvery = 64
+
+// scanStripe appends one stripe's pairs in [from, to] to out. Optimistic
+// attempts buffer the stripe's pairs and append them only after the
+// seqlock validates — a torn walk is discarded wholesale, so no caller
+// ever sees a record image a writer was mid-overwriting.
+func (s *Store) scanStripe(sp *stripe, from, to uint64, limit int, out []Pair) []Pair {
+	var buf []Pair
+	collect := func(k, addr uint64) bool {
+		buf = append(buf, Pair{Key: k, Value: s.readValue(addr)})
+		return limit <= 0 || len(buf) < limit
+	}
+	if !s.cfg.ExclusiveReads {
+		for attempt := 0; attempt < s.cfg.ReadRetries; attempt++ {
+			seq := sp.seq.Load()
+			if seq&1 != 0 {
+				s.readRetries.Add(1)
+				runtime.Gosched()
+				continue
+			}
+			buf = buf[:0]
+			torn := false
+			complete := sp.tree.ScanRecords(from, to, func(k, addr uint64) bool {
+				if !collect(k, addr) {
+					return false
+				}
+				if len(buf)%scanSeqPollEvery == 0 && sp.seq.Load() != seq {
+					torn = true
+					return false
+				}
+				return true
+			})
+			if optimisticReadHook != nil {
+				optimisticReadHook()
+			}
+			if complete && !torn && sp.seq.Load() == seq {
+				return append(out, buf...)
+			}
+			s.readRetries.Add(1)
+		}
+		s.readFallbacks.Add(1)
+	}
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	buf = buf[:0]
+	sp.tree.ScanRecords(from, to, collect)
+	return append(out, buf...)
 }
 
 // Op is one Batch operation.
@@ -311,15 +486,7 @@ func (s *Store) Batch(ops []Op) error {
 		idx = append(idx, int(i))
 	}
 	sort.Ints(idx)
-	for _, i := range idx {
-		s.stripes[i].mu.Lock()
-	}
-	defer func() {
-		for _, i := range idx {
-			s.stripes[i].mu.Unlock()
-		}
-	}()
-	return s.st.Atomic(func(tx *rewind.Tx) error {
+	return s.update(idx, func(tx *rewind.Tx) error {
 		for _, op := range ops {
 			sp := s.stripeOf(op.Key)
 			if op.Delete {
@@ -336,13 +503,15 @@ func (s *Store) Batch(ops []Op) error {
 	})
 }
 
-// Len returns the total number of keys across all stripes.
+// Len returns the total number of keys across all stripes. It reads each
+// stripe's count word without the latch — the count is a single atomically
+// stored word, so the result is exact on a quiescent store and at worst
+// momentarily off by in-flight transactions on a busy one; taking latches
+// here would park STATS behind every in-flight commit.
 func (s *Store) Len() int {
 	n := 0
 	for _, sp := range s.stripes {
-		sp.mu.Lock()
 		n += sp.tree.Len()
-		sp.mu.Unlock()
 	}
 	return n
 }
@@ -350,8 +519,12 @@ func (s *Store) Len() int {
 // Stats counts store activity since creation (volatile).
 type Stats struct {
 	Gets, Puts, Deletes, Scans, Batches int64
-	Keys                                int
-	Stripes                             int
+	// ReadRetries counts optimistic read attempts discarded because a
+	// writer's seqlock window overlapped them; ReadFallbacks counts reads
+	// that exhausted Config.ReadRetries attempts and took the stripe latch.
+	ReadRetries, ReadFallbacks int64
+	Keys                       int
+	Stripes                    int
 }
 
 // Stats returns a snapshot of activity counters and the current key count.
@@ -359,6 +532,7 @@ func (s *Store) Stats() Stats {
 	return Stats{
 		Gets: s.gets.Load(), Puts: s.puts.Load(), Deletes: s.dels.Load(),
 		Scans: s.scans.Load(), Batches: s.batches.Load(),
+		ReadRetries: s.readRetries.Load(), ReadFallbacks: s.readFallbacks.Load(),
 		Keys: s.Len(), Stripes: len(s.stripes),
 	}
 }
