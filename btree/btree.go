@@ -7,8 +7,8 @@
 // the persistence regime so the paper's comparison lines come from one
 // implementation:
 //
-//   - *rewind.Tx (or TxWriter): fully recoverable — every word write is
-//     logged ahead of the store (the "REWIND" lines of Figure 7);
+//   - *rewind.Tx: fully recoverable — every word write is logged ahead of
+//     the store (the "REWIND" lines of Figure 7);
 //   - NVMWriter: durable non-temporal stores, no logging — persistent but
 //     not recoverable (the "NVM" line);
 //   - DRAMWriter: cached stores, no logging, no NVM write cost (the
@@ -34,6 +34,32 @@ type Writer interface {
 	Alloc(size int) uint64
 	Free(addr uint64) error
 }
+
+// TxnReader is the optional read side of a Writer. A Writer that stages its
+// writes privately until commit (rewind.Tx under Options.CommitMode ==
+// RedoOnly) reports Buffered() == true, and the tree then routes every
+// structural read of a mutation through it — a transaction's second insert
+// must see the nodes its first one wrote, even though shared memory will
+// not until commit. *rewind.Tx satisfies it in both commit modes.
+type TxnReader interface {
+	Read64(addr uint64) uint64
+	ReadBytes(addr uint64, n int) []byte
+	Buffered() bool
+}
+
+// loader abstracts the read path: shared NVM for plain reads and for
+// Writers that apply in place, the transaction's overlay for buffered ones.
+// *nvm.Memory satisfies it directly.
+type loader interface {
+	Load64(addr uint64) uint64
+	Read(addr uint64, p []byte)
+}
+
+// txnLoader adapts a buffered TxnReader to the loader shape.
+type txnLoader struct{ r TxnReader }
+
+func (l txnLoader) Load64(addr uint64) uint64  { return l.r.Read64(addr) }
+func (l txnLoader) Read(addr uint64, p []byte) { copy(p, l.r.ReadBytes(addr, len(p))) }
 
 // NVMWriter mutates through durable non-temporal stores without logging:
 // persistent, not recoverable (the paper's "NVM" baseline).
@@ -124,12 +150,28 @@ const (
 )
 
 // Tree is a persistent B+-tree. Mutations go through a Writer; reads are
-// direct loads.
+// direct loads (routed through the mutating transaction's own overlay when
+// the Writer buffers — see TxnReader).
 type Tree struct {
 	s   *rewind.Store
 	mem *nvm.Memory
+	ld  loader
 	cfg Config
 	hdr uint64
+}
+
+// writeView returns the tree a mutation should run against: the receiver
+// itself for in-place Writers, or a shallow copy whose reads go through the
+// transaction's overlay when the Writer stages writes privately. The copy is
+// transient — it lives for one Insert/Delete call and shares every address
+// with the receiver.
+func (t *Tree) writeView(w Writer) *Tree {
+	if r, ok := w.(TxnReader); ok && r.Buffered() {
+		tv := *t
+		tv.ld = txnLoader{r}
+		return &tv
+	}
+	return t
 }
 
 // New creates an empty tree, publishing its header in cfg.RootSlot. The
@@ -151,7 +193,7 @@ func New(s *rewind.Store, cfg Config) (*Tree, error) {
 // its two blocks.
 func NewAt(s *rewind.Store, cfg Config) (*Tree, error) {
 	cfg = cfg.withDefaults()
-	t := &Tree{s: s, mem: s.Mem(), cfg: cfg}
+	t := &Tree{s: s, mem: s.Mem(), ld: s.Mem(), cfg: cfg}
 	hdr := s.Alloc(hdrSize)
 	leaf := s.Alloc(t.leafSize())
 	t.mem.Zero(leaf, t.leafSize())
@@ -175,7 +217,7 @@ func Attach(s *rewind.Store, cfg Config) (*Tree, error) {
 	if hdr == 0 {
 		return nil, fmt.Errorf("btree: root slot %d is empty", cfg.RootSlot)
 	}
-	return &Tree{s: s, mem: s.Mem(), cfg: cfg, hdr: hdr}, nil
+	return &Tree{s: s, mem: s.Mem(), ld: s.Mem(), cfg: cfg, hdr: hdr}, nil
 }
 
 // AttachAt reopens a tree whose header address the application stored
@@ -185,7 +227,7 @@ func AttachAt(s *rewind.Store, cfg Config, hdr uint64) (*Tree, error) {
 	if hdr == 0 {
 		return nil, errors.New("btree: nil header address")
 	}
-	return &Tree{s: s, mem: s.Mem(), cfg: cfg, hdr: hdr}, nil
+	return &Tree{s: s, mem: s.Mem(), ld: s.Mem(), cfg: cfg, hdr: hdr}, nil
 }
 
 // LeafSize returns the NVM footprint of one leaf node for this
@@ -204,8 +246,8 @@ func (t *Tree) internalSize() int {
 	return nodeKeys + (t.cfg.MaxKeys+1)*8 + (t.cfg.MaxKeys+2)*8
 }
 
-func (t *Tree) isLeaf(n uint64) bool { return t.mem.Load64(n+nodeMeta)&1 == 1 }
-func (t *Tree) count(n uint64) int   { return int(t.mem.Load64(n+nodeMeta) >> 1) }
+func (t *Tree) isLeaf(n uint64) bool { return t.ld.Load64(n+nodeMeta)&1 == 1 }
+func (t *Tree) count(n uint64) int   { return int(t.ld.Load64(n+nodeMeta) >> 1) }
 
 func (t *Tree) setMeta(w Writer, n uint64, leaf bool, count int) error {
 	v := uint64(count) << 1
@@ -216,7 +258,7 @@ func (t *Tree) setMeta(w Writer, n uint64, leaf bool, count int) error {
 }
 
 func (t *Tree) key(n uint64, i int) uint64 {
-	return t.mem.Load64(n + nodeKeys + uint64(i)*8)
+	return t.ld.Load64(n + nodeKeys + uint64(i)*8)
 }
 
 func (t *Tree) setKey(w Writer, n uint64, i int, k uint64) error {
@@ -231,12 +273,12 @@ func (t *Tree) childAddr(n uint64, i int) uint64 {
 	return n + nodeKeys + uint64(t.cfg.MaxKeys+1)*8 + uint64(i)*8
 }
 
-func (t *Tree) child(n uint64, i int) uint64 { return t.mem.Load64(t.childAddr(n, i)) }
+func (t *Tree) child(n uint64, i int) uint64 { return t.ld.Load64(t.childAddr(n, i)) }
 
-func (t *Tree) root() uint64 { return t.mem.Load64(t.hdr + hdrRoot) }
+func (t *Tree) root() uint64 { return t.ld.Load64(t.hdr + hdrRoot) }
 
 // Len returns the number of records.
-func (t *Tree) Len() int { return int(t.mem.Load64(t.hdr + hdrCount)) }
+func (t *Tree) Len() int { return int(t.ld.Load64(t.hdr + hdrCount)) }
 
 // Config returns the tree configuration (with defaults resolved).
 func (t *Tree) Config() Config { return t.cfg }
@@ -261,7 +303,7 @@ func (t *Tree) Lookup(k uint64) ([]byte, bool) {
 		return nil, false
 	}
 	out := make([]byte, t.cfg.ValueSize)
-	t.mem.Read(t.valAddr(n, pos), out)
+	t.ld.Read(t.valAddr(n, pos), out)
 	return out, true
 }
 
@@ -287,12 +329,12 @@ func (t *Tree) Scan(from, to uint64, fn func(k uint64, v []byte) bool) {
 				return
 			}
 			v := make([]byte, t.cfg.ValueSize)
-			t.mem.Read(t.valAddr(n, i), v)
+			t.ld.Read(t.valAddr(n, i), v)
 			if !fn(k, v) {
 				return
 			}
 		}
-		n = t.mem.Load64(n + nodeNext)
+		n = t.ld.Load64(n + nodeNext)
 	}
 }
 
@@ -305,6 +347,7 @@ func (t *Tree) Insert(w Writer, k uint64, v []byte) (bool, error) {
 	if len(v) != t.cfg.ValueSize {
 		return false, ErrValueSize
 	}
+	t = t.writeView(w)
 	root := t.root()
 	sep, right, split, added, err := t.insert(w, root, k, v)
 	if err != nil {
@@ -441,7 +484,7 @@ func (t *Tree) insertLeaf(w Writer, n, k uint64, v []byte) (sep, right uint64, s
 			return 0, 0, false, false, err
 		}
 	}
-	if err := w.Write64(nr+nodeNext, t.mem.Load64(n+nodeNext)); err != nil {
+	if err := w.Write64(nr+nodeNext, t.ld.Load64(n+nodeNext)); err != nil {
 		return 0, 0, false, false, err
 	}
 	if err := w.Write64(n+nodeNext, nr); err != nil {
@@ -455,6 +498,6 @@ func (t *Tree) insertLeaf(w Writer, n, k uint64, v []byte) (sep, right uint64, s
 
 func (t *Tree) copyVal(w Writer, from uint64, fi int, to uint64, ti int) error {
 	buf := make([]byte, t.cfg.ValueSize)
-	t.mem.Read(t.valAddr(from, fi), buf)
+	t.ld.Read(t.valAddr(from, fi), buf)
 	return w.WriteBytes(t.valAddr(to, ti), buf)
 }

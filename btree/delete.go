@@ -12,6 +12,7 @@ func (t *Tree) minInternal() int { return t.cfg.MaxKeys / 2 }
 
 // Delete removes k, reporting whether it was present.
 func (t *Tree) Delete(w Writer, k uint64) (bool, error) {
+	t = t.writeView(w)
 	root := t.root()
 	found, err := t.del(w, root, k)
 	if err != nil || !found {
@@ -217,7 +218,7 @@ func (t *Tree) merge(w Writer, parent uint64, idx int) error {
 				return err
 			}
 		}
-		if err := w.Write64(left+nodeNext, t.mem.Load64(right+nodeNext)); err != nil {
+		if err := w.Write64(left+nodeNext, t.ld.Load64(right+nodeNext)); err != nil {
 			return err
 		}
 		if err := t.setMeta(w, left, true, lc+rc); err != nil {

@@ -38,6 +38,10 @@ const recoveryJSONPath = "BENCH_recovery.json"
 // figure (the "readpath" runner), uploaded alongside the others.
 const readpathJSONPath = "BENCH_readpath.json"
 
+// logfootprintJSONPath gets a standalone copy of the commit-mode log-volume
+// figure (the "logfootprint" runner), uploaded alongside the others.
+const logfootprintJSONPath = "BENCH_logfootprint.json"
+
 // jsonFigure is one figure plus how long it took to regenerate.
 type jsonFigure struct {
 	bench.Figure
@@ -104,9 +108,10 @@ func main() {
 		writeJSON(benchJSONPath, report)
 		fmt.Printf("wrote %s (%d figures, %s scale)\n", benchJSONPath, len(report.Figures), scale)
 		standalone := map[string]string{
-			"server":   serverJSONPath,
-			"recovery": recoveryJSONPath,
-			"readpath": readpathJSONPath,
+			"server":       serverJSONPath,
+			"recovery":     recoveryJSONPath,
+			"readpath":     readpathJSONPath,
+			"logfootprint": logfootprintJSONPath,
 		}
 		for _, fig := range report.Figures {
 			if path, ok := standalone[fig.ID]; ok {

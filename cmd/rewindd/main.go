@@ -41,6 +41,7 @@ func main() {
 	maxValue := flag.Int("max-value", 512, "largest value size in bytes (fixed at store creation)")
 	exclusiveReads := flag.Bool("exclusive-reads", false, "route GET/SCAN through the stripe latches instead of the latch-free seqlock read path (escape hatch / baseline)")
 	readRetries := flag.Int("read-retries", 0, "optimistic read attempts before a GET/SCAN falls back to the stripe latch (0 = default)")
+	commitMode := flag.String("commit-mode", "undo-redo", `logging protocol: "undo-redo" (in-place writes, both images logged) or "redo-only" (private buffers, half the log volume, undo-free recovery)`)
 	groupCommit := flag.Bool("group-commit", true, "merge concurrent commits into shared log flushes")
 	gcWindow := flag.Duration("gc-window", 100*time.Microsecond, "group-commit gather window")
 	gcMax := flag.Int("gc-max", 64, "close a commit round early at this many commits")
@@ -54,10 +55,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rewindd: -backing is required (the durable image must live in a file)")
 		os.Exit(2)
 	}
+	var mode rewind.CommitMode
+	switch *commitMode {
+	case "undo-redo", "ur":
+		mode = rewind.UndoRedo
+	case "redo-only", "ro":
+		mode = rewind.RedoOnly
+	default:
+		fmt.Fprintf(os.Stderr, "rewindd: -commit-mode %q: want undo-redo or redo-only\n", *commitMode)
+		os.Exit(2)
+	}
 
 	st, err := rewind.Open(rewind.Options{
 		ArenaSize:         *arena,
 		BackingFile:       *backing,
+		CommitMode:        mode,
 		LogShards:         *shards,
 		GroupSize:         *groupSize,
 		GroupCommit:       *groupCommit,
@@ -86,7 +98,8 @@ func main() {
 	if *exclusiveReads {
 		readMode = "exclusive-latch reads"
 	}
-	log.Printf("rewindd: %d keys across %d stripes, group commit %v, %s", kvs.Len(), *stripes, *groupCommit, readMode)
+	log.Printf("rewindd: %d keys across %d stripes, %s commits, group commit %v, %s",
+		kvs.Len(), *stripes, *commitMode, *groupCommit, readMode)
 
 	srv := server.New(kvs)
 	done := make(chan error, 1)
@@ -143,6 +156,9 @@ func main() {
 		if ks := kvs.Stats(); ks.Gets+ks.Scans > 0 {
 			log.Printf("rewindd: read path served %d gets / %d scans with %d seqlock retries, %d latch fallbacks",
 				ks.Gets, ks.Scans, ks.ReadRetries, ks.ReadFallbacks)
+		}
+		if lb := st.LogBytes(); lb > 0 {
+			log.Printf("rewindd: %s commits appended %d log bytes", *commitMode, lb)
 		}
 		if err := st.Close(); err != nil {
 			log.Fatalf("rewindd: close: %v", err)

@@ -145,6 +145,7 @@ func Runners() []Runner {
 		{"server", "rewindd group-commit throughput", ServerThroughput},
 		{"recovery", "Parallel recovery scaling", RecoveryScaling},
 		{"readpath", "Latch-free GET/SCAN read path", ReadPath},
+		{"logfootprint", "Log footprint: undo/redo vs redo-only", LogFootprint},
 	}
 }
 

@@ -1,0 +1,113 @@
+package bench
+
+import (
+	"github.com/rewind-db/rewind"
+)
+
+// LogFootprint measures the device-side cost of a commit under the two
+// commit modes — undo/redo (in-place writes, both images logged) versus
+// redo-only (private buffers, old-image-free span records) — at 1 and 4 log
+// shards. The gate numbers are counters, not wall clock: log bytes appended
+// per commit (the headline — redo-only's span records carry no before-image
+// and a truncated header, about half the footprint), log appends, persistent
+// fences, and flushed cache lines per commit. TestRedoOnlyLogFootprint
+// asserts the bytes ratio stays >= 1.8x with no fence regression.
+func LogFootprint(scale Scale) Figure {
+	txns := scale.pick(2_000, 50_000)
+	fig := Figure{
+		ID: "logfootprint", Title: "Log footprint per commit: undo/redo vs redo-only",
+		XLabel: "log shards", YLabel: "bytes | count per commit",
+		Notes: "1L-NFP/Batch, one 64-word span per txn; device counters, not wall clock",
+	}
+	series := map[string][]Point{}
+	for _, shards := range []int{1, 4} {
+		for _, mode := range []rewind.CommitMode{rewind.UndoRedo, rewind.RedoOnly} {
+			p := LogFootprintPoint(mode, shards, txns)
+			x := float64(shards)
+			series[mode.String()+" bytes/commit"] = append(series[mode.String()+" bytes/commit"],
+				Point{X: x, Y: p.BytesPerCommit()})
+			series[mode.String()+" appends/commit"] = append(series[mode.String()+" appends/commit"],
+				Point{X: x, Y: float64(p.Appends) / float64(p.Commits)})
+			series[mode.String()+" fences/commit"] = append(series[mode.String()+" fences/commit"],
+				Point{X: x, Y: float64(p.Fences) / float64(p.Commits)})
+			series[mode.String()+" lines/commit"] = append(series[mode.String()+" lines/commit"],
+				Point{X: x, Y: float64(p.LineWrites) / float64(p.Commits)})
+		}
+	}
+	for _, name := range []string{
+		"UR bytes/commit", "RO bytes/commit",
+		"UR appends/commit", "RO appends/commit",
+		"UR fences/commit", "RO fences/commit",
+		"UR lines/commit", "RO lines/commit",
+	} {
+		fig.Series = append(fig.Series, Series{Name: name, Points: series[name]})
+	}
+	return fig
+}
+
+// FootprintPoint is one (mode, shard count) cell of the LogFootprint
+// figure: cumulative device and log counters over a fixed commit count.
+type FootprintPoint struct {
+	Mode     rewind.CommitMode
+	Shards   int
+	Commits  int64
+	LogBytes int64
+	Appends  int64
+	// Fences and LineWrites are the simulated device's persistent-fence
+	// and flushed-cache-line counts over the measured window.
+	Fences     int64
+	LineWrites int64
+}
+
+// BytesPerCommit is the figure's headline: appended log payload per commit.
+func (p FootprintPoint) BytesPerCommit() float64 {
+	if p.Commits == 0 {
+		return 0
+	}
+	return float64(p.LogBytes) / float64(p.Commits)
+}
+
+// LogFootprintPoint runs txns transactions — each one 64-word contiguous
+// span write (a 512-byte record overwrite, the kv store's shape) — under
+// the given commit mode and shard count, and returns the counters. The
+// configuration is the headline 1L-NFP/Batch one without group commit, so
+// each commit's flush and fence bill is its own.
+func LogFootprintPoint(mode rewind.CommitMode, shards, txns int) FootprintPoint {
+	s, err := rewind.Open(rewind.Options{
+		Policy:          rewind.NoForce,
+		LogKind:         rewind.Batch,
+		CommitMode:      mode,
+		LogShards:       shards,
+		ArenaSize:       1 << 29,
+		DisableTracking: true,
+	})
+	if err != nil {
+		panic(err)
+	}
+	const spanWords = 64
+	region := s.Alloc(spanWords * 8)
+	payload := make([]byte, spanWords*8)
+	before := s.Stats()
+	for i := 0; i < txns; i++ {
+		payload[0] = byte(i)
+		err := s.Atomic(func(tx *rewind.Tx) error {
+			return tx.WriteBytes(region, payload)
+		})
+		if err != nil {
+			panic(err)
+		}
+	}
+	delta := s.Stats().Sub(before)
+	tms := s.TMStats()
+	var appends int64
+	for _, sh := range tms.Shards {
+		appends += sh.Appends
+	}
+	return FootprintPoint{
+		Mode: mode, Shards: shards,
+		Commits:  tms.Committed,
+		LogBytes: tms.LogBytes,
+		Appends:  appends,
+		Fences:   delta.Fences, LineWrites: delta.LineWrites,
+	}
+}

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"fmt"
 	"runtime"
+	"sort"
 	"time"
 
 	"github.com/rewind-db/rewind/internal/nvm"
@@ -23,6 +25,12 @@ func (x *Txn) Commit() error {
 	if err := x.running(); err != nil {
 		return err
 	}
+	if x.st.buf != nil {
+		return x.commitRedoOnly(false)
+	}
+	// In-place writes are already visible; release publish-gated readers
+	// before the durability work below.
+	x.publish()
 	tm, sh := x.tm, x.sh
 	gc := tm.cfg.GroupCommit
 	contended := sh.lock()
@@ -156,6 +164,92 @@ func (tm *TM) groupWait(sh *logShard) {
 	close(r.done)
 }
 
+// commitRedoOnly publishes a RedoOnly transaction: the private buffer is
+// coalesced into maximal contiguous word runs — each logged as ONE
+// redo-only span record (after-images only) — followed by the deferred
+// DELETEs and the END, all appended under a single shard-mutex hold so
+// checkpoint freezes see the chain complete or absent.
+//
+// Write ordering is policy-specific and is what makes the absence of undo
+// information safe. Under Force the records AND the END are made durable
+// first, then the data is applied with durable stores: a crash before the
+// END leaves a loser whose image was never touched, a crash after it a
+// winner whose redo phase re-applies the after-images (which is why
+// RedoOnly recovery runs redo even under Force). Under NoForce the data
+// stores are cached — lost on crash unless the log survived, same as
+// UndoRedo — and the END rides the usual group flush or group-commit
+// round. Either way the buffer publish (and the OnPublish hook) happens
+// before Commit blocks on durability. keepLog skips Force's commit-time
+// clearing, for the recovery experiments.
+func (x *Txn) commitRedoOnly(keepLog bool) error {
+	tm, sh, b := x.tm, x.sh, x.st.buf
+	gc := tm.cfg.GroupCommit && !keepLog
+
+	addrs := make([]uint64, 0, len(b.writes))
+	for a := range b.writes {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+
+	contended := sh.lock()
+	for i := 0; i < len(addrs); {
+		j := i + 1
+		for j < len(addrs) && addrs[j] == addrs[j-1]+8 {
+			j++
+		}
+		vals := make([]uint64, j-i)
+		for k := i; k < j; k++ {
+			vals[k-i] = b.writes[addrs[k]]
+		}
+		tm.appendShard(sh, x.st, rlog.Fields{
+			Txn: x.st.id, Type: rlog.TypeUpdate, Addr: addrs[i], NewSpan: vals,
+		}, false)
+		i = j
+	}
+	for _, d := range b.deletes {
+		tm.appendShard(sh, x.st, rlog.Fields{Txn: x.st.id, Type: rlog.TypeDelete, Addr: d}, false)
+	}
+	if tm.cfg.Policy == Force {
+		tm.appendShard(sh, x.st, rlog.Fields{Txn: x.st.id, Type: rlog.TypeEnd}, true)
+		tm.forceLogShard(sh)
+		tm.mem.Fence()
+		for _, a := range addrs {
+			tm.mem.StoreNT64(a, b.writes[a])
+		}
+		x.publish()
+		tm.mem.Fence()
+	} else {
+		tm.appendShard(sh, x.st, rlog.Fields{Txn: x.st.id, Type: rlog.TypeEnd}, !gc)
+		for _, a := range addrs {
+			tm.mem.Store64(a, b.writes[a])
+		}
+		x.publish()
+	}
+	sh.mu.Unlock()
+	sh.commits.Add(1)
+	if !contended {
+		sh.uncontended.Add(1)
+	}
+	if gc {
+		tm.groupWait(sh)
+	}
+
+	tm.mu.Lock()
+	x.st.status = statusFinished
+	tm.stats.Committed++
+	tm.mu.Unlock()
+	sh.running.Add(-1)
+	x.st.buf = nil
+
+	if tm.cfg.Policy == Force && !keepLog {
+		tm.clearFinished(x.st, true)
+		tm.mu.Lock()
+		delete(tm.table, x.st.id)
+		tm.mu.Unlock()
+	}
+	return nil
+}
+
 // gcProbeEvery is the solo-round period at which a group-commit leader
 // pays one gather window despite seeing no company, to re-discover
 // concurrency (see groupWait). Amortized lone-client cost: window/16.
@@ -170,6 +264,10 @@ func (x *Txn) CommitKeepLog() error {
 	if err := x.running(); err != nil {
 		return err
 	}
+	if x.st.buf != nil {
+		return x.commitRedoOnly(true)
+	}
+	x.publish()
 	tm, sh := x.tm, x.sh
 	contended := sh.lock()
 	if tm.cfg.Policy == Force {
@@ -202,6 +300,24 @@ func (x *Txn) Rollback() error {
 		return err
 	}
 	tm, sh := x.tm, x.sh
+	if x.st.buf != nil {
+		// RedoOnly: nothing reached the log or the shared image, so the
+		// abort is a buffer discard — no ROLLBACK record, no CLRs, no log
+		// traffic at all. The table entry can go immediately: with zero
+		// records logged there is nothing for recovery or checkpoints to
+		// resolve.
+		x.onPublish = nil
+		x.st.buf = nil
+		tm.mu.Lock()
+		x.st.status = statusFinished
+		x.st.aborted = true
+		tm.stats.RolledBack++
+		delete(tm.table, x.st.id)
+		tm.mu.Unlock()
+		sh.running.Add(-1)
+		return nil
+	}
+	x.onPublish = nil
 	tm.mu.Lock()
 	x.st.status = statusAborted
 	x.st.aborted = true
@@ -343,7 +459,13 @@ func (tm *TM) compensateLocked(sh *logShard, x *txnState, r rlog.Record) {
 		oldS := make([]uint64, n)
 		newS := make([]uint64, n)
 		for i := 0; i < n; i++ {
-			oldS[i], newS[i] = r.NewAt(i), r.OldAt(i)
+			prev, err := r.OldAt(i)
+			if err != nil {
+				// Undo is gated on FlagUndoable, which redo-only records
+				// never carry; reaching one here means the log is corrupt.
+				panic(fmt.Sprintf("core: undo of %v: %v", r, err))
+			}
+			oldS[i], newS[i] = r.NewAt(i), prev
 		}
 		flushed := tm.appendShard(sh, x, rlog.Fields{
 			Txn: x.id, Type: rlog.TypeCLR,

@@ -39,6 +39,20 @@
 // logging observation that independent logs are what unlock multicore
 // persistent-log throughput.
 //
+// # Commit modes
+//
+// Config.CommitMode selects what the log must carry. UndoRedo (the
+// default) is the paper's design: updates apply in place as they are
+// logged with before- and after-images, losers are compensated with CLRs.
+// RedoOnly bounds losers instead of compensating them: a transaction's
+// writes stay in a private volatile buffer (reads through the handle see
+// them; the shared image does not) and commit publishes the buffer as
+// redo-only span records — after-images only, roughly half the log bytes —
+// plus an END, before or after mutating the image depending on policy.
+// Rollback just discards the buffer, and recovery is analysis + redo of
+// the winners: a loser never touched the image, so the undo phase (the one
+// globally serial recovery pass) disappears.
+//
 // # Span records and the handle fast path
 //
 // Two departures from the paper's letter (not its guarantees) serve the
@@ -89,6 +103,28 @@ func (p Policy) String() string {
 		return "FP"
 	}
 	return "NFP"
+}
+
+// CommitMode selects how a transaction's writes reach the shared image and
+// what its log records must carry (see the package comment's "Commit
+// modes").
+type CommitMode int
+
+const (
+	// UndoRedo logs before- and after-images and applies writes in place;
+	// losers are rolled back with compensation records. The paper's mode.
+	UndoRedo CommitMode = iota
+	// RedoOnly buffers writes privately until commit and logs after-images
+	// only; losers are discarded, never compensated, and recovery skips
+	// the undo phase entirely.
+	RedoOnly
+)
+
+func (m CommitMode) String() string {
+	if m == RedoOnly {
+		return "RO"
+	}
+	return "UR"
 }
 
 // Layers selects the number of logging layers (§2).
@@ -143,6 +179,12 @@ const stateMagicBase = 0x524d4454 // "TDMR" tag in the fingerprint's high bits
 type Config struct {
 	Policy Policy
 	Layers Layers
+	// CommitMode selects undo/redo logging (the default) or redo-only
+	// commit: private write buffers published at commit as old-image-free
+	// span records, rollback by discard, undo-free recovery. RedoOnly
+	// requires OneLayer — the two-layer index exists for selective
+	// log-based rollback, which redo-only transactions never perform.
+	CommitMode CommitMode
 	// LogKind is the primary log implementation. TwoLayer requires Simple
 	// or Optimized for the underlying ADLL (the paper's two-layer
 	// configuration runs over the optimized log).
@@ -246,6 +288,12 @@ func (c Config) validate() error {
 	if c.GroupCommit && (c.Layers != OneLayer || c.LogKind != rlog.Batch || c.Policy != NoForce) {
 		return errors.New("core: group commit extends the Batch log's group flush; it requires OneLayer + Batch + NoForce")
 	}
+	if c.CommitMode == RedoOnly && c.Layers == TwoLayer {
+		return errors.New("core: the two-layer index exists for selective log-based rollback; RedoOnly requires OneLayer")
+	}
+	if c.CommitMode < UndoRedo || c.CommitMode > RedoOnly {
+		return fmt.Errorf("core: invalid commit mode %d", c.CommitMode)
+	}
 	if c.RootBase < 0 || c.RootBase+c.Slots() > pmem.NumRoots {
 		return fmt.Errorf("core: root base %d out of range", c.RootBase)
 	}
@@ -258,20 +306,29 @@ const maxLogShards = 47
 
 // fingerprint packs the shape of the configuration for Open-time checks.
 // LogShards is encoded as shards-1 so single-shard images keep the exact
-// fingerprint of the pre-sharding layout.
+// fingerprint of the pre-sharding layout; CommitMode rides in bit 17
+// (Layers never exceeds 1, leaving the <<16 field's upper bits free), so
+// undo/redo images keep their historical fingerprints and a redo-only log
+// — whose records would be misread as compensable — can never be opened in
+// undo/redo mode, or vice versa.
 func (c Config) fingerprint() uint64 {
 	return uint64(stateMagicBase)<<32 |
 		uint64(c.LogShards-1)<<25 |
-		uint64(c.Policy)<<24 | uint64(c.Layers)<<16 | uint64(c.LogKind)<<8 |
+		uint64(c.Policy)<<24 | uint64(c.CommitMode)<<17 |
+		uint64(c.Layers)<<16 | uint64(c.LogKind)<<8 |
 		uint64(c.BucketSize%251)
 }
 
 // String renders the configuration the way the paper labels its plots
-// (e.g. "1L-NFP/Optimized"), with a shard suffix when sharded.
+// (e.g. "1L-NFP/Optimized"), with a shard suffix when sharded and an "-RO"
+// suffix for redo-only commit.
 func (c Config) String() string {
 	s := fmt.Sprintf("%v-%v/%v", c.Layers, c.Policy, c.LogKind)
 	if c.LogShards > 1 {
 		s += fmt.Sprintf("x%d", c.LogShards)
+	}
+	if c.CommitMode == RedoOnly {
+		s += "-RO"
 	}
 	return s
 }
@@ -289,6 +346,27 @@ type txnState struct {
 	lastLSN uint64
 	lastRec uint64 // address of the newest record (two-layer chain tail)
 	records int
+	// buf is the RedoOnly private write set; nil under UndoRedo. It lives
+	// on the table entry, not the handle, so tid-based wrappers (which
+	// build a fresh handle per call) see the same buffer.
+	buf *redoBuf
+}
+
+// redoBuf is a RedoOnly transaction's private buffer: every write lands
+// here — plain Go memory, gone on crash or rollback — and nothing reaches
+// the log or the shared image before commit. Word-keyed, last write wins.
+type redoBuf struct {
+	writes  map[uint64]uint64
+	deletes []uint64 // deferred deallocations, applied only if committed
+}
+
+// load reads one word as the buffering transaction sees it: its own last
+// write if present, the shared image otherwise.
+func (b *redoBuf) load(mem *nvm.Memory, addr uint64) uint64 {
+	if v, ok := b.writes[addr]; ok {
+		return v
+	}
+	return mem.Load64(addr)
 }
 
 // Txn is a handle on one running transaction: it carries the transaction's
@@ -307,10 +385,35 @@ type Txn struct {
 	tm *TM
 	sh *logShard
 	st *txnState
+	// onPublish is invoked exactly once inside Commit at the moment every
+	// write is visible in the shared image (see OnPublish).
+	onPublish func()
 }
 
 // ID returns the transaction identifier.
 func (x *Txn) ID() uint64 { return x.st.id }
+
+// Buffered reports whether this transaction's writes are held in a private
+// buffer until commit (RedoOnly) rather than applied in place — callers
+// that read the image directly must route reads through Read64/ReadBytes
+// to see their own writes.
+func (x *Txn) Buffered() bool { return x.st.buf != nil }
+
+// OnPublish registers fn to run exactly once, inside Commit, at the point
+// the transaction's writes are all visible in the shared image: at entry
+// under UndoRedo (in-place writes are already visible) and right after the
+// buffer publish under RedoOnly. In both cases fn runs before Commit
+// blocks on durability, so readers fn releases never wait out a flush.
+// Rollback drops the hook unrun.
+func (x *Txn) OnPublish(fn func()) { x.onPublish = fn }
+
+// publish fires the OnPublish hook, once.
+func (x *Txn) publish() {
+	if fn := x.onPublish; fn != nil {
+		x.onPublish = nil
+		fn()
+	}
+}
 
 // running rejects use of a finished handle.
 func (x *Txn) running() error {
@@ -358,6 +461,9 @@ type logShard struct {
 	uncontended atomic.Int64
 	gcRounds    atomic.Int64
 	gcGrouped   atomic.Int64
+	// logBytes carries the two-layer configuration's appended-record
+	// footprint; one-layer shards read it from their rlog.Log instead.
+	logBytes atomic.Int64
 }
 
 // gcRound is one group-commit round on a shard: the set of commits that
@@ -391,6 +497,11 @@ type ShardStats struct {
 	// GroupedCommits counts commits that shared their round with at least
 	// one other transaction (i.e. actually split a fence bill).
 	GroupedCommits int64
+	// LogBytes is the total footprint of the records appended to this
+	// shard — headers plus span payloads — since attach. Cumulative write
+	// volume, not occupancy: clearing does not subtract. This is the
+	// counter the commit-mode footprint gate compares.
+	LogBytes int64
 }
 
 // Stats counts manager activity since creation.
@@ -402,8 +513,9 @@ type Stats struct {
 	Checkpoints int64
 	// Shards holds per-shard counters, one entry per log shard (a single
 	// entry for unsharded and two-layer managers). Records equals the sum
-	// of the shards' Appends.
-	Shards []ShardStats
+	// of the shards' Appends, LogBytes the sum of their LogBytes.
+	LogBytes int64
+	Shards   []ShardStats
 }
 
 // RecoveryStats reports what Open's recovery pass did.
@@ -420,13 +532,22 @@ type RecoveryStats struct {
 	// MaxLSN is the highest LSN among surviving records; the global LSN
 	// counter resumes above it.
 	MaxLSN uint64
-	// Redone counts redo-phase record applications (NoForce only).
+	// Redone counts redo-phase record applications (NoForce, plus every
+	// RedoOnly configuration — a redo-only commit may durably log its END
+	// before its data reaches NVM, so redo must repeat winners' history
+	// even under Force).
 	Redone int
+	// CLRRecords counts compensation records among the surviving records.
+	// Always zero for redo-only images, which never log compensations.
+	CLRRecords int
 	// RedoConflictWords counts words that were written by records of more
 	// than one shard and therefore re-played serially in global LSN order
 	// after the parallel per-shard redo (0 for sequential recovery).
 	RedoConflictWords int
-	// Undone counts updates compensated during the undo phase.
+	// Undone counts updates compensated during the undo phase. RedoOnly
+	// recovery skips undo entirely — losers never touched the image — so
+	// this (and UndoNs, the serial tail of parallel recovery) stays zero
+	// there.
 	Undone int
 	// LosersAborted counts transactions rolled back by recovery.
 	LosersAborted int
@@ -583,6 +704,10 @@ func (tm *TM) Stats() Stats {
 	tm.mu.Unlock()
 	s.Shards = make([]ShardStats, len(tm.shards))
 	for i, sh := range tm.shards {
+		bytes := sh.logBytes.Load()
+		if sh.log != nil {
+			bytes = sh.log.AppendedBytes()
+		}
 		s.Shards[i] = ShardStats{
 			Appends:            sh.appends.Load(),
 			Flushes:            sh.flushes.Load(),
@@ -590,8 +715,10 @@ func (tm *TM) Stats() Stats {
 			UncontendedCommits: sh.uncontended.Load(),
 			GroupCommitRounds:  sh.gcRounds.Load(),
 			GroupedCommits:     sh.gcGrouped.Load(),
+			LogBytes:           bytes,
 		}
 		s.Records += s.Shards[i].Appends
+		s.LogBytes += s.Shards[i].LogBytes
 	}
 	return s
 }
@@ -683,4 +810,8 @@ var (
 	// ErrLogWithBatch is returned by the explicit Log call under the Batch
 	// log, where the caller cannot know when a record becomes durable.
 	ErrLogWithBatch = errors.New("core: explicit Log is unavailable under the Batch log; use Write64")
+	// ErrLogRedoOnly is returned by the explicit Log call under RedoOnly,
+	// where nothing is logged before commit and the caller must not issue
+	// the data store itself.
+	ErrLogRedoOnly = errors.New("core: explicit Log is unavailable under RedoOnly; use Write64")
 )

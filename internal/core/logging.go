@@ -13,6 +13,9 @@ import (
 func (tm *TM) Begin() *Txn {
 	id := tm.lastTxn.Add(1)
 	st := &txnState{id: id, status: statusRunning}
+	if tm.cfg.CommitMode == RedoOnly {
+		st.buf = &redoBuf{writes: map[uint64]uint64{}}
+	}
 	sh := tm.shardFor(id)
 	sh.running.Add(1)
 	tm.mu.Lock()
@@ -28,9 +31,17 @@ func (tm *TM) Begin() *Txn {
 // non-temporal store under Force, cached store under NoForce. Under the
 // Batch log the durable store is deferred until the record's group flush,
 // mirroring §3.3's reordering of log calls above user writes.
+//
+// Under RedoOnly the write goes to the transaction's private buffer
+// instead: no log record, no shard lock, no image mutation until Commit
+// publishes the whole buffer.
 func (x *Txn) Write64(addr, val uint64) error {
 	if err := x.running(); err != nil {
 		return err
+	}
+	if b := x.st.buf; b != nil {
+		b.writes[addr] = val
+		return nil
 	}
 	tm, sh := x.tm, x.sh
 	sh.mu.Lock()
@@ -59,6 +70,23 @@ func (x *Txn) WriteBytes(addr uint64, p []byte) error {
 		return ErrUnalignedWrite
 	}
 	if len(p) == 0 {
+		return nil
+	}
+	if b := x.st.buf; b != nil {
+		// Buffered word loop; the tail read-modify-write consults the
+		// buffer first so an earlier buffered write to the same word is
+		// not clobbered by stale image bytes.
+		var word [8]byte
+		for i, n := 0, (len(p)+7)/8; i < n; i++ {
+			w := addr + uint64(i)*8
+			if c := copy(word[:], p[i*8:]); c < 8 {
+				cur := b.load(x.tm.mem, w)
+				for t := c; t < 8; t++ {
+					word[t] = byte(cur >> (8 * uint(t)))
+				}
+			}
+			b.writes[w] = le64(word[:])
+		}
 		return nil
 	}
 	tm, sh := x.tm, x.sh
@@ -103,6 +131,9 @@ func (x *Txn) WriteBytes(addr uint64, p []byte) error {
 // the caller cannot know when the record becomes durable, so the paired
 // Write64 must be used instead.
 func (x *Txn) Log(addr, old, val uint64) error {
+	if x.tm.cfg.CommitMode == RedoOnly {
+		return ErrLogRedoOnly
+	}
 	if x.tm.cfg.LogKind == rlog.Batch {
 		return ErrLogWithBatch
 	}
@@ -127,6 +158,10 @@ func (x *Txn) Log(addr, old, val uint64) error {
 func (x *Txn) Delete(addr uint64) error {
 	if err := x.running(); err != nil {
 		return err
+	}
+	if b := x.st.buf; b != nil {
+		b.deletes = append(b.deletes, addr)
+		return nil
 	}
 	sh := x.sh
 	sh.mu.Lock()
@@ -157,6 +192,9 @@ func (tm *TM) WriteBytes(tid, addr uint64, p []byte) error {
 
 // Log is the tid-based compatibility wrapper over Txn.Log.
 func (tm *TM) Log(tid, addr, old, val uint64) error {
+	if tm.cfg.CommitMode == RedoOnly {
+		return ErrLogRedoOnly
+	}
 	if tm.cfg.LogKind == rlog.Batch {
 		return ErrLogWithBatch
 	}
@@ -180,6 +218,38 @@ func (tm *TM) Delete(tid, addr uint64) error {
 // from (possibly cached) NVM.
 func (tm *TM) Read64(addr uint64) uint64 { return tm.mem.Load64(addr) }
 
+// Read64 loads a word as this transaction sees it: under RedoOnly its own
+// buffered write wins over the shared image (read-your-writes), under
+// UndoRedo it is a plain image load (in-place writes are already there).
+func (x *Txn) Read64(addr uint64) uint64 {
+	if b := x.st.buf; b != nil {
+		return b.load(x.tm.mem, addr)
+	}
+	return x.tm.mem.Load64(addr)
+}
+
+// ReadBytes reads n bytes at addr as this transaction sees them,
+// overlaying any buffered writes on the shared image word-wise.
+func (x *Txn) ReadBytes(addr uint64, n int) []byte {
+	p := x.tm.ReadBytes(addr, n)
+	b := x.st.buf
+	if b == nil || len(b.writes) == 0 {
+		return p
+	}
+	for w := addr &^ 7; w < addr+uint64(n); w += 8 {
+		v, ok := b.writes[w]
+		if !ok {
+			continue
+		}
+		for i := 0; i < 8; i++ {
+			if off := int64(w) + int64(i) - int64(addr); off >= 0 && off < int64(n) {
+				p[off] = byte(v >> (8 * uint(i)))
+			}
+		}
+	}
+	return p
+}
+
 // appendShard allocates a record with a fresh global LSN, inserts it into
 // the shard's log (or the AAVLT in the two-layer configuration), and
 // updates the volatile transaction state. It reports whether the log
@@ -194,6 +264,7 @@ func (tm *TM) appendShard(sh *logShard, x *txnState, f rlog.Fields, end bool) (f
 		f.UndoNext = x.lastLSN
 		f.PrevTxn = x.lastRec
 		rec := rlog.Alloc(tm.a, f)
+		sh.logBytes.Add(int64(rec.Size()))
 		tm.tree.InsertRecord(x.id, rec.Addr)
 		x.lastLSN, x.lastRec = f.LSN, rec.Addr
 		x.records++

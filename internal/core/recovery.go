@@ -37,11 +37,18 @@ import (
 // per shard in shard-LSN order, with a serial conflict pass re-playing any
 // word written by more than one shard in global LSN order (see redo). Every
 // phase is idempotent, so recovery itself tolerates further crashes.
+//
+// RedoOnly collapses the plan to analysis + winners-only redo: records of
+// unfinished transactions are discarded after analysis (their effects never
+// reached the image — see commitRedoOnly's write ordering), redo runs under
+// both policies, and the undo phase — the one pass that is serial however
+// many workers the pool has — is skipped along with the losers' ENDs.
 func (tm *TM) recover() *RecoveryStats {
 	rs := &RecoveryStats{
 		CrashDetected: tm.mem.Load64(tm.state+stDirty) != 0,
 		Workers:       tm.recoveryWorkers(),
 	}
+	redoOnly := tm.cfg.CommitMode == RedoOnly
 
 	// analysis: runs[i] is shard i's surviving records sorted by LSN; recs
 	// is their k-way merge, globally LSN-ascending (nil for two-layer,
@@ -51,33 +58,49 @@ func (tm *TM) recover() *RecoveryStats {
 	rs.AnalysisNs = time.Since(t0).Nanoseconds()
 	rs.AnalysisSimNs = tm.mem.Stats().SimulatedNS - s0
 
-	if tm.cfg.Policy == NoForce {
+	if redoOnly {
+		// Losers' published chains carry no undo information and their
+		// effects never reached the image (NoForce data is cached; Force
+		// applies data only after a durable END), so they are simply
+		// dropped here and reclaimed by the wholesale clear below —
+		// redoing them would corrupt. Winners-only redo replaces both the
+		// redo and undo phases of the undo/redo modes.
+		recs, runs = tm.filterWinners(runs)
+	}
+
+	if tm.cfg.Policy == NoForce || redoOnly {
 		t1, s1 := time.Now(), tm.mem.Stats().SimulatedNS
 		tm.redo(rs, recs, runs)
 		rs.RedoNs = time.Since(t1).Nanoseconds()
 		rs.RedoSimNs = tm.mem.Stats().SimulatedNS - s1
 	}
 
-	t2 := time.Now()
-	if tm.cfg.Layers == TwoLayer {
-		tm.undoChains(rs)
-	} else {
-		tm.undoScan(rs, recs)
+	if !redoOnly {
+		t2 := time.Now()
+		if tm.cfg.Layers == TwoLayer {
+			tm.undoChains(rs)
+		} else {
+			tm.undoScan(rs, recs)
+		}
+		rs.UndoNs = time.Since(t2).Nanoseconds()
 	}
-	rs.UndoNs = time.Since(t2).Nanoseconds()
 
 	t3 := time.Now()
-	if tm.cfg.Policy == NoForce {
-		// Make redone history and undo effects durable before the losers'
-		// END records can declare them resolved.
+	if tm.cfg.Policy == NoForce || redoOnly {
+		// Make redone history (and, under UndoRedo, undo effects) durable
+		// before the log is declared resolved. RedoOnly needs this under
+		// Force too: its redo repeats history with cached stores.
 		tm.mem.FlushAll()
 	}
 
 	// END records for every transaction at an unfinished state
 	// (Algorithm 2's closing loop). Under Force, any undo writes still
 	// deferred in a pending Batch group are made durable first: an END
-	// must never outlive the undo effects it vouches for.
-	if tm.cfg.Policy == Force {
+	// must never outlive the undo effects it vouches for. RedoOnly losers
+	// get no END at all — their chains are discarded wholesale moments
+	// later, and a repeated crash just discards them again — which keeps
+	// "rollback writes no log traffic" true through recovery as well.
+	if tm.cfg.Policy == Force && !redoOnly {
 		for _, sh := range tm.shards {
 			sh.mu.Lock()
 			tm.forceLogShard(sh)
@@ -90,7 +113,9 @@ func (tm *TM) recover() *RecoveryStats {
 			rs.Winners++
 			continue
 		}
-		tm.appendTxn(x, rlog.Fields{Txn: x.id, Type: rlog.TypeEnd}, true)
+		if !redoOnly {
+			tm.appendTxn(x, rlog.Fields{Txn: x.id, Type: rlog.TypeEnd}, true)
+		}
 		x.status = statusFinished
 		x.aborted = true
 		rs.LosersAborted++
@@ -223,6 +248,9 @@ func (tm *TM) analysis(rs *RecoveryStats) ([]rlog.Record, [][]rlog.Record) {
 			for cur := c.Tail; cur != nvm.Null; {
 				r := rlog.View(tm.mem, cur)
 				rs.RecordsScanned++
+				if r.Type() == rlog.TypeCLR {
+					rs.CLRRecords++
+				}
 				maxLSN, maxTid = classify(tm.table, r, maxLSN, maxTid)
 				cur = r.PrevTxn()
 			}
@@ -245,9 +273,13 @@ func (tm *TM) analysis(rs *RecoveryStats) ([]rlog.Record, [][]rlog.Record) {
 		local := map[uint64]*txnState{}
 		var run []rlog.Record
 		var lMaxLSN, lMaxTid uint64
+		clrs := 0
 		it := sh.log.Begin()
 		for it.Next() {
 			r := it.Record()
+			if r.Type() == rlog.TypeCLR {
+				clrs++
+			}
 			lMaxLSN, lMaxTid = classify(local, r, lMaxLSN, lMaxTid)
 			run = append(run, r)
 		}
@@ -271,9 +303,34 @@ func (tm *TM) analysis(rs *RecoveryStats) ([]rlog.Record, [][]rlog.Record) {
 			maxTid = lMaxTid
 		}
 		rs.RecordsScanned += len(run)
+		rs.CLRRecords += clrs
 		mu.Unlock()
 	})
 	tm.seedCounters(maxLSN, maxTid, rs)
+	return mergeRuns(runs), runs
+}
+
+// filterWinners narrows the analysis output to records of finished
+// transactions — the RedoOnly rule: a chain without a durable END belongs
+// to a loser whose writes never reached the shared image, and is discarded
+// rather than redone or compensated. Checkpoint markers (txn 0) carry no
+// after-image and are dropped too. Runs are filtered in place and the
+// merged list re-derived from them (the old merged list may alias a run's
+// backing array, so it is not filtered independently).
+func (tm *TM) filterWinners(runs [][]rlog.Record) ([]rlog.Record, [][]rlog.Record) {
+	won := func(r rlog.Record) bool {
+		x, ok := tm.table[r.Txn()]
+		return ok && x.status == statusFinished
+	}
+	for i, run := range runs {
+		keep := run[:0]
+		for _, r := range run {
+			if won(r) {
+				keep = append(keep, r)
+			}
+		}
+		runs[i] = keep
+	}
 	return mergeRuns(runs), runs
 }
 

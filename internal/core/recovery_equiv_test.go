@@ -18,12 +18,18 @@ const equivArena = 8 << 20
 // equivConfigs are the configurations the differential harness sweeps: the
 // headline NoForce/Batch regime (three-phase recovery, whose redo pass is
 // the parallel path under test) and Force/Optimized (two-phase recovery,
-// durable data, commit-time clearing).
+// durable data, commit-time clearing) — each in both commit modes, since
+// redo-only recovery takes its own plan (winners-only redo, no undo) whose
+// parallel runs must agree with the sequential one just the same.
 func equivConfigs(shards int) []Config {
-	return []Config{
-		{Policy: NoForce, Layers: OneLayer, LogKind: rlog.Batch, BucketSize: 16, GroupSize: 4, LogShards: shards, RootBase: rootBase},
-		{Policy: Force, Layers: OneLayer, LogKind: rlog.Optimized, BucketSize: 16, LogShards: shards, RootBase: rootBase},
+	var out []Config
+	for _, mode := range []CommitMode{UndoRedo, RedoOnly} {
+		out = append(out,
+			Config{Policy: NoForce, Layers: OneLayer, LogKind: rlog.Batch, CommitMode: mode, BucketSize: 16, GroupSize: 4, LogShards: shards, RootBase: rootBase},
+			Config{Policy: Force, Layers: OneLayer, LogKind: rlog.Optimized, CommitMode: mode, BucketSize: 16, LogShards: shards, RootBase: rootBase},
+		)
 	}
+	return out
 }
 
 // equivWorkload drives one seeded randomized workload: transactions of
@@ -137,7 +143,7 @@ func TestRecoveryCrashEquivalence(t *testing.T) {
 			// The stride position is derived from the loop coordinates, not
 			// a shared counter: subtests run in parallel, and the -short
 			// subset must be the same on every run.
-			caseBase := (si*2 + ci) * 4 * 4
+			caseBase := (si*4 + ci) * 4 * 4
 			cfg := cfg
 			t.Run(cfg.String(), func(t *testing.T) {
 				t.Parallel()
@@ -190,6 +196,15 @@ func TestRecoveryCrashEquivalence(t *testing.T) {
 						}
 
 						baseImg, baseRS := equivRecover(t, cfg, img, 1)
+						if cfg.CommitMode == RedoOnly {
+							// The mode's whole point: recovery performs zero
+							// undo work — no before-images restored, no CLRs
+							// in the scanned log — at any crash point.
+							if baseRS.Undone != 0 || baseRS.CLRRecords != 0 {
+								t.Fatalf("%s: redo-only recovery did undo work: Undone=%d CLRRecords=%d",
+									name, baseRS.Undone, baseRS.CLRRecords)
+							}
+						}
 						for _, w := range []int{4, 8} {
 							gotImg, gotRS := equivRecover(t, cfg, img, w)
 							if !bytes.Equal(baseImg, gotImg) {
@@ -201,6 +216,7 @@ func TestRecoveryCrashEquivalence(t *testing.T) {
 									name, w, gotRS.Winners, gotRS.LosersAborted, baseRS.Winners, baseRS.LosersAborted)
 							}
 							if gotRS.Redone != baseRS.Redone || gotRS.Undone != baseRS.Undone ||
+								gotRS.CLRRecords != baseRS.CLRRecords ||
 								gotRS.RecordsScanned != baseRS.RecordsScanned || gotRS.MaxLSN != baseRS.MaxLSN {
 								t.Fatalf("%s: workers=%d phase tallies diverge: %+v vs %+v", name, w, gotRS, baseRS)
 							}

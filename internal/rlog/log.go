@@ -3,6 +3,7 @@ package rlog
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"github.com/rewind-db/rewind/internal/nvm"
 	"github.com/rewind-db/rewind/internal/pmem"
@@ -127,6 +128,11 @@ type Log struct {
 	// Batch bookkeeping: first cell index of the active bucket not yet
 	// covered by a group flush.
 	pendingFrom int
+	// appendedBytes totals the footprint of every record ever appended
+	// (headers plus span payloads) — the write-path log volume the
+	// footprint benchmarks compare across commit modes. Atomic so stats
+	// snapshots need not take mu.
+	appendedBytes atomic.Int64
 }
 
 // New allocates a fresh log, durably publishes its header in cfg.RootSlot,
@@ -231,6 +237,11 @@ func (l *Log) rebuild() {
 // Kind returns the log's layout kind.
 func (l *Log) Kind() Kind { return l.cfg.Kind }
 
+// AppendedBytes returns the total footprint of every record appended since
+// attach, in bytes. Clearing and Reset do not subtract: this is cumulative
+// write volume, not occupancy.
+func (l *Log) AppendedBytes() int64 { return l.appendedBytes.Load() }
+
 // HeaderAddr returns the NVM address of the log header.
 func (l *Log) HeaderAddr() uint64 { return l.hdr }
 
@@ -261,6 +272,7 @@ func (l *Log) Buckets() int {
 func (l *Log) Append(rec uint64, end bool) (flushed bool) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	l.appendedBytes.Add(int64(View(l.mem, rec).Size()))
 	if l.cfg.Kind == Simple {
 		l.list.append(rec)
 		l.live++

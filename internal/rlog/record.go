@@ -9,6 +9,7 @@
 package rlog
 
 import (
+	"errors"
 	"fmt"
 
 	"github.com/rewind-db/rewind/internal/nvm"
@@ -61,6 +62,14 @@ const (
 	// the paper's per-record persistence cost (one flush + fence) over a
 	// whole multi-word update, in the spirit of in-cache-line logging.
 	FlagSpan = 1 << 1
+	// FlagRedoSpan marks a redo-only span record: a contiguous run of
+	// after-image words with no before-image at all, the shape redo-only
+	// commit publishes (losers are discarded by recovery, never
+	// compensated, so old values are dead weight). The header is cut to
+	// its first four words — LSN/type/flags, txn, target address, word
+	// count — and the payload starts right after it, roughly halving the
+	// footprint of an equally wide undo/redo span.
+	FlagRedoSpan = 1 << 2
 )
 
 // RecordSize is the fixed record footprint: 7 words. Together with the
@@ -72,19 +81,27 @@ const RecordSize = 56
 
 // Record field offsets (bytes from the record address). The LSN, type and
 // flags share the header word: 48 bits of LSN, 8 of type, 8 of flags.
+// Redo-only spans (FlagRedoSpan) keep only the first four header words and
+// place their after-image payload at redoRecPayload; the remaining offsets
+// are meaningful for the other two shapes only.
 const (
-	recHeader   = 0  // LSN<<16 | Type<<8 | flags
-	recTxn      = 8  // transaction ID
-	recAddr     = 16 // address of the modified memory location
-	recOld      = 24 // previous value (span records: word count)
-	recNew      = 32 // new value (span records: unused)
-	recUndoNext = 40 // LSN of the next record to undo (CLR / 2L chains)
-	recPrevTxn  = 48 // address of this transaction's previous record (2L)
-	recPayload  = 56 // span records: count old words, then count new words
+	recHeader      = 0  // LSN<<16 | Type<<8 | flags
+	recTxn         = 8  // transaction ID
+	recAddr        = 16 // address of the modified memory location
+	recOld         = 24 // previous value (span + redo-span records: word count)
+	recNew         = 32 // new value (span records: unused)
+	recUndoNext    = 40 // LSN of the next record to undo (CLR / 2L chains)
+	recPrevTxn     = 48 // address of this transaction's previous record (2L)
+	recPayload     = 56 // span records: count old words, then count new words
+	redoRecPayload = 32 // redo-span records: count new words
 )
 
 // SpanSize returns the footprint of a span record covering words words.
 func SpanSize(words int) int { return RecordSize + 2*8*words }
+
+// RedoSpanSize returns the footprint of a redo-only span record covering
+// words words: the truncated 4-word header plus the after-image alone.
+func RedoSpanSize(words int) int { return redoRecPayload + 8*words }
 
 // Record is a view over a log record stored in NVM.
 type Record struct {
@@ -98,7 +115,10 @@ func View(mem *nvm.Memory, addr uint64) Record { return Record{mem, addr} }
 // Fields is the material used to create a record. A non-empty OldSpan makes
 // the record a span record (FlagSpan): OldSpan and NewSpan, which must have
 // equal length, are its before- and after-images for the contiguous words
-// starting at Addr, and Old/New are ignored.
+// starting at Addr, and Old/New are ignored. A non-empty NewSpan with an
+// empty OldSpan makes it a redo-only span record (FlagRedoSpan) carrying
+// the after-image alone; UndoNext and PrevTxn are ignored too, as the
+// truncated header has no slots for them.
 type Fields struct {
 	LSN      uint64
 	Txn      uint64
@@ -132,6 +152,20 @@ func Alloc(a *pmem.Allocator, f Fields) Record {
 // fence per group, which is what Figure 10 measures.
 func AllocDeferred(a *pmem.Allocator, f Fields) Record {
 	m := a.Mem()
+	if n := len(f.NewSpan); n > 0 && len(f.OldSpan) == 0 {
+		// Redo-only span: truncated header, then the after-image. The
+		// trailing header slots are NOT stored — their offsets are payload.
+		f.Flags |= FlagRedoSpan
+		addr := a.Alloc(RedoSpanSize(n))
+		m.Store64(addr+recHeader, f.LSN<<16|uint64(f.Type)<<8|uint64(f.Flags)&0xff)
+		m.Store64(addr+recTxn, f.Txn)
+		m.Store64(addr+recAddr, f.Addr)
+		m.Store64(addr+recOld, uint64(n))
+		for i, v := range f.NewSpan {
+			m.Store64(addr+redoRecPayload+uint64(i)*8, v)
+		}
+		return Record{m, addr}
+	}
 	size := RecordSize
 	if n := len(f.OldSpan); n > 0 {
 		if len(f.NewSpan) != n {
@@ -173,71 +207,105 @@ func (r Record) Flags() uint32 { return uint32(r.mem.Load64(r.Addr+recHeader) & 
 // Undoable reports whether the record may be undone.
 func (r Record) Undoable() bool { return r.Flags()&FlagUndoable != 0 }
 
-// IsSpan reports whether the record is a variable-length span record.
+// IsSpan reports whether the record is a variable-length span record
+// carrying before- and after-images.
 func (r Record) IsSpan() bool { return r.Flags()&FlagSpan != 0 }
 
+// IsRedoSpan reports whether the record is a redo-only span record: a
+// truncated header and an after-image payload, no before-image.
+func (r Record) IsRedoSpan() bool { return r.Flags()&FlagRedoSpan != 0 }
+
 // Target returns the address of the memory location the record describes
-// (the first word, for span records).
+// (the first word, for span and redo-span records).
 func (r Record) Target() uint64 { return r.mem.Load64(r.Addr + recAddr) }
 
 // Words returns the number of contiguous words the record covers: 1 for
-// plain records, the span length for span records.
+// plain records, the span length for span and redo-span records (both
+// store their count in the old-value header slot).
 func (r Record) Words() int {
-	if !r.IsSpan() {
+	if r.Flags()&(FlagSpan|FlagRedoSpan) == 0 {
 		return 1
 	}
 	return int(r.mem.Load64(r.Addr + recOld))
 }
 
-// Size returns the record's footprint in bytes.
+// Size returns the record's footprint in bytes, decoding all three record
+// shapes (plain, span, redo-only span).
 func (r Record) Size() int {
-	if !r.IsSpan() {
+	switch {
+	case r.IsRedoSpan():
+		return RedoSpanSize(r.Words())
+	case r.IsSpan():
+		return SpanSize(r.Words())
+	default:
 		return RecordSize
 	}
-	return SpanSize(r.Words())
 }
 
 // TargetAt returns the address of the record's i-th covered word.
 func (r Record) TargetAt(i int) uint64 { return r.Target() + uint64(i)*8 }
 
-// Old returns the before-image value. For span records it holds the word
-// count; use OldAt to read the span's before-image.
+// Old returns the before-image value. For span and redo-span records the
+// slot holds the word count; use OldAt to read a span's before-image.
 func (r Record) Old() uint64 { return r.mem.Load64(r.Addr + recOld) }
 
-// New returns the after-image value. For span records use NewAt.
+// New returns the after-image value. For span records use NewAt; for
+// redo-span records the offset is inside the payload, so New is
+// meaningless — use NewAt there too.
 func (r Record) New() uint64 { return r.mem.Load64(r.Addr + recNew) }
 
+// ErrNoOldImage is returned by OldAt for redo-only records, which carry no
+// before-image by construction.
+var ErrNoOldImage = errors.New("rlog: redo-only record has no before-image")
+
 // OldAt returns the before-image of the record's i-th covered word,
-// decoding both record shapes.
-func (r Record) OldAt(i int) uint64 {
-	if !r.IsSpan() {
-		return r.Old()
+// decoding the plain and span shapes. Redo-only span records have no
+// before-image; asking for one reports ErrNoOldImage rather than
+// misreading payload words.
+func (r Record) OldAt(i int) (uint64, error) {
+	switch {
+	case r.IsRedoSpan():
+		return 0, ErrNoOldImage
+	case r.IsSpan():
+		return r.mem.Load64(r.Addr + recPayload + uint64(i)*8), nil
+	default:
+		return r.Old(), nil
 	}
-	return r.mem.Load64(r.Addr + recPayload + uint64(i)*8)
 }
 
 // NewAt returns the after-image of the record's i-th covered word,
-// decoding both record shapes.
+// decoding all three record shapes.
 func (r Record) NewAt(i int) uint64 {
-	if !r.IsSpan() {
+	switch {
+	case r.IsRedoSpan():
+		return r.mem.Load64(r.Addr + redoRecPayload + uint64(i)*8)
+	case r.IsSpan():
+		return r.mem.Load64(r.Addr + recPayload + uint64(r.Words()+i)*8)
+	default:
 		return r.New()
 	}
-	return r.mem.Load64(r.Addr + recPayload + uint64(r.Words()+i)*8)
 }
 
 // UndoNext returns the LSN of the next record to undo (ARIES undoNextLSN).
+// Redo-span records have no undoNext slot; the result is payload there.
 func (r Record) UndoNext() uint64 { return r.mem.Load64(r.Addr + recUndoNext) }
 
 // PrevTxn returns the address of the same transaction's previous record
-// (the two-layer configuration's per-transaction back-chain).
+// (the two-layer configuration's per-transaction back-chain). Redo-span
+// records have no prevTxn slot; the result is payload there.
 func (r Record) PrevTxn() uint64 { return r.mem.Load64(r.Addr + recPrevTxn) }
 
 // String renders the record for diagnostics.
 func (r Record) String() string {
-	if r.IsSpan() {
+	switch {
+	case r.IsRedoSpan():
+		return fmt.Sprintf("[lsn=%d txn=%d %s addr=%#x redospan=%d]",
+			r.LSN(), r.Txn(), r.Type(), r.Target(), r.Words())
+	case r.IsSpan():
 		return fmt.Sprintf("[lsn=%d txn=%d %s addr=%#x span=%d undoNext=%d]",
 			r.LSN(), r.Txn(), r.Type(), r.Target(), r.Words(), r.UndoNext())
+	default:
+		return fmt.Sprintf("[lsn=%d txn=%d %s addr=%#x old=%d new=%d undoNext=%d]",
+			r.LSN(), r.Txn(), r.Type(), r.Target(), r.Old(), r.New(), r.UndoNext())
 	}
-	return fmt.Sprintf("[lsn=%d txn=%d %s addr=%#x old=%d new=%d undoNext=%d]",
-		r.LSN(), r.Txn(), r.Type(), r.Target(), r.Old(), r.New(), r.UndoNext())
 }

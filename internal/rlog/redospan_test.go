@@ -1,0 +1,176 @@
+package rlog
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/rewind-db/rewind/internal/pmem"
+)
+
+func redoSpanFields(lsn uint64, words int) Fields {
+	newS := make([]uint64, words)
+	for i := range newS {
+		newS[i] = 500 + uint64(i)
+	}
+	return Fields{LSN: lsn, Txn: 3, Type: TypeUpdate, Addr: 0x2000, NewSpan: newS}
+}
+
+func TestRedoSpanRecordRoundTrip(t *testing.T) {
+	_, a := newEnv(t)
+	const words = 6
+	r := Alloc(a, redoSpanFields(9, words))
+	if !r.IsRedoSpan() || r.IsSpan() || r.Undoable() {
+		t.Fatalf("flags wrong: %#x", r.Flags())
+	}
+	if r.LSN() != 9 || r.Txn() != 3 || r.Type() != TypeUpdate || r.Target() != 0x2000 {
+		t.Fatalf("header mismatch: %v", r)
+	}
+	if r.Words() != words {
+		t.Fatalf("Words = %d, want %d", r.Words(), words)
+	}
+	if r.Size() != RedoSpanSize(words) || r.Size() != 32+8*words {
+		t.Fatalf("Size = %d, want %d", r.Size(), RedoSpanSize(words))
+	}
+	// Half the payload and a truncated header: at least the 1.8x footprint
+	// advantage the commit-mode gate rests on (asymptotically 2x).
+	if 5*SpanSize(words) < 9*r.Size() {
+		t.Fatalf("redo span %dB vs span %dB: under 1.8x", r.Size(), SpanSize(words))
+	}
+	for i := 0; i < words; i++ {
+		if r.NewAt(i) != 500+uint64(i) {
+			t.Fatalf("word %d: new=%d", i, r.NewAt(i))
+		}
+		if r.TargetAt(i) != 0x2000+uint64(i)*8 {
+			t.Fatalf("word %d: target %#x", i, r.TargetAt(i))
+		}
+		if _, err := r.OldAt(i); !errors.Is(err, ErrNoOldImage) {
+			t.Fatalf("OldAt(%d) err = %v, want ErrNoOldImage", i, err)
+		}
+	}
+	if s := r.String(); !strings.Contains(s, "redospan=6") {
+		t.Fatalf("String misses shape: %s", s)
+	}
+}
+
+// TestRedoSpanDurableAfterAlloc checks Alloc's single flush + fence covers
+// the truncated header and the whole after-image payload.
+func TestRedoSpanDurableAfterAlloc(t *testing.T) {
+	m, a := newEnv(t)
+	const words = 40 // payload spans several cache lines
+	r := Alloc(a, redoSpanFields(5, words))
+	if err := m.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < words; i++ {
+		if r.NewAt(i) != 500+uint64(i) {
+			t.Fatalf("word %d lost after crash: new=%d", i, r.NewAt(i))
+		}
+	}
+}
+
+// TestRedoSpanRecordsThroughLog mixes all three record shapes through every
+// log kind, across a crash and Open: iteration, the Batch group flush (which
+// must persist the smaller footprint) and clearing all decode uniformly.
+func TestRedoSpanRecordsThroughLog(t *testing.T) {
+	for _, kind := range allKinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			m, a, l := newLog(t, kind)
+			for lsn := uint64(1); lsn <= 9; lsn++ {
+				f := Fields{LSN: lsn, Txn: 3, Type: TypeUpdate,
+					Addr: 0x2000, Old: lsn, New: lsn + 100}
+				switch lsn % 3 {
+				case 1:
+					f = redoSpanFields(lsn, 5)
+				case 2:
+					f = spanFields(lsn, 5)
+				}
+				var r Record
+				if kind == Batch {
+					r = AllocDeferred(a, f)
+				} else {
+					r = Alloc(a, f)
+				}
+				l.Append(r.Addr, lsn == 9)
+			}
+
+			check := func(l *Log) {
+				t.Helper()
+				it := l.Begin()
+				defer it.Close()
+				var lsn uint64
+				for it.Next() {
+					lsn++
+					r := it.Record()
+					if r.LSN() != lsn {
+						t.Fatalf("lsn %d, want %d", r.LSN(), lsn)
+					}
+					switch lsn % 3 {
+					case 1:
+						if !r.IsRedoSpan() || r.Words() != 5 {
+							t.Fatalf("lsn %d: not a 5-word redo span: %v", lsn, r)
+						}
+						for i := 0; i < r.Words(); i++ {
+							if r.NewAt(i) != 500+uint64(i) {
+								t.Fatalf("lsn %d word %d: new=%d", lsn, i, r.NewAt(i))
+							}
+						}
+					case 2:
+						if !r.IsSpan() || r.Words() != 5 {
+							t.Fatalf("lsn %d: not a 5-word span: %v", lsn, r)
+						}
+					default:
+						if r.Words() != 1 || r.NewAt(0) != lsn+100 {
+							t.Fatalf("lsn %d: plain record damaged: %v", lsn, r)
+						}
+					}
+				}
+				if lsn != 9 {
+					t.Fatalf("saw %d records, want 9", lsn)
+				}
+			}
+			check(l)
+
+			if err := m.Crash(); err != nil {
+				t.Fatal(err)
+			}
+			a2, err := pmem.Open(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			l2, err := Open(a2, Config{Kind: kind, BucketSize: 16, GroupSize: 4, RootSlot: testSlot})
+			if err != nil {
+				t.Fatal(err)
+			}
+			check(l2)
+
+			l2.ClearScan(false, func(Record) ClearAction { return RemoveFree })
+			if !l2.Empty() {
+				t.Fatalf("log not empty after clear: %d", l2.Len())
+			}
+		})
+	}
+}
+
+// TestAppendedBytes checks the cumulative log-volume counter sums exact
+// record footprints across all three shapes.
+func TestAppendedBytes(t *testing.T) {
+	_, a, l := newLog(t, Optimized)
+	recs := []Fields{
+		{LSN: 1, Txn: 1, Type: TypeUpdate, Addr: 0x2000, Old: 1, New: 2},
+		spanFields(2, 7),
+		redoSpanFields(3, 7),
+	}
+	want := int64(0)
+	for _, f := range recs {
+		r := Alloc(a, f)
+		l.Append(r.Addr, false)
+		want += int64(r.Size())
+	}
+	if want != int64(RecordSize+SpanSize(7)+RedoSpanSize(7)) {
+		t.Fatalf("size accounting drifted: %d", want)
+	}
+	if got := l.AppendedBytes(); got != want {
+		t.Fatalf("AppendedBytes = %d, want %d", got, want)
+	}
+}

@@ -7,6 +7,16 @@ import (
 	"github.com/rewind-db/rewind/internal/pmem"
 )
 
+// oldAt unwraps OldAt for records the test knows carry a before-image.
+func oldAt(t *testing.T, r Record, i int) uint64 {
+	t.Helper()
+	v, err := r.OldAt(i)
+	if err != nil {
+		t.Fatalf("OldAt(%d): %v", i, err)
+	}
+	return v
+}
+
 func spanFields(lsn uint64, words int) Fields {
 	oldS := make([]uint64, words)
 	newS := make([]uint64, words)
@@ -35,8 +45,8 @@ func TestSpanRecordRoundTrip(t *testing.T) {
 		t.Fatalf("Size = %d, want %d", r.Size(), SpanSize(words))
 	}
 	for i := 0; i < words; i++ {
-		if r.OldAt(i) != 100+uint64(i) || r.NewAt(i) != 200+uint64(i) {
-			t.Fatalf("word %d: old=%d new=%d", i, r.OldAt(i), r.NewAt(i))
+		if oldAt(t, r, i) != 100+uint64(i) || r.NewAt(i) != 200+uint64(i) {
+			t.Fatalf("word %d: old=%d new=%d", i, oldAt(t, r, i), r.NewAt(i))
 		}
 		if r.TargetAt(i) != 0x2000+uint64(i)*8 {
 			t.Fatalf("word %d: target %#x", i, r.TargetAt(i))
@@ -56,8 +66,8 @@ func TestPlainRecordThroughSpanAccessors(t *testing.T) {
 	if r.Words() != 1 || r.Size() != RecordSize {
 		t.Fatalf("Words=%d Size=%d", r.Words(), r.Size())
 	}
-	if r.OldAt(0) != 7 || r.NewAt(0) != 8 || r.TargetAt(0) != 0x3000 {
-		t.Fatalf("accessors: old=%d new=%d target=%#x", r.OldAt(0), r.NewAt(0), r.TargetAt(0))
+	if oldAt(t, r, 0) != 7 || r.NewAt(0) != 8 || r.TargetAt(0) != 0x3000 {
+		t.Fatalf("accessors: old=%d new=%d target=%#x", oldAt(t, r, 0), r.NewAt(0), r.TargetAt(0))
 	}
 }
 
@@ -82,8 +92,8 @@ func TestSpanRecordDurableAfterAlloc(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < words; i++ {
-		if r.OldAt(i) != 100+uint64(i) || r.NewAt(i) != 200+uint64(i) {
-			t.Fatalf("word %d lost after crash: old=%d new=%d", i, r.OldAt(i), r.NewAt(i))
+		if oldAt(t, r, i) != 100+uint64(i) || r.NewAt(i) != 200+uint64(i) {
+			t.Fatalf("word %d lost after crash: old=%d new=%d", i, oldAt(t, r, i), r.NewAt(i))
 		}
 	}
 }
@@ -131,8 +141,8 @@ func TestSpanRecordsThroughLog(t *testing.T) {
 						t.Fatalf("lsn %d: %d words, want %d", lsn, r.Words(), wantWords)
 					}
 					for i := 0; i < r.Words(); i++ {
-						if r.NewAt(i) != r.OldAt(i)+100 {
-							t.Fatalf("lsn %d word %d: old=%d new=%d", lsn, i, r.OldAt(i), r.NewAt(i))
+						if r.NewAt(i) != oldAt(t, r, i)+100 {
+							t.Fatalf("lsn %d word %d: old=%d new=%d", lsn, i, oldAt(t, r, i), r.NewAt(i))
 						}
 					}
 				}

@@ -289,7 +289,11 @@ func (s *Store) update(stripes []int, fn func(tx *rewind.Tx) error) error {
 		if err := fn(tx); err != nil {
 			return err
 		}
-		closeWindows() // mutation done; the commit wait happens seq-even
+		// Mutation done: close when the writes are visible in shared memory
+		// — immediately at Commit entry under UndoRedo (they were applied in
+		// place all along), or right after the private buffer publishes under
+		// RedoOnly. Either way the commit's durability wait happens seq-even.
+		tx.OnPublish(closeWindows)
 		return nil
 	})
 }

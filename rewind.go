@@ -71,6 +71,22 @@ const (
 	TwoLayer = core.TwoLayer
 )
 
+// CommitMode re-exports the undo/redo vs redo-only logging choice.
+type CommitMode = core.CommitMode
+
+// Commit modes.
+const (
+	// UndoRedo is the paper's protocol: every write is logged with both
+	// images and applied in place, so any configuration can selectively
+	// roll back an individual transaction from the log.
+	UndoRedo = core.UndoRedo
+	// RedoOnly buffers a transaction's writes privately and publishes them
+	// at commit as old-image-free redo records — about half the log volume
+	// — with rollback a free buffer discard and recovery skipping the
+	// serial undo pass entirely. Requires OneLayer. See core.RedoOnly.
+	RedoOnly = core.RedoOnly
+)
+
 // LogKind re-exports the log implementation choice (§3).
 type LogKind = rlog.Kind
 
@@ -97,6 +113,9 @@ type Options struct {
 	// LogKind selects Simple, Optimized or Batch (default Batch).
 	// TwoLayer requires Simple or Optimized.
 	LogKind LogKind
+	// CommitMode selects UndoRedo or RedoOnly (default UndoRedo).
+	// RedoOnly requires OneLayer.
+	CommitMode CommitMode
 	// BucketSize is the records-per-bucket count (default 1,000).
 	BucketSize int
 	// GroupSize is the records-per-fence group in Batch mode (default 8).
@@ -319,6 +338,7 @@ func attach(opts Options, mem *nvm.Memory) (*Store, error) {
 func coreConfig(opts Options, rootBase int) core.Config {
 	return core.Config{
 		Policy: opts.Policy, Layers: opts.Layers, LogKind: opts.LogKind,
+		CommitMode: opts.CommitMode,
 		BucketSize: opts.BucketSize, GroupSize: opts.GroupSize,
 		LogShards: opts.LogShards, RootBase: rootBase,
 		GroupCommit:       opts.GroupCommit,
@@ -384,6 +404,11 @@ func (s *Store) TMStats() core.Stats { return s.tm.Stats() }
 // ShardStats returns the per-shard activity counters alone — the shard
 // balance and contention view the scaling benchmark reports.
 func (s *Store) ShardStats() []core.ShardStats { return s.tm.Stats().Shards }
+
+// LogBytes returns the cumulative record payload appended to the log across
+// all shards — the device-independent log-volume figure the commit modes are
+// compared on (redo-only appends roughly half of undo/redo's).
+func (s *Store) LogBytes() int64 { return s.tm.Stats().LogBytes }
 
 // Crash simulates a power failure and reattaches with full recovery,
 // returning the recovered store. The receiver must not be used afterwards.

@@ -341,6 +341,12 @@ type Stats struct {
 	// group-commit counters: rounds is shared flushes issued, grouped is
 	// commits that split a fence with at least one other transaction.
 	GroupCommitRounds, GroupedCommits, Commits int64
+	// CommitMode is the store's logging protocol ("UR" for undo/redo,
+	// "RO" for redo-only); LogBytes is the cumulative record payload
+	// appended across all log shards — the volume figure the two modes
+	// are compared on.
+	CommitMode string
+	LogBytes   int64
 	// Checkpoints counts completed checkpoints; LastCheckpointPauseNs is
 	// the longest single freeze (wall clock) of the most recent one — the
 	// worst stall a commit could have seen — and LastCheckpointChunks how
@@ -360,6 +366,8 @@ func (s *Server) Stats() Stats {
 	}
 	tms := s.kv.Rewind().TMStats()
 	st.Checkpoints = tms.Checkpoints
+	st.CommitMode = s.kv.Rewind().Options().CommitMode.String()
+	st.LogBytes = tms.LogBytes
 	for _, sh := range tms.Shards {
 		st.GroupCommitRounds += sh.GroupCommitRounds
 		st.GroupedCommits += sh.GroupedCommits

@@ -65,11 +65,29 @@ func (tx *Tx) WriteBytes(addr uint64, p []byte) error {
 	return tx.h.WriteBytes(addr, p)
 }
 
-// Read64 loads a word. Reads are direct; no logging.
-func (tx *Tx) Read64(addr uint64) uint64 { return tx.s.mem.Load64(addr) }
+// Read64 loads a word. Under UndoRedo reads are direct — writes are already
+// applied in place; no logging. Under RedoOnly the transaction's private
+// buffer overlays the shared image, so the transaction sees its own writes.
+func (tx *Tx) Read64(addr uint64) uint64 { return tx.h.Read64(addr) }
 
-// ReadBytes reads n bytes at addr.
-func (tx *Tx) ReadBytes(addr uint64, n int) []byte { return tx.s.tm.ReadBytes(addr, n) }
+// ReadBytes reads n bytes at addr, overlaying the transaction's own
+// unpublished writes under RedoOnly.
+func (tx *Tx) ReadBytes(addr uint64, n int) []byte { return tx.h.ReadBytes(addr, n) }
+
+// Buffered reports whether this transaction stages writes in a private
+// redo buffer (Options.CommitMode == RedoOnly) rather than applying them
+// in place. Callers that read shared memory directly — bypassing
+// Read64/ReadBytes — must consult the transaction's reads when this is
+// true, or they will miss its own uncommitted writes.
+func (tx *Tx) Buffered() bool { return tx.h.Buffered() }
+
+// OnPublish registers fn to run exactly once inside Commit, at the point
+// the transaction's writes become visible in shared memory — immediately
+// under UndoRedo (writes were applied in place all along), or right after
+// the private buffer is published under RedoOnly. Rollback discards the
+// hook. Structures that track write visibility (e.g. the kv index's
+// seqlock windows) hang their close on this.
+func (tx *Tx) OnPublish(fn func()) { tx.h.OnPublish(fn) }
 
 // Alloc allocates a persistent block. The allocation itself is not undone
 // by rollback (a crash or abort merely leaks it, as in the paper's model);
