@@ -1,0 +1,62 @@
+package btree
+
+import "sync"
+
+// LatchTable is a fixed-size table of latches keyed by NVM offset — the
+// fine-grained half of the kv write path (DESIGN.md §8). A writer latches
+// the one leaf it mutates (and, for structural record-count changes, the
+// tree's header count word) instead of the whole stripe, so concurrent
+// writers to different leaves of one stripe proceed in parallel.
+//
+// Offsets hash to buckets, so two distinct offsets may share a latch; that
+// is harmless contention, never a correctness issue, because a bucket latch
+// is strictly stronger than a per-offset latch. What a bucketed table DOES
+// change is the deadlock argument: a writer that acquires latches for two
+// offsets in a fixed hierarchy order (leaf first, then header — see
+// DESIGN.md §8) could self-deadlock if both hash to one bucket. SameBucket
+// exposes the collision so the caller skips the second acquisition — the
+// first latch already covers both offsets.
+type LatchTable struct {
+	shift   uint
+	buckets []sync.Mutex
+}
+
+// NewLatchTable builds a table with at least n buckets (rounded up to a
+// power of two).
+func NewLatchTable(n int) *LatchTable {
+	bits := uint(1)
+	for 1<<bits < n {
+		bits++
+	}
+	return &LatchTable{shift: 64 - bits, buckets: make([]sync.Mutex, 1<<bits)}
+}
+
+// idx is a Fibonacci hash of the offset: multiply by 2^64/phi and keep the
+// top bits, which mixes the low-entropy (aligned, clustered) node offsets
+// far better than masking low bits would.
+func (lt *LatchTable) idx(off uint64) uint64 {
+	return (off * 0x9E3779B97F4A7C15) >> lt.shift
+}
+
+// Lock latches off's bucket, reporting whether it had to wait (the fast
+// path is an uncontended TryLock). The caller's contention counters hang
+// on the report.
+func (lt *LatchTable) Lock(off uint64) (waited bool) {
+	mu := &lt.buckets[lt.idx(off)]
+	if mu.TryLock() {
+		return false
+	}
+	mu.Lock()
+	return true
+}
+
+// Unlock releases off's bucket latch.
+func (lt *LatchTable) Unlock(off uint64) {
+	lt.buckets[lt.idx(off)].Unlock()
+}
+
+// SameBucket reports whether a and b share a bucket latch, in which case
+// locking a already covers b and a second Lock would self-deadlock.
+func (lt *LatchTable) SameBucket(a, b uint64) bool {
+	return lt.idx(a) == lt.idx(b)
+}

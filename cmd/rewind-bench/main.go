@@ -42,6 +42,10 @@ const readpathJSONPath = "BENCH_readpath.json"
 // figure (the "logfootprint" runner), uploaded alongside the others.
 const logfootprintJSONPath = "BENCH_logfootprint.json"
 
+// writepathJSONPath gets a standalone copy of the fine-grained write-path
+// figure (the "writepath" runner), uploaded alongside the others.
+const writepathJSONPath = "BENCH_writepath.json"
+
 // jsonFigure is one figure plus how long it took to regenerate.
 type jsonFigure struct {
 	bench.Figure
@@ -112,6 +116,7 @@ func main() {
 			"recovery":     recoveryJSONPath,
 			"readpath":     readpathJSONPath,
 			"logfootprint": logfootprintJSONPath,
+			"writepath":    writepathJSONPath,
 		}
 		for _, fig := range report.Figures {
 			if path, ok := standalone[fig.ID]; ok {

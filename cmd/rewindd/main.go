@@ -41,6 +41,7 @@ func main() {
 	maxValue := flag.Int("max-value", 512, "largest value size in bytes (fixed at store creation)")
 	exclusiveReads := flag.Bool("exclusive-reads", false, "route GET/SCAN through the stripe latches instead of the latch-free seqlock read path (escape hatch / baseline)")
 	readRetries := flag.Int("read-retries", 0, "optimistic read attempts before a GET/SCAN falls back to the stripe latch (0 = default)")
+	serialWrites := flag.Bool("serial-writes", false, "serialize writers per stripe behind one latch instead of the per-leaf / CAS-overwrite fine-grained write path (escape hatch / baseline)")
 	commitMode := flag.String("commit-mode", "undo-redo", `logging protocol: "undo-redo" (in-place writes, both images logged) or "redo-only" (private buffers, half the log volume, undo-free recovery)`)
 	groupCommit := flag.Bool("group-commit", true, "merge concurrent commits into shared log flushes")
 	gcWindow := flag.Duration("gc-window", 100*time.Microsecond, "group-commit gather window")
@@ -90,6 +91,7 @@ func main() {
 	kvs, err := kv.Open(st, kv.Config{
 		Stripes: *stripes, MaxValue: *maxValue,
 		ExclusiveReads: *exclusiveReads, ReadRetries: *readRetries,
+		SerialWrites: *serialWrites,
 	})
 	if err != nil {
 		log.Fatalf("rewindd: opening kv store: %v", err)
@@ -98,8 +100,12 @@ func main() {
 	if *exclusiveReads {
 		readMode = "exclusive-latch reads"
 	}
-	log.Printf("rewindd: %d keys across %d stripes, %s commits, group commit %v, %s",
-		kvs.Len(), *stripes, *commitMode, *groupCommit, readMode)
+	writeMode := "fine-grained writes"
+	if *serialWrites {
+		writeMode = "stripe-serial writes"
+	}
+	log.Printf("rewindd: %d keys across %d stripes, %s commits, group commit %v, %s, %s",
+		kvs.Len(), *stripes, *commitMode, *groupCommit, readMode, writeMode)
 
 	srv := server.New(kvs)
 	done := make(chan error, 1)
@@ -153,9 +159,14 @@ func main() {
 		close(stopCkpt)
 		ckptDone.Wait() // an in-flight checkpoint must not race the unmap
 		srv.Close()     // waits for in-flight handlers too
-		if ks := kvs.Stats(); ks.Gets+ks.Scans > 0 {
+		ks := kvs.Stats()
+		if ks.Gets+ks.Scans > 0 {
 			log.Printf("rewindd: read path served %d gets / %d scans with %d seqlock retries, %d latch fallbacks",
 				ks.Gets, ks.Scans, ks.ReadRetries, ks.ReadFallbacks)
+		}
+		if ks.Puts+ks.Deletes > 0 {
+			log.Printf("rewindd: write path served %d puts / %d deletes: %d overwrite fast-path hits, %d leaf-latch waits, %d stripe-latch fallbacks",
+				ks.Puts, ks.Deletes, ks.OverwriteFastPath, ks.LeafLatchWaits, ks.StripeLatchFallbacks)
 		}
 		if lb := st.LogBytes(); lb > 0 {
 			log.Printf("rewindd: %s commits appended %d log bytes", *commitMode, lb)

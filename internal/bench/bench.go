@@ -146,6 +146,7 @@ func Runners() []Runner {
 		{"recovery", "Parallel recovery scaling", RecoveryScaling},
 		{"readpath", "Latch-free GET/SCAN read path", ReadPath},
 		{"logfootprint", "Log footprint: undo/redo vs redo-only", LogFootprint},
+		{"writepath", "Fine-grained write path scaling", WritePath},
 	}
 }
 

@@ -82,7 +82,16 @@ func readPathPoint(exclusive bool, writeFrac float64, writerGos, readers, opsPer
 	if err != nil {
 		panic(err)
 	}
-	kvs, err := kv.Create(st, kv.Config{Stripes: 4, MaxValue: 16, ExclusiveReads: exclusive})
+	// The exclusive baseline models the pre-seqlock store, where writers
+	// held the stripe latch across the commit wait and readers parked
+	// behind it — so it pairs ExclusiveReads with SerialWrites. (With the
+	// fine-grained write path, latches release at publish, and an
+	// exclusive-read store would no longer exhibit the stall this figure
+	// quantifies.)
+	kvs, err := kv.Create(st, kv.Config{
+		Stripes: 4, MaxValue: 16,
+		ExclusiveReads: exclusive, SerialWrites: exclusive,
+	})
 	if err != nil {
 		panic(err)
 	}

@@ -28,9 +28,6 @@ func (x *Txn) Commit() error {
 	if x.st.buf != nil {
 		return x.commitRedoOnly(false)
 	}
-	// In-place writes are already visible; release publish-gated readers
-	// before the durability work below.
-	x.publish()
 	tm, sh := x.tm, x.sh
 	gc := tm.cfg.GroupCommit
 	contended := sh.lock()
@@ -41,10 +38,20 @@ func (x *Txn) Commit() error {
 		tm.forceLogShard(sh)
 		tm.mem.Fence()
 	}
-	// Under group commit the END record joins the log without forcing its
-	// own group flush (end=false); durability comes from the shared round
-	// flush below, which Commit waits for before returning.
-	tm.appendShard(sh, x.st, rlog.Fields{Txn: x.st.id, Type: rlog.TypeEnd}, !gc)
+	// The END record joins the log without forcing a flush of its own;
+	// durability comes from the explicit force below (per-commit flush) or
+	// from the shared group-commit round flush, which Commit waits for
+	// before returning. The publish hook fires strictly AFTER the END is in
+	// the shard log and strictly BEFORE any flush: in-place writes were
+	// visible all along, but latches that gate dependent writers (the kv
+	// write path) must only open once this transaction's commit order on
+	// its shard is fixed — that is what makes shard-pinned pipelining
+	// (BeginOn) crash-consistent — and must never stay held across a fence.
+	tm.appendShard(sh, x.st, rlog.Fields{Txn: x.st.id, Type: rlog.TypeEnd}, false)
+	x.publish()
+	if !gc {
+		tm.forceLogShard(sh)
+	}
 	sh.mu.Unlock()
 	sh.commits.Add(1)
 	if !contended {
@@ -267,14 +274,17 @@ func (x *Txn) CommitKeepLog() error {
 	if x.st.buf != nil {
 		return x.commitRedoOnly(true)
 	}
-	x.publish()
 	tm, sh := x.tm, x.sh
 	contended := sh.lock()
 	if tm.cfg.Policy == Force {
 		tm.forceLogShard(sh)
 		tm.mem.Fence()
 	}
-	tm.appendShard(sh, x.st, rlog.Fields{Txn: x.st.id, Type: rlog.TypeEnd}, true)
+	// Same ordering as Commit: END in the log, then publish, then the
+	// per-commit flush (no group rounds on this path).
+	tm.appendShard(sh, x.st, rlog.Fields{Txn: x.st.id, Type: rlog.TypeEnd}, false)
+	x.publish()
+	tm.forceLogShard(sh)
 	sh.mu.Unlock()
 	sh.commits.Add(1)
 	if !contended {

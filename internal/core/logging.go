@@ -11,7 +11,31 @@ import (
 // transaction's shard and table entry so subsequent calls skip the global
 // table lookup.
 func (tm *TM) Begin() *Txn {
-	id := tm.lastTxn.Add(1)
+	return tm.beginID(tm.lastTxn.Add(1))
+}
+
+// BeginOn starts a transaction pinned to log shard shard%NumShards. Shard
+// assignment is by id (shardFor), so pinning draws ids from the atomic
+// counter until one lands on the wanted shard — at most NumShards-1 ids are
+// burned, and every id is still unique, so recovery's id-based shard
+// routing is untouched. Callers that serialize all writers of one datum
+// onto one shard (the kv stripes) get a crash-consistency guarantee from
+// the shard log's FIFO flush order: a transaction's END can only be durable
+// if every earlier END on its shard is, so the set of recovered winners is
+// always a dependency-closed prefix of that datum's history.
+func (tm *TM) BeginOn(shard int) *Txn {
+	n := len(tm.shards)
+	want := uint64(shard % n)
+	for {
+		id := tm.lastTxn.Add(1)
+		if id%uint64(n) == want {
+			return tm.beginID(id)
+		}
+	}
+}
+
+// beginID registers a fresh transaction under the given id.
+func (tm *TM) beginID(id uint64) *Txn {
 	st := &txnState{id: id, status: statusRunning}
 	if tm.cfg.CommitMode == RedoOnly {
 		st.buf = &redoBuf{writes: map[uint64]uint64{}}

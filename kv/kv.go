@@ -1,14 +1,25 @@
 // Package kv builds a concurrency-safe durable map on the recoverable
 // B+-tree — the storage engine behind the rewindd network service.
 //
-// The keyspace is striped over N independent B+-trees, each guarded by its
-// own latch, so operations on keys in different stripes run fully in
-// parallel: disjoint trees mean disjoint NVM nodes (the caller-side
-// concurrency control §4.7 asks for), and independent core.Txn handles
-// mean commits contend only on the log — where the sharded log and the
-// group-commit rounds take over. A stripe's trees are published through a
-// single durable side table in one application root slot, so any number of
-// stripes fit the root-slot budget.
+// The keyspace is striped over N independent B+-trees, so operations on
+// keys in different stripes run fully in parallel: disjoint trees mean
+// disjoint NVM nodes (the caller-side concurrency control §4.7 asks for),
+// and independent core.Txn handles mean commits contend only on the log —
+// where the sharded log and the group-commit rounds take over. A stripe's
+// trees are published through a single durable side table in one
+// application root slot, so any number of stripes fit the root-slot budget.
+//
+// Within a stripe, writes are fine-grained (DESIGN.md §8): a value
+// overwrite or a non-structural insert/delete latches only the ONE leaf it
+// mutates (plus the header count word for structural changes), takes the
+// stripe's writer lock shared, and releases every latch at commit publish
+// time — before the commit's durability wait — so concurrent writers to
+// one stripe overlap both their tree work and their fence bills. Only
+// splits, merges, and root changes take the stripe-exclusive latch. Crash
+// consistency across these pipelined same-stripe commits comes from shard
+// pinning: every single-stripe transaction logs on shard stripe%LogShards,
+// so the shard log's FIFO flush order guarantees recovery keeps a
+// dependency-closed prefix of the stripe's commit order.
 //
 // Values are variable-length byte strings up to Config.MaxValue, stored in
 // fixed-size tree records as [length word | payload, zero-padded]; a whole
@@ -21,10 +32,11 @@
 // all-or-none, however many stripes it spans.
 //
 // Reads are latch-free (DESIGN.md §6): each stripe carries a seqlock-style
-// version counter that writers bump odd/even around the tree mutation
-// inside their latch, and Get/Scan traverse optimistically — snapshot the
-// counter, walk the tree through btree's validated read path, re-check the
-// counter, retry on interference, and fall back to the latch after
+// counter — packed as version<<32 | active-writer-count, sound under any
+// number of concurrent writers — that writers hold "open" around the tree
+// mutation, and Get/Scan traverse optimistically: snapshot the counter,
+// walk the tree through btree's validated read path, re-check the counter,
+// retry on interference, and fall back to the stripe-exclusive latch after
 // Config.ReadRetries failed attempts. Reads issue no log records and no
 // flushes; they never queue behind a commit flush, a group-commit gather
 // window, or a checkpoint freeze.
@@ -78,6 +90,12 @@ type Config struct {
 	// and as an operational escape hatch. Volatile — not part of the
 	// durable shape.
 	ExclusiveReads bool
+	// SerialWrites routes every write through the stripe-exclusive latch
+	// held across the whole tree mutation AND the commit wait — the
+	// pre-fine-grained behaviour, one commit per stripe at a time. It
+	// exists as the writepath benchmark's baseline and as an operational
+	// escape hatch. Volatile — not part of the durable shape.
+	SerialWrites bool
 }
 
 func (c Config) withDefaults() Config {
@@ -108,23 +126,51 @@ var (
 	ErrNotFound = errors.New("kv: no store published in root slot")
 )
 
-// stripe is one latch + seqlock + tree triple. mu serializes writers (and
-// is the readers' fallback); seq is the seqlock version counter — odd
-// while a writer is mutating the tree image, bumped even again before the
-// commit wait so readers validate against structure changes only, never
-// against durability latency.
+// latchBuckets sizes each stripe's leaf-latch table. 64 buckets comfortably
+// out-number any plausible concurrent writer count, so false bucket sharing
+// is rare; collisions are only ever contention, never incorrectness.
+const latchBuckets = 64
+
+// writerMask isolates the active-writer count in the packed seqlock word.
+const writerMask = (1 << 32) - 1
+
+// stripe is one tree plus its concurrency state.
+//
+//   - wmu shared: fine-grained leaf-path writers — internal tree structure
+//     may not change while any of them is inside. wmu exclusive:
+//     structural mutations (splits/merges/root moves), multi-stripe
+//     transactions, reader fallback, invariant checks.
+//   - latches: per-leaf (and header-count) latch table for the leaf path.
+//   - seq is the seqlock word, packed version<<32 | active-writers. A
+//     plain odd/even parity bit is NOT sound once two writers overlap
+//     (the second bump would flip the counter back to "even" mid-write);
+//     the packed form keeps the word "open" while ANY writer is inside
+//     and bumps the version as each one leaves, so an optimistic reader's
+//     full-word compare catches both an active overlap and a completed
+//     writer that passed entirely between its two loads.
+//   - pending counts transactions published (tree writes visible, latches
+//     released) whose commit has not yet returned durable. Multi-stripe
+//     transactions — whose ENDs land on one arbitrary shard rather than
+//     the stripe's pinned one — drain it to zero before reading, restoring
+//     the cross-shard dependency barrier that shard pinning provides for
+//     free within a stripe.
+//   - shard is the pinned log shard (stripe index % LogShards): all
+//     single-stripe commits of this stripe log there, making recovery's
+//     winner set a prefix of the stripe's commit order (rewind.BeginOn).
 type stripe struct {
-	mu   sync.Mutex
-	seq  atomic.Uint64
-	tree *btree.Tree
+	wmu     sync.RWMutex
+	seq     atomic.Uint64
+	tree    *btree.Tree
+	latches *btree.LatchTable
+	pending atomic.Int64
+	shard   int
 }
 
-// beginWrite opens the stripe's write window (seq becomes odd). Callers
-// hold mu.
-func (sp *stripe) beginWrite() { sp.seq.Add(1) }
+// enterWrite opens the stripe's write window: active-writer count +1.
+func (sp *stripe) enterWrite() { sp.seq.Add(1) }
 
-// endWrite closes the write window (seq becomes even).
-func (sp *stripe) endWrite() { sp.seq.Add(1) }
+// exitWrite closes it: count -1, version +1 — a single add of 2^32-1.
+func (sp *stripe) exitWrite() { sp.seq.Add(writerMask) }
 
 // Store is a striped durable map over a rewind.Store.
 type Store struct {
@@ -135,12 +181,20 @@ type Store struct {
 
 	gets, puts, dels, scans, batches atomic.Int64
 	readRetries, readFallbacks       atomic.Int64
+	fastPath, latchWaits, fallbacks  atomic.Int64
 }
 
 // optimisticReadHook, when non-nil, runs between an optimistic traversal
 // and its seqlock validation. Tests use it to deterministically interleave
 // a "writer" and force the retry path; it is nil in production.
 var optimisticReadHook func()
+
+// publishHook, when non-nil, runs inside every write's commit-publish
+// callback — after the transaction's END record joined its shard log and
+// its latches are about to release, before the commit's durability wait.
+// Tests use it to prove latch-hold spans exclude the commit wait; it is
+// nil in production.
+var publishHook func()
 
 // Create builds a fresh store: one tree per stripe, published through a
 // durable side table in cfg.RootSlot. A crash before the final root-slot
@@ -169,7 +223,7 @@ func Create(st *rewind.Store, cfg Config) (*Store, error) {
 			return nil, err
 		}
 		mem.Store64(tbl+tblTrees+uint64(i)*8, t.Header())
-		s.stripes = append(s.stripes, &stripe{tree: t})
+		s.stripes = append(s.stripes, s.newStripe(i, t))
 	}
 	mem.Store64(tbl+tblMagic, kvMagic|uint64(cfg.Stripes))
 	mem.Store64(tbl+tblVSize, uint64(cfg.valueSize()))
@@ -177,6 +231,14 @@ func Create(st *rewind.Store, cfg Config) (*Store, error) {
 	mem.Fence()
 	st.SetRoot(cfg.RootSlot, tbl) // atomic durable publish
 	return s, nil
+}
+
+func (s *Store) newStripe(i int, t *btree.Tree) *stripe {
+	return &stripe{
+		tree:    t,
+		latches: btree.NewLatchTable(latchBuckets),
+		shard:   i % s.st.NumShards(),
+	}
 }
 
 // Attach reopens the store published in cfg.RootSlot, validating that the
@@ -206,7 +268,7 @@ func Attach(st *rewind.Store, cfg Config) (*Store, error) {
 		if err != nil {
 			return nil, err
 		}
-		s.stripes = append(s.stripes, &stripe{tree: t})
+		s.stripes = append(s.stripes, s.newStripe(i, t))
 	}
 	return s, nil
 }
@@ -247,36 +309,49 @@ func (s *Store) encode(v []byte) []byte {
 	return rec
 }
 
-// update runs fn inside one transaction with the given stripes latched,
-// wrapping the tree mutation in their seqlock write windows. The windows
-// close as soon as the mutation (or, on error, its rollback) is done — in
-// particular BEFORE the commit's covering flush — so optimistic readers
-// validate against structure changes only and never spin out a group-
-// commit gather or a checkpoint freeze. The stripe latches stay held
-// through the commit, keeping writer/writer ordering exactly as before.
+// update runs fn inside one transaction with the given stripes latched
+// EXCLUSIVE, wrapping the tree mutation in their seqlock write windows —
+// the coarse path, used by multi-stripe Batch and by everything when
+// Config.SerialWrites is set. The windows close at commit publish; the
+// exclusive latches stay held through the commit wait, which for a
+// multi-stripe transaction is load-bearing: its END lands on one arbitrary
+// shard, so nothing that depends on its writes may be admitted until it is
+// durable (the per-stripe prefix guarantee does not cover it).
 //
-// Closing before the commit flush means a concurrent reader may return a
-// value up to one commit latency before the writer's own ack — the
-// early-lock-release trade documented in DESIGN.md §6. The image it reads
-// is never torn: the window covers every tree write of the transaction.
+// Symmetrically, fn must not read any stripe state until the stripe's
+// published-but-undurable pipeline (pending) has drained: those ENDs live
+// on the stripe's pinned shard, and a crash could keep this transaction
+// while dropping them. The drain is the cross-shard half of the dependency
+// barrier; see DESIGN.md §8.
+//
+// Closing the seqlock before the commit flush means a concurrent reader
+// may return a value up to one commit latency before the writer's own ack
+// — the early-lock-release trade documented in DESIGN.md §6. The image it
+// reads is never torn: the window covers every tree write of the
+// transaction.
 func (s *Store) update(stripes []int, fn func(tx *rewind.Tx) error) error {
 	for _, i := range stripes {
-		s.stripes[i].mu.Lock()
+		s.stripes[i].wmu.Lock()
 	}
 	defer func() {
 		for _, i := range stripes {
-			s.stripes[i].mu.Unlock()
+			s.stripes[i].wmu.Unlock()
 		}
 	}()
 	for _, i := range stripes {
-		s.stripes[i].beginWrite()
+		for s.stripes[i].pending.Load() != 0 {
+			runtime.Gosched()
+		}
+	}
+	for _, i := range stripes {
+		s.stripes[i].enterWrite()
 	}
 	open := true
 	closeWindows := func() {
 		if open {
 			open = false
 			for _, i := range stripes {
-				s.stripes[i].endWrite()
+				s.stripes[i].exitWrite()
 			}
 		}
 	}
@@ -290,12 +365,118 @@ func (s *Store) update(stripes []int, fn func(tx *rewind.Tx) error) error {
 			return err
 		}
 		// Mutation done: close when the writes are visible in shared memory
-		// — immediately at Commit entry under UndoRedo (they were applied in
-		// place all along), or right after the private buffer publishes under
-		// RedoOnly. Either way the commit's durability wait happens seq-even.
-		tx.OnPublish(closeWindows)
+		// and the END record has fixed the commit order — before the
+		// commit's durability wait, so readers validating against the
+		// window never spin out a group-commit gather.
+		tx.OnPublish(func() {
+			if publishHook != nil {
+				publishHook()
+			}
+			closeWindows()
+		})
 		return nil
 	})
+}
+
+// updatePinned runs fn inside one transaction pinned to sp's log shard,
+// with sp latched exclusive only until commit publish — the fine-grained
+// protocol's structural tier (splits/merges/root changes, and single-
+// stripe batches). Unlike update, the latch does NOT span the commit
+// wait: the pinned shard's FIFO flush order already guarantees that any
+// later same-stripe transaction — necessarily logged behind this one —
+// can only survive a crash if this one does, so dependent writers may be
+// admitted as soon as the END record is in the log.
+func (s *Store) updatePinned(sp *stripe, fn func(tx *rewind.Tx) error) error {
+	sp.wmu.Lock()
+	released := false
+	release := func() {
+		if !released {
+			released = true
+			sp.exitWrite()
+			sp.wmu.Unlock()
+		}
+	}
+	sp.enterWrite()
+	defer release()
+	published := false
+	err := s.st.AtomicOn(sp.shard, func(tx *rewind.Tx) error {
+		if err := fn(tx); err != nil {
+			return err
+		}
+		tx.OnPublish(func() {
+			published = true
+			sp.pending.Add(1)
+			if publishHook != nil {
+				publishHook()
+			}
+			release()
+		})
+		return nil
+	})
+	if published {
+		sp.pending.Add(-1)
+	}
+	return err
+}
+
+// commitLeafPath commits a single-leaf mutation on the fine-grained fast
+// path. On entry the caller holds sp.wmu shared and the leaf's latch; fn
+// performs the mutation and, when delta != 0, commitLeafPath brackets the
+// tree's record-count update with the header-count latch (hierarchy order:
+// leaf, then header; a bucket collision means the leaf latch already
+// covers the header and the second acquisition is skipped). Every latch —
+// leaf, header, wmu reader — releases at commit publish, after the END
+// record joined the stripe's pinned shard log and the writes are visible,
+// so the latch-hold span never contains a flush or fence and concurrent
+// same-stripe writers overlap their commit waits in shared group rounds.
+func (s *Store) commitLeafPath(sp *stripe, leaf uint64, delta int, fn func(tx *rewind.Tx) error) error {
+	t := sp.tree
+	hdrLatched := false
+	released := false
+	release := func() {
+		if !released {
+			released = true
+			sp.exitWrite()
+			if hdrLatched {
+				sp.latches.Unlock(t.CountAddr())
+			}
+			sp.latches.Unlock(leaf)
+			sp.wmu.RUnlock()
+		}
+	}
+	sp.enterWrite()
+	defer release()
+	published := false
+	err := s.st.AtomicOn(sp.shard, func(tx *rewind.Tx) error {
+		if err := fn(tx); err != nil {
+			return err
+		}
+		if delta != 0 {
+			cnt := t.CountAddr()
+			if !sp.latches.SameBucket(leaf, cnt) {
+				if sp.latches.Lock(cnt) {
+					s.latchWaits.Add(1)
+				}
+				hdrLatched = true
+			}
+			if err := t.AddLen(tx, delta); err != nil {
+				return err
+			}
+		}
+		tx.OnPublish(func() {
+			published = true
+			sp.pending.Add(1)
+			if publishHook != nil {
+				publishHook()
+			}
+			release()
+		})
+		return nil
+	})
+	if published {
+		sp.pending.Add(-1)
+	}
+	return err
 }
 
 // readValue copies a record's payload out of the arena: length word first,
@@ -315,15 +496,16 @@ func (s *Store) readValue(addr uint64) []byte {
 }
 
 // Get returns the value stored under key. It is latch-free: optimistic
-// seqlock attempts first, the stripe latch only after Config.ReadRetries
-// failed validations (a persistent write storm on this exact stripe).
+// seqlock attempts first, the stripe-exclusive latch only after
+// Config.ReadRetries failed validations (a persistent write storm on this
+// exact stripe).
 func (s *Store) Get(key uint64) ([]byte, bool) {
 	s.gets.Add(1)
 	sp := s.stripeOf(key)
 	if !s.cfg.ExclusiveReads {
 		for attempt := 0; attempt < s.cfg.ReadRetries; attempt++ {
 			seq := sp.seq.Load()
-			if seq&1 != 0 { // writer mid-mutation: snapshot can't validate
+			if seq&writerMask != 0 { // writers mid-mutation: snapshot can't validate
 				s.readRetries.Add(1)
 				runtime.Gosched()
 				continue
@@ -343,8 +525,8 @@ func (s *Store) Get(key uint64) ([]byte, bool) {
 		}
 		s.readFallbacks.Add(1)
 	}
-	sp.mu.Lock()
-	defer sp.mu.Unlock()
+	sp.wmu.Lock()
+	defer sp.wmu.Unlock()
 	addr, ok := sp.tree.SeekRecord(key)
 	if !ok {
 		return nil, false
@@ -361,21 +543,89 @@ func (s *Store) Put(key uint64, value []byte) error {
 	}
 	s.puts.Add(1)
 	rec := s.encode(value)
-	sp := s.stripeOf(key)
-	return s.update([]int{s.stripeIndex(key)}, func(tx *rewind.Tx) error {
-		_, err := sp.tree.Insert(tx, key, rec)
-		return err
-	})
+	idx := s.stripeIndex(key)
+	sp := s.stripes[idx]
+	if s.cfg.SerialWrites {
+		return s.update([]int{idx}, func(tx *rewind.Tx) error {
+			_, err := sp.tree.Insert(tx, key, rec)
+			return err
+		})
+	}
+	t := sp.tree
+	sp.wmu.RLock()
+	leaf := t.SeekLeafNode(key)
+	if sp.latches.Lock(leaf) {
+		s.latchWaits.Add(1)
+	}
+	// Under the shared wmu which leaf owns key is fixed, and under the leaf
+	// latch its contents are too, so the routing decision below stays valid
+	// through the mutation.
+	pos, eq := t.LeafFind(leaf, key)
+	switch {
+	case eq:
+		// Non-structural overwrite: the fast path — one span write into the
+		// existing record, no key moves, no count change.
+		s.fastPath.Add(1)
+		return s.commitLeafPath(sp, leaf, 0, func(tx *rewind.Tx) error {
+			return t.OverwriteInLeaf(tx, leaf, pos, rec)
+		})
+	case t.LeafHasRoom(leaf):
+		return s.commitLeafPath(sp, leaf, +1, func(tx *rewind.Tx) error {
+			return t.InsertInLeaf(tx, leaf, pos, key, rec)
+		})
+	default:
+		// Leaf full: the insert splits. Restart on the structural tier.
+		sp.latches.Unlock(leaf)
+		sp.wmu.RUnlock()
+		s.fallbacks.Add(1)
+		return s.updatePinned(sp, func(tx *rewind.Tx) error {
+			_, err := t.Insert(tx, key, rec)
+			return err
+		})
+	}
 }
 
 // Delete durably removes key, reporting whether it was present.
 func (s *Store) Delete(key uint64) (bool, error) {
 	s.dels.Add(1)
-	sp := s.stripeOf(key)
+	idx := s.stripeIndex(key)
+	sp := s.stripes[idx]
+	if s.cfg.SerialWrites {
+		found := false
+		err := s.update([]int{idx}, func(tx *rewind.Tx) error {
+			var err error
+			found, err = sp.tree.Delete(tx, key)
+			return err
+		})
+		return found, err
+	}
+	t := sp.tree
+	sp.wmu.RLock()
+	leaf := t.SeekLeafNode(key)
+	if sp.latches.Lock(leaf) {
+		s.latchWaits.Add(1)
+	}
+	pos, eq := t.LeafFind(leaf, key)
+	if !eq {
+		// Absent: no transaction, no log traffic.
+		sp.latches.Unlock(leaf)
+		sp.wmu.RUnlock()
+		return false, nil
+	}
+	if t.LeafCanShrink(leaf) {
+		err := s.commitLeafPath(sp, leaf, -1, func(tx *rewind.Tx) error {
+			return t.DeleteInLeaf(tx, leaf, pos)
+		})
+		return err == nil, err
+	}
+	// Underflow: the delete rebalances. Restart on the structural tier.
+	sp.latches.Unlock(leaf)
+	sp.wmu.RUnlock()
+	s.fallbacks.Add(1)
 	found := false
-	err := s.update([]int{s.stripeIndex(key)}, func(tx *rewind.Tx) error {
+	err := s.updatePinned(sp, func(tx *rewind.Tx) error {
 		var err error
-		found, err = sp.tree.Delete(tx, key)
+		found, err = t.Delete(tx, key)
 		return err
 	})
 	return found, err
@@ -426,7 +676,7 @@ func (s *Store) scanStripe(sp *stripe, from, to uint64, limit int, out []Pair) [
 	if !s.cfg.ExclusiveReads {
 		for attempt := 0; attempt < s.cfg.ReadRetries; attempt++ {
 			seq := sp.seq.Load()
-			if seq&1 != 0 {
+			if seq&writerMask != 0 {
 				s.readRetries.Add(1)
 				runtime.Gosched()
 				continue
@@ -453,8 +703,8 @@ func (s *Store) scanStripe(sp *stripe, from, to uint64, limit int, out []Pair) [
 		}
 		s.readFallbacks.Add(1)
 	}
-	sp.mu.Lock()
-	defer sp.mu.Unlock()
+	sp.wmu.Lock()
+	defer sp.wmu.Unlock()
 	buf = buf[:0]
 	sp.tree.ScanRecords(from, to, collect)
 	return append(out, buf...)
@@ -471,13 +721,16 @@ type Op struct {
 // Batch applies every operation inside ONE transaction: either all of
 // them are durably applied or — after a crash or an error — none are.
 // Stripe latches are taken in ascending order (the same order Scan and
-// multi-stripe internals use), so Batch never deadlocks against itself.
+// multi-stripe internals use), so Batch never deadlocks against itself. A
+// batch whose keys all land in ONE stripe skips the multi-stripe protocol
+// entirely and commits on that stripe's pinned shard, releasing the
+// stripe at publish like any other single-stripe write.
 func (s *Store) Batch(ops []Op) error {
 	if len(ops) == 0 {
 		return nil
 	}
 	s.batches.Add(1)
-	// Collect and lock the involved stripes in ascending index order.
+	// Collect the involved stripes in ascending index order.
 	involved := map[uint64]bool{}
 	for _, op := range ops {
 		if !op.Delete && len(op.Value) > s.cfg.MaxValue {
@@ -490,7 +743,7 @@ func (s *Store) Batch(ops []Op) error {
 		idx = append(idx, int(i))
 	}
 	sort.Ints(idx)
-	return s.update(idx, func(tx *rewind.Tx) error {
+	apply := func(tx *rewind.Tx) error {
 		for _, op := range ops {
 			sp := s.stripeOf(op.Key)
 			if op.Delete {
@@ -504,7 +757,11 @@ func (s *Store) Batch(ops []Op) error {
 			}
 		}
 		return nil
-	})
+	}
+	if len(idx) == 1 && !s.cfg.SerialWrites {
+		return s.updatePinned(s.stripes[idx[0]], apply)
+	}
+	return s.update(idx, apply)
 }
 
 // Len returns the total number of keys across all stripes. It reads each
@@ -527,8 +784,15 @@ type Stats struct {
 	// writer's seqlock window overlapped them; ReadFallbacks counts reads
 	// that exhausted Config.ReadRetries attempts and took the stripe latch.
 	ReadRetries, ReadFallbacks int64
-	Keys                       int
-	Stripes                    int
+	// OverwriteFastPath counts Puts that took the non-structural
+	// per-record overwrite path; LeafLatchWaits counts leaf/header latch
+	// acquisitions that contended (another writer held the bucket);
+	// StripeLatchFallbacks counts writes that restarted on the
+	// stripe-exclusive tier because the mutation was structural (leaf
+	// split or rebalance).
+	OverwriteFastPath, LeafLatchWaits, StripeLatchFallbacks int64
+	Keys                                                    int
+	Stripes                                                 int
 }
 
 // Stats returns a snapshot of activity counters and the current key count.
@@ -537,7 +801,9 @@ func (s *Store) Stats() Stats {
 		Gets: s.gets.Load(), Puts: s.puts.Load(), Deletes: s.dels.Load(),
 		Scans: s.scans.Load(), Batches: s.batches.Load(),
 		ReadRetries: s.readRetries.Load(), ReadFallbacks: s.readFallbacks.Load(),
-		Keys: s.Len(), Stripes: len(s.stripes),
+		OverwriteFastPath: s.fastPath.Load(), LeafLatchWaits: s.latchWaits.Load(),
+		StripeLatchFallbacks: s.fallbacks.Load(),
+		Keys:                 s.Len(), Stripes: len(s.stripes),
 	}
 }
 
@@ -545,9 +811,9 @@ func (s *Store) Stats() Stats {
 // harnesses).
 func (s *Store) CheckInvariants() error {
 	for i, sp := range s.stripes {
-		sp.mu.Lock()
+		sp.wmu.Lock()
 		err := sp.tree.CheckInvariants()
-		sp.mu.Unlock()
+		sp.wmu.Unlock()
 		if err != nil {
 			return fmt.Errorf("stripe %d: %w", i, err)
 		}

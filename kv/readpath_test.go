@@ -230,7 +230,7 @@ func TestSeqlockForcedRetry(t *testing.T) {
 	optimisticReadHook = func() {
 		if fired == 0 {
 			fired++
-			sp.seq.Add(2) // a whole writer passed between snapshot and validation
+			sp.seq.Add(1 << 32) // a whole writer passed between snapshot and validation
 		}
 	}
 	defer func() { optimisticReadHook = nil }()
@@ -265,7 +265,7 @@ func TestSeqlockFallback(t *testing.T) {
 		t.Fatal(err)
 	}
 	sp := s.stripes[0]
-	sp.beginWrite() // stuck writer: window open, latch released
+	sp.enterWrite() // stuck writer: window open, latch released
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
@@ -281,7 +281,7 @@ func TestSeqlockFallback(t *testing.T) {
 	case <-time.After(10 * time.Second):
 		t.Fatal("read did not fall back to the latch under a stuck-odd seqlock")
 	}
-	sp.endWrite()
+	sp.exitWrite()
 	if fb := s.readFallbacks.Load(); fb != 2 {
 		t.Fatalf("readFallbacks = %d, want 2 (one Get, one Scan)", fb)
 	}
@@ -410,6 +410,28 @@ func TestReadPathStress(t *testing.T) {
 		}
 	}()
 
+	// Structural churn: grow-then-shrink waves of FRESH keys in a private
+	// range, so inserts keep splitting leaves and deletes keep merging them
+	// — the write path's structural (stripe-exclusive) tier races the
+	// leaf-latched fast paths above and the readers below.
+	writers.Add(1)
+	go func() {
+		defer writers.Done()
+		const insBase, wave = 10_000, 64
+		for i := 0; i < writerOps; i++ {
+			k := uint64(insBase + (i/wave)*wave + i%wave)
+			fail(s.Put(k, mkValue(k, 1)))
+			if i%wave == wave-1 {
+				// Tear the completed wave back down, odd keys first, so the
+				// leaves underflow and rebalance.
+				for j := 1; j < wave; j += 2 {
+					_, err := s.Delete(uint64(insBase + (i/wave)*wave + j))
+					fail(err)
+				}
+			}
+		}
+	}()
+
 	// Batcher: all-or-none churn over its own range, alternating between
 	// writing the whole range and deleting half of it.
 	writers.Add(1)
@@ -524,6 +546,16 @@ func TestReadPathStress(t *testing.T) {
 	if st2.Puts < int64(writerOps) || st2.Batches == 0 || st2.Deletes == 0 {
 		t.Fatalf("stress write stream too thin to mean anything: %+v", st2)
 	}
-	t.Logf("stress: %d reads, %d retries, %d fallbacks, %d puts, %d dels, %d batches",
-		reads.Load(), st2.ReadRetries, st2.ReadFallbacks, st2.Puts, st2.Deletes, st2.Batches)
+	// The mix must actually have exercised both write-path tiers: the
+	// versioned writers repeat keys (overwrite fast path) and the
+	// structural churn splits/merges leaves (stripe-exclusive tier).
+	if st2.OverwriteFastPath == 0 {
+		t.Fatal("stress ran no overwrite fast-path writes")
+	}
+	if st2.StripeLatchFallbacks == 0 {
+		t.Fatal("stress ran no structural (stripe-exclusive) writes")
+	}
+	t.Logf("stress: %d reads, %d retries, %d fallbacks, %d puts, %d dels, %d batches, %d fast, %d latchwaits, %d structural",
+		reads.Load(), st2.ReadRetries, st2.ReadFallbacks, st2.Puts, st2.Deletes, st2.Batches,
+		st2.OverwriteFastPath, st2.LeafLatchWaits, st2.StripeLatchFallbacks)
 }

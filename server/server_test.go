@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -37,6 +38,13 @@ func startServer(t testing.TB, gc bool) (*Server, string) {
 	go srv.Serve(ln)
 	t.Cleanup(func() { srv.Close() })
 	return srv, ln.Addr().String()
+}
+
+// containsField reports whether a JSON document names the given field —
+// the operator-facing contract that a counter is present in STATS at all,
+// independent of its value.
+func containsField(doc []byte, field string) bool {
+	return strings.Contains(string(doc), `"`+field+`"`)
 }
 
 func TestEndToEnd(t *testing.T) {
@@ -83,6 +91,12 @@ func TestEndToEnd(t *testing.T) {
 		}
 	}
 
+	// Re-put an existing key: a non-structural value overwrite must take
+	// the CAS fast path, and the write-path counters must ride STATS.
+	if err := cl.Put(10, []byte("v10-again")); err != nil {
+		t.Fatal(err)
+	}
+
 	// Stats round-trips as JSON and has seen our traffic.
 	raw, err := cl.Stats()
 	if err != nil {
@@ -94,6 +108,14 @@ func TestEndToEnd(t *testing.T) {
 	}
 	if st.Requests == 0 || st.KV.Puts == 0 {
 		t.Fatalf("stats = %+v", st)
+	}
+	if st.KV.OverwriteFastPath == 0 {
+		t.Fatalf("overwrite of key 10 did not take the fast path: %+v", st.KV)
+	}
+	for _, field := range []string{"OverwriteFastPath", "LeafLatchWaits", "StripeLatchFallbacks"} {
+		if !containsField(raw, field) {
+			t.Fatalf("STATS document lacks write-path counter %q: %s", field, raw)
+		}
 	}
 
 	// Oversized put surfaces the kv error as a status, not a dead conn.

@@ -31,6 +31,19 @@ func (s *Store) Begin() *Tx {
 	return &Tx{s: s, h: s.tm.Begin()}
 }
 
+// BeginOn starts a transaction pinned to log shard shard%NumShards. Callers
+// that funnel all writers of one datum onto one shard inherit the shard
+// log's FIFO flush order as a crash-consistency guarantee: the set of
+// transactions that recovery declares winners is always a prefix of that
+// datum's commit order (no committed-later transaction can survive a crash
+// that kills a committed-earlier one).
+func (s *Store) BeginOn(shard int) *Tx {
+	return &Tx{s: s, h: s.tm.BeginOn(shard)}
+}
+
+// NumShards reports the number of log shards (Options.LogShards resolved).
+func (s *Store) NumShards() int { return s.tm.NumShards() }
+
 // ID returns the transaction identifier.
 func (tx *Tx) ID() uint64 { return tx.h.ID() }
 
@@ -81,12 +94,16 @@ func (tx *Tx) ReadBytes(addr uint64, n int) []byte { return tx.h.ReadBytes(addr,
 // true, or they will miss its own uncommitted writes.
 func (tx *Tx) Buffered() bool { return tx.h.Buffered() }
 
-// OnPublish registers fn to run exactly once inside Commit, at the point
-// the transaction's writes become visible in shared memory — immediately
-// under UndoRedo (writes were applied in place all along), or right after
-// the private buffer is published under RedoOnly. Rollback discards the
-// hook. Structures that track write visibility (e.g. the kv index's
-// seqlock windows) hang their close on this.
+// OnPublish registers fn to run exactly once inside Commit, after the
+// transaction's END record has joined its shard log (fixing its commit
+// order) and its writes are visible in shared memory — in place all along
+// under UndoRedo, right after the private buffer is applied under RedoOnly
+// — but strictly before Commit waits on any flush or fence. Rollback
+// discards the hook. Structures that track write visibility (the kv
+// index's seqlock windows and leaf latches) hang their close on this: it
+// is the earliest point dependent writers may be admitted without
+// breaking the shard log's commit-order prefix property, and it keeps
+// latch-hold spans free of commit-wait time.
 func (tx *Tx) OnPublish(fn func()) { tx.h.OnPublish(fn) }
 
 // Alloc allocates a persistent block. The allocation itself is not undone
@@ -131,7 +148,15 @@ func (tx *Tx) Rollback() error {
 // that lost power cannot run a rollback, and the recovery at the next Open
 // aborts the transaction instead.
 func (s *Store) Atomic(fn func(tx *Tx) error) error {
-	tx := s.Begin()
+	return runAtomic(s.Begin(), fn)
+}
+
+// AtomicOn is Atomic with the transaction pinned to a log shard (BeginOn).
+func (s *Store) AtomicOn(shard int, fn func(tx *Tx) error) error {
+	return runAtomic(s.BeginOn(shard), fn)
+}
+
+func runAtomic(tx *Tx, fn func(tx *Tx) error) error {
 	defer func() {
 		if v := recover(); v != nil {
 			if !tx.done && !nvm.IsCrash(v) {
