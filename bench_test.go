@@ -519,6 +519,43 @@ func TestWritePathScaling(t *testing.T) {
 	}
 }
 
+// TestObsOverhead is the observability acceptance gate: the full metrics
+// stack (registry, spans, phase histograms, flight ring) must cost ≤5%
+// on the modeled clock versus a bare store running the identical op
+// sequence. Group commit is off, so the device counters are a
+// deterministic function of the workload — instrumentation doing any
+// device work at all would desynchronize them, and charging any simulated
+// time would break the 5% bound exactly rather than probabilistically.
+func TestObsOverhead(t *testing.T) {
+	const ops = 4_000
+	r := bench.ObsOverheadRun(ops)
+	if r.FencesOn != r.FencesOff {
+		t.Errorf("instrumented run issued different device fences: on=%d off=%d", r.FencesOn, r.FencesOff)
+	}
+	if r.SimNsOff <= 0 {
+		t.Fatalf("bare run accumulated no simulated time")
+	}
+	if overhead := float64(r.SimNsOn)/float64(r.SimNsOff) - 1; overhead > 0.05 {
+		t.Errorf("modeled-clock overhead %.1f%% > 5%% (simNs on=%d off=%d)", overhead*100, r.SimNsOn, r.SimNsOff)
+	}
+	// The instrumented side really was instrumented: every op landed in an
+	// op histogram and commits recorded flush+fence phase time.
+	if r.SpansSeen != ops {
+		t.Errorf("op histograms saw %d spans, want %d", r.SpansSeen, ops)
+	}
+	if r.PhasesSeen == 0 {
+		t.Error("no flush_fence phase observations on the instrumented run")
+	}
+}
+
+func BenchmarkObsOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := bench.ObsOverheadRun(4_000)
+		b.ReportMetric(float64(r.SimNsOn)/float64(r.SimNsOff), "simtime-ratio-on/off")
+		b.ReportMetric(float64(r.WallOff)/float64(r.WallOn), "wall-throughput-ratio-on/off")
+	}
+}
+
 func BenchmarkWritePath(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		f := bench.WritePath(bench.Quick)

@@ -46,6 +46,10 @@ const logfootprintJSONPath = "BENCH_logfootprint.json"
 // figure (the "writepath" runner), uploaded alongside the others.
 const writepathJSONPath = "BENCH_writepath.json"
 
+// obsJSONPath gets a standalone copy of the observability-overhead figure
+// (the "obs" runner), uploaded alongside the others.
+const obsJSONPath = "BENCH_obs.json"
+
 // jsonFigure is one figure plus how long it took to regenerate.
 type jsonFigure struct {
 	bench.Figure
@@ -117,6 +121,7 @@ func main() {
 			"readpath":     readpathJSONPath,
 			"logfootprint": logfootprintJSONPath,
 			"writepath":    writepathJSONPath,
+			"obs":          obsJSONPath,
 		}
 		for _, fig := range report.Figures {
 			if path, ok := standalone[fig.ID]; ok {

@@ -6,13 +6,20 @@
 //	rewind-cli [-addr host:port] put <key> <value>
 //	rewind-cli [-addr host:port] del <key>
 //	rewind-cli [-addr host:port] scan <from> <to> [limit]
-//	rewind-cli [-addr host:port] stats
+//	rewind-cli [-addr host:port] stats [-raw] [-watch interval]
 //	rewind-cli [-addr host:port] bench [-n ops] [-c conns]
 //
 // Keys are uint64s; values are arbitrary strings. bench floods the daemon
 // with pipelined PUTs from -c concurrent connections and reports acked
 // ops/sec — a quick way to watch group commit earn its keep (compare a
 // daemon started with -group-commit=false).
+//
+// stats renders the daemon's counters as a table: operation counts, the
+// durability bill (fences per write, log bytes), fast-path hit rates, and
+// — when the daemon records latency — per-op and per-commit-phase
+// quantiles. -raw dumps the JSON document instead; -watch re-polls every
+// interval and prints the deltas (ops/s, fences per write in the
+// interval), like a vmstat for rewindd.
 package main
 
 import (
@@ -22,6 +29,7 @@ import (
 	"os"
 	"strconv"
 	"sync"
+	"text/tabwriter"
 	"time"
 
 	"github.com/rewind-db/rewind/client"
@@ -112,11 +120,27 @@ func main() {
 		fmt.Fprintf(os.Stderr, "(%d keys)\n", len(pairs))
 
 	case "stats":
-		doc, err := cl.Stats()
+		fs := flag.NewFlagSet("stats", flag.ExitOnError)
+		raw := fs.Bool("raw", false, "print the raw STATS JSON document")
+		watch := fs.Duration("watch", 0, "re-poll every interval and print deltas (0 = one snapshot)")
+		fs.Parse(args[1:])
+		if *raw {
+			doc, err := cl.Stats()
+			if err != nil {
+				die(err)
+			}
+			fmt.Printf("%s\n", doc)
+			break
+		}
+		if *watch > 0 {
+			watchStats(cl, *watch, die)
+			break
+		}
+		st, err := cl.ServerStats()
 		if err != nil {
 			die(err)
 		}
-		fmt.Printf("%s\n", doc)
+		printStats(st)
 
 	case "bench":
 		fs := flag.NewFlagSet("bench", flag.ExitOnError)
@@ -162,4 +186,107 @@ func bench(addr string, n, c int, die func(error)) {
 	acked := n / c * c
 	fmt.Printf("%d acked PUTs over %d conns in %v: %.0f ops/sec\n",
 		acked, c, el.Round(time.Millisecond), float64(acked)/el.Seconds())
+}
+
+// fmtNs renders a nanosecond figure human-readably.
+func fmtNs(ns int64) string {
+	return time.Duration(ns).Round(100 * time.Nanosecond).String()
+}
+
+// ratio renders a/b as a percentage, "-" when b is zero.
+func ratio(a, b int64) string {
+	if b == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(a)/float64(b))
+}
+
+// printStats renders one STATS snapshot as the operator table.
+func printStats(st *client.ServerStats) {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	defer w.Flush()
+
+	fmt.Fprintf(w, "keys\t%d in %d stripes\n", st.KV.Keys, st.KV.Stripes)
+	fmt.Fprintf(w, "ops\tget %d  put %d  del %d  scan %d  batch %d\n",
+		st.KV.Gets, st.KV.Puts, st.KV.Deletes, st.KV.Scans, st.KV.Batches)
+	writes := st.KV.Puts + st.KV.Deletes + st.KV.Batches
+	fencesPerWrite := "-"
+	if writes > 0 {
+		fencesPerWrite = fmt.Sprintf("%.2f", float64(st.DeviceFences)/float64(writes))
+	}
+	fmt.Fprintf(w, "durability\t%s commits, %d log bytes, %d fences (%s per write), %d flushes\n",
+		st.CommitMode, st.LogBytes, st.DeviceFences, fencesPerWrite, st.DeviceFlushes)
+	fanIn := "-"
+	if st.GroupCommitRounds > 0 {
+		fanIn = fmt.Sprintf("%.1f", float64(st.Commits)/float64(st.GroupCommitRounds))
+	}
+	fmt.Fprintf(w, "group commit\t%d rounds, %d grouped commits, fan-in %s\n",
+		st.GroupCommitRounds, st.GroupedCommits, fanIn)
+	fmt.Fprintf(w, "read path\t%d seqlock retries, %d latch fallbacks (%s of reads)\n",
+		st.KV.ReadRetries, st.KV.ReadFallbacks, ratio(st.KV.ReadFallbacks, st.KV.Gets+st.KV.Scans))
+	fmt.Fprintf(w, "write path\tfast-path hit rate %s, %d leaf-latch waits, %d stripe fallbacks\n",
+		ratio(st.KV.OverwriteFastPath, st.KV.Puts), st.KV.LeafLatchWaits, st.KV.StripeLatchFallbacks)
+	fmt.Fprintf(w, "checkpoints\t%d, last pause %s over %d freezes\n",
+		st.Checkpoints, fmtNs(st.LastCheckpointPauseNs), st.LastCheckpointChunks)
+	if st.SlowOps > 0 {
+		fmt.Fprintf(w, "slow ops\t%d\n", st.SlowOps)
+	}
+	if len(st.Latency) > 0 {
+		fmt.Fprintf(w, "\nlatency\tcount\tp50\tp95\tp99\tmax\tdevice p50\n")
+		for _, op := range []string{"get", "put", "del", "scan", "batch", "stats"} {
+			l, ok := st.Latency[op]
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(w, "  %s\t%d\t%s\t%s\t%s\t%s\t%s\n", op, l.Count,
+				fmtNs(l.WallP50), fmtNs(l.WallP95), fmtNs(l.WallP99), fmtNs(l.WallMax), fmtNs(l.SimP50))
+		}
+	}
+	if len(st.CommitPhases) > 0 {
+		fmt.Fprintf(w, "\ncommit phase\tcount\tp50\tp95\tp99\tmax\tdevice p50\n")
+		for _, ph := range []string{"latch_wait", "log_append", "gc_gather", "flush_fence", "publish"} {
+			l, ok := st.CommitPhases[ph]
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(w, "  %s\t%d\t%s\t%s\t%s\t%s\t%s\n", ph, l.Count,
+				fmtNs(l.WallP50), fmtNs(l.WallP95), fmtNs(l.WallP99), fmtNs(l.WallMax), fmtNs(l.SimP50))
+		}
+	}
+}
+
+// watchStats polls STATS every interval and prints one delta line per
+// tick: interval throughput, fence bill, log growth, fan-in.
+func watchStats(cl *client.Client, every time.Duration, die func(error)) {
+	prev, err := cl.ServerStats()
+	if err != nil {
+		die(err)
+	}
+	prevAt := time.Now()
+	fmt.Printf("%-8s %8s %8s %8s %8s %10s %8s %7s\n",
+		"", "get/s", "put/s", "del/s", "scan/s", "logB/s", "fence/w", "fan-in")
+	for range time.Tick(every) {
+		cur, err := cl.ServerStats()
+		if err != nil {
+			die(err)
+		}
+		now := time.Now()
+		dt := now.Sub(prevAt).Seconds()
+		rate := func(a, b int64) float64 { return float64(a-b) / dt }
+		writes := (cur.KV.Puts - prev.KV.Puts) + (cur.KV.Deletes - prev.KV.Deletes) + (cur.KV.Batches - prev.KV.Batches)
+		fenceW := "-"
+		if writes > 0 {
+			fenceW = fmt.Sprintf("%.2f", float64(cur.DeviceFences-prev.DeviceFences)/float64(writes))
+		}
+		fanIn := "-"
+		if r := cur.GroupCommitRounds - prev.GroupCommitRounds; r > 0 {
+			fanIn = fmt.Sprintf("%.1f", float64(cur.Commits-prev.Commits)/float64(r))
+		}
+		fmt.Printf("%-8s %8.0f %8.0f %8.0f %8.0f %10.0f %8s %7s\n",
+			now.Format("15:04:05"),
+			rate(cur.KV.Gets, prev.KV.Gets), rate(cur.KV.Puts, prev.KV.Puts),
+			rate(cur.KV.Deletes, prev.KV.Deletes), rate(cur.KV.Scans, prev.KV.Scans),
+			rate(cur.LogBytes, prev.LogBytes), fenceW, fanIn)
+		prev, prevAt = cur, now
+	}
 }

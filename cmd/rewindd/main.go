@@ -11,6 +11,15 @@
 //
 //	rewindd -addr :7707 -backing /var/lib/rewind/arena.nvm
 //	rewindd -backing arena.nvm -stripes 16 -shards 4 -gc-window 200us
+//	rewindd -backing arena.nvm -metrics-addr 127.0.0.1:7708
+//
+// With -metrics-addr set, a sidecar HTTP listener serves Prometheus text
+// exposition on /metrics, a flat JSON snapshot on /statsz, and the
+// standard net/http/pprof profiling endpoints under /debug/pprof/.
+// Observability (per-request latency histograms, commit-pipeline phase
+// timings, per-connection flight recorders, the slow-op log) is on by
+// default — it touches no device state and costs a few atomic adds per
+// request — and -obs-off turns it back off.
 //
 // SIGINT/SIGTERM shut down cleanly (checkpoint + msync); SIGKILL is the
 // crash the recovery machinery exists for.
@@ -20,6 +29,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"sync"
@@ -28,9 +39,86 @@ import (
 
 	"github.com/rewind-db/rewind"
 	"github.com/rewind-db/rewind/internal/nvm"
+	"github.com/rewind-db/rewind/internal/obs"
 	"github.com/rewind-db/rewind/kv"
 	"github.com/rewind-db/rewind/server"
 )
+
+// activity is one interval's worth of serving counters — the delta basis
+// for the periodic stats ticker.
+type activity struct {
+	at                   time.Time
+	ops                  int64 // gets+puts+dels+scans+batches
+	gets, scans          int64
+	puts, dels           int64
+	retries, fallbacks   int64
+	fastPath, latchWaits int64
+	stripeFallbacks      int64
+	fences               int64
+	logBytes             int64
+	commits, rounds      int64
+	grouped              int64
+}
+
+func snapshotActivity(kvs *kv.Store, st *rewind.Store) activity {
+	ks := kvs.Stats()
+	dev := st.Stats()
+	var commits, rounds, grouped int64
+	for _, sh := range st.ShardStats() {
+		commits += sh.Commits
+		rounds += sh.GroupCommitRounds
+		grouped += sh.GroupedCommits
+	}
+	return activity{
+		at:   time.Now(),
+		ops:  ks.Gets + ks.Puts + ks.Deletes + ks.Scans + ks.Batches,
+		gets: ks.Gets, scans: ks.Scans, puts: ks.Puts, dels: ks.Deletes,
+		retries: ks.ReadRetries, fallbacks: ks.ReadFallbacks,
+		fastPath: ks.OverwriteFastPath, latchWaits: ks.LeafLatchWaits,
+		stripeFallbacks: ks.StripeLatchFallbacks,
+		fences:          dev.Fences,
+		logBytes:        st.LogBytes(),
+		commits:         commits, rounds: rounds, grouped: grouped,
+	}
+}
+
+// logActivity emits the interval summary lines: throughput and
+// durability-cost rates, then the read-path and write-path breakdowns.
+// The same lines run from the periodic ticker and once more at clean
+// shutdown, so a SIGKILLed daemon has lost at most one interval of
+// summary — not the whole run, as when these printed only at exit.
+func logActivity(prev, cur activity) {
+	dt := cur.at.Sub(prev.at).Seconds()
+	if dt <= 0 {
+		return
+	}
+	ops := cur.ops - prev.ops
+	if ops == 0 {
+		return // idle interval: stay quiet
+	}
+	writes := (cur.puts - prev.puts) + (cur.dels - prev.dels)
+	fencesPerOp := 0.0
+	if writes > 0 {
+		fencesPerOp = float64(cur.fences-prev.fences) / float64(writes)
+	}
+	fanIn := 0.0
+	if r := cur.rounds - prev.rounds; r > 0 {
+		fanIn = float64(cur.commits-prev.commits) / float64(r)
+	}
+	log.Printf("rewindd: stats: %d ops (%.0f/s), %.2f fences/write, %.0f log B/s, group-commit fan-in %.1f",
+		ops, float64(ops)/dt, fencesPerOp, float64(cur.logBytes-prev.logBytes)/dt, fanIn)
+	if reads := (cur.gets - prev.gets) + (cur.scans - prev.scans); reads > 0 {
+		log.Printf("rewindd: read path: %d gets / %d scans, %d seqlock retries, %d latch fallbacks",
+			cur.gets-prev.gets, cur.scans-prev.scans,
+			cur.retries-prev.retries, cur.fallbacks-prev.fallbacks)
+	}
+	if writes > 0 {
+		log.Printf("rewindd: write path: %d puts / %d deletes, %d overwrite fast-path hits, %d leaf-latch waits, %d stripe-latch fallbacks",
+			cur.puts-prev.puts, cur.dels-prev.dels,
+			cur.fastPath-prev.fastPath, cur.latchWaits-prev.latchWaits,
+			cur.stripeFallbacks-prev.stripeFallbacks)
+	}
+}
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7707", "TCP listen address")
@@ -50,6 +138,10 @@ func main() {
 	ckptEvery := flag.Duration("checkpoint", 5*time.Second, "checkpoint interval (0 disables); bounds log growth and recovery time")
 	ckptPause := flag.Duration("checkpoint-pause", 2*time.Millisecond, "per-freeze checkpoint pause budget in simulated device time (0 disables pacing: one freeze-all pause)")
 	recWorkers := flag.Int("recovery-workers", 0, "goroutines for the parallel recovery pass at startup (0 = one per CPU, capped at -shards)")
+	metricsAddr := flag.String("metrics-addr", "", "HTTP listen address for /metrics (Prometheus), /statsz (JSON) and /debug/pprof (empty disables)")
+	obsOff := flag.Bool("obs-off", false, "disable request/commit-phase latency recording, flight recorders and the slow-op log (gauge families on /metrics stay)")
+	slowOp := flag.Duration("slow-op", 250*time.Millisecond, "log any request slower than this with its commit-phase breakdown (0 disables)")
+	statsEvery := flag.Duration("stats-every", 30*time.Second, "log interval throughput/read-path/write-path summaries this often (0 disables)")
 	flag.Parse()
 
 	if *backing == "" {
@@ -67,6 +159,12 @@ func main() {
 		os.Exit(2)
 	}
 
+	reg := obs.NewRegistry()
+	var o *obs.Obs
+	if !*obsOff {
+		o = obs.New(reg, obs.Config{SlowOp: *slowOp})
+	}
+
 	st, err := rewind.Open(rewind.Options{
 		ArenaSize:         *arena,
 		BackingFile:       *backing,
@@ -77,6 +175,7 @@ func main() {
 		GroupCommitWindow: *gcWindow,
 		GroupCommitMax:    *gcMax,
 		RecoveryWorkers:   *recWorkers,
+		Obs:               o,
 	})
 	if err != nil {
 		log.Fatalf("rewindd: opening store: %v", err)
@@ -92,6 +191,7 @@ func main() {
 		Stripes: *stripes, MaxValue: *maxValue,
 		ExclusiveReads: *exclusiveReads, ReadRetries: *readRetries,
 		SerialWrites: *serialWrites,
+		Obs:          o,
 	})
 	if err != nil {
 		log.Fatalf("rewindd: opening kv store: %v", err)
@@ -108,6 +208,29 @@ func main() {
 		kvs.Len(), *stripes, *commitMode, *groupCommit, readMode, writeMode)
 
 	srv := server.New(kvs)
+	st.RegisterMetrics(reg)
+	kvs.RegisterMetrics(reg)
+	srv.RegisterMetrics(reg)
+
+	var metricsSrv *http.Server
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg.Handler())
+		mux.Handle("/statsz", reg.JSONHandler())
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		metricsSrv = &http.Server{Addr: *metricsAddr, Handler: mux}
+		go func() {
+			if err := metricsSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("rewindd: metrics listener: %v", err)
+			}
+		}()
+		log.Printf("rewindd: metrics on http://%s/metrics (statsz, pprof alongside)", *metricsAddr)
+	}
+
 	done := make(chan error, 1)
 	go func() { done <- srv.ListenAndServe(*addr) }()
 
@@ -121,8 +244,8 @@ func main() {
 			budgetLines = 1
 		}
 	}
-	stopCkpt := make(chan struct{})
-	var ckptDone sync.WaitGroup
+	stopBg := make(chan struct{})
+	var bgDone sync.WaitGroup
 	if *ckptEvery > 0 {
 		// Periodic checkpoints trim the NoForce log (§4.6) while serving
 		// continues, keeping recovery after a kill proportional to the work
@@ -130,9 +253,9 @@ func main() {
 		// incremental path means the ticker no longer stalls every live
 		// connection for a whole-cache flush: each freeze drains at most
 		// the pause budget, and committers run between freezes.
-		ckptDone.Add(1)
+		bgDone.Add(1)
 		go func() {
-			defer ckptDone.Done()
+			defer bgDone.Done()
 			tick := time.NewTicker(*ckptEvery)
 			defer tick.Stop()
 			for {
@@ -143,7 +266,27 @@ func main() {
 						log.Printf("rewindd: checkpoint pause %v across %d freezes (%d lines)",
 							time.Duration(cs.MaxPauseNs), cs.Chunks, cs.LinesFlushed)
 					}
-				case <-stopCkpt:
+				case <-stopBg:
+					return
+				}
+			}
+		}()
+	}
+	last := snapshotActivity(kvs, st)
+	if *statsEvery > 0 {
+		bgDone.Add(1)
+		go func() {
+			defer bgDone.Done()
+			tick := time.NewTicker(*statsEvery)
+			defer tick.Stop()
+			prev := last
+			for {
+				select {
+				case <-tick.C:
+					cur := snapshotActivity(kvs, st)
+					logActivity(prev, cur)
+					prev = cur
+				case <-stopBg:
 					return
 				}
 			}
@@ -156,18 +299,15 @@ func main() {
 	select {
 	case s := <-sig:
 		log.Printf("rewindd: %v: shutting down", s)
-		close(stopCkpt)
-		ckptDone.Wait() // an in-flight checkpoint must not race the unmap
-		srv.Close()     // waits for in-flight handlers too
-		ks := kvs.Stats()
-		if ks.Gets+ks.Scans > 0 {
-			log.Printf("rewindd: read path served %d gets / %d scans with %d seqlock retries, %d latch fallbacks",
-				ks.Gets, ks.Scans, ks.ReadRetries, ks.ReadFallbacks)
+		close(stopBg)
+		bgDone.Wait() // an in-flight checkpoint must not race the unmap
+		if metricsSrv != nil {
+			metricsSrv.Close()
 		}
-		if ks.Puts+ks.Deletes > 0 {
-			log.Printf("rewindd: write path served %d puts / %d deletes: %d overwrite fast-path hits, %d leaf-latch waits, %d stripe-latch fallbacks",
-				ks.Puts, ks.Deletes, ks.OverwriteFastPath, ks.LeafLatchWaits, ks.StripeLatchFallbacks)
-		}
+		srv.Close() // waits for in-flight handlers too
+		// One final whole-run summary: the same lines the ticker printed,
+		// measured from boot.
+		logActivity(activity{at: last.at}, snapshotActivity(kvs, st))
 		if lb := st.LogBytes(); lb > 0 {
 			log.Printf("rewindd: %s commits appended %d log bytes", *commitMode, lb)
 		}

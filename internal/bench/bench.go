@@ -147,6 +147,7 @@ func Runners() []Runner {
 		{"readpath", "Latch-free GET/SCAN read path", ReadPath},
 		{"logfootprint", "Log footprint: undo/redo vs redo-only", LogFootprint},
 		{"writepath", "Fine-grained write path scaling", WritePath},
+		{"obs", "Observability overhead", ObsOverhead},
 	}
 }
 

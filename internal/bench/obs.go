@@ -1,0 +1,141 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/rewind-db/rewind"
+	"github.com/rewind-db/rewind/internal/obs"
+	"github.com/rewind-db/rewind/kv"
+)
+
+// obsKeys is the hot keyspace the overhead workload cycles over.
+const obsKeys = 512
+
+// ObsResult is one instrumented-vs-bare run pair at a given op count.
+type ObsResult struct {
+	Ops        int
+	FencesOff  int64
+	FencesOn   int64
+	SimNsOff   int64
+	SimNsOn    int64
+	WallOff    time.Duration
+	WallOn     time.Duration
+	SpansSeen  int64 // op-histogram observations on the instrumented side
+	PhasesSeen int64 // flush_fence phase observations on the instrumented side
+}
+
+// ObsOverheadRun executes the same single-writer PUT/GET/DELETE mix twice
+// — once bare, once with the full observability stack (registry, spans,
+// per-op Finish, flight recorder) wired through every layer exactly as the
+// server wires it — and returns both runs' device counters and wall
+// clocks. Group commit stays off so each commit forces its shard and the
+// device counters are a deterministic function of the op sequence: the
+// instrumented run must reproduce them bit-for-bit, proving observability
+// issues zero device operations and charges zero simulated time.
+func ObsOverheadRun(ops int) ObsResult {
+	res := ObsResult{Ops: ops}
+	res.FencesOff, res.SimNsOff, res.WallOff, _, _ = obsWorkload(ops, nil)
+
+	reg := obs.NewRegistry()
+	o := obs.New(reg, obs.Config{SlowOp: time.Hour}) // threshold never hit
+	res.FencesOn, res.SimNsOn, res.WallOn, res.SpansSeen, res.PhasesSeen = obsWorkload(ops, o)
+	return res
+}
+
+// obsWorkload runs the fixed op mix against a fresh store. When o is
+// non-nil every op gets a span started, threaded through kv, and finished
+// into a flight recorder — the same per-op cost the server pays.
+func obsWorkload(ops int, o *obs.Obs) (fences, simNS int64, wall time.Duration, spans, phases int64) {
+	st, err := rewind.Open(rewind.Options{
+		ArenaSize:       1 << 26,
+		DisableTracking: true,
+		Obs:             o,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer st.Close()
+	s, err := kv.Create(st, kv.Config{Stripes: 8, MaxValue: 64, Obs: o})
+	if err != nil {
+		panic(err)
+	}
+	var fr *obs.Flight
+	if o != nil {
+		fr = obs.NewFlight(64)
+	}
+	val := []byte("observability-overhead-probe-val")
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		key := uint64(i % obsKeys)
+		switch i % 4 {
+		case 0, 1:
+			span := o.StartSpan(obs.OpPut, key)
+			sim0 := st.SimNS()
+			if err := s.PutSpan(key, val, span); err != nil {
+				panic(err)
+			}
+			o.FinishSpan(span, st.SimNS()-sim0, fr)
+		case 2:
+			span := o.StartSpan(obs.OpGet, key)
+			sim0 := st.SimNS()
+			s.Get(key)
+			o.FinishSpan(span, st.SimNS()-sim0, fr)
+		case 3:
+			span := o.StartSpan(obs.OpDel, key)
+			sim0 := st.SimNS()
+			if _, err := s.DeleteSpan(key, span); err != nil {
+				panic(err)
+			}
+			o.FinishSpan(span, st.SimNS()-sim0, fr)
+		}
+	}
+	wall = time.Since(start)
+	dev := st.Stats()
+	if o != nil {
+		for _, l := range o.OpLatencies() {
+			spans += l.Count
+		}
+		phases = o.PhaseLatencies()[obs.PhaseFlushFence.String()].Count
+	}
+	return dev.Fences, dev.SimulatedNS, wall, spans, phases
+}
+
+// ObsOverhead is the observability cost figure: modeled-clock throughput
+// (ops per simulated millisecond) with the full metrics/span stack on
+// versus off, across workload sizes. On the virtual clock the two series
+// must coincide exactly — instrumentation does no device work — so the
+// figure doubles as the ≤5% overhead acceptance gate; the notes carry the
+// measured wall-clock ratio for the host-CPU cost.
+func ObsOverhead(scale Scale) Figure {
+	fig := Figure{
+		ID: "obs", Title: "Observability overhead: instrumented vs bare, modeled clock",
+		XLabel: "operations", YLabel: "ops per simulated ms",
+		Notes: "single writer, group commit off (deterministic fences); spans+histograms+flight ring per op",
+	}
+	var on, off []Point
+	var lastWallRatio float64
+	for _, ops := range []int{scale.pick(2_000, 20_000), scale.pick(8_000, 80_000), scale.pick(20_000, 200_000)} {
+		r := ObsOverheadRun(ops)
+		off = append(off, Point{X: float64(ops), Y: simThroughput(ops, r.SimNsOff)})
+		on = append(on, Point{X: float64(ops), Y: simThroughput(ops, r.SimNsOn)})
+		if r.WallOn > 0 {
+			lastWallRatio = float64(r.WallOff) / float64(r.WallOn)
+		}
+	}
+	fig.Series = append(fig.Series,
+		Series{Name: "obs-off", Points: off},
+		Series{Name: "obs-on", Points: on},
+	)
+	fig.Notes += fmt.Sprintf("; wall-clock throughput ratio on/off %.2f at the largest size", lastWallRatio)
+	return fig
+}
+
+// simThroughput converts an op count and simulated nanoseconds into ops
+// per simulated millisecond.
+func simThroughput(ops int, simNS int64) float64 {
+	if simNS <= 0 {
+		return 0
+	}
+	return float64(ops) / (float64(simNS) / 1e6)
+}

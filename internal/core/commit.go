@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/rewind-db/rewind/internal/nvm"
+	"github.com/rewind-db/rewind/internal/obs"
 	"github.com/rewind-db/rewind/internal/rlog"
 )
 
@@ -30,13 +31,16 @@ func (x *Txn) Commit() error {
 	}
 	tm, sh := x.tm, x.sh
 	gc := tm.cfg.GroupCommit
+	pc := tm.startPhases(x)
 	contended := sh.lock()
+	pc.mark(obs.PhaseLatchWait)
 	if tm.cfg.Policy == Force {
 		// User updates were issued as durable stores (or deferred to
 		// group flushes); force the tail of the log and fence so
 		// everything is in NVM before END marks the transaction durable.
 		tm.forceLogShard(sh)
 		tm.mem.Fence()
+		pc.mark(obs.PhaseFlushFence)
 	}
 	// The END record joins the log without forcing a flush of its own;
 	// durability comes from the explicit force below (per-commit flush) or
@@ -48,9 +52,12 @@ func (x *Txn) Commit() error {
 	// its shard is fixed — that is what makes shard-pinned pipelining
 	// (BeginOn) crash-consistent — and must never stay held across a fence.
 	tm.appendShard(sh, x.st, rlog.Fields{Txn: x.st.id, Type: rlog.TypeEnd}, false)
+	pc.mark(obs.PhaseLogAppend)
 	x.publish()
+	pc.mark(obs.PhasePublish)
 	if !gc {
 		tm.forceLogShard(sh)
+		pc.mark(obs.PhaseFlushFence)
 	}
 	sh.mu.Unlock()
 	sh.commits.Add(1)
@@ -58,7 +65,7 @@ func (x *Txn) Commit() error {
 		sh.uncontended.Add(1)
 	}
 	if gc {
-		tm.groupWait(sh)
+		tm.groupWait(sh, &pc)
 	}
 
 	tm.mu.Lock()
@@ -97,7 +104,11 @@ func (x *Txn) Commit() error {
 // size-1 rounds of their own. Commits that arrive after the close open
 // the next round — nothing is ever left waiting on a flush that already
 // happened.
-func (tm *TM) groupWait(sh *logShard) {
+// The phase clock attributes a follower's whole wait to the gather
+// phase (the leader pays the flush on its behalf), and a leader's
+// window + shard re-acquisition to gather with the shared force as
+// flush+fence.
+func (tm *TM) groupWait(sh *logShard, pc *phaseClock) {
 	sh.gcMu.Lock()
 	if r := sh.gcRound; r != nil {
 		// Join the open round as a follower.
@@ -108,6 +119,7 @@ func (tm *TM) groupWait(sh *logShard) {
 		}
 		sh.gcMu.Unlock()
 		<-r.done
+		pc.mark(obs.PhaseGather)
 		return
 	}
 	// Lead a new round.
@@ -161,7 +173,9 @@ func (tm *TM) groupWait(sh *logShard) {
 		sh.gcSoloStreak = 0
 	}
 	sh.gcMu.Unlock()
+	pc.mark(obs.PhaseGather)
 	tm.forceLogShard(sh)
+	pc.mark(obs.PhaseFlushFence)
 	sh.mu.Unlock()
 
 	sh.gcRounds.Add(1)
@@ -198,7 +212,9 @@ func (x *Txn) commitRedoOnly(keepLog bool) error {
 	}
 	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
 
+	pc := tm.startPhases(x)
 	contended := sh.lock()
+	pc.mark(obs.PhaseLatchWait)
 	for i := 0; i < len(addrs); {
 		j := i + 1
 		for j < len(addrs) && addrs[j] == addrs[j-1]+8 {
@@ -217,20 +233,25 @@ func (x *Txn) commitRedoOnly(keepLog bool) error {
 		tm.appendShard(sh, x.st, rlog.Fields{Txn: x.st.id, Type: rlog.TypeDelete, Addr: d}, false)
 	}
 	if tm.cfg.Policy == Force {
+		pc.mark(obs.PhaseLogAppend) // the span + DELETE records above
 		tm.appendShard(sh, x.st, rlog.Fields{Txn: x.st.id, Type: rlog.TypeEnd}, true)
 		tm.forceLogShard(sh)
 		tm.mem.Fence()
+		pc.mark(obs.PhaseFlushFence) // END and its covering force
 		for _, a := range addrs {
 			tm.mem.StoreNT64(a, b.writes[a])
 		}
 		x.publish()
 		tm.mem.Fence()
+		pc.mark(obs.PhasePublish)
 	} else {
 		tm.appendShard(sh, x.st, rlog.Fields{Txn: x.st.id, Type: rlog.TypeEnd}, !gc)
+		pc.mark(obs.PhaseLogAppend) // every record incl. END (+ group flush)
 		for _, a := range addrs {
 			tm.mem.Store64(a, b.writes[a])
 		}
 		x.publish()
+		pc.mark(obs.PhasePublish)
 	}
 	sh.mu.Unlock()
 	sh.commits.Add(1)
@@ -238,7 +259,7 @@ func (x *Txn) commitRedoOnly(keepLog bool) error {
 		sh.uncontended.Add(1)
 	}
 	if gc {
-		tm.groupWait(sh)
+		tm.groupWait(sh, &pc)
 	}
 
 	tm.mu.Lock()

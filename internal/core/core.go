@@ -82,6 +82,7 @@ import (
 
 	"github.com/rewind-db/rewind/internal/avl"
 	"github.com/rewind-db/rewind/internal/nvm"
+	"github.com/rewind-db/rewind/internal/obs"
 	"github.com/rewind-db/rewind/internal/pmem"
 	"github.com/rewind-db/rewind/internal/rlog"
 )
@@ -235,6 +236,13 @@ type Config struct {
 	// RootBase is the first of the Slots() pmem root slots this manager
 	// owns.
 	RootBase int
+	// Obs, when non-nil, receives commit-pipeline phase timings — latch
+	// wait, log append, group-commit gather, flush+fence, publish — for
+	// every commit, in wall-clock and virtual-clock nanoseconds. It is a
+	// volatile knob, never part of the durable fingerprint: the same
+	// image may be opened observed or unobserved. nil (the default)
+	// costs the commit path one pointer test.
+	Obs *obs.Obs
 }
 
 func (c Config) withDefaults() Config {
@@ -388,6 +396,9 @@ type Txn struct {
 	// onPublish is invoked exactly once inside Commit at the moment every
 	// write is visible in the shared image (see OnPublish).
 	onPublish func()
+	// span, when non-nil, additionally receives Commit's phase timings
+	// (set by Observe; Config.Obs must be set for timings to be taken).
+	span *obs.Span
 }
 
 // ID returns the transaction identifier.
@@ -398,6 +409,12 @@ func (x *Txn) ID() uint64 { return x.st.id }
 // that read the image directly must route reads through Read64/ReadBytes
 // to see their own writes.
 func (x *Txn) Buffered() bool { return x.st.buf != nil }
+
+// Observe attaches an observability span to the transaction: when the
+// manager has a Config.Obs, Commit's per-phase timings are accumulated
+// into the span as well as into the global phase histograms, giving the
+// request that owns the transaction its own flight record.
+func (x *Txn) Observe(span *obs.Span) { x.span = span }
 
 // OnPublish registers fn to run exactly once, inside Commit, at the point
 // the transaction's writes are all visible in the shared image: at entry

@@ -88,3 +88,8 @@ func (s Stats) String() string {
 // emulation is on). Higher layers use it to model computation between
 // updates, as in the paper's update-intensity microbenchmark (Figure 3).
 func (m *Memory) AdvanceClock(d time.Duration) { m.charge(d) }
+
+// SimNS reads the virtual clock alone — the single counter the
+// observability layer samples around each commit-pipeline phase. One
+// atomic load, compared to the nine of a full Stats snapshot.
+func (m *Memory) SimNS() int64 { return m.stats.simulatedNS.Load() }

@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"sync/atomic"
+	"unsafe"
+)
+
+// counterStripes is the number of independent slots a Counter spreads
+// its adds over. 8 slots out-number the CPUs this project targets (the
+// CI box has one), so two goroutines rarely bounce the same cache line.
+const counterStripes = 8
+
+// stripedSlot pads one atomic word out to a full cache line so adjacent
+// slots never share a line (the false sharing a striped counter exists
+// to avoid).
+type stripedSlot struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// Counter is a lock-free monotonic counter striped over padded atomic
+// slots. Add picks a slot from the caller's stack address — distinct
+// goroutines have distinct stacks, so concurrent writers usually land
+// on distinct slots — and Load sums all slots. Loads are not a snapshot
+// of an instant (slots are read one by one), but the value returned is
+// always between the counter's value at the start and at the end of the
+// call, so successive Loads under concurrent Adds are monotonic enough
+// for rate computation and never torn.
+type Counter struct {
+	slots [counterStripes]stripedSlot
+}
+
+// stripeHint derives a small integer that differs between goroutines:
+// the address of a stack variable. Goroutine stacks are distinct
+// allocations, so mixing a few address bits spreads goroutines over the
+// slots; within one goroutine the hint is stable at a given call depth,
+// which is exactly the affinity a striped counter wants. The uintptr is
+// used only as a hash input, never converted back to a pointer.
+func stripeHint() int {
+	var b byte
+	p := uintptr(unsafe.Pointer(&b))
+	return int((p>>4 ^ p>>12) % counterStripes)
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) {
+	c.slots[stripeHint()].v.Add(d)
+}
+
+// Load returns the current sum over all slots.
+func (c *Counter) Load() int64 {
+	var n int64
+	for i := range c.slots {
+		n += c.slots[i].v.Load()
+	}
+	return n
+}

@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// histBuckets is the number of histogram buckets. Boundaries are powers
+// of two in nanoseconds: bucket 0 holds values <= 1ns, bucket i
+// (0 < i < histBuckets-1) holds values in (2^(i-1), 2^i], and the last
+// bucket is the +Inf catch-all for anything above 2^(histBuckets-2)ns
+// (~4.6 minutes) — far beyond any request this system serves.
+const histBuckets = 40
+
+// bucketOf maps a value to its bucket index. Non-positive values land
+// in bucket 0 (a wall-clock delta can read 0 on a coarse clock).
+func bucketOf(v int64) int {
+	if v <= 1 {
+		return 0
+	}
+	i := bits.Len64(uint64(v - 1))
+	if i >= histBuckets {
+		return histBuckets - 1
+	}
+	return i
+}
+
+// BucketBound returns bucket i's inclusive upper bound in nanoseconds,
+// or math.MaxInt64 for the +Inf catch-all bucket.
+func BucketBound(i int) int64 {
+	if i >= histBuckets-1 {
+		return math.MaxInt64
+	}
+	return int64(1) << uint(i)
+}
+
+// Histogram is a lock-free latency histogram with power-of-two bucket
+// boundaries. Observe is two unconditional atomic adds plus a CAS loop
+// that runs only while the observation is a new maximum; there are no
+// locks and no allocation, so it is safe on any hot path.
+//
+// Reads (Snapshot) load the buckets one at a time without a lock. The
+// result is not an instantaneous cut under concurrent writers, but
+// every loaded bucket count is a value the bucket really held, Count is
+// derived from the loaded buckets (never from a separately-read total
+// that could disagree with them), and all counters are monotonic — so a
+// snapshot is always a valid histogram state between the call's start
+// and end, never a torn one.
+type Histogram struct {
+	buckets [histBuckets]atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+}
+
+// Observe records one value (negative values clamp to zero).
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketOf(v)].Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// HistSnapshot is a point-in-time view of a histogram.
+type HistSnapshot struct {
+	// Count is the total number of observations, computed as the sum of
+	// Buckets — the invariant sum(Buckets) == Count holds by
+	// construction, which is what the scrape stress test asserts.
+	Count int64
+	// Sum is the total of all observed values; Max the exact maximum.
+	Sum, Max int64
+	Buckets  [histBuckets]int64
+}
+
+// Snapshot copies the histogram's state.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+		s.Count += s.Buckets[i]
+	}
+	s.Sum = h.sum.Load()
+	s.Max = h.max.Load()
+	return s
+}
+
+// Quantile returns an upper bound on the q-quantile (0 < q <= 1): the
+// upper boundary of the bucket containing the q-th ranked observation,
+// clamped to the exact observed Max (so Quantile(1) == Max, and no
+// quantile ever exceeds it). With power-of-two boundaries the bound
+// overshoots the true quantile by at most 2x — the standard log-bucket
+// trade, documented in DESIGN.md §9.
+func (s HistSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, n := range s.Buckets {
+		cum += n
+		if cum >= rank {
+			b := BucketBound(i)
+			if s.Max < b {
+				return s.Max
+			}
+			return b
+		}
+	}
+	return s.Max
+}

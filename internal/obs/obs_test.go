@@ -1,0 +1,306 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistogramBucketBoundaries pins the bucket layout: bucket 0 holds
+// v <= 1, bucket i holds (2^(i-1), 2^i], the last bucket catches
+// everything else. A histogram rendered from these buckets is only
+// meaningful if the boundaries never drift.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {1, 0},
+		{2, 1},
+		{3, 2}, {4, 2},
+		{5, 3}, {8, 3},
+		{1023, 10}, {1024, 10}, {1025, 11},
+		{1 << 20, 20}, {1<<20 + 1, 21},
+		{1 << (histBuckets - 2), histBuckets - 2},
+		{1<<(histBuckets-2) + 1, histBuckets - 1},
+		{math.MaxInt64, histBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	// Boundaries: BucketBound(i) is the inclusive upper edge, and every
+	// value maps to the unique bucket whose edge is the first >= it.
+	for i := 0; i < histBuckets-1; i++ {
+		b := BucketBound(i)
+		if got := bucketOf(b); got != i {
+			t.Errorf("BucketBound(%d)=%d lands in bucket %d", i, b, got)
+		}
+		if got := bucketOf(b + 1); got != i+1 {
+			t.Errorf("BucketBound(%d)+1=%d lands in bucket %d, want %d", i, b+1, got, i+1)
+		}
+	}
+	if BucketBound(histBuckets-1) != math.MaxInt64 {
+		t.Errorf("last bucket bound = %d, want MaxInt64", BucketBound(histBuckets-1))
+	}
+}
+
+// TestHistogramQuantiles pins the quantile math: the reported quantile
+// is the containing bucket's upper bound, clamped to the exact max.
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 90 observations of 100 (bucket (64,128], bound 128) and
+	// 10 of 5000 (bucket (4096,8192], bound 8192).
+	for i := 0; i < 90; i++ {
+		h.Observe(100)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(5000)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("Count = %d, want 100", s.Count)
+	}
+	if s.Sum != 90*100+10*5000 {
+		t.Fatalf("Sum = %d", s.Sum)
+	}
+	if s.Max != 5000 {
+		t.Fatalf("Max = %d, want 5000", s.Max)
+	}
+	if got := s.Quantile(0.50); got != 128 {
+		t.Errorf("p50 = %d, want 128 (bucket bound over 100)", got)
+	}
+	if got := s.Quantile(0.90); got != 128 {
+		t.Errorf("p90 = %d, want 128 (rank 90 is the last 100)", got)
+	}
+	// Rank 95 falls among the 5000s: bound 8192 clamps to the exact max.
+	if got := s.Quantile(0.95); got != 5000 {
+		t.Errorf("p95 = %d, want 5000 (bound clamped to max)", got)
+	}
+	if got := s.Quantile(1.0); got != 5000 {
+		t.Errorf("p100 = %d, want exact max 5000", got)
+	}
+	// Ordering must hold for any fill.
+	qs := []float64{0.5, 0.9, 0.95, 0.99, 1.0}
+	for i := 1; i < len(qs); i++ {
+		if s.Quantile(qs[i-1]) > s.Quantile(qs[i]) {
+			t.Errorf("quantiles not monotone: q%v > q%v", qs[i-1], qs[i])
+		}
+	}
+	var empty HistSnapshot
+	if empty.Quantile(0.99) != 0 {
+		t.Errorf("empty histogram quantile != 0")
+	}
+}
+
+// TestCounterStriped checks that concurrent adds over the striped slots
+// sum exactly.
+func TestCounterStriped(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	const workers, each = 8, 10000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				c.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != workers*each {
+		t.Fatalf("Load = %d, want %d", got, workers*each)
+	}
+}
+
+// TestRegistryPrometheus checks family rendering: counter, gauge, group
+// and histogram (with cumulative buckets and sum/count), and that
+// duplicate registration panics.
+func TestRegistryPrometheus(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("test_ops_total", "ops")
+	c.Add(7)
+	r.Gauge("test_depth", "queue depth", func() float64 { return 3 })
+	r.Group(func(emit func(name, help string, v float64)) {
+		emit("test_grouped_a", "a", 1)
+		emit("test_grouped_b", "b", 2.5)
+	})
+	h := r.NewHistogram("test_latency_ns", "latency")
+	h.Observe(100)
+	h.Observe(100)
+	h.Observe(5000)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE test_ops_total counter", "test_ops_total 7",
+		"# TYPE test_depth gauge", "test_depth 3",
+		"test_grouped_a 1", "test_grouped_b 2.5",
+		"# TYPE test_latency_ns histogram",
+		`test_latency_ns_bucket{le="128"} 2`,
+		`test_latency_ns_bucket{le="8192"} 3`,
+		`test_latency_ns_bucket{le="+Inf"} 3`,
+		"test_latency_ns_sum 5200", "test_latency_ns_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scrape missing %q in:\n%s", want, out)
+		}
+	}
+	// Every line must be a comment or "name[{labels}] value".
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if fields := strings.Fields(line); len(fields) != 2 {
+			t.Errorf("unparseable exposition line %q", line)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("duplicate registration did not panic")
+		}
+	}()
+	r.NewCounter("test_ops_total", "dup")
+}
+
+// TestRegistryJSON checks the /statsz document parses and carries the
+// histogram quantiles.
+func TestRegistryJSON(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("test_ops_total", "ops").Add(7)
+	h := r.NewHistogram("test_latency_ns", "latency")
+	h.Observe(100)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("statsz not valid JSON: %v\n%s", err, buf.String())
+	}
+	if string(doc["test_ops_total"]) != "7" {
+		t.Errorf("test_ops_total = %s", doc["test_ops_total"])
+	}
+	var hj struct{ Count, Max, P50 int64 }
+	if err := json.Unmarshal(doc["test_latency_ns"], &hj); err != nil {
+		t.Fatal(err)
+	}
+	if hj.Count != 1 || hj.Max != 100 || hj.P50 != 100 {
+		t.Errorf("histogram JSON = %+v", hj)
+	}
+}
+
+// TestFlightRing checks the per-connection ring wraps and keeps the
+// newest spans.
+func TestFlightRing(t *testing.T) {
+	f := NewFlight(4)
+	for i := 1; i <= 6; i++ {
+		f.Push(Span{Key: uint64(i)})
+	}
+	spans := f.Snapshot()
+	if len(spans) != 4 {
+		t.Fatalf("ring holds %d spans, want 4", len(spans))
+	}
+	for i, s := range spans {
+		if want := uint64(i + 3); s.Key != want {
+			t.Errorf("span %d key = %d, want %d (oldest-first, newest kept)", i, s.Key, want)
+		}
+	}
+	if f.Total() != 6 {
+		t.Errorf("Total = %d, want 6", f.Total())
+	}
+	var nilf *Flight
+	nilf.Push(Span{})
+	if nilf.Snapshot() != nil || nilf.Total() != 0 {
+		t.Errorf("nil flight not inert")
+	}
+}
+
+// TestSlowOpCapture checks that FinishSpan applies the threshold: the
+// slow span is counted, retained, and emitted with a phase breakdown.
+func TestSlowOpCapture(t *testing.T) {
+	var lines []string
+	o := New(NewRegistry(), Config{
+		SlowOp: time.Microsecond,
+		Logf:   func(f string, a ...any) { lines = append(lines, fmt.Sprintf(f, a...)) },
+	})
+	span := o.StartSpan(OpPut, 42)
+	o.PhaseNs(span, PhaseFlushFence, int64(5*time.Millisecond), 1500)
+	time.Sleep(2 * time.Microsecond)
+	o.FinishSpan(span, 1500, nil)
+
+	if o.SlowCount() != 1 {
+		t.Fatalf("SlowCount = %d, want 1", o.SlowCount())
+	}
+	slow := o.SlowSpans()
+	if len(slow) != 1 || slow[0].Key != 42 || slow[0].Op != OpPut {
+		t.Fatalf("slow ring = %+v", slow)
+	}
+	if slow[0].Phases[PhaseFlushFence] != int64(5*time.Millisecond) {
+		t.Errorf("phase wall = %d", slow[0].Phases[PhaseFlushFence])
+	}
+	if len(lines) != 1 || !strings.Contains(lines[0], "flush_fence 5ms") ||
+		!strings.Contains(lines[0], "key=42") {
+		t.Errorf("slow log line = %q", lines)
+	}
+
+	// A fast span must not trip the threshold-free path.
+	fast := New(NewRegistry(), Config{})
+	s2 := fast.StartSpan(OpGet, 1)
+	fast.FinishSpan(s2, 0, nil)
+	if fast.SlowCount() != 0 {
+		t.Errorf("slow capture fired with zero threshold")
+	}
+}
+
+// TestNilObs pins the zero-cost-off contract: every entry point is safe
+// and inert on a nil receiver.
+func TestNilObs(t *testing.T) {
+	var o *Obs
+	span := o.StartSpan(OpPut, 1)
+	if span != nil {
+		t.Fatalf("nil obs produced a span")
+	}
+	o.PhaseNs(span, PhasePublish, 10, 10)
+	o.FinishSpan(span, 10, nil)
+	if o.OpLatencies() != nil || o.PhaseLatencies() != nil || o.SlowSpans() != nil {
+		t.Errorf("nil obs returned data")
+	}
+	if o.SlowCount() != 0 || o.FlightSize() != 0 || o.Registry() != nil {
+		t.Errorf("nil obs accessors not inert")
+	}
+}
+
+// TestOpLatencies checks the STATS-document summary: only ops with
+// observations appear, quantiles are ordered, sim side carried.
+func TestOpLatencies(t *testing.T) {
+	o := New(NewRegistry(), Config{})
+	for i := 0; i < 100; i++ {
+		s := o.StartSpan(OpPut, uint64(i))
+		o.FinishSpan(s, 300, nil)
+	}
+	lat := o.OpLatencies()
+	if _, ok := lat["get"]; ok {
+		t.Errorf("get appears with zero observations")
+	}
+	put, ok := lat["put"]
+	if !ok || put.Count != 100 {
+		t.Fatalf("put latency = %+v", lat)
+	}
+	if put.WallP50 > put.WallP95 || put.WallP95 > put.WallP99 || put.WallP99 > put.WallMax {
+		t.Errorf("wall quantiles not ordered: %+v", put)
+	}
+	if put.SimP50 != 300 || put.SimMax != 300 {
+		t.Errorf("sim quantiles = %+v", put)
+	}
+}

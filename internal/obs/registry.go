@@ -1,0 +1,224 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+)
+
+// Registry holds named metrics and renders them in Prometheus text
+// exposition format (/metrics) or as a JSON snapshot (/statsz). Metrics
+// are emitted in registration order, so output is deterministic.
+//
+// Three metric shapes exist:
+//
+//   - Counters and histograms own their storage (NewCounter /
+//     NewHistogram) and are recorded into directly on hot paths.
+//   - Gauges adapt an existing value through a closure evaluated at
+//     scrape time.
+//   - Groups adapt a whole existing stats snapshot (nvm.Stats,
+//     core.Stats, kv.Stats, ...) in one closure: the snapshot is taken
+//     once per scrape and emitted as many families, instead of one
+//     snapshot per family.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []metric
+	names   map[string]bool
+}
+
+type metric struct {
+	name, help string
+	counter    *Counter
+	gauge      func() float64
+	hist       *Histogram
+	group      func(emit func(name, help string, v float64))
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: map[string]bool{}}
+}
+
+func (r *Registry) register(m metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m.name != "" {
+		if r.names[m.name] {
+			panic("obs: duplicate metric " + m.name)
+		}
+		r.names[m.name] = true
+	}
+	r.metrics = append(r.metrics, m)
+}
+
+// NewCounter registers and returns an owned striped counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(metric{name: name, help: help, counter: c})
+	return c
+}
+
+// NewHistogram registers and returns an owned histogram.
+func (r *Registry) NewHistogram(name, help string) *Histogram {
+	h := &Histogram{}
+	r.register(metric{name: name, help: help, hist: h})
+	return h
+}
+
+// Gauge registers a gauge whose value is fn() at scrape time.
+func (r *Registry) Gauge(name, help string, fn func() float64) {
+	r.register(metric{name: name, help: help, gauge: fn})
+}
+
+// Group registers a multi-family adaptor: collect is invoked once per
+// scrape and emits any number of (name, help, value) gauge families.
+// The names a group emits must be stable and must not collide with
+// registered metrics (groups trade that static check for the ability to
+// snapshot a whole stats struct once).
+func (r *Registry) Group(collect func(emit func(name, help string, v float64))) {
+	r.register(metric{group: collect})
+}
+
+// snapshot copies the metric list so scrapes never hold the lock while
+// evaluating closures.
+func (r *Registry) snapshot() []metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]metric(nil), r.metrics...)
+}
+
+// WritePrometheus renders every metric in Prometheus text format.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	emit := func(name, help string, v float64) {
+		fmt.Fprintf(bw, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n", name, help, name, name, fmtFloat(v))
+	}
+	for _, m := range r.snapshot() {
+		switch {
+		case m.counter != nil:
+			fmt.Fprintf(bw, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
+				m.name, m.help, m.name, m.name, m.counter.Load())
+		case m.gauge != nil:
+			emit(m.name, m.help, m.gauge())
+		case m.hist != nil:
+			s := m.hist.Snapshot()
+			fmt.Fprintf(bw, "# HELP %s %s\n# TYPE %s histogram\n", m.name, m.help, m.name)
+			// Only buckets that carry counts are printed (plus the +Inf
+			// terminator): cumulative counts at any subset of boundaries
+			// are a valid Prometheus histogram, and eliding the empty
+			// ones keeps a 24-family scrape readable.
+			var cum int64
+			for i := 0; i < histBuckets-1; i++ {
+				cum += s.Buckets[i]
+				if s.Buckets[i] != 0 {
+					fmt.Fprintf(bw, "%s_bucket{le=\"%d\"} %d\n", m.name, BucketBound(i), cum)
+				}
+			}
+			fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", m.name, s.Count)
+			fmt.Fprintf(bw, "%s_sum %d\n%s_count %d\n", m.name, s.Sum, m.name, s.Count)
+		case m.group != nil:
+			m.group(emit)
+		}
+	}
+	return bw.Flush()
+}
+
+// fmtFloat renders a gauge value: integral values without a fraction,
+// NaN/Inf as Prometheus spells them.
+func fmtFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return fmt.Sprintf("%d", int64(v))
+	default:
+		return fmt.Sprintf("%g", v)
+	}
+}
+
+// histJSON is a histogram's JSON form: count, sum, max and the standard
+// quantile ladder.
+type histJSON struct {
+	Count int64 `json:"count"`
+	Sum   int64 `json:"sum"`
+	Max   int64 `json:"max"`
+	P50   int64 `json:"p50"`
+	P95   int64 `json:"p95"`
+	P99   int64 `json:"p99"`
+}
+
+// WriteJSON renders every metric as one flat JSON object keyed by
+// metric name, with keys sorted for stable output.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	doc := map[string]any{}
+	emit := func(name, _ string, v float64) {
+		if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+			doc[name] = int64(v)
+		} else {
+			doc[name] = v
+		}
+	}
+	for _, m := range r.snapshot() {
+		switch {
+		case m.counter != nil:
+			doc[m.name] = m.counter.Load()
+		case m.gauge != nil:
+			emit(m.name, m.help, m.gauge())
+		case m.hist != nil:
+			s := m.hist.Snapshot()
+			doc[m.name] = histJSON{
+				Count: s.Count, Sum: s.Sum, Max: s.Max,
+				P50: s.Quantile(0.50), P95: s.Quantile(0.95), P99: s.Quantile(0.99),
+			}
+		case m.group != nil:
+			m.group(emit)
+		}
+	}
+	keys := make([]string, 0, len(doc))
+	for k := range doc {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	bw := bufio.NewWriter(w)
+	bw.WriteString("{")
+	for i, k := range keys {
+		if i > 0 {
+			bw.WriteString(",")
+		}
+		kb, _ := json.Marshal(k)
+		vb, err := json.Marshal(doc[k])
+		if err != nil {
+			return err
+		}
+		bw.Write(kb)
+		bw.WriteString(":")
+		bw.Write(vb)
+	}
+	bw.WriteString("}\n")
+	return bw.Flush()
+}
+
+// Handler serves the registry in Prometheus text format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+// JSONHandler serves the registry as a JSON snapshot.
+func (r *Registry) JSONHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		r.WriteJSON(w)
+	})
+}

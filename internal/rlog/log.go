@@ -255,6 +255,17 @@ func (l *Log) Len() int {
 // Empty reports whether the log holds no live records.
 func (l *Log) Empty() bool { return l.Len() == 0 }
 
+// Occupancy returns the live record count and the linked bucket (or
+// node) count under one lock hold — the pair the /metrics log-occupancy
+// gauges sample per scrape. Live records shrink at checkpoints (§4.6),
+// so this is the "log growth since last checkpoint" signal, where
+// AppendedBytes is cumulative volume.
+func (l *Log) Occupancy() (records, buckets int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.live, l.list.len()
+}
+
 // Buckets returns the number of buckets (or nodes, for Simple) currently
 // linked, for memory-utilization experiments.
 func (l *Log) Buckets() int {

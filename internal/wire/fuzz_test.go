@@ -19,6 +19,12 @@ func FuzzReadFrame(f *testing.F) {
 	f.Add(AppendFrame(nil, 1, OpGet, []byte{1, 2, 3, 4, 5, 6, 7, 8}))
 	f.Add(AppendFrame(nil, 0xffffffff, OpPut, append(AppendU64(nil, 42), AppendBytes(nil, []byte("value"))...)))
 	f.Add(AppendFrame(nil, 7, OpStats, nil))
+	// A STATS response: a StatusOK frame whose body is the extended JSON
+	// document with the observability fields (device counters, per-op
+	// latency quantiles, commit-phase tables, slow-op count).
+	f.Add(AppendFrame(nil, 7, StatusOK, []byte(`{"Requests":3,"LogBytes":96,"DeviceFences":4,"DeviceSimNs":2400,"SlowOps":0,`+
+		`"Latency":{"put":{"Count":2,"WallP50":4096,"WallP95":8192,"WallP99":8192,"WallMax":9000,"SimP50":600,"SimMax":600}},`+
+		`"CommitPhases":{"flush_fence":{"Count":2,"WallP50":2048,"WallMax":4096,"SimP50":600,"SimMax":600}}}`)))
 	f.Add(AppendFrame(nil, 2, StatusErr, bytes.Repeat([]byte{0xee}, 300)))
 	// Two pipelined frames back to back.
 	f.Add(AppendFrame(AppendFrame(nil, 1, OpDel, AppendU64(nil, 9)), 2, OpScan, make([]byte, 20)))

@@ -50,10 +50,12 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/rewind-db/rewind"
 	"github.com/rewind-db/rewind/btree"
 	"github.com/rewind-db/rewind/internal/nvm"
+	"github.com/rewind-db/rewind/internal/obs"
 )
 
 // kvMagic tags the side table ("\0\0KVDNWR" in the high six bytes, low 16
@@ -96,6 +98,13 @@ type Config struct {
 	// exists as the writepath benchmark's baseline and as an operational
 	// escape hatch. Volatile — not part of the durable shape.
 	SerialWrites bool
+	// Obs, when non-nil, records kv-level latch-wait time into the
+	// commit-pipeline phase histograms and lets the span-taking write
+	// variants (PutSpan, DeleteSpan, BatchSpan) attribute their phase
+	// timings. Normally the same *obs.Obs as rewind.Options.Obs so the
+	// whole stack shares one registry. Volatile — not part of the durable
+	// shape; nil costs one pointer test per write.
+	Obs *obs.Obs
 }
 
 func (c Config) withDefaults() Config {
@@ -177,6 +186,7 @@ type Store struct {
 	st      *rewind.Store
 	mem     *nvm.Memory
 	cfg     Config
+	obs     *obs.Obs
 	stripes []*stripe
 
 	gets, puts, dels, scans, batches atomic.Int64
@@ -216,7 +226,7 @@ func Create(st *rewind.Store, cfg Config) (*Store, error) {
 	mem := st.Mem()
 	tblSize := tblTrees + cfg.Stripes*8
 	tbl := st.Alloc(tblSize)
-	s := &Store{st: st, mem: mem, cfg: cfg}
+	s := &Store{st: st, mem: mem, cfg: cfg, obs: cfg.Obs}
 	for i := 0; i < cfg.Stripes; i++ {
 		t, err := btree.NewAt(st, btree.Config{ValueSize: cfg.valueSize()})
 		if err != nil {
@@ -261,7 +271,7 @@ func Attach(st *rewind.Store, cfg Config) (*Store, error) {
 	if vs := int(mem.Load64(tbl + tblVSize)); vs != cfg.valueSize() {
 		return nil, fmt.Errorf("kv: store has %d-byte records, config wants %d", vs, cfg.valueSize())
 	}
-	s := &Store{st: st, mem: mem, cfg: cfg}
+	s := &Store{st: st, mem: mem, cfg: cfg, obs: cfg.Obs}
 	for i := 0; i < stripes; i++ {
 		hdr := mem.Load64(tbl + tblTrees + uint64(i)*8)
 		t, err := btree.AttachAt(st, btree.Config{ValueSize: cfg.valueSize()}, hdr)
@@ -285,6 +295,29 @@ func Open(st *rewind.Store, cfg Config) (*Store, error) {
 
 // Rewind exposes the underlying store (stats, checkpointing).
 func (s *Store) Rewind() *rewind.Store { return s.st }
+
+// Obs exposes the observability state the store records into (nil when
+// Config.Obs was nil).
+func (s *Store) Obs() *obs.Obs { return s.obs }
+
+// latchStart opens a latch-wait measurement; latchDone closes it,
+// recording the elapsed wall time into the latch_wait phase histogram
+// and span's phase totals. The device clock never advances inside a
+// latch acquisition, so the simulated side is recorded as zero. With
+// observability off both calls are one pointer test.
+func (s *Store) latchStart() time.Time {
+	if s.obs == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+func (s *Store) latchDone(start time.Time, span *obs.Span) {
+	if s.obs == nil {
+		return
+	}
+	s.obs.PhaseNs(span, obs.PhaseLatchWait, time.Since(start).Nanoseconds(), 0)
+}
 
 // Config returns the configuration (with defaults resolved).
 func (s *Store) Config() Config { return s.cfg }
@@ -329,10 +362,12 @@ func (s *Store) encode(v []byte) []byte {
 // — the early-lock-release trade documented in DESIGN.md §6. The image it
 // reads is never torn: the window covers every tree write of the
 // transaction.
-func (s *Store) update(stripes []int, fn func(tx *rewind.Tx) error) error {
+func (s *Store) update(stripes []int, span *obs.Span, fn func(tx *rewind.Tx) error) error {
+	lw := s.latchStart()
 	for _, i := range stripes {
 		s.stripes[i].wmu.Lock()
 	}
+	s.latchDone(lw, span)
 	defer func() {
 		for _, i := range stripes {
 			s.stripes[i].wmu.Unlock()
@@ -361,6 +396,7 @@ func (s *Store) update(stripes []int, fn func(tx *rewind.Tx) error) error {
 	// store, but the counters still end even).
 	defer closeWindows()
 	return s.st.Atomic(func(tx *rewind.Tx) error {
+		tx.Observe(span)
 		if err := fn(tx); err != nil {
 			return err
 		}
@@ -386,8 +422,10 @@ func (s *Store) update(stripes []int, fn func(tx *rewind.Tx) error) error {
 // later same-stripe transaction — necessarily logged behind this one —
 // can only survive a crash if this one does, so dependent writers may be
 // admitted as soon as the END record is in the log.
-func (s *Store) updatePinned(sp *stripe, fn func(tx *rewind.Tx) error) error {
+func (s *Store) updatePinned(sp *stripe, span *obs.Span, fn func(tx *rewind.Tx) error) error {
+	lw := s.latchStart()
 	sp.wmu.Lock()
+	s.latchDone(lw, span)
 	released := false
 	release := func() {
 		if !released {
@@ -400,6 +438,7 @@ func (s *Store) updatePinned(sp *stripe, fn func(tx *rewind.Tx) error) error {
 	defer release()
 	published := false
 	err := s.st.AtomicOn(sp.shard, func(tx *rewind.Tx) error {
+		tx.Observe(span)
 		if err := fn(tx); err != nil {
 			return err
 		}
@@ -429,7 +468,7 @@ func (s *Store) updatePinned(sp *stripe, fn func(tx *rewind.Tx) error) error {
 // record joined the stripe's pinned shard log and the writes are visible,
 // so the latch-hold span never contains a flush or fence and concurrent
 // same-stripe writers overlap their commit waits in shared group rounds.
-func (s *Store) commitLeafPath(sp *stripe, leaf uint64, delta int, fn func(tx *rewind.Tx) error) error {
+func (s *Store) commitLeafPath(sp *stripe, leaf uint64, delta int, span *obs.Span, fn func(tx *rewind.Tx) error) error {
 	t := sp.tree
 	hdrLatched := false
 	released := false
@@ -448,6 +487,7 @@ func (s *Store) commitLeafPath(sp *stripe, leaf uint64, delta int, fn func(tx *r
 	defer release()
 	published := false
 	err := s.st.AtomicOn(sp.shard, func(tx *rewind.Tx) error {
+		tx.Observe(span)
 		if err := fn(tx); err != nil {
 			return err
 		}
@@ -537,7 +577,12 @@ func (s *Store) Get(key uint64) ([]byte, bool) {
 // Put durably stores value under key, replacing any prior value. When Put
 // returns, the write has been committed and flushed (shared-round flushed
 // under group commit): it survives any subsequent crash.
-func (s *Store) Put(key uint64, value []byte) error {
+func (s *Store) Put(key uint64, value []byte) error { return s.PutSpan(key, value, nil) }
+
+// PutSpan is Put with an observability span attached: the commit records
+// its pipeline phase timings into span (and the shared histograms). A nil
+// span is exactly Put.
+func (s *Store) PutSpan(key uint64, value []byte, span *obs.Span) error {
 	if len(value) > s.cfg.MaxValue {
 		return ErrValueTooLarge
 	}
@@ -546,17 +591,19 @@ func (s *Store) Put(key uint64, value []byte) error {
 	idx := s.stripeIndex(key)
 	sp := s.stripes[idx]
 	if s.cfg.SerialWrites {
-		return s.update([]int{idx}, func(tx *rewind.Tx) error {
+		return s.update([]int{idx}, span, func(tx *rewind.Tx) error {
 			_, err := sp.tree.Insert(tx, key, rec)
 			return err
 		})
 	}
 	t := sp.tree
+	lw := s.latchStart()
 	sp.wmu.RLock()
 	leaf := t.SeekLeafNode(key)
 	if sp.latches.Lock(leaf) {
 		s.latchWaits.Add(1)
 	}
+	s.latchDone(lw, span)
 	// Under the shared wmu which leaf owns key is fixed, and under the leaf
 	// latch its contents are too, so the routing decision below stays valid
 	// through the mutation.
@@ -566,11 +613,11 @@ func (s *Store) Put(key uint64, value []byte) error {
 		// Non-structural overwrite: the fast path — one span write into the
 		// existing record, no key moves, no count change.
 		s.fastPath.Add(1)
-		return s.commitLeafPath(sp, leaf, 0, func(tx *rewind.Tx) error {
+		return s.commitLeafPath(sp, leaf, 0, span, func(tx *rewind.Tx) error {
 			return t.OverwriteInLeaf(tx, leaf, pos, rec)
 		})
 	case t.LeafHasRoom(leaf):
-		return s.commitLeafPath(sp, leaf, +1, func(tx *rewind.Tx) error {
+		return s.commitLeafPath(sp, leaf, +1, span, func(tx *rewind.Tx) error {
 			return t.InsertInLeaf(tx, leaf, pos, key, rec)
 		})
 	default:
@@ -578,7 +625,7 @@ func (s *Store) Put(key uint64, value []byte) error {
 		sp.latches.Unlock(leaf)
 		sp.wmu.RUnlock()
 		s.fallbacks.Add(1)
-		return s.updatePinned(sp, func(tx *rewind.Tx) error {
+		return s.updatePinned(sp, span, func(tx *rewind.Tx) error {
 			_, err := t.Insert(tx, key, rec)
 			return err
 		})
@@ -586,13 +633,16 @@ func (s *Store) Put(key uint64, value []byte) error {
 }
 
 // Delete durably removes key, reporting whether it was present.
-func (s *Store) Delete(key uint64) (bool, error) {
+func (s *Store) Delete(key uint64) (bool, error) { return s.DeleteSpan(key, nil) }
+
+// DeleteSpan is Delete with an observability span attached (see PutSpan).
+func (s *Store) DeleteSpan(key uint64, span *obs.Span) (bool, error) {
 	s.dels.Add(1)
 	idx := s.stripeIndex(key)
 	sp := s.stripes[idx]
 	if s.cfg.SerialWrites {
 		found := false
-		err := s.update([]int{idx}, func(tx *rewind.Tx) error {
+		err := s.update([]int{idx}, span, func(tx *rewind.Tx) error {
 			var err error
 			found, err = sp.tree.Delete(tx, key)
 			return err
@@ -600,11 +650,13 @@ func (s *Store) Delete(key uint64) (bool, error) {
 		return found, err
 	}
 	t := sp.tree
+	lw := s.latchStart()
 	sp.wmu.RLock()
 	leaf := t.SeekLeafNode(key)
 	if sp.latches.Lock(leaf) {
 		s.latchWaits.Add(1)
 	}
+	s.latchDone(lw, span)
 	pos, eq := t.LeafFind(leaf, key)
 	if !eq {
 		// Absent: no transaction, no log traffic.
@@ -613,7 +665,7 @@ func (s *Store) Delete(key uint64) (bool, error) {
 		return false, nil
 	}
 	if t.LeafCanShrink(leaf) {
-		err := s.commitLeafPath(sp, leaf, -1, func(tx *rewind.Tx) error {
+		err := s.commitLeafPath(sp, leaf, -1, span, func(tx *rewind.Tx) error {
 			return t.DeleteInLeaf(tx, leaf, pos)
 		})
 		return err == nil, err
@@ -623,7 +675,7 @@ func (s *Store) Delete(key uint64) (bool, error) {
 	sp.wmu.RUnlock()
 	s.fallbacks.Add(1)
 	found := false
-	err := s.updatePinned(sp, func(tx *rewind.Tx) error {
+	err := s.updatePinned(sp, span, func(tx *rewind.Tx) error {
 		var err error
 		found, err = t.Delete(tx, key)
 		return err
@@ -725,7 +777,10 @@ type Op struct {
 // batch whose keys all land in ONE stripe skips the multi-stripe protocol
 // entirely and commits on that stripe's pinned shard, releasing the
 // stripe at publish like any other single-stripe write.
-func (s *Store) Batch(ops []Op) error {
+func (s *Store) Batch(ops []Op) error { return s.BatchSpan(ops, nil) }
+
+// BatchSpan is Batch with an observability span attached (see PutSpan).
+func (s *Store) BatchSpan(ops []Op, span *obs.Span) error {
 	if len(ops) == 0 {
 		return nil
 	}
@@ -759,9 +814,9 @@ func (s *Store) Batch(ops []Op) error {
 		return nil
 	}
 	if len(idx) == 1 && !s.cfg.SerialWrites {
-		return s.updatePinned(s.stripes[idx[0]], apply)
+		return s.updatePinned(s.stripes[idx[0]], span, apply)
 	}
-	return s.update(idx, apply)
+	return s.update(idx, span, apply)
 }
 
 // Len returns the total number of keys across all stripes. It reads each
@@ -805,6 +860,28 @@ func (s *Store) Stats() Stats {
 		StripeLatchFallbacks: s.fallbacks.Load(),
 		Keys:                 s.Len(), Stripes: len(s.stripes),
 	}
+}
+
+// RegisterMetrics publishes the kv activity counters as gauge families
+// on r under the rewind_kv_* namespace. One Stats snapshot is taken per
+// scrape. Call once per store.
+func (s *Store) RegisterMetrics(r *obs.Registry) {
+	r.Group(func(emitf func(name, help string, v float64)) {
+		emit := func(name, help string, v int64) { emitf(name, help, float64(v)) }
+		st := s.Stats()
+		emit("rewind_kv_gets_total", "Get operations served.", st.Gets)
+		emit("rewind_kv_puts_total", "Put operations committed.", st.Puts)
+		emit("rewind_kv_deletes_total", "Delete operations committed.", st.Deletes)
+		emit("rewind_kv_scans_total", "Scan operations served.", st.Scans)
+		emit("rewind_kv_batches_total", "Batch transactions committed.", st.Batches)
+		emit("rewind_kv_read_retries_total", "Optimistic read attempts discarded by seqlock interference.", st.ReadRetries)
+		emit("rewind_kv_read_fallbacks_total", "Reads that exhausted their optimistic attempts and took the stripe latch.", st.ReadFallbacks)
+		emit("rewind_kv_overwrite_fast_path_total", "Puts that took the single-leaf overwrite fast path.", st.OverwriteFastPath)
+		emit("rewind_kv_leaf_latch_waits_total", "Leaf/header latch acquisitions that contended.", st.LeafLatchWaits)
+		emit("rewind_kv_stripe_latch_fallbacks_total", "Writes restarted on the stripe-exclusive tier (splits/rebalances).", st.StripeLatchFallbacks)
+		emit("rewind_kv_keys", "Keys currently stored across all stripes.", int64(st.Keys))
+		emit("rewind_kv_stripes", "Configured stripe count.", int64(st.Stripes))
+	})
 }
 
 // CheckInvariants validates every stripe tree (tests and torture

@@ -1,0 +1,168 @@
+package kv
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/rewind-db/rewind"
+	"github.com/rewind-db/rewind/internal/obs"
+)
+
+// newObsKV builds a kv store with observability wired through every layer
+// (core commit phases + kv latch waits) into one registry.
+func newObsKV(t testing.TB, cfg obs.Config) (*Store, *obs.Obs) {
+	t.Helper()
+	o := obs.New(obs.NewRegistry(), cfg)
+	st, err := rewind.Open(rewind.Options{ArenaSize: 64 << 20, Obs: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Create(st, Config{Stripes: 4, MaxValue: 64, Obs: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, o
+}
+
+// TestSpanPhaseTimings checks that a PutSpan commit fills the span's
+// pipeline phases: some phase time is recorded, and the whole-op wall
+// time (set by FinishSpan) bounds the phase sum from above.
+func TestSpanPhaseTimings(t *testing.T) {
+	s, o := newObsKV(t, obs.Config{})
+	span := o.StartSpan(obs.OpPut, 42)
+	if err := s.PutSpan(42, []byte("hello"), span); err != nil {
+		t.Fatal(err)
+	}
+	o.FinishSpan(span, s.Rewind().SimNS(), nil)
+	var phases int64
+	for p := obs.Phase(0); p < obs.NumPhases; p++ {
+		phases += span.Phases[p]
+	}
+	if phases <= 0 {
+		t.Fatalf("no phase time recorded: %+v", span.Phases)
+	}
+	if span.WallNs < phases {
+		t.Fatalf("phase sum %d exceeds wall time %d", phases, span.WallNs)
+	}
+	// A non-grouped commit must force its log shard: the flush+fence
+	// phase deterministically carries the fence's virtual-clock charge.
+	if span.PhasesSim[obs.PhaseFlushFence] == 0 {
+		t.Fatalf("flush_fence recorded no device time: %+v", span.PhasesSim)
+	}
+	// The histograms saw the op too.
+	lat := o.OpLatencies()
+	if lat["put"].Count != 1 {
+		t.Fatalf("op histogram count = %d, want 1", lat["put"].Count)
+	}
+}
+
+// TestSlowOpPhaseBreakdown pins the acceptance scenario: an artificially
+// delayed commit (a sleep injected at commit publish) must surface in the
+// slow-op log with its phase breakdown attributing the delay to the
+// publish phase.
+func TestSlowOpPhaseBreakdown(t *testing.T) {
+	const delay = 20 * time.Millisecond
+	var mu sync.Mutex
+	var lines []string
+	logf := func(format string, args ...any) {
+		mu.Lock()
+		lines = append(lines, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	}
+	s, o := newObsKV(t, obs.Config{SlowOp: delay / 2, Logf: logf})
+
+	publishHook = func() { time.Sleep(delay) }
+	defer func() { publishHook = nil }()
+
+	span := o.StartSpan(obs.OpPut, 7)
+	if err := s.PutSpan(7, []byte("slow"), span); err != nil {
+		t.Fatal(err)
+	}
+	o.FinishSpan(span, s.Rewind().SimNS(), nil)
+
+	if got := span.Phases[obs.PhasePublish]; got < int64(delay) {
+		t.Fatalf("publish phase %v, want >= %v", time.Duration(got), delay)
+	}
+	if n := o.SlowCount(); n != 1 {
+		t.Fatalf("slow ops = %d, want 1", n)
+	}
+	slow := o.SlowSpans()
+	if len(slow) != 1 || slow[0].Key != 7 {
+		t.Fatalf("slow ring = %+v", slow)
+	}
+	if bd := slow[0].PhaseBreakdown(); !strings.Contains(bd, "publish") {
+		t.Fatalf("breakdown %q does not name the publish phase", bd)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(lines) != 1 || !strings.Contains(lines[0], "publish") {
+		t.Fatalf("slow-op log = %q, want one line blaming publish", lines)
+	}
+}
+
+// TestLatchWaitRecorded forces leaf-latch contention and checks kv-level
+// latch waiting lands in the latch_wait phase histogram.
+func TestLatchWaitRecorded(t *testing.T) {
+	s, o := newObsKV(t, obs.Config{})
+	const delay = 5 * time.Millisecond
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var once sync.Once
+	publishHook = func() {
+		once.Do(func() { close(started); <-release })
+	}
+	defer func() { publishHook = nil }()
+
+	done := make(chan error, 1)
+	go func() { done <- s.Put(1, []byte("a")) }()
+	<-started // writer 1 parked inside publish, latches still held
+	go func() {
+		time.Sleep(delay)
+		close(release)
+	}()
+	if err := s.Put(1, []byte("b")); err != nil { // same key: same leaf latch
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	lat := o.PhaseLatencies()["latch_wait"]
+	if lat.Count == 0 {
+		t.Fatal("no latch_wait observations")
+	}
+	if lat.WallMax < int64(delay) {
+		t.Fatalf("latch_wait max %v, want >= %v (second writer blocked on the leaf latch)", time.Duration(lat.WallMax), delay)
+	}
+}
+
+// TestObsOffIsNil checks a store built without Config.Obs records nothing
+// and pays only nil tests: spans are nil and all recording calls accept
+// that.
+func TestObsOffIsNil(t *testing.T) {
+	st, err := rewind.Open(rewind.Options{ArenaSize: 32 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Create(st, Config{Stripes: 2, MaxValue: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Obs() != nil {
+		t.Fatal("Obs() non-nil without Config.Obs")
+	}
+	var o *obs.Obs
+	span := o.StartSpan(obs.OpPut, 1)
+	if span != nil {
+		t.Fatal("nil Obs produced a span")
+	}
+	if err := s.PutSpan(1, []byte("x"), span); err != nil {
+		t.Fatal(err)
+	}
+	o.FinishSpan(span, 0, nil)
+	if v, ok := s.Get(1); !ok || string(v) != "x" {
+		t.Fatalf("Get = %q, %v", v, ok)
+	}
+}

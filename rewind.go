@@ -41,6 +41,7 @@ import (
 
 	"github.com/rewind-db/rewind/internal/core"
 	"github.com/rewind-db/rewind/internal/nvm"
+	"github.com/rewind-db/rewind/internal/obs"
 	"github.com/rewind-db/rewind/internal/pmem"
 	"github.com/rewind-db/rewind/internal/rlog"
 )
@@ -168,6 +169,14 @@ type Options struct {
 	// image from this file (if it exists) and Close save one, giving
 	// cross-process durability.
 	ImagePath string
+	// Obs, when non-nil, turns on commit-pipeline phase timing: every
+	// commit records its latch-wait, log-append, group-commit-gather,
+	// flush+fence and publish times (wall clock and virtual device
+	// clock) into the obs histograms. Volatile — not part of the durable
+	// shape — and free when nil. The same *obs.Obs is normally shared
+	// with the kv and server layers so one registry carries the whole
+	// stack (see Store.RegisterMetrics).
+	Obs *obs.Obs
 	// BackingFile, when set, maps the durable image onto this file for
 	// the store's whole lifetime: every durable operation lands in the
 	// OS page cache immediately, so even a SIGKILLed process loses
@@ -345,6 +354,7 @@ func coreConfig(opts Options, rootBase int) core.Config {
 		GroupCommitWindow: opts.GroupCommitWindow,
 		GroupCommitMax:    opts.GroupCommitMax,
 		RecoveryWorkers:   opts.RecoveryWorkers,
+		Obs:               opts.Obs,
 	}
 }
 
@@ -395,6 +405,11 @@ func (s *Store) LastCheckpoint() core.CheckpointStats { return s.tm.LastCheckpoi
 
 // Stats returns the simulated device counters.
 func (s *Store) Stats() nvm.Stats { return s.mem.Stats() }
+
+// SimNS reads the device's virtual clock: the total simulated latency
+// charged so far, in nanoseconds. One atomic load; the observability
+// layer samples it around operations to attribute device time.
+func (s *Store) SimNS() int64 { return s.mem.SimNS() }
 
 // TMStats returns transaction manager activity counters, including the
 // per-shard breakdown in Stats.Shards (appends, group flushes, commits and

@@ -1,0 +1,248 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/rewind-db/rewind"
+	"github.com/rewind-db/rewind/client"
+	"github.com/rewind-db/rewind/internal/obs"
+	"github.com/rewind-db/rewind/kv"
+)
+
+// startObsServer boots a store + server with observability wired through
+// every layer into one registry.
+func startObsServer(t testing.TB) (*Server, *obs.Registry, string) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	o := obs.New(reg, obs.Config{Logf: t.Logf})
+	st, err := rewind.Open(rewind.Options{
+		ArenaSize: 64 << 20, GroupCommit: true,
+		GroupCommitWindow: 100 * time.Microsecond, GroupCommitMax: 8,
+		Obs: o,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kvs, err := kv.Create(st, kv.Config{Stripes: 8, MaxValue: 128, Obs: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.RegisterMetrics(reg)
+	kvs.RegisterMetrics(reg)
+	srv := New(kvs)
+	srv.RegisterMetrics(reg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	return srv, reg, ln.Addr().String()
+}
+
+// TestScrapeUnderLoad hammers the server with GET/PUT/BATCH from several
+// connections while concurrently scraping the Prometheus exposition, the
+// JSON snapshot, the STATS document, and the flight recorders. Run under
+// -race this is the data-race gate; the assertions below check the
+// metrics stay internally consistent (monotonic counters, histogram
+// counts that match their quantile summaries) while being read mid-write.
+func TestScrapeUnderLoad(t *testing.T) {
+	srv, reg, addr := startObsServer(t)
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl := client.Dial(addr, client.Options{Conns: 1})
+			defer cl.Close()
+			for i := uint64(0); !stop.Load(); i++ {
+				key := uint64(w)*1000 + i%257
+				switch i % 4 {
+				case 0, 1:
+					if err := cl.Put(key, []byte("v")); err != nil {
+						t.Error(err)
+						return
+					}
+				case 2:
+					if _, err := cl.Get(key); err != nil && err != client.ErrNotFound {
+						t.Error(err)
+						return
+					}
+				case 3:
+					err := cl.Batch([]client.Op{{Key: key, Value: []byte("b")}, {Key: key + 1, Delete: true}})
+					if err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+
+	deadline := time.Now().Add(500 * time.Millisecond)
+	var lastRequests, lastPuts int64
+	for time.Now().Before(deadline) {
+		var prom bytes.Buffer
+		if err := reg.WritePrometheus(&prom); err != nil {
+			t.Fatal(err)
+		}
+		var js bytes.Buffer
+		if err := reg.WriteJSON(&js); err != nil {
+			t.Fatal(err)
+		}
+		if !json.Valid(js.Bytes()) {
+			t.Fatalf("statsz snapshot is not valid JSON: %s", js.String())
+		}
+		st := srv.Stats()
+		if st.Requests < lastRequests {
+			t.Fatalf("requests went backwards: %d -> %d", lastRequests, st.Requests)
+		}
+		lastRequests = st.Requests
+		if st.KV.Puts < lastPuts {
+			t.Fatalf("puts went backwards: %d -> %d", lastPuts, st.KV.Puts)
+		}
+		lastPuts = st.KV.Puts
+		for op, l := range st.Latency {
+			if l.Count <= 0 {
+				t.Fatalf("op %s has a summary but count %d", op, l.Count)
+			}
+			if l.WallP50 > l.WallP95 || l.WallP95 > l.WallP99 || l.WallP99 > l.WallMax {
+				t.Fatalf("op %s quantiles out of order: %+v", op, l)
+			}
+		}
+		for ph, l := range st.CommitPhases {
+			if l.WallP50 > l.WallP95 || l.WallP95 > l.WallP99 || l.WallP99 > l.WallMax {
+				t.Fatalf("phase %s quantiles out of order: %+v", ph, l)
+			}
+		}
+		for _, fr := range srv.Flights() {
+			for _, sp := range fr.Snapshot() {
+				if sp.WallNs < 0 || sp.SimNs < 0 {
+					t.Fatalf("torn span: %+v", sp)
+				}
+			}
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	st := srv.Stats()
+	if st.KV.Puts == 0 || st.Latency["put"].Count == 0 {
+		t.Fatalf("no put traffic recorded: %+v", st.Latency)
+	}
+	if st.CommitPhases["flush_fence"].Count == 0 {
+		t.Fatalf("no flush_fence phase observations: %+v", st.CommitPhases)
+	}
+	var prom bytes.Buffer
+	reg.WritePrometheus(&prom)
+	for _, family := range []string{
+		"rewind_op_put_wall_ns", "rewind_commit_flush_fence_wall_ns",
+		"rewind_device_fences_total", "rewind_log_bytes_total",
+		"rewind_gc_rounds_total", "rewind_kv_puts_total",
+		"rewind_server_requests_total", "rewind_checkpoint_last_max_pause_ns",
+	} {
+		if !strings.Contains(prom.String(), family) {
+			t.Fatalf("/metrics missing family %s", family)
+		}
+	}
+}
+
+// TestFlightRecorderPerConnection checks each connection's ring holds its
+// own recent spans with keys and op kinds filled in.
+func TestFlightRecorderPerConnection(t *testing.T) {
+	srv, _, addr := startObsServer(t)
+	cl := client.Dial(addr, client.Options{Conns: 1})
+	defer cl.Close()
+	for i := uint64(0); i < 10; i++ {
+		if err := cl.Put(100+i, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := cl.Get(105); err != nil {
+		t.Fatal(err)
+	}
+	flights := srv.Flights()
+	if len(flights) != 1 {
+		t.Fatalf("flights = %d, want 1", len(flights))
+	}
+	spans := flights[0].Snapshot()
+	if len(spans) != 11 {
+		t.Fatalf("spans = %d, want 11", len(spans))
+	}
+	var gets, puts int
+	for _, sp := range spans {
+		switch sp.Op {
+		case obs.OpGet:
+			gets++
+			if sp.Key != 105 {
+				t.Fatalf("get span key = %d", sp.Key)
+			}
+		case obs.OpPut:
+			puts++
+		}
+		if sp.WallNs <= 0 {
+			t.Fatalf("span without wall time: %+v", sp)
+		}
+	}
+	if gets != 1 || puts != 10 {
+		t.Fatalf("gets=%d puts=%d, want 1/10", gets, puts)
+	}
+}
+
+// TestStatsBackwardCompat checks the extended STATS document decodes into
+// a pre-extension client struct (unknown fields ignored) and an extended
+// client tolerates a pre-extension server document (missing fields zero).
+func TestStatsBackwardCompat(t *testing.T) {
+	srv, _, _ := startObsServer(t)
+	if err := srv.KV().Put(1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := json.Marshal(srv.Stats())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Old client: only the original fields.
+	var old struct {
+		Requests int64
+		KV       struct{ Puts int64 }
+		LogBytes int64
+	}
+	if err := json.Unmarshal(doc, &old); err != nil {
+		t.Fatalf("old client failed to decode extended STATS: %v", err)
+	}
+	if old.KV.Puts != 1 {
+		t.Fatalf("old client KV.Puts = %d", old.KV.Puts)
+	}
+	// New struct over an old document: the new fields stay zero.
+	oldDoc := []byte(`{"Requests":7,"LogBytes":42}`)
+	var cur Stats
+	if err := json.Unmarshal(oldDoc, &cur); err != nil {
+		t.Fatalf("extended struct failed on old STATS: %v", err)
+	}
+	if cur.Requests != 7 || cur.LogBytes != 42 || cur.Latency != nil || cur.DeviceFences != 0 {
+		t.Fatalf("old-doc decode = %+v", cur)
+	}
+}
+
+// TestStatsOmitsLatencyWhenOff checks a server without observability
+// serves a STATS document with no latency tables at all, so old-looking
+// output is preserved byte-shape-wise for obs-off deployments.
+func TestStatsOmitsLatencyWhenOff(t *testing.T) {
+	srv, _ := startServer(t, false)
+	doc, err := json.Marshal(srv.Stats())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if containsField(doc, "Latency") || containsField(doc, "CommitPhases") {
+		t.Fatalf("obs-off STATS carries latency tables: %s", doc)
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/rewind-db/rewind/internal/obs"
 	"github.com/rewind-db/rewind/internal/wire"
 	"github.com/rewind-db/rewind/kv"
 )
@@ -48,11 +49,13 @@ func (s *Server) scanPage() int {
 
 // Server serves a kv.Store over a listener.
 type Server struct {
-	kv *kv.Store
+	kv  *kv.Store
+	obs *obs.Obs // the store's observability state (nil when off)
 
 	mu       sync.Mutex
 	ln       net.Listener
 	conns    map[net.Conn]struct{}
+	flights  map[net.Conn]*obs.Flight
 	closed   bool
 	handlers sync.WaitGroup
 
@@ -61,13 +64,47 @@ type Server struct {
 	errored  atomic.Int64
 }
 
-// New wraps a kv store in a server.
+// New wraps a kv store in a server. The server records into the store's
+// observability state (kv.Config.Obs): per-request spans with commit
+// phase timings, a per-connection flight-recorder ring, and slow-op
+// capture. All of it is off (one nil test per request) when the store was
+// built without obs.
 func New(s *kv.Store) *Server {
-	return &Server{kv: s, conns: map[net.Conn]struct{}{}}
+	return &Server{kv: s, obs: s.Obs(), conns: map[net.Conn]struct{}{}}
 }
 
 // KV returns the underlying store.
 func (s *Server) KV() *kv.Store { return s.kv }
+
+// trackFlight registers a connection's flight-recorder ring so Flights
+// can enumerate live connections' recent operations.
+func (s *Server) trackFlight(c net.Conn, fr *obs.Flight) {
+	s.mu.Lock()
+	if s.flights == nil {
+		s.flights = map[net.Conn]*obs.Flight{}
+	}
+	s.flights[c] = fr
+	s.mu.Unlock()
+}
+
+func (s *Server) untrackFlight(c net.Conn) {
+	s.mu.Lock()
+	delete(s.flights, c)
+	s.mu.Unlock()
+}
+
+// Flights returns the live connections' flight recorders (nil entries
+// never appear; empty when observability is off or no connection is
+// open). The rings themselves are safe to Snapshot concurrently.
+func (s *Server) Flights() []*obs.Flight {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*obs.Flight, 0, len(s.flights))
+	for _, fr := range s.flights {
+		out = append(out, fr)
+	}
+	return out
+}
 
 // ErrServerClosed is returned by Serve after Close.
 var ErrServerClosed = errors.New("server: closed")
@@ -165,6 +202,12 @@ func (s *Server) handleConn(c net.Conn) {
 	}()
 	br := newReader(c)
 	bw := newWriter(c)
+	var fr *obs.Flight
+	if s.obs != nil {
+		fr = obs.NewFlight(s.obs.FlightSize())
+		s.trackFlight(c, fr)
+		defer s.untrackFlight(c)
+	}
 	var out []byte
 	for {
 		id, op, body, err := wire.ReadFrame(br)
@@ -175,7 +218,7 @@ func (s *Server) handleConn(c net.Conn) {
 			return
 		}
 		s.requests.Add(1)
-		out = s.apply(out[:0], id, op, body)
+		out = s.applyTraced(out[:0], id, op, body, fr)
 		if _, err := bw.Write(out); err != nil {
 			return
 		}
@@ -208,6 +251,45 @@ func frameBuffered(br *bufio.Reader) bool {
 // response frame to dst. It is the whole server data path minus the
 // sockets, which is what the deterministic crash tests drive directly.
 func (s *Server) apply(dst []byte, id uint32, op byte, body []byte) []byte {
+	return s.applyTraced(dst, id, op, body, nil)
+}
+
+// opKind maps a wire op byte to its observability class.
+func opKind(op byte) obs.OpKind {
+	switch op {
+	case wire.OpGet:
+		return obs.OpGet
+	case wire.OpPut:
+		return obs.OpPut
+	case wire.OpDel:
+		return obs.OpDel
+	case wire.OpScan:
+		return obs.OpScan
+	case wire.OpBatch:
+		return obs.OpBatch
+	case wire.OpStats:
+		return obs.OpStats
+	}
+	return obs.OpOther
+}
+
+// setKey stamps the decoded key onto the span (nil-safe).
+func setKey(span *obs.Span, key uint64) {
+	if span != nil {
+		span.Key = key
+	}
+}
+
+// applyTraced is apply with observability: a span brackets the whole
+// request (device-time attribution from the virtual clock), mutating ops
+// thread it into the commit pipeline, and the finished span lands in the
+// connection's flight ring and, past the threshold, the slow-op log.
+func (s *Server) applyTraced(dst []byte, id uint32, op byte, body []byte, fr *obs.Flight) []byte {
+	span := s.obs.StartSpan(opKind(op), 0)
+	if span != nil {
+		sim0 := s.kv.Rewind().SimNS()
+		defer func() { s.obs.FinishSpan(span, s.kv.Rewind().SimNS()-sim0, fr) }()
+	}
 	r := &wire.Reader{B: body}
 	fail := func(err error) []byte {
 		s.errored.Add(1)
@@ -219,6 +301,7 @@ func (s *Server) apply(dst []byte, id uint32, op byte, body []byte) []byte {
 		if err != nil {
 			return fail(err)
 		}
+		setKey(span, key)
 		v, ok := s.kv.Get(key)
 		if !ok {
 			return wire.AppendFrame(dst, id, wire.StatusNotFound, nil)
@@ -230,11 +313,12 @@ func (s *Server) apply(dst []byte, id uint32, op byte, body []byte) []byte {
 		if err != nil {
 			return fail(err)
 		}
+		setKey(span, key)
 		v, err := r.Bytes()
 		if err != nil {
 			return fail(err)
 		}
-		if err := s.kv.Put(key, v); err != nil {
+		if err := s.kv.PutSpan(key, v, span); err != nil {
 			return fail(err)
 		}
 		return wire.AppendFrame(dst, id, wire.StatusOK, nil)
@@ -244,7 +328,8 @@ func (s *Server) apply(dst []byte, id uint32, op byte, body []byte) []byte {
 		if err != nil {
 			return fail(err)
 		}
-		found, err := s.kv.Delete(key)
+		setKey(span, key)
+		found, err := s.kv.DeleteSpan(key, span)
 		if err != nil {
 			return fail(err)
 		}
@@ -270,6 +355,7 @@ func (s *Server) apply(dst []byte, id uint32, op byte, body []byte) []byte {
 		if page := uint32(s.scanPage()); limit == 0 || limit > page {
 			limit = page
 		}
+		setKey(span, from)
 		pairs := s.kv.Scan(from, to, int(limit))
 		body := wire.AppendU32(nil, uint32(len(pairs)))
 		for _, p := range pairs {
@@ -283,7 +369,7 @@ func (s *Server) apply(dst []byte, id uint32, op byte, body []byte) []byte {
 		if err != nil {
 			return fail(err)
 		}
-		if err := s.kv.Batch(ops); err != nil {
+		if err := s.kv.BatchSpan(ops, span); err != nil {
 			return fail(err)
 		}
 		return wire.AppendFrame(dst, id, wire.StatusOK, nil)
@@ -354,6 +440,19 @@ type Stats struct {
 	Checkpoints           int64
 	LastCheckpointPauseNs int64
 	LastCheckpointChunks  int
+	// Device counters: the simulated NVM bill the workload has run up —
+	// fences and flushes are the commit-durability unit, line writes the
+	// paper's NVM-write unit, SimNs the virtual clock. Added in the
+	// flight-recorder revision; older clients ignore them and older
+	// servers leave them zero, both by JSON's unknown/missing-field rules.
+	DeviceFences, DeviceFlushes, DeviceLineWrites, DeviceSimNs int64
+	// Latency and CommitPhases summarize the observability histograms
+	// (wall and simulated-device quantiles per op kind and per commit
+	// phase); SlowOps counts requests past the slow-op threshold. All
+	// empty/zero when the server runs without observability.
+	Latency      map[string]obs.OpLatency `json:",omitempty"`
+	CommitPhases map[string]obs.OpLatency `json:",omitempty"`
+	SlowOps      int64
 }
 
 // Stats snapshots server activity.
@@ -376,5 +475,27 @@ func (s *Server) Stats() Stats {
 	ck := s.kv.Rewind().LastCheckpoint()
 	st.LastCheckpointPauseNs = ck.MaxPauseNs
 	st.LastCheckpointChunks = ck.Chunks
+	dev := s.kv.Rewind().Stats()
+	st.DeviceFences = dev.Fences
+	st.DeviceFlushes = dev.Flushes
+	st.DeviceLineWrites = dev.LineWrites
+	st.DeviceSimNs = dev.SimulatedNS
+	st.Latency = s.obs.OpLatencies()
+	st.CommitPhases = s.obs.PhaseLatencies()
+	st.SlowOps = s.obs.SlowCount()
 	return st
+}
+
+// RegisterMetrics publishes the server's connection and request counters
+// on r under the rewind_server_* namespace.
+func (s *Server) RegisterMetrics(r *obs.Registry) {
+	r.Group(func(emit func(name, help string, v float64)) {
+		emit("rewind_server_accepted_total", "Connections accepted.", float64(s.accepted.Load()))
+		emit("rewind_server_requests_total", "Request frames served.", float64(s.requests.Load()))
+		emit("rewind_server_errored_total", "Error responses and decode failures.", float64(s.errored.Load()))
+		s.mu.Lock()
+		open := len(s.conns)
+		s.mu.Unlock()
+		emit("rewind_server_open_connections", "Connections currently open.", float64(open))
+	})
 }

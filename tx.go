@@ -6,6 +6,7 @@ import (
 
 	"github.com/rewind-db/rewind/internal/core"
 	"github.com/rewind-db/rewind/internal/nvm"
+	"github.com/rewind-db/rewind/internal/obs"
 )
 
 // Tx is a handle on one REWIND transaction. It corresponds to the
@@ -105,6 +106,12 @@ func (tx *Tx) Buffered() bool { return tx.h.Buffered() }
 // breaking the shard log's commit-order prefix property, and it keeps
 // latch-hold spans free of commit-wait time.
 func (tx *Tx) OnPublish(fn func()) { tx.h.OnPublish(fn) }
+
+// Observe attaches an observability span to the transaction: Commit will
+// record its per-phase pipeline timings (latch wait, log append, group
+// gather, flush+fence, publish) into span as well as the store-wide
+// histograms. A nil span (or a store opened without Options.Obs) is free.
+func (tx *Tx) Observe(span *obs.Span) { tx.h.Observe(span) }
 
 // Alloc allocates a persistent block. The allocation itself is not undone
 // by rollback (a crash or abort merely leaks it, as in the paper's model);
