@@ -316,6 +316,73 @@ func TestReadPathSpeedup(t *testing.T) {
 	}
 }
 
+// TestYCSBTxnOverhead asserts the interactive-transaction acceptance gate:
+// YCSB workload A (50/50 read/update — the update-heaviest core workload)
+// run over BEGIN…COMMIT conversations stays within 2x of the same op
+// stream as single-shot GET/PUT. The txn frames add one BEGIN and one
+// COMMIT round-trip per ~8 ops plus commit-time validation; if that ever
+// costs more than half the throughput, handle reuse has regressed into
+// per-op overhead. The committed BENCH_ycsb.json must make the same claim
+// so the evidence travels with the code.
+func TestYCSBTxnOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure regeneration")
+	}
+	check := func(t *testing.T, f bench.Figure, where string) {
+		at := func(series string, x float64) float64 {
+			for _, s := range f.Series {
+				if s.Name != series {
+					continue
+				}
+				for _, p := range s.Points {
+					if p.X == x {
+						return p.Y
+					}
+				}
+			}
+			t.Fatalf("%s: series %q has no point at x=%v", where, series, x)
+			return 0
+		}
+		single, txn := at("single-shot", 1), at("interactive txn", 1)
+		if txn <= 0 || single <= 0 {
+			t.Fatalf("%s: non-positive throughput (single=%.2f txn=%.2f)", where, single, txn)
+		}
+		if txn < single/2 {
+			t.Errorf("%s: workload A over txns = %.1f kops/s vs %.1f single-shot: %.2fx slower, gate is 2x",
+				where, txn, single, single/txn)
+		}
+	}
+	check(t, bench.YCSB(bench.Quick), "live")
+
+	raw, err := os.ReadFile("BENCH_ycsb.json")
+	if err != nil {
+		t.Fatalf("committed YCSB figure missing: %v (regenerate with `go run ./cmd/rewind-bench -json`)", err)
+	}
+	var committed struct {
+		Figures []bench.Figure `json:"figures"`
+	}
+	if err := json.Unmarshal(raw, &committed); err != nil || len(committed.Figures) != 1 {
+		t.Fatalf("BENCH_ycsb.json: %v (%d figures)", err, len(committed.Figures))
+	}
+	check(t, committed.Figures[0], "committed BENCH_ycsb.json")
+}
+
+func BenchmarkYCSB(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := bench.YCSB(bench.Quick)
+		b.ReportMetric(first(f, "single-shot"), "kops/s-single@A")
+		b.ReportMetric(first(f, "interactive txn"), "kops/s-txn@A")
+	}
+}
+
+func BenchmarkTPCCNet(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := bench.TPCCNet(bench.Quick)
+		b.ReportMetric(last(f, "interactive txn"), "orders/s-txn")
+		b.ReportMetric(last(f, "batch baseline"), "orders/s-batch")
+	}
+}
+
 func BenchmarkReadPath(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		f := bench.ReadPath(bench.Quick)

@@ -120,3 +120,10 @@ func (t *Tree) AddLen(w Writer, delta int) error {
 	t = t.writeView(w)
 	return w.Write64(t.hdr+hdrCount, uint64(t.Len()+delta))
 }
+
+// LeafValueAddr returns the arena address of the value slot at pos in a
+// leaf, for callers that read record payloads under their own leaf latch
+// or seqlock validation (the tree does no synchronization here).
+func (t *Tree) LeafValueAddr(leaf uint64, pos int) uint64 {
+	return t.valAddr(leaf, pos)
+}

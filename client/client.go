@@ -57,6 +57,37 @@ func (o Options) withDefaults() Options {
 // ErrNotFound is returned by Get for absent keys.
 var ErrNotFound = errors.New("client: key not found")
 
+// ErrConflict is returned by Txn.Commit when a for-update read changed
+// before the commit could validate it; the transaction applied nothing —
+// rebuild it and retry.
+var ErrConflict = errors.New("client: commit conflict: a for-update read changed")
+
+// ErrTxnFinished is returned by every Txn method after Commit or Rollback
+// (or after a connection error finished the transaction server-side).
+var ErrTxnFinished = errors.New("client: transaction already finished")
+
+// ServerError is a non-OK status from the server, annotated with the
+// operation that provoked it — a bare server error body can be empty, and
+// an error that reads "client: PUT failed: ..." beats one that reads "".
+type ServerError struct {
+	Op     string // the wire operation, e.g. "PUT"
+	Status byte   // the wire status byte
+	Msg    string // the server's error text (possibly empty)
+}
+
+func (e *ServerError) Error() string {
+	msg := e.Msg
+	if msg == "" {
+		msg = fmt.Sprintf("status %d with no message", e.Status)
+	}
+	return fmt.Sprintf("client: %s failed: %s", e.Op, msg)
+}
+
+// serverErr wraps a non-OK response as a *ServerError.
+func serverErr(op string, status byte, body []byte) error {
+	return &ServerError{Op: op, Status: status, Msg: string(body)}
+}
+
 // Client is a pooled, pipelining rewindd client. Safe for concurrent use.
 type Client struct {
 	addr string
@@ -268,7 +299,10 @@ func (cl *Client) call(op byte, body []byte) (byte, []byte, error) {
 	return 0, nil, lastErr
 }
 
-// Get fetches the value under key (ErrNotFound for absent keys).
+// Get fetches the value under key (ErrNotFound for absent keys). Values
+// too large for one wire frame are fetched transparently in GETAT chunks;
+// the server's consistency token guarantees the assembled bytes are one
+// committed value image, never a splice of two.
 func (cl *Client) Get(key uint64) ([]byte, error) {
 	status, body, err := cl.call(wire.OpGet, wire.AppendU64(nil, key))
 	if err != nil {
@@ -279,8 +313,77 @@ func (cl *Client) Get(key uint64) ([]byte, error) {
 		return body, nil
 	case wire.StatusNotFound:
 		return nil, ErrNotFound
+	case wire.StatusTooLarge:
+		return cl.getChunked(key)
 	}
-	return nil, errors.New(string(body))
+	return nil, serverErr("GET", status, body)
+}
+
+// chunkedAttempts bounds how many times a chunked read restarts because
+// the value changed mid-assembly before giving up.
+const chunkedAttempts = 8
+
+// errChunkRestart signals the value changed between chunks: restart.
+var errChunkRestart = errors.New("client: value changed mid-chunked-read")
+
+// getChunked assembles an oversized value from GETAT chunks, restarting
+// whenever the server's consistency token changes between chunks.
+func (cl *Client) getChunked(key uint64) ([]byte, error) {
+	for attempt := 0; attempt < chunkedAttempts; attempt++ {
+		v, err := cl.tryChunked(key)
+		if errors.Is(err, errChunkRestart) {
+			continue
+		}
+		return v, err
+	}
+	return nil, fmt.Errorf("client: GET %d: value kept changing across %d chunked reads", key, chunkedAttempts)
+}
+
+func (cl *Client) tryChunked(key uint64) ([]byte, error) {
+	var buf []byte
+	var token, total uint64
+	for off := uint64(0); ; {
+		req := wire.AppendU64(nil, key)
+		req = wire.AppendU64(req, off)
+		status, resp, err := cl.call(wire.OpGetAt, req)
+		if err != nil {
+			return nil, err
+		}
+		switch status {
+		case wire.StatusOK:
+		case wire.StatusNotFound:
+			if off == 0 {
+				return nil, ErrNotFound
+			}
+			return nil, errChunkRestart // deleted under us mid-read
+		default:
+			return nil, serverErr("GETAT", status, resp)
+		}
+		r := &wire.Reader{B: resp}
+		tot, err := r.U64()
+		if err != nil {
+			return nil, err
+		}
+		tok, err := r.U64()
+		if err != nil {
+			return nil, err
+		}
+		chunk := r.B
+		if off == 0 {
+			token, total = tok, tot
+			buf = make([]byte, 0, total)
+		} else if tok != token || tot != total {
+			return nil, errChunkRestart
+		}
+		buf = append(buf, chunk...)
+		off += uint64(len(chunk))
+		if off >= total {
+			return buf, nil
+		}
+		if len(chunk) == 0 {
+			return nil, errChunkRestart // shrunk under us
+		}
+	}
 }
 
 // Put durably stores value under key. When Put returns nil the write has
@@ -288,7 +391,8 @@ func (cl *Client) Get(key uint64) ([]byte, error) {
 func (cl *Client) Put(key uint64, value []byte) error {
 	body := wire.AppendU64(nil, key)
 	body = wire.AppendBytes(body, value)
-	return cl.expectOK(cl.call(wire.OpPut, body))
+	status, resp, err := cl.call(wire.OpPut, body)
+	return cl.expectOK("PUT", status, resp, err)
 }
 
 // Delete removes key, reporting whether it was present.
@@ -298,7 +402,7 @@ func (cl *Client) Delete(key uint64) (bool, error) {
 		return false, err
 	}
 	if status != wire.StatusOK {
-		return false, errors.New(string(body))
+		return false, serverErr("DEL", status, body)
 	}
 	return len(body) == 1 && body[0] == 1, nil
 }
@@ -338,7 +442,10 @@ func (cl *Client) Scan(from, to uint64, limit int) ([]Pair, error) {
 }
 
 // scanPage fetches one server-sized page. remaining <= 0 requests the
-// server's full page.
+// server's full page. A page whose FIRST pair alone exceeds the frame
+// limit comes back as StatusTooLarge naming the key; scanPage fetches
+// that one value in chunks and returns it as a one-pair page, so Scan
+// resumes past it normally.
 func (cl *Client) scanPage(from, to uint64, remaining int) ([]Pair, error) {
 	if remaining < 0 {
 		remaining = 0
@@ -346,12 +453,39 @@ func (cl *Client) scanPage(from, to uint64, remaining int) ([]Pair, error) {
 	body := wire.AppendU64(nil, from)
 	body = wire.AppendU64(body, to)
 	body = wire.AppendU32(body, uint32(remaining))
-	status, resp, err := cl.call(wire.OpScan, body)
-	if err != nil {
-		return nil, err
+	var status byte
+	var resp []byte
+	var err error
+	for attempt := 0; ; attempt++ {
+		status, resp, err = cl.call(wire.OpScan, body)
+		if err != nil {
+			return nil, err
+		}
+		if status != wire.StatusTooLarge {
+			break
+		}
+		r := &wire.Reader{B: resp}
+		k, err := r.U64()
+		if err != nil {
+			return nil, err
+		}
+		v, err := cl.getChunked(k)
+		if errors.Is(err, ErrNotFound) {
+			// Deleted between the scan and the chunk fetch: the page's
+			// content changed, re-fetch it (bounded — each retry needs a
+			// racing writer to have landed exactly on the reported key).
+			if attempt < 16 {
+				continue
+			}
+			return nil, fmt.Errorf("client: SCAN page at %d kept changing", from)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return []Pair{{Key: k, Value: v}}, nil
 	}
 	if status != wire.StatusOK {
-		return nil, errors.New(string(resp))
+		return nil, serverErr("SCAN", status, resp)
 	}
 	r := &wire.Reader{B: resp}
 	n, err := r.U32()
@@ -394,7 +528,8 @@ func (cl *Client) Batch(ops []Op) error {
 			body = wire.AppendBytes(body, op.Value)
 		}
 	}
-	return cl.expectOK(cl.call(wire.OpBatch, body))
+	status, resp, err := cl.call(wire.OpBatch, body)
+	return cl.expectOK("BATCH", status, resp, err)
 }
 
 // Stats fetches the server's STATS JSON document.
@@ -404,17 +539,17 @@ func (cl *Client) Stats() ([]byte, error) {
 		return nil, err
 	}
 	if status != wire.StatusOK {
-		return nil, errors.New(string(body))
+		return nil, serverErr("STATS", status, body)
 	}
 	return body, nil
 }
 
-func (cl *Client) expectOK(status byte, body []byte, err error) error {
+func (cl *Client) expectOK(op string, status byte, body []byte, err error) error {
 	if err != nil {
 		return err
 	}
 	if status != wire.StatusOK {
-		return errors.New(string(body))
+		return serverErr(op, status, body)
 	}
 	return nil
 }

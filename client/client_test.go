@@ -1,0 +1,118 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/rewind-db/rewind/internal/wire"
+)
+
+// TestServerErrorFormatting pins the typed error the client wraps non-OK
+// statuses in. The old code did errors.New(string(body)), which for an
+// empty StatusErr body produced an error that printed as "" — the worst
+// possible diagnostic. ServerError names the operation and never renders
+// empty.
+func TestServerErrorFormatting(t *testing.T) {
+	err := serverErr("PUT", wire.StatusErr, nil)
+	var se *ServerError
+	if !errors.As(err, &se) {
+		t.Fatalf("serverErr returned %T, want *ServerError", err)
+	}
+	if se.Op != "PUT" || se.Status != wire.StatusErr {
+		t.Fatalf("ServerError fields = %+v", se)
+	}
+	want := fmt.Sprintf("client: PUT failed: status %d with no message", wire.StatusErr)
+	if got := err.Error(); got != want {
+		t.Fatalf("empty-body error = %q, want %q", got, want)
+	}
+	if got, want := serverErr("GET", wire.StatusErr, []byte("kv: boom")).Error(),
+		"client: GET failed: kv: boom"; got != want {
+		t.Fatalf("error = %q, want %q", got, want)
+	}
+}
+
+// TestMidPipelineKillFailsAllWaiters: when the connection dies with many
+// requests in flight, EVERY waiter must get an error — none may hang on
+// its response channel forever. The stub server swallows requests without
+// ever answering; the kill closes the client's pooled socket (the
+// server-side close delivers the same read error, just not
+// deterministically under a loaded scheduler).
+func TestMidPipelineKillFailsAllWaiters(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var smu sync.Mutex
+	var serverConns []net.Conn
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			smu.Lock()
+			serverConns = append(serverConns, c)
+			smu.Unlock()
+			go io.Copy(io.Discard, c)
+		}
+	}()
+	defer func() {
+		smu.Lock()
+		for _, c := range serverConns {
+			c.Close()
+		}
+		smu.Unlock()
+	}()
+
+	cl := Dial(ln.Addr().String(), Options{Conns: 1, Retries: -1})
+	defer cl.Close()
+	const n = 32
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			_, err := cl.Get(uint64(i))
+			errs <- err
+		}(i)
+	}
+
+	// Wait until all n requests are registered as in-flight waiters.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		cl.mu.Lock()
+		cn := cl.pool[0]
+		cl.mu.Unlock()
+		if cn != nil {
+			cn.mu.Lock()
+			w := len(cn.waiters)
+			cn.mu.Unlock()
+			if w == n {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("requests never became in-flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The mid-pipeline kill.
+	killConns(cl)
+
+	timeout := time.After(10 * time.Second)
+	for i := 0; i < n; i++ {
+		select {
+		case err := <-errs:
+			if err == nil {
+				t.Fatal("a waiter reported success after the connection died")
+			}
+		case <-timeout:
+			t.Fatalf("%d of %d waiters still hung after the connection died", n-i, n)
+		}
+	}
+}

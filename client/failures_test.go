@@ -1,0 +1,177 @@
+package client
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/rewind-db/rewind"
+	"github.com/rewind-db/rewind/kv"
+	"github.com/rewind-db/rewind/server"
+)
+
+// startServer boots a real store + server; maxValue widens the kv record
+// (shrinking the server's scan page — the pagination pressure the resume
+// tests need) without requiring big values.
+func startServer(t testing.TB, maxValue int) string {
+	t.Helper()
+	st, err := rewind.Open(rewind.Options{
+		ArenaSize: 256 << 20, GroupCommit: true,
+		GroupCommitWindow: 50 * time.Microsecond, GroupCommitMax: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kvs, err := kv.Create(st, kv.Config{Stripes: 4, MaxValue: maxValue})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(kvs)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	return ln.Addr().String()
+}
+
+// killConns closes every live pooled connection from the client side —
+// the next call on each slot must redial.
+func killConns(cl *Client) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	for _, cn := range cl.pool {
+		if cn != nil {
+			cn.c.Close()
+		}
+	}
+}
+
+// TestRedialAfterConnKill: a killed connection fails the in-flight call
+// at most; the next call redials transparently and succeeds.
+func TestRedialAfterConnKill(t *testing.T) {
+	addr := startServer(t, 128)
+	cl := Dial(addr, Options{Conns: 1, Retries: 3})
+	defer cl.Close()
+	if err := cl.Put(1, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	killConns(cl)
+	v, err := cl.Get(1)
+	if err != nil || string(v) != "a" {
+		t.Fatalf("Get after conn kill = %q, %v", v, err)
+	}
+	killConns(cl)
+	if err := cl.Put(2, []byte("b")); err != nil {
+		t.Fatalf("Put after second kill = %v", err)
+	}
+}
+
+// TestScanResumeAcrossReconnect: pagination picks up from the last
+// returned key even when the connection that served the earlier pages is
+// gone — the page cursor lives client-side, not in the dead connection.
+func TestScanResumeAcrossReconnect(t *testing.T) {
+	// MaxValue 300000 → server page of 3 pairs: plenty of page boundaries.
+	addr := startServer(t, 300000)
+	cl := Dial(addr, Options{Conns: 1, Retries: 5})
+	defer cl.Close()
+
+	const n = 30
+	for k := uint64(1); k <= n; k++ {
+		if err := cl.Put(k, []byte(fmt.Sprintf("v%d", k))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// First page on the original connection...
+	first, err := cl.scanPage(1, math.MaxUint64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) == 0 || len(first) >= n {
+		t.Fatalf("server page = %d pairs; the test needs pagination", len(first))
+	}
+	// ...connection dies...
+	killConns(cl)
+	// ...and the remaining pages resume on a fresh one.
+	rest, err := cl.Scan(first[len(first)-1].Key+1, math.MaxUint64, 0)
+	if err != nil {
+		t.Fatalf("Scan resume after reconnect = %v", err)
+	}
+	got := append(first, rest...)
+	if len(got) != n {
+		t.Fatalf("resumed scan returned %d pairs, want %d", len(got), n)
+	}
+	for i, p := range got {
+		if p.Key != uint64(i+1) || !bytes.Equal(p.Value, []byte(fmt.Sprintf("v%d", p.Key))) {
+			t.Fatalf("pair %d = {%d %q}", i, p.Key, p.Value)
+		}
+	}
+}
+
+// TestScanPaginationProperty sweeps Scan across from/to/limit — including
+// the MaxUint64 edge where a naive "resume at last+1" overflows — against
+// a reference computed from the known key set. The small server page
+// (MaxValue 300000) forces nearly every scan through multiple pages.
+func TestScanPaginationProperty(t *testing.T) {
+	addr := startServer(t, 300000)
+	cl := Dial(addr, Options{Conns: 1})
+	defer cl.Close()
+
+	var keys []uint64
+	for k := uint64(0); k <= 60; k += 3 {
+		keys = append(keys, k)
+	}
+	keys = append(keys, math.MaxUint64-1, math.MaxUint64)
+	for _, k := range keys {
+		if err := cl.Put(k, []byte(fmt.Sprintf("v%d", k))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reference := func(from, to uint64, limit int) []uint64 {
+		var out []uint64
+		for _, k := range keys { // keys is sorted ascending
+			if k >= from && k <= to {
+				out = append(out, k)
+				if limit > 0 && len(out) >= limit {
+					break
+				}
+			}
+		}
+		return out
+	}
+
+	froms := []uint64{0, 1, 3, 29, 59, 60, 61, math.MaxUint64 - 2, math.MaxUint64}
+	tos := []uint64{0, 2, 30, 59, 60, math.MaxUint64 - 2, math.MaxUint64 - 1, math.MaxUint64}
+	limits := []int{0, 1, 2, 3, 4, 7, 100}
+	for _, from := range froms {
+		for _, to := range tos {
+			if from > to {
+				continue
+			}
+			for _, limit := range limits {
+				got, err := cl.Scan(from, to, limit)
+				if err != nil {
+					t.Fatalf("Scan(%d, %d, %d) = %v", from, to, limit, err)
+				}
+				want := reference(from, to, limit)
+				if len(got) != len(want) {
+					t.Fatalf("Scan(%d, %d, %d) returned %d pairs, want %d",
+						from, to, limit, len(got), len(want))
+				}
+				for i, p := range got {
+					if p.Key != want[i] {
+						t.Fatalf("Scan(%d, %d, %d) pair %d key = %d, want %d",
+							from, to, limit, i, p.Key, want[i])
+					}
+					if !bytes.Equal(p.Value, []byte(fmt.Sprintf("v%d", p.Key))) {
+						t.Fatalf("Scan pair %d value = %q", i, p.Value)
+					}
+				}
+			}
+		}
+	}
+}

@@ -16,6 +16,8 @@ type KVStats struct {
 	Gets, Puts, Deletes, Scans, Batches                     int64
 	ReadRetries, ReadFallbacks                              int64
 	OverwriteFastPath, LeafLatchWaits, StripeLatchFallbacks int64
+	TxnBegins, TxnCommits, TxnRollbacks, TxnConflicts       int64
+	CasAttempts, CasApplied                                 int64
 	Keys                                                    int
 	Stripes                                                 int
 }
@@ -25,6 +27,7 @@ type KVStats struct {
 // zero, so any client version can read any server version's document.
 type ServerStats struct {
 	Accepted, Requests, Errored                int64
+	TxnsActive, TxnsExpired                    int64
 	KV                                         KVStats
 	GroupCommitRounds, GroupedCommits, Commits int64
 	CommitMode                                 string

@@ -1,0 +1,221 @@
+package client
+
+import (
+	"time"
+
+	"github.com/rewind-db/rewind/internal/wire"
+)
+
+// Txn is an interactive transaction pinned to ONE pooled connection — the
+// server ties the handle to the connection that opened it, rolling it back
+// if that connection drops. Writes buffer server-side (read-your-writes,
+// durable only at Commit, all-or-none under any crash); GetForUpdate reads
+// are revalidated at Commit, which returns ErrConflict — with nothing
+// applied — when one changed.
+//
+// Unlike single-shot calls, Txn operations never retry on another
+// connection: the handle does not exist there. Any connection error
+// finishes the transaction (the server's disconnect rollback reclaims it)
+// and subsequent calls return ErrTxnFinished. A Txn is not safe for
+// concurrent use.
+type Txn struct {
+	cl   *Client
+	cn   *conn
+	id   uint64
+	done bool
+}
+
+// Begin opens an interactive transaction. The dial/assignment retries like
+// any call; once a handle exists it is conn-pinned and retry-free.
+func (cl *Client) Begin() (*Txn, error) {
+	var lastErr error
+	for attempt := 0; attempt <= cl.opts.Retries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(time.Duration(attempt) * 10 * time.Millisecond)
+		}
+		cn, err := cl.pick()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		ch, err := cn.send(wire.OpBegin, nil)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		resp := <-ch
+		if resp.err != nil {
+			lastErr = resp.err
+			continue
+		}
+		if resp.status != wire.StatusOK {
+			return nil, serverErr("BEGIN", resp.status, resp.body)
+		}
+		r := &wire.Reader{B: resp.body}
+		id, err := r.U64()
+		if err != nil {
+			return nil, err
+		}
+		return &Txn{cl: cl, cn: cn, id: id}, nil
+	}
+	return nil, lastErr
+}
+
+// ID is the server-assigned transaction id (diagnostics; the handle is
+// only usable through this Txn on its own connection).
+func (t *Txn) ID() uint64 { return t.id }
+
+// call sends one frame on the pinned connection. A transport error
+// finishes the handle: the server side is (or will be) rolled back by its
+// disconnect reaping, and nothing the caller can do resurrects it here.
+func (t *Txn) call(op byte, body []byte) (byte, []byte, error) {
+	if t.done {
+		return 0, nil, ErrTxnFinished
+	}
+	ch, err := t.cn.send(op, body)
+	if err != nil {
+		t.done = true
+		return 0, nil, err
+	}
+	resp := <-ch
+	if resp.err != nil {
+		t.done = true
+		return 0, nil, resp.err
+	}
+	return resp.status, resp.body, nil
+}
+
+// Get reads key as this transaction sees it: its own buffered writes
+// first, committed state otherwise. ErrNotFound for absent keys.
+func (t *Txn) Get(key uint64) ([]byte, error) { return t.get(key, wire.TxnReadPlain) }
+
+// GetForUpdate is Get plus a commit-time dependency: Commit revalidates
+// the read and returns ErrConflict if the key changed — the
+// read-modify-write primitive (no server latch is held in between).
+func (t *Txn) GetForUpdate(key uint64) ([]byte, error) { return t.get(key, wire.TxnReadForUpdate) }
+
+func (t *Txn) get(key uint64, mode byte) ([]byte, error) {
+	body := wire.AppendU64(nil, t.id)
+	body = wire.AppendU64(body, key)
+	body = append(body, mode)
+	status, resp, err := t.call(wire.OpTxnGet, body)
+	if err != nil {
+		return nil, err
+	}
+	switch status {
+	case wire.StatusOK:
+		return resp, nil
+	case wire.StatusNotFound:
+		return nil, ErrNotFound
+	case wire.StatusTooLarge:
+		// Oversized values are necessarily committed state (buffered writes
+		// are frame-capped), so the shared chunked path reads the same bytes.
+		return t.cl.getChunked(key)
+	}
+	return nil, serverErr("TGET", status, resp)
+}
+
+// Put buffers a write of value under key; it becomes visible (and
+// durable) only at Commit.
+func (t *Txn) Put(key uint64, value []byte) error {
+	body := wire.AppendU64(nil, t.id)
+	body = wire.AppendU64(body, key)
+	body = wire.AppendBytes(body, value)
+	status, resp, err := t.call(wire.OpTxnPut, body)
+	if err != nil {
+		return err
+	}
+	if status != wire.StatusOK {
+		return serverErr("TPUT", status, resp)
+	}
+	return nil
+}
+
+// Delete buffers a removal of key, reporting whether the transaction
+// currently sees it as present.
+func (t *Txn) Delete(key uint64) (bool, error) {
+	body := wire.AppendU64(nil, t.id)
+	body = wire.AppendU64(body, key)
+	status, resp, err := t.call(wire.OpTxnDel, body)
+	if err != nil {
+		return false, err
+	}
+	if status != wire.StatusOK {
+		return false, serverErr("TDEL", status, resp)
+	}
+	return len(resp) == 1 && resp[0] == 1, nil
+}
+
+// Commit validates every for-update read and applies the buffered writes
+// in one durable all-or-none transaction. ErrConflict means a for-update
+// read changed and NOTHING was applied; the handle is finished either way.
+func (t *Txn) Commit() error {
+	status, resp, err := t.call(wire.OpCommit, wire.AppendU64(nil, t.id))
+	if err != nil {
+		return err
+	}
+	t.done = true
+	switch status {
+	case wire.StatusOK:
+		return nil
+	case wire.StatusConflict:
+		return ErrConflict
+	}
+	return serverErr("COMMIT", status, resp)
+}
+
+// Rollback discards the transaction.
+func (t *Txn) Rollback() error {
+	status, resp, err := t.call(wire.OpRollback, wire.AppendU64(nil, t.id))
+	if err != nil {
+		return err
+	}
+	t.done = true
+	if status != wire.StatusOK {
+		return serverErr("ROLLBACK", status, resp)
+	}
+	return nil
+}
+
+// CompareAndSwap atomically replaces key's value with value iff the
+// current state matches expect. expect == nil means "expect absent";
+// value == nil means "delete on match" (non-nil empty slices mean the
+// empty value, both places). Returns whether the swap applied; false with
+// a nil error is a clean condition miss.
+//
+// Like every single-shot op it retries on connection failure, which makes
+// it at-least-once: a swap whose ack was lost reports a miss on replay.
+func (cl *Client) CompareAndSwap(key uint64, expect, value []byte) (bool, error) {
+	body := wire.AppendU64(nil, key)
+	var flags byte
+	if expect != nil {
+		flags |= wire.CasExpectPresent
+	}
+	if value != nil {
+		flags |= wire.CasStoreValue
+	}
+	body = append(body, flags)
+	if expect != nil {
+		body = wire.AppendBytes(body, expect)
+	}
+	if value != nil {
+		body = wire.AppendBytes(body, value)
+	}
+	status, resp, err := cl.call(wire.OpCas, body)
+	if err != nil {
+		return false, err
+	}
+	if status != wire.StatusOK {
+		return false, serverErr("CAS", status, resp)
+	}
+	return len(resp) == 1 && resp[0] == 1, nil
+}
+
+// PutIfAbsent durably stores value under key iff no value is present.
+// Exactly one of any set of concurrent callers for one key wins.
+func (cl *Client) PutIfAbsent(key uint64, value []byte) (bool, error) {
+	if value == nil {
+		value = []byte{}
+	}
+	return cl.CompareAndSwap(key, nil, value)
+}

@@ -50,6 +50,10 @@ const writepathJSONPath = "BENCH_writepath.json"
 // (the "obs" runner), uploaded alongside the others.
 const obsJSONPath = "BENCH_obs.json"
 
+// ycsbJSONPath gets a standalone copy of the YCSB-over-the-wire figure
+// (the "ycsb" runner), uploaded alongside the others.
+const ycsbJSONPath = "BENCH_ycsb.json"
+
 // jsonFigure is one figure plus how long it took to regenerate.
 type jsonFigure struct {
 	bench.Figure
@@ -122,6 +126,7 @@ func main() {
 			"logfootprint": logfootprintJSONPath,
 			"writepath":    writepathJSONPath,
 			"obs":          obsJSONPath,
+			"ycsb":         ycsbJSONPath,
 		}
 		for _, fig := range report.Figures {
 			if path, ok := standalone[fig.ID]; ok {

@@ -6,6 +6,9 @@
 //	rewind-cli [-addr host:port] put <key> <value>
 //	rewind-cli [-addr host:port] del <key>
 //	rewind-cli [-addr host:port] scan <from> <to> [limit]
+//	rewind-cli [-addr host:port] cas <key> <expect|-> <value|->
+//	rewind-cli [-addr host:port] putnx <key> <value>
+//	rewind-cli [-addr host:port] txn
 //	rewind-cli [-addr host:port] stats [-raw] [-watch interval]
 //	rewind-cli [-addr host:port] bench [-n ops] [-c conns]
 //
@@ -13,6 +16,18 @@
 // with pipelined PUTs from -c concurrent connections and reports acked
 // ops/sec — a quick way to watch group commit earn its keep (compare a
 // daemon started with -group-commit=false).
+//
+// cas atomically replaces <expect> with <value>; "-" for <expect> means
+// "only if absent" and "-" for <value> means "delete on match". putnx is
+// put-if-absent. txn opens an interactive transaction and reads commands
+// from stdin, one per line:
+//
+//	get <key> | getu <key> | put <key> <value> | del <key>
+//	commit | rollback
+//
+// getu is a for-update read: the transaction re-validates it at commit
+// and fails with a conflict if another writer changed it. Buffered writes
+// are invisible until commit; EOF without commit rolls back.
 //
 // stats renders the daemon's counters as a table: operation counts, the
 // durability bill (fences per write, log bytes), fast-path hit rates, and
@@ -23,11 +38,13 @@
 package main
 
 import (
+	"bufio"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
+	"strings"
 	"sync"
 	"text/tabwriter"
 	"time"
@@ -36,7 +53,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: rewind-cli [-addr host:port] <get|put|del|scan|stats|bench> ...")
+	fmt.Fprintln(os.Stderr, "usage: rewind-cli [-addr host:port] <get|put|del|scan|cas|putnx|txn|stats|bench> ...")
 	os.Exit(2)
 }
 
@@ -119,6 +136,46 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "(%d keys)\n", len(pairs))
 
+	case "cas":
+		if len(args) != 4 {
+			usage()
+		}
+		var expect, value []byte
+		if args[2] != "-" {
+			expect = []byte(args[2])
+		}
+		if args[3] != "-" {
+			value = []byte(args[3])
+		}
+		ok, err := cl.CompareAndSwap(parseKey(args[1]), expect, value)
+		if err != nil {
+			die(err)
+		}
+		if ok {
+			fmt.Println("swapped")
+		} else {
+			fmt.Println("(no match)")
+			os.Exit(1)
+		}
+
+	case "putnx":
+		if len(args) != 3 {
+			usage()
+		}
+		ok, err := cl.PutIfAbsent(parseKey(args[1]), []byte(args[2]))
+		if err != nil {
+			die(err)
+		}
+		if ok {
+			fmt.Println("OK")
+		} else {
+			fmt.Println("(exists)")
+			os.Exit(1)
+		}
+
+	case "txn":
+		runTxn(cl, die)
+
 	case "stats":
 		fs := flag.NewFlagSet("stats", flag.ExitOnError)
 		raw := fs.Bool("raw", false, "print the raw STATS JSON document")
@@ -152,6 +209,92 @@ func main() {
 	default:
 		usage()
 	}
+}
+
+// runTxn reads transaction commands from stdin and drives one interactive
+// transaction. EOF without an explicit commit rolls back (as would a
+// dropped connection).
+func runTxn(cl *client.Client, die func(error)) {
+	tx, err := cl.Begin()
+	if err != nil {
+		die(err)
+	}
+	defer tx.Rollback()
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		bad := func() {
+			fmt.Fprintf(os.Stderr, "rewind-cli: txn: bad command %q\n", sc.Text())
+		}
+		switch fields[0] {
+		case "get", "getu":
+			if len(fields) != 2 {
+				bad()
+				continue
+			}
+			var v []byte
+			if fields[0] == "get" {
+				v, err = tx.Get(parseKey(fields[1]))
+			} else {
+				v, err = tx.GetForUpdate(parseKey(fields[1]))
+			}
+			if errors.Is(err, client.ErrNotFound) {
+				fmt.Println("(not found)")
+				continue
+			}
+			if err != nil {
+				die(err)
+			}
+			fmt.Printf("%s\n", v)
+		case "put":
+			if len(fields) != 3 {
+				bad()
+				continue
+			}
+			if err := tx.Put(parseKey(fields[1]), []byte(fields[2])); err != nil {
+				die(err)
+			}
+			fmt.Println("buffered")
+		case "del":
+			if len(fields) != 2 {
+				bad()
+				continue
+			}
+			found, err := tx.Delete(parseKey(fields[1]))
+			if err != nil {
+				die(err)
+			}
+			if found {
+				fmt.Println("buffered delete")
+			} else {
+				fmt.Println("(not found)")
+			}
+		case "commit":
+			if err := tx.Commit(); errors.Is(err, client.ErrConflict) {
+				fmt.Println("CONFLICT (rolled back)")
+				os.Exit(1)
+			} else if err != nil {
+				die(err)
+			}
+			fmt.Println("committed")
+			return
+		case "rollback":
+			if err := tx.Rollback(); err != nil {
+				die(err)
+			}
+			fmt.Println("rolled back")
+			return
+		default:
+			bad()
+		}
+	}
+	if err := sc.Err(); err != nil {
+		die(err)
+	}
+	fmt.Println("(EOF: rolled back)")
 }
 
 // bench floods the daemon with PUTs over c connections and prints acked
@@ -226,6 +369,15 @@ func printStats(st *client.ServerStats) {
 		st.KV.ReadRetries, st.KV.ReadFallbacks, ratio(st.KV.ReadFallbacks, st.KV.Gets+st.KV.Scans))
 	fmt.Fprintf(w, "write path\tfast-path hit rate %s, %d leaf-latch waits, %d stripe fallbacks\n",
 		ratio(st.KV.OverwriteFastPath, st.KV.Puts), st.KV.LeafLatchWaits, st.KV.StripeLatchFallbacks)
+	if st.KV.TxnBegins > 0 || st.TxnsActive > 0 || st.TxnsExpired > 0 {
+		fmt.Fprintf(w, "txns\t%d begun, %d committed, %d rolled back, %d conflicts, %d active, %d idle-expired\n",
+			st.KV.TxnBegins, st.KV.TxnCommits, st.KV.TxnRollbacks, st.KV.TxnConflicts,
+			st.TxnsActive, st.TxnsExpired)
+	}
+	if st.KV.CasAttempts > 0 {
+		fmt.Fprintf(w, "cas\t%d attempts, %d applied (%s)\n",
+			st.KV.CasAttempts, st.KV.CasApplied, ratio(st.KV.CasApplied, st.KV.CasAttempts))
+	}
 	fmt.Fprintf(w, "checkpoints\t%d, last pause %s over %d freezes\n",
 		st.Checkpoints, fmtNs(st.LastCheckpointPauseNs), st.LastCheckpointChunks)
 	if st.SlowOps > 0 {
@@ -233,7 +385,8 @@ func printStats(st *client.ServerStats) {
 	}
 	if len(st.Latency) > 0 {
 		fmt.Fprintf(w, "\nlatency\tcount\tp50\tp95\tp99\tmax\tdevice p50\n")
-		for _, op := range []string{"get", "put", "del", "scan", "batch", "stats"} {
+		for _, op := range []string{"get", "put", "del", "scan", "batch", "stats",
+			"begin", "commit", "rollback", "txn_get", "txn_put", "txn_del", "cas", "get_at"} {
 			l, ok := st.Latency[op]
 			if !ok {
 				continue

@@ -142,6 +142,7 @@ func main() {
 	obsOff := flag.Bool("obs-off", false, "disable request/commit-phase latency recording, flight recorders and the slow-op log (gauge families on /metrics stay)")
 	slowOp := flag.Duration("slow-op", 250*time.Millisecond, "log any request slower than this with its commit-phase breakdown (0 disables)")
 	statsEvery := flag.Duration("stats-every", 30*time.Second, "log interval throughput/read-path/write-path summaries this often (0 disables)")
+	txnIdle := flag.Duration("txn-idle", time.Minute, "roll back interactive transactions idle longer than this (0 = default)")
 	flag.Parse()
 
 	if *backing == "" {
@@ -208,6 +209,7 @@ func main() {
 		kvs.Len(), *stripes, *commitMode, *groupCommit, readMode, writeMode)
 
 	srv := server.New(kvs)
+	srv.SetTxnIdle(*txnIdle)
 	st.RegisterMetrics(reg)
 	kvs.RegisterMetrics(reg)
 	srv.RegisterMetrics(reg)

@@ -148,6 +148,8 @@ func Runners() []Runner {
 		{"logfootprint", "Log footprint: undo/redo vs redo-only", LogFootprint},
 		{"writepath", "Fine-grained write path scaling", WritePath},
 		{"obs", "Observability overhead", ObsOverhead},
+		{"ycsb", "YCSB A-F over the wire", YCSB},
+		{"tpccnet", "TPC-C New-Order over the wire", TPCCNet},
 	}
 }
 

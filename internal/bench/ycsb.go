@@ -1,0 +1,278 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/rewind-db/rewind"
+	"github.com/rewind-db/rewind/client"
+	"github.com/rewind-db/rewind/internal/tpcc"
+	"github.com/rewind-db/rewind/kv"
+	"github.com/rewind-db/rewind/server"
+)
+
+// ycsbWorkload is one YCSB core workload mix (percentages sum to 100).
+type ycsbWorkload struct {
+	name                            string
+	read, update, insert, scan, rmw int
+	latest                          bool // D: reads favor recently inserted keys
+}
+
+func ycsbWorkloads() []ycsbWorkload {
+	return []ycsbWorkload{
+		{name: "A", read: 50, update: 50},
+		{name: "B", read: 95, update: 5},
+		{name: "C", read: 100},
+		{name: "D", read: 95, insert: 5, latest: true},
+		{name: "E", scan: 95, insert: 5},
+		{name: "F", read: 50, rmw: 50},
+	}
+}
+
+// YCSB drives the six YCSB core workloads (A–F) through the full network
+// stack twice: once as single-shot operations (GET/PUT, CAS for the
+// read-modify-writes of F) and once over interactive transactions (ops
+// grouped ~8 per BEGIN…COMMIT, RMW via GetForUpdate). Both modes run the
+// same op stream against the same stack, so the figure isolates what the
+// transaction frames themselves cost — the gate in bench_test.go asserts
+// workload A over transactions stays within 2x of single-shot (handle
+// reuse amortizes, not regresses).
+func YCSB(scale Scale) Figure {
+	ops := scale.pick(400, 10_000)
+	keys := scale.pick(256, 4_096)
+	fig := Figure{
+		ID: "ycsb", Title: "YCSB A-F over the wire: single-shot vs interactive txns",
+		XLabel: "workload (1=A .. 6=F)", YLabel: "kops/s (wall clock)",
+		Notes: fmt.Sprintf("loopback TCP, 1 conn, %d keys, %d ops/workload, ~8 ops per txn", keys, ops),
+	}
+	var single, txn []Point
+	for i, w := range ycsbWorkloads() {
+		x := float64(i + 1)
+		single = append(single, Point{X: x, Y: ycsbPoint(w, keys, ops, false) / 1e3})
+		txn = append(txn, Point{X: x, Y: ycsbPoint(w, keys, ops, true) / 1e3})
+	}
+	fig.Series = append(fig.Series,
+		Series{Name: "single-shot", Points: single},
+		Series{Name: "interactive txn", Points: txn},
+	)
+	return fig
+}
+
+// ycsbTxnGroup is how many operations ride one interactive transaction.
+const ycsbTxnGroup = 8
+
+// ycsbStack builds the standard loopback stack for the wire benchmarks.
+func ycsbStack(maxValue int) (*kv.Store, *server.Server, string, func()) {
+	st, err := rewind.Open(rewind.Options{
+		ArenaSize:         1 << 26,
+		GroupSize:         64,
+		GroupCommit:       true,
+		GroupCommitWindow: 300 * time.Microsecond,
+		GroupCommitMax:    8,
+		DisableTracking:   true,
+	})
+	if err != nil {
+		panic(err)
+	}
+	kvs, err := kv.Create(st, kv.Config{Stripes: 8, MaxValue: maxValue})
+	if err != nil {
+		panic(err)
+	}
+	srv := server.New(kvs)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	go srv.Serve(ln)
+	return kvs, srv, ln.Addr().String(), func() { srv.Close() }
+}
+
+// ycsbPoint runs one workload in one mode and returns ops per wall second.
+func ycsbPoint(w ycsbWorkload, keys, ops int, useTxn bool) float64 {
+	kvs, _, addr, done := ycsbStack(64)
+	defer done()
+	val := make([]byte, 64)
+	for k := 1; k <= keys; k++ {
+		if err := kvs.Put(uint64(k), val); err != nil {
+			panic(err)
+		}
+	}
+	cl := client.Dial(addr, client.Options{Conns: 1})
+	defer cl.Close()
+
+	rng := rand.New(rand.NewSource(42))
+	nextInsert := uint64(keys)
+	pickKey := func() uint64 {
+		if w.latest {
+			// D: read the tail of the keyspace (the recent inserts).
+			window := uint64(100)
+			if nextInsert < window {
+				window = nextInsert
+			}
+			return nextInsert - uint64(rng.Intn(int(window)))
+		}
+		return uint64(rng.Intn(keys)) + 1
+	}
+
+	var tx *client.Txn
+	inTxn := 0
+	commit := func() {
+		if tx != nil {
+			if err := tx.Commit(); err != nil {
+				panic(err)
+			}
+			tx, inTxn = nil, 0
+		}
+	}
+	begin := func() *client.Txn {
+		if tx == nil {
+			var err error
+			if tx, err = cl.Begin(); err != nil {
+				panic(err)
+			}
+		}
+		return tx
+	}
+
+	sec := elapsed(func() {
+		for i := 0; i < ops; i++ {
+			dice := rng.Intn(100)
+			var err error
+			switch {
+			case dice < w.read:
+				k := pickKey()
+				if useTxn {
+					_, err = begin().Get(k)
+				} else {
+					_, err = cl.Get(k)
+				}
+			case dice < w.read+w.update:
+				k := pickKey()
+				if useTxn {
+					err = begin().Put(k, val)
+				} else {
+					err = cl.Put(k, val)
+				}
+			case dice < w.read+w.update+w.insert:
+				nextInsert++
+				if useTxn {
+					err = begin().Put(nextInsert, val)
+				} else {
+					err = cl.Put(nextInsert, val)
+				}
+			case dice < w.read+w.update+w.insert+w.scan:
+				// Short range scan (E); scans have no transactional variant,
+				// both modes issue the same single-shot SCAN.
+				k := pickKey()
+				_, err = cl.Scan(k, k+10, 10)
+			default: // read-modify-write (F)
+				k := pickKey()
+				if useTxn {
+					var cur []byte
+					if cur, err = begin().GetForUpdate(k); err == nil {
+						nv := append([]byte(nil), cur...)
+						if len(nv) == 0 {
+							nv = make([]byte, 8)
+						}
+						nv[0]++
+						err = tx.Put(k, nv)
+					}
+				} else {
+					// CAS retry loop: the single-shot RMW idiom.
+					for {
+						cur, gerr := cl.Get(k)
+						if gerr != nil {
+							err = gerr
+							break
+						}
+						nv := append([]byte(nil), cur...)
+						if len(nv) == 0 {
+							nv = make([]byte, 8)
+						}
+						nv[0]++
+						ok, cerr := cl.CompareAndSwap(k, cur, nv)
+						if cerr != nil {
+							err = cerr
+							break
+						}
+						if ok {
+							break
+						}
+					}
+				}
+			}
+			if err != nil && err != client.ErrNotFound {
+				panic(err)
+			}
+			if useTxn {
+				if inTxn++; inTxn >= ycsbTxnGroup {
+					commit()
+				}
+			}
+		}
+		commit()
+	})
+	return float64(ops) / sec
+}
+
+// TPCCNet runs TPC-C New-Order end to end over the network stack — the
+// first multi-op network figure. Terminals each hold one connection and
+// run the full transaction conversationally; the interactive series uses
+// BEGIN…COMMIT with for-update reads (conflicts retry), the baseline
+// series uses plain reads plus one BATCH (atomic but unguarded).
+func TPCCNet(scale Scale) Figure {
+	orders := scale.pick(30, 300)
+	factor := 100 // items/customers scaled down 100x
+	fig := Figure{
+		ID: "tpccnet", Title: "TPC-C New-Order over the wire",
+		XLabel: "terminals", YLabel: "committed New-Orders/s (wall clock)",
+		Notes: fmt.Sprintf("loopback TCP, %d orders/terminal, OCC retries on conflict, scale 1/%d", orders, factor),
+	}
+	var txn, batch []Point
+	for _, terms := range []int{1, 2, 4} {
+		y := tpccNetPoint(terms, orders, factor, true)
+		txn = append(txn, Point{X: float64(terms), Y: y})
+		y = tpccNetPoint(terms, orders, factor, false)
+		batch = append(batch, Point{X: float64(terms), Y: y})
+	}
+	fig.Series = append(fig.Series,
+		Series{Name: "interactive txn", Points: txn},
+		Series{Name: "batch baseline", Points: batch},
+	)
+	return fig
+}
+
+func tpccNetPoint(terminals, orders, factor int, useTxn bool) float64 {
+	kvs, _, addr, done := ycsbStack(tpcc.NetMaxValue)
+	defer done()
+	if err := tpcc.NetLoad(kvs, rand.New(rand.NewSource(7)), factor); err != nil {
+		panic(err)
+	}
+	committed := 0
+	var mu sync.Mutex
+	sec := elapsed(func() {
+		var wg sync.WaitGroup
+		for i := 0; i < terminals; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				cl := client.Dial(addr, client.Options{Conns: 1})
+				defer cl.Close()
+				term := tpcc.NewNetTerminal(cl, i, int64(1000+i), factor, useTxn)
+				for n := 0; n < orders; n++ {
+					if _, err := term.NewOrder(); err != nil {
+						panic(err)
+					}
+				}
+				mu.Lock()
+				committed += term.Executed
+				mu.Unlock()
+			}(i)
+		}
+		wg.Wait()
+	})
+	return float64(committed) / sec
+}

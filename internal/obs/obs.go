@@ -49,11 +49,23 @@ const (
 	OpScan
 	OpBatch
 	OpStats
+	OpBegin
+	OpCommit
+	OpRollback
+	OpTxnGet
+	OpTxnPut
+	OpTxnDel
+	OpCas
+	OpGetAt
 	OpOther
 	NumOps
 )
 
-var opNames = [NumOps]string{"get", "put", "del", "scan", "batch", "stats", "other"}
+var opNames = [NumOps]string{
+	"get", "put", "del", "scan", "batch", "stats",
+	"begin", "commit", "rollback", "txn_get", "txn_put", "txn_del",
+	"cas", "get_at", "other",
+}
 
 // String returns the metric-name fragment for the op ("get", "put", ...).
 func (k OpKind) String() string {

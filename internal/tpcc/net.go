@@ -1,0 +1,371 @@
+package tpcc
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"github.com/rewind-db/rewind/client"
+	"github.com/rewind-db/rewind/kv"
+)
+
+// This file wires New-Order through the network stack: the TPC-C tables
+// live in ONE kv keyspace (table tag in the key's high byte), terminals
+// drive the rewindd server over TCP, and the transaction itself runs as an
+// interactive BEGIN…COMMIT — district and stock read-modify-writes go
+// through GetForUpdate, so two terminals racing an item's stock row
+// produce a commit-time conflict and a retry instead of a lost update.
+// A Batch-mode variant (plain reads + one all-or-none BATCH) is the
+// baseline the interactive figure compares against; it has no conflict
+// detection, which is exactly the point of the comparison.
+
+// Network keyspace: tag byte in the top 8 bits, table-specific compound
+// key below. District ids stay below 2^8, order ids below 2^32.
+const (
+	netTagWarehouse uint64 = 1 << 56
+	netTagDistrict  uint64 = 2 << 56
+	netTagCustomer  uint64 = 3 << 56
+	netTagItem      uint64 = 4 << 56
+	netTagStock     uint64 = 5 << 56
+	netTagOrder     uint64 = 6 << 56
+	netTagNewOrder  uint64 = 7 << 56
+	netTagOrderLine uint64 = 8 << 56
+)
+
+// NetMaxValue is the kv Config.MaxValue the network schema needs (the
+// largest table row is the 32-byte stock image).
+const NetMaxValue = stockValSize
+
+// Net key encoders (exported for tests and benches).
+
+func NetWarehouseKey(w uint64) uint64 { return netTagWarehouse | w }
+func NetDistrictKey(w, d uint64) uint64 {
+	return netTagDistrict | (w*DistrictsPerWH + d)
+}
+func NetCustomerKey(w, d, c uint64) uint64 {
+	return netTagCustomer | ((w*DistrictsPerWH+d)*CustomersPerDist + c)
+}
+func NetItemKey(i uint64) uint64     { return netTagItem | i }
+func NetStockKey(w, i uint64) uint64 { return netTagStock | (w*Items + i) }
+func NetOrderKey(d, o uint64) uint64 {
+	return netTagOrder | d<<40 | o
+}
+func NetNewOrderKey(d, o uint64) uint64 {
+	return netTagNewOrder | d<<40 | o
+}
+func NetOrderLineKey(d, o, n uint64) uint64 {
+	return netTagOrderLine | d<<40 | o*16 + n
+}
+
+// NetLoad populates the static tables directly through the kv store
+// (bulk load precedes serving, as in the in-process harness). factor
+// scales items and customers down for tests and quick benches.
+func NetLoad(s *kv.Store, rng *rand.Rand, factor int) error {
+	if factor < 1 {
+		factor = 1
+	}
+	items := Items / factor
+	custs := CustomersPerDist / factor
+	var ops []kv.Op
+	flush := func(force bool) error {
+		if len(ops) == 0 || (!force && len(ops) < 256) {
+			return nil
+		}
+		err := s.Batch(ops)
+		ops = ops[:0]
+		return err
+	}
+	put := func(key uint64, v []byte) { ops = append(ops, kv.Op{Key: key, Value: v}) }
+
+	wv := make([]byte, whValSize)
+	putU64(wv, 0, 7) // tax
+	put(NetWarehouseKey(1), wv)
+	for d := uint64(0); d < DistrictsPerWH; d++ {
+		dv := make([]byte, distValSize)
+		putU64(dv, 0, 5+d)
+		putU64(dv, 16, 1) // next_o_id
+		put(NetDistrictKey(1, d), dv)
+		for c := uint64(0); c < uint64(custs); c++ {
+			cv := make([]byte, custValSize)
+			putU64(cv, 0, uint64(rng.Intn(50)))
+			put(NetCustomerKey(1, d, c), cv)
+			if err := flush(false); err != nil {
+				return err
+			}
+		}
+	}
+	for i := uint64(1); i <= uint64(items); i++ {
+		iv := make([]byte, itemValSize)
+		putU64(iv, 0, uint64(rng.Intn(9900)+100)) // price
+		put(NetItemKey(i), iv)
+		sv := make([]byte, stockValSize)
+		putU64(sv, 0, uint64(rng.Intn(90)+10)) // quantity
+		put(NetStockKey(1, i), sv)
+		if err := flush(false); err != nil {
+			return err
+		}
+	}
+	return flush(true)
+}
+
+// NetTerminal is one emulated terminal driving New-Order over TCP.
+type NetTerminal struct {
+	cl       *client.Client
+	district uint64
+	rng      *rand.Rand
+	items    int
+	custs    int
+	useTxn   bool
+
+	// Executed/Aborted count completed transactions; Conflicts counts
+	// commit-time OCC conflicts (each one retried); Lines is the total
+	// order lines committed — the figure the stock order_cnt consistency
+	// check sums against.
+	Executed, Aborted, Conflicts int
+	Lines                        int
+}
+
+// NewNetTerminal builds terminal i (serving district i%10) against cl.
+// factor matches NetLoad's; useTxn selects interactive transactions
+// (false = the read-then-BATCH baseline, which detects no conflicts).
+func NewNetTerminal(cl *client.Client, i int, seed int64, factor int, useTxn bool) *NetTerminal {
+	if factor < 1 {
+		factor = 1
+	}
+	return &NetTerminal{
+		cl:       cl,
+		district: uint64(i % DistrictsPerWH),
+		rng:      rand.New(rand.NewSource(seed)),
+		items:    Items / factor,
+		custs:    CustomersPerDist / factor,
+		useTxn:   useTxn,
+	}
+}
+
+// NewOrder executes one new-order transaction over the wire, retrying
+// commit conflicts until it commits or aborts. Reports whether it
+// committed.
+func (t *NetTerminal) NewOrder() (bool, error) {
+	for {
+		committed, err := t.tryNewOrder()
+		if !errors.Is(err, client.ErrConflict) {
+			return committed, err
+		}
+		t.Conflicts++
+	}
+}
+
+// netOrder is the randomized shape of one new-order, fixed before the
+// attempt so a conflict retry replays the same logical transaction.
+type netOrder struct {
+	cid   uint64
+	iids  []uint64
+	abort bool
+}
+
+func (t *NetTerminal) roll() netOrder {
+	o := netOrder{
+		cid:   uint64(t.rng.Intn(t.custs)),
+		abort: t.rng.Intn(100) < AbortPercent,
+	}
+	n := t.rng.Intn(MaxOrderLines-MinOrderLines+1) + MinOrderLines
+	for i := 0; i < n; i++ {
+		o.iids = append(o.iids, uint64(t.rng.Intn(t.items))+1)
+	}
+	return o
+}
+
+func (t *NetTerminal) tryNewOrder() (bool, error) {
+	if t.useTxn {
+		return t.newOrderTxn(t.roll())
+	}
+	return t.newOrderBatch(t.roll())
+}
+
+// newOrderTxn is the interactive path: district and stock rows are read
+// for update, so the commit validates them and conflicts surface as
+// client.ErrConflict (propagated to the caller's retry loop).
+func (t *NetTerminal) newOrderTxn(o netOrder) (bool, error) {
+	tx, err := t.cl.Begin()
+	if err != nil {
+		return false, err
+	}
+	d := t.district
+	// Rollback on any early exit; harmless after Commit/Rollback ran.
+	defer func() { _ = tx.Rollback() }()
+
+	if _, err := tx.Get(NetWarehouseKey(1)); err != nil {
+		return false, fmt.Errorf("tpcc: warehouse: %w", err)
+	}
+	dv, err := tx.GetForUpdate(NetDistrictKey(1, d))
+	if err != nil {
+		return false, fmt.Errorf("tpcc: district: %w", err)
+	}
+	oid := getU64(dv, 16)
+	ndv := append([]byte(nil), dv...)
+	putU64(ndv, 16, oid+1)
+	if err := tx.Put(NetDistrictKey(1, d), ndv); err != nil {
+		return false, err
+	}
+	if _, err := tx.Get(NetCustomerKey(1, d, o.cid)); err != nil {
+		return false, fmt.Errorf("tpcc: customer: %w", err)
+	}
+
+	ov := make([]byte, orderValSize)
+	putU64(ov, 0, o.cid)
+	putU64(ov, 8, 20260808)
+	putU64(ov, 16, uint64(len(o.iids)))
+	putU64(ov, 24, 1)
+	if err := tx.Put(NetOrderKey(d, oid), ov); err != nil {
+		return false, err
+	}
+	nv := make([]byte, nordValSize)
+	putU64(nv, 0, 1)
+	if err := tx.Put(NetNewOrderKey(d, oid), nv); err != nil {
+		return false, err
+	}
+
+	for n, iid := range o.iids {
+		iv, err := tx.Get(NetItemKey(iid))
+		if err != nil {
+			return false, fmt.Errorf("tpcc: item: %w", err)
+		}
+		price := getU64(iv, 0)
+		sv, err := tx.GetForUpdate(NetStockKey(1, iid))
+		if err != nil {
+			return false, fmt.Errorf("tpcc: stock: %w", err)
+		}
+		nsv := append([]byte(nil), sv...)
+		qty := getU64(nsv, 0)
+		if qty >= 10+5 {
+			putU64(nsv, 0, qty-5)
+		} else {
+			putU64(nsv, 0, qty+91-5)
+		}
+		putU64(nsv, 8, getU64(nsv, 8)+5)   // ytd
+		putU64(nsv, 16, getU64(nsv, 16)+1) // order_cnt
+		if err := tx.Put(NetStockKey(1, iid), nsv); err != nil {
+			return false, err
+		}
+		lv := make([]byte, olValSize)
+		putU64(lv, 0, iid)
+		putU64(lv, 8, 1)
+		putU64(lv, 16, 5)
+		putU64(lv, 24, 5*price)
+		if err := tx.Put(NetOrderLineKey(d, oid, uint64(n)), lv); err != nil {
+			return false, err
+		}
+	}
+
+	if o.abort {
+		if err := tx.Rollback(); err != nil {
+			return false, err
+		}
+		t.Aborted++
+		return false, nil
+	}
+	if err := tx.Commit(); err != nil {
+		return false, err // includes ErrConflict for the caller's retry
+	}
+	t.Executed++
+	t.Lines += len(o.iids)
+	return true, nil
+}
+
+// newOrderBatch is the single-shot baseline: plain GETs, then one
+// all-or-none BATCH carrying every write. Atomic and durable, but the
+// read-to-write window is unguarded — concurrent terminals lose updates.
+func (t *NetTerminal) newOrderBatch(o netOrder) (bool, error) {
+	if o.abort {
+		t.Aborted++
+		return false, nil
+	}
+	d := t.district
+	dv, err := t.cl.Get(NetDistrictKey(1, d))
+	if err != nil {
+		return false, fmt.Errorf("tpcc: district: %w", err)
+	}
+	oid := getU64(dv, 16)
+	ndv := append([]byte(nil), dv...)
+	putU64(ndv, 16, oid+1)
+	ops := []client.Op{{Key: NetDistrictKey(1, d), Value: ndv}}
+
+	ov := make([]byte, orderValSize)
+	putU64(ov, 0, o.cid)
+	putU64(ov, 8, 20260808)
+	putU64(ov, 16, uint64(len(o.iids)))
+	putU64(ov, 24, 1)
+	ops = append(ops, client.Op{Key: NetOrderKey(d, oid), Value: ov})
+	nv := make([]byte, nordValSize)
+	putU64(nv, 0, 1)
+	ops = append(ops, client.Op{Key: NetNewOrderKey(d, oid), Value: nv})
+
+	for n, iid := range o.iids {
+		iv, err := t.cl.Get(NetItemKey(iid))
+		if err != nil {
+			return false, fmt.Errorf("tpcc: item: %w", err)
+		}
+		price := getU64(iv, 0)
+		sv, err := t.cl.Get(NetStockKey(1, iid))
+		if err != nil {
+			return false, fmt.Errorf("tpcc: stock: %w", err)
+		}
+		nsv := append([]byte(nil), sv...)
+		qty := getU64(nsv, 0)
+		if qty >= 10+5 {
+			putU64(nsv, 0, qty-5)
+		} else {
+			putU64(nsv, 0, qty+91-5)
+		}
+		putU64(nsv, 8, getU64(nsv, 8)+5)
+		putU64(nsv, 16, getU64(nsv, 16)+1)
+		ops = append(ops, client.Op{Key: NetStockKey(1, iid), Value: nsv})
+		lv := make([]byte, olValSize)
+		putU64(lv, 0, iid)
+		putU64(lv, 8, 1)
+		putU64(lv, 16, 5)
+		putU64(lv, 24, 5*price)
+		ops = append(ops, client.Op{Key: NetOrderLineKey(d, oid, uint64(n)), Value: lv})
+	}
+	if err := t.cl.Batch(ops); err != nil {
+		return false, err
+	}
+	t.Executed++
+	t.Lines += len(o.iids)
+	return true, nil
+}
+
+// NetNextOrderID reads district d's next_o_id over the wire.
+func NetNextOrderID(cl *client.Client, d int) (uint64, error) {
+	dv, err := cl.Get(NetDistrictKey(1, uint64(d)))
+	if err != nil {
+		return 0, err
+	}
+	return getU64(dv, 16), nil
+}
+
+// NetOrderCount counts district d's committed orders over the wire.
+func NetOrderCount(cl *client.Client, d int) (int, error) {
+	lo := NetOrderKey(uint64(d), 0)
+	hi := NetOrderKey(uint64(d), (1<<40)-1)
+	pairs, err := cl.Scan(lo, hi, 0)
+	return len(pairs), err
+}
+
+// NetStockOrderCntSum sums order_cnt across the stock table over the
+// wire: equal to the total committed order lines when no update was lost.
+func NetStockOrderCntSum(cl *client.Client, factor int) (uint64, error) {
+	if factor < 1 {
+		factor = 1
+	}
+	items := uint64(Items / factor)
+	pairs, err := cl.Scan(NetStockKey(1, 1), NetStockKey(1, items), 0)
+	if err != nil {
+		return 0, err
+	}
+	var sum uint64
+	for _, p := range pairs {
+		sum += getU64(p.Value, 16)
+	}
+	return sum, nil
+}

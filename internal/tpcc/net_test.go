@@ -1,0 +1,117 @@
+package tpcc
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/rewind-db/rewind"
+	"github.com/rewind-db/rewind/client"
+	"github.com/rewind-db/rewind/kv"
+	"github.com/rewind-db/rewind/server"
+)
+
+// TestNetNewOrderConsistency runs concurrent New-Order terminals over
+// real TCP through interactive transactions and checks the ledger
+// afterwards:
+//
+//  1. per-district: committed order rows == next_o_id - 1 (the for-update
+//     counter increment is neither lost nor double-applied), and
+//  2. the stock table's order_cnt sum == the sum of order lines the
+//     terminals committed (no stock read-modify-write was lost).
+//
+// The second invariant is exactly what the unguarded read-then-BATCH
+// baseline cannot promise under contention — it is the reason the
+// interactive-transaction path exists.
+func TestNetNewOrderConsistency(t *testing.T) {
+	st, err := rewind.Open(rewind.Options{
+		ArenaSize: 1 << 26, GroupCommit: true,
+		GroupCommitWindow: 100 * time.Microsecond, GroupCommitMax: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kvs, err := kv.Create(st, kv.Config{Stripes: 8, MaxValue: NetMaxValue})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(kvs)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+	addr := ln.Addr().String()
+
+	const factor = 100
+	if err := NetLoad(kvs, rand.New(rand.NewSource(7)), factor); err != nil {
+		t.Fatal(err)
+	}
+
+	terminals, orders := 4, 25
+	if testing.Short() {
+		terminals, orders = 2, 10
+	}
+	terms := make([]*NetTerminal, terminals)
+	var wg sync.WaitGroup
+	for i := 0; i < terminals; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cl := client.Dial(addr, client.Options{Conns: 1})
+			defer cl.Close()
+			// Terminals 0 and 2 (and 1 and 3) share a district: real
+			// next_o_id and stock contention, the conflict pressure OCC
+			// must absorb without losing updates.
+			term := NewNetTerminal(cl, i%2, int64(1000+i), factor, true)
+			terms[i] = term
+			for n := 0; n < orders; n++ {
+				if _, err := term.NewOrder(); err != nil {
+					panic(err)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	var executed, lines, conflicts int
+	for _, term := range terms {
+		executed += term.Executed
+		lines += term.Lines
+		conflicts += term.Conflicts
+	}
+	t.Logf("%d terminals: %d committed, %d lines, %d conflicts retried",
+		terminals, executed, lines, conflicts)
+
+	cl := client.Dial(addr, client.Options{Conns: 1})
+	defer cl.Close()
+	totalOrders := 0
+	for d := 0; d < DistrictsPerWH; d++ {
+		next, err := NetNextOrderID(cl, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		count, err := NetOrderCount(cl, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if uint64(count) != next-1 {
+			t.Fatalf("district %d: %d order rows but next_o_id %d (lost or phantom counter update)",
+				d, count, next)
+		}
+		totalOrders += count
+	}
+	if totalOrders != executed {
+		t.Fatalf("order rows %d != committed transactions %d", totalOrders, executed)
+	}
+	sum, err := NetStockOrderCntSum(cl, factor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != uint64(lines) {
+		t.Fatalf("stock order_cnt sum %d != committed order lines %d (lost stock update)", sum, lines)
+	}
+}

@@ -28,6 +28,33 @@ func FuzzReadFrame(f *testing.F) {
 	f.Add(AppendFrame(nil, 2, StatusErr, bytes.Repeat([]byte{0xee}, 300)))
 	// Two pipelined frames back to back.
 	f.Add(AppendFrame(AppendFrame(nil, 1, OpDel, AppendU64(nil, 9)), 2, OpScan, make([]byte, 20)))
+	// The interactive-transaction ops: a BEGIN, a whole pipelined
+	// BEGIN/TPUT/COMMIT conversation, a ROLLBACK, a for-update TGET, a CAS
+	// with both optional fields, and a GETAT with its offset.
+	f.Add(AppendFrame(nil, 3, OpBegin, nil))
+	txnPut := AppendU64(nil, 1) // txn id
+	txnPut = AppendU64(txnPut, 42)
+	txnPut = AppendBytes(txnPut, []byte("buffered"))
+	f.Add(AppendFrame(
+		AppendFrame(
+			AppendFrame(nil, 1, OpBegin, nil),
+			2, OpTxnPut, txnPut),
+		3, OpCommit, AppendU64(nil, 1)))
+	f.Add(AppendFrame(nil, 4, OpRollback, AppendU64(nil, 9)))
+	tget := AppendU64(nil, 1)
+	tget = AppendU64(tget, 42)
+	f.Add(AppendFrame(nil, 5, OpTxnGet, append(tget, TxnReadForUpdate)))
+	cas := AppendU64(nil, 7)
+	cas = append(cas, CasExpectPresent|CasStoreValue)
+	cas = AppendBytes(cas, []byte("old"))
+	cas = AppendBytes(cas, []byte("new"))
+	f.Add(AppendFrame(nil, 6, OpCas, cas))
+	getAt := AppendU64(nil, 7)
+	getAt = AppendU64(getAt, 1<<20)
+	f.Add(AppendFrame(nil, 8, OpGetAt, getAt))
+	// TOOLARGE and CONFLICT responses.
+	f.Add(AppendFrame(nil, 9, StatusTooLarge, AppendU64(nil, 5<<20)))
+	f.Add(AppendFrame(nil, 10, StatusConflict, []byte("kv: txn conflict")))
 	// Hostile shapes: truncated header, truncated body, undersized and
 	// oversized length prefixes.
 	f.Add([]byte{})

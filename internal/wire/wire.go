@@ -14,22 +14,43 @@
 //
 // Request bodies:
 //
-//	GET    key u64
-//	PUT    key u64, vlen u32, value bytes
-//	DEL    key u64
-//	SCAN   from u64, to u64, limit u32
-//	BATCH  count u32, then per op: kind u8 (0 put, 1 delete), key u64,
-//	       and for puts vlen u32 + value bytes — applied all-or-none
-//	STATS  (empty)
+//	GET      key u64
+//	PUT      key u64, vlen u32, value bytes
+//	DEL      key u64
+//	SCAN     from u64, to u64, limit u32
+//	BATCH    count u32, then per op: kind u8 (0 put, 1 delete), key u64,
+//	         and for puts vlen u32 + value bytes — applied all-or-none
+//	STATS    (empty)
+//	BEGIN    (empty) — opens a transaction pinned to this connection
+//	COMMIT   txn u64
+//	ROLLBACK txn u64
+//	TGET     txn u64, key u64, mode u8 (0 plain, 1 for-update: the read is
+//	         revalidated at COMMIT and a change aborts with CONFLICT)
+//	TPUT     txn u64, key u64, vlen u32, value bytes (buffered until COMMIT)
+//	TDEL     txn u64, key u64 (buffered until COMMIT)
+//	CAS      key u64, flags u8, [expect: vlen u32 + bytes when flags&1],
+//	         [value: vlen u32 + bytes when flags&2]. flags&1 means "expect
+//	         the given value present" (else: expect absent — put-if-absent);
+//	         flags&2 means "store the given value" (else: delete on match).
+//	GETAT    key u64, off u64 — one chunk of a value too large for a frame
 //
 // Response bodies:
 //
 //	OK for GET: value bytes (the whole body)
-//	OK for DEL: found u8
+//	OK for DEL / TDEL: found u8
 //	OK for SCAN: count u32, then per pair: key u64, vlen u32, value bytes
 //	OK for STATS: a JSON document
+//	OK for BEGIN: txn u64 (the server-assigned handle id)
+//	OK for CAS: swapped u8
+//	OK for GETAT: total u64, token u64, chunk bytes (the rest of the body);
+//	  chunks carrying the same token are one consistent value image
 //	OK otherwise: empty
 //	NOTFOUND, ERR: optional error text
+//	TOOLARGE for GET/TGET: total u64 — the value exceeds MaxBody; fetch it
+//	  with GETAT chunks. For SCAN: key u64, total u64 — the next pair alone
+//	  exceeds MaxBody; chunk-fetch that key and resume the scan past it.
+//	CONFLICT for COMMIT: a for-update read changed; the transaction rolled
+//	  back — rebuild it and retry.
 package wire
 
 import (
@@ -47,6 +68,26 @@ const (
 	OpScan
 	OpBatch
 	OpStats
+	OpBegin
+	OpCommit
+	OpRollback
+	OpTxnGet
+	OpTxnPut
+	OpTxnDel
+	OpCas
+	OpGetAt
+)
+
+// CAS request flags.
+const (
+	CasExpectPresent byte = 1 << 0 // an expect field follows; else expect absent
+	CasStoreValue    byte = 1 << 1 // a value field follows; else delete on match
+)
+
+// TGET read modes.
+const (
+	TxnReadPlain     byte = 0
+	TxnReadForUpdate byte = 1
 )
 
 // Response statuses.
@@ -54,12 +95,19 @@ const (
 	StatusOK byte = iota
 	StatusNotFound
 	StatusErr
+	StatusTooLarge
+	StatusConflict
 )
 
 // MaxFrame bounds a single frame (1 MiB): large enough for any scan page
 // the server returns, small enough that a corrupt length prefix cannot
 // make a peer allocate unboundedly.
 const MaxFrame = 1 << 20
+
+// MaxBody is the largest body a frame can carry (MaxFrame minus the id and
+// op/status bytes counted by the length prefix). Values longer than this
+// cannot ride a GET/SCAN response and are fetched in GETAT chunks.
+const MaxBody = MaxFrame - 5
 
 // Errors.
 var (

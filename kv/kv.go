@@ -192,6 +192,9 @@ type Store struct {
 	gets, puts, dels, scans, batches atomic.Int64
 	readRetries, readFallbacks       atomic.Int64
 	fastPath, latchWaits, fallbacks  atomic.Int64
+
+	txnBegins, txnCommits, txnRollbacks, txnConflicts atomic.Int64
+	casAttempts, casApplied                           atomic.Int64
 }
 
 // optimisticReadHook, when non-nil, runs between an optimistic traversal
@@ -535,6 +538,78 @@ func (s *Store) readValue(addr uint64) []byte {
 	return v
 }
 
+// readValueAt copies out a window [off, off+max) of a record's payload,
+// clamped to the (possibly torn — see readValue) stored length. It returns
+// the chunk and the record's total length.
+func (s *Store) readValueAt(addr, off uint64, max int) ([]byte, uint64) {
+	n := s.mem.Load64(addr)
+	if n > uint64(s.cfg.MaxValue) {
+		n = uint64(s.cfg.MaxValue)
+	}
+	if off >= n {
+		return nil, n
+	}
+	want := n - off
+	if uint64(max) < want {
+		want = uint64(max)
+	}
+	// The device reads whole words from aligned addresses; start at the
+	// word containing off and drop the leading slack. The record payload is
+	// word-padded, so the widened window stays inside the allocation.
+	head := off & 7
+	buf := make([]byte, head+want)
+	s.mem.Read(addr+8+(off-head), buf)
+	return buf[head:], n
+}
+
+// GetAt returns up to max bytes of key's value starting at byte offset off,
+// plus the value's total length and a consistency token. Two GetAt calls
+// returning the SAME token observed the same committed value image: the
+// token is the stripe's seqlock word validated around the copy, so a client
+// assembling a large value from chunks over several round trips restarts
+// whenever the token changes and never splices two different values
+// together. Like Get, it is latch-free with a stripe-latch fallback.
+func (s *Store) GetAt(key, off uint64, max int) (chunk []byte, total, token uint64, ok bool) {
+	s.gets.Add(1)
+	sp := s.stripeOf(key)
+	if !s.cfg.ExclusiveReads {
+		for attempt := 0; attempt < s.cfg.ReadRetries; attempt++ {
+			seq := sp.seq.Load()
+			if seq&writerMask != 0 {
+				s.readRetries.Add(1)
+				runtime.Gosched()
+				continue
+			}
+			addr, found := sp.tree.SeekRecord(key)
+			var v []byte
+			var n uint64
+			if found {
+				v, n = s.readValueAt(addr, off, max)
+			}
+			if optimisticReadHook != nil {
+				optimisticReadHook()
+			}
+			if sp.seq.Load() == seq {
+				return v, n, seq, found
+			}
+			s.readRetries.Add(1)
+		}
+		s.readFallbacks.Add(1)
+	}
+	sp.wmu.Lock()
+	defer sp.wmu.Unlock()
+	// Under the exclusive latch no write window is open (writers hold wmu
+	// shared through their windows), so the seqlock word is stable and is
+	// still a sound consistency token.
+	seq := sp.seq.Load()
+	addr, found := sp.tree.SeekRecord(key)
+	if !found {
+		return nil, 0, seq, false
+	}
+	v, n := s.readValueAt(addr, off, max)
+	return v, n, seq, true
+}
+
 // Get returns the value stored under key. It is latch-free: optimistic
 // seqlock attempts first, the stripe-exclusive latch only after
 // Config.ReadRetries failed validations (a persistent write storm on this
@@ -846,8 +921,16 @@ type Stats struct {
 	// stripe-exclusive tier because the mutation was structural (leaf
 	// split or rebalance).
 	OverwriteFastPath, LeafLatchWaits, StripeLatchFallbacks int64
-	Keys                                                    int
-	Stripes                                                 int
+	// TxnBegins/TxnCommits/TxnRollbacks count interactive transaction
+	// handles opened, committed, and rolled back; TxnConflicts counts
+	// commits aborted by for-update read validation.
+	TxnBegins, TxnCommits, TxnRollbacks, TxnConflicts int64
+	// CasAttempts counts conditional operations (CAS, put-if-absent);
+	// CasApplied counts the ones whose condition held and that mutated
+	// (or durably confirmed) the store.
+	CasAttempts, CasApplied int64
+	Keys                    int
+	Stripes                 int
 }
 
 // Stats returns a snapshot of activity counters and the current key count.
@@ -858,7 +941,10 @@ func (s *Store) Stats() Stats {
 		ReadRetries: s.readRetries.Load(), ReadFallbacks: s.readFallbacks.Load(),
 		OverwriteFastPath: s.fastPath.Load(), LeafLatchWaits: s.latchWaits.Load(),
 		StripeLatchFallbacks: s.fallbacks.Load(),
-		Keys:                 s.Len(), Stripes: len(s.stripes),
+		TxnBegins:            s.txnBegins.Load(), TxnCommits: s.txnCommits.Load(),
+		TxnRollbacks: s.txnRollbacks.Load(), TxnConflicts: s.txnConflicts.Load(),
+		CasAttempts: s.casAttempts.Load(), CasApplied: s.casApplied.Load(),
+		Keys: s.Len(), Stripes: len(s.stripes),
 	}
 }
 
@@ -879,6 +965,12 @@ func (s *Store) RegisterMetrics(r *obs.Registry) {
 		emit("rewind_kv_overwrite_fast_path_total", "Puts that took the single-leaf overwrite fast path.", st.OverwriteFastPath)
 		emit("rewind_kv_leaf_latch_waits_total", "Leaf/header latch acquisitions that contended.", st.LeafLatchWaits)
 		emit("rewind_kv_stripe_latch_fallbacks_total", "Writes restarted on the stripe-exclusive tier (splits/rebalances).", st.StripeLatchFallbacks)
+		emit("rewind_kv_txn_begins_total", "Interactive transactions opened.", st.TxnBegins)
+		emit("rewind_kv_txn_commits_total", "Interactive transactions committed.", st.TxnCommits)
+		emit("rewind_kv_txn_rollbacks_total", "Interactive transactions rolled back.", st.TxnRollbacks)
+		emit("rewind_kv_txn_conflicts_total", "Interactive commits aborted by for-update read validation.", st.TxnConflicts)
+		emit("rewind_kv_cas_attempts_total", "Conditional operations attempted (CAS, put-if-absent).", st.CasAttempts)
+		emit("rewind_kv_cas_applied_total", "Conditional operations whose condition held.", st.CasApplied)
 		emit("rewind_kv_keys", "Keys currently stored across all stripes.", int64(st.Keys))
 		emit("rewind_kv_stripes", "Configured stripe count.", int64(st.Stripes))
 	})

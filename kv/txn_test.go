@@ -1,0 +1,340 @@
+package kv
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/rewind-db/rewind"
+)
+
+func TestTxnReadYourWrites(t *testing.T) {
+	s := newKV(t, 4, false)
+	if err := s.Put(1, []byte("base")); err != nil {
+		t.Fatal(err)
+	}
+	tx := s.BeginTxn()
+	if err := tx.Put(1, []byte("mine")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Put(2, []byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	// Overlay wins inside the handle.
+	if v, ok, _ := tx.Get(1); !ok || string(v) != "mine" {
+		t.Fatalf("txn Get(1) = %q, %v", v, ok)
+	}
+	if v, ok, _ := tx.Get(2); !ok || string(v) != "fresh" {
+		t.Fatalf("txn Get(2) = %q, %v", v, ok)
+	}
+	// Committed state untouched until Commit.
+	if v, _ := s.Get(1); string(v) != "base" {
+		t.Fatalf("buffered write leaked: %q", v)
+	}
+	if _, ok := s.Get(2); ok {
+		t.Fatal("buffered insert leaked")
+	}
+	// Buffered delete of a buffered write, then of committed state.
+	if found, _ := tx.Delete(2); !found {
+		t.Fatal("Delete of buffered write not found")
+	}
+	if _, ok, _ := tx.Get(2); ok {
+		t.Fatal("deleted-in-txn key still visible inside txn")
+	}
+	if found, _ := tx.Delete(1); !found {
+		t.Fatal("Delete of committed key not found in txn")
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(1); ok {
+		t.Fatal("committed delete did not apply")
+	}
+	if _, ok := s.Get(2); ok {
+		t.Fatal("insert+delete pair applied the insert")
+	}
+	// Finished handle rejects everything.
+	if err := tx.Put(3, []byte("x")); err != ErrTxnFinished {
+		t.Fatalf("Put on finished txn = %v", err)
+	}
+	if err := tx.Commit(); err != ErrTxnFinished {
+		t.Fatalf("double Commit = %v", err)
+	}
+}
+
+func TestTxnRollbackDiscards(t *testing.T) {
+	s := newKV(t, 4, false)
+	tx := s.BeginTxn()
+	if err := tx.Put(9, []byte("ghost")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(9); ok {
+		t.Fatal("rolled-back write applied")
+	}
+	st := s.Stats()
+	if st.TxnRollbacks != 1 || st.TxnBegins != 1 {
+		t.Fatalf("txn counters = %+v", st)
+	}
+}
+
+// TestTxnConflict: a for-update read invalidated by an outside write makes
+// Commit fail with ErrTxnConflict and apply NOTHING — the all-or-none OCC
+// contract, in every combination of how the read was invalidated.
+func TestTxnConflict(t *testing.T) {
+	cases := []struct {
+		name string
+		prep func(s *Store)       // committed state before the txn
+		read uint64               // key the txn reads for update
+		mut  func(s *Store) error // the outside write that invalidates it
+	}{
+		{"value changed", func(s *Store) { s.Put(1, []byte("v1")) }, 1,
+			func(s *Store) error { return s.Put(1, []byte("v2")) }},
+		{"deleted", func(s *Store) { s.Put(1, []byte("v1")) }, 1,
+			func(s *Store) error { _, err := s.Delete(1); return err }},
+		{"appeared", func(s *Store) {}, 1,
+			func(s *Store) error { return s.Put(1, []byte("born")) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := newKV(t, 4, false)
+			tc.prep(s)
+			tx := s.BeginTxn()
+			if _, _, err := tx.GetForUpdate(tc.read); err != nil {
+				t.Fatal(err)
+			}
+			if err := tx.Put(50, []byte("rider")); err != nil {
+				t.Fatal(err)
+			}
+			if err := tc.mut(s); err != nil {
+				t.Fatal(err)
+			}
+			if err := tx.Commit(); err != ErrTxnConflict {
+				t.Fatalf("Commit = %v, want ErrTxnConflict", err)
+			}
+			if _, ok := s.Get(50); ok {
+				t.Fatal("conflicted commit applied a write")
+			}
+			if s.Stats().TxnConflicts != 1 {
+				t.Fatalf("conflict not counted: %+v", s.Stats())
+			}
+		})
+	}
+}
+
+// TestTxnUnchangedForUpdateCommits: a for-update read that nobody
+// invalidated revalidates cleanly, including reads of absent keys.
+func TestTxnUnchangedForUpdateCommits(t *testing.T) {
+	s := newKV(t, 4, false)
+	if err := s.Put(1, []byte("stable")); err != nil {
+		t.Fatal(err)
+	}
+	tx := s.BeginTxn()
+	if v, ok, _ := tx.GetForUpdate(1); !ok || string(v) != "stable" {
+		t.Fatalf("GetForUpdate = %q, %v", v, ok)
+	}
+	if _, ok, _ := tx.GetForUpdate(2); ok {
+		t.Fatal("absent key found")
+	}
+	if err := tx.Put(3, []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("clean commit = %v", err)
+	}
+	if v, ok := s.Get(3); !ok || string(v) != "new" {
+		t.Fatalf("committed write lost: %q, %v", v, ok)
+	}
+}
+
+// TestTxnCrossStripe: a transaction spanning several stripes commits
+// atomically through the multi-stripe path.
+func TestTxnCrossStripe(t *testing.T) {
+	s := newKV(t, 8, false)
+	tx := s.BeginTxn()
+	for k := uint64(1); k <= 32; k++ {
+		if err := tx.Put(k, []byte(fmt.Sprintf("v%d", k))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(1); k <= 32; k++ {
+		if v, ok := s.Get(k); !ok || string(v) != fmt.Sprintf("v%d", k) {
+			t.Fatalf("key %d = %q, %v", k, v, ok)
+		}
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareAndSwapBasics(t *testing.T) {
+	s := newKV(t, 4, false)
+
+	// expect-absent insert (PutIfAbsent).
+	if ok, err := s.PutIfAbsent(1, []byte("first")); err != nil || !ok {
+		t.Fatalf("PutIfAbsent on absent = %v, %v", ok, err)
+	}
+	if ok, err := s.PutIfAbsent(1, []byte("second")); err != nil || ok {
+		t.Fatalf("PutIfAbsent on present = %v, %v", ok, err)
+	}
+	if v, _ := s.Get(1); string(v) != "first" {
+		t.Fatalf("PutIfAbsent loser overwrote: %q", v)
+	}
+
+	// Value swap: wrong expectation misses cleanly, right one applies.
+	if ok, err := s.CompareAndSwap(1, []byte("wrong"), []byte("x")); err != nil || ok {
+		t.Fatalf("CAS with wrong expect = %v, %v", ok, err)
+	}
+	if ok, err := s.CompareAndSwap(1, []byte("first"), []byte("swapped")); err != nil || !ok {
+		t.Fatalf("CAS with right expect = %v, %v", ok, err)
+	}
+	if v, _ := s.Get(1); string(v) != "swapped" {
+		t.Fatalf("CAS did not apply: %q", v)
+	}
+
+	// Delete-on-match (value == nil).
+	if ok, err := s.CompareAndSwap(1, []byte("swapped"), nil); err != nil || !ok {
+		t.Fatalf("CAS delete = %v, %v", ok, err)
+	}
+	if _, ok := s.Get(1); ok {
+		t.Fatal("CAS delete left the key")
+	}
+	// expect-absent + delete: a no-op that still "matches".
+	if ok, err := s.CompareAndSwap(1, nil, nil); err != nil || !ok {
+		t.Fatalf("CAS absent-delete = %v, %v", ok, err)
+	}
+
+	// Empty value is a real value, distinct from absent.
+	if ok, err := s.CompareAndSwap(2, nil, []byte{}); err != nil || !ok {
+		t.Fatalf("CAS store empty = %v, %v", ok, err)
+	}
+	if v, ok := s.Get(2); !ok || len(v) != 0 {
+		t.Fatalf("empty value = %q, %v", v, ok)
+	}
+	if ok, err := s.CompareAndSwap(2, []byte{}, []byte("filled")); err != nil || !ok {
+		t.Fatalf("CAS expect-empty = %v, %v", ok, err)
+	}
+
+	st := s.Stats()
+	if st.CasApplied == 0 || st.CasAttempts < st.CasApplied {
+		t.Fatalf("cas counters: %+v", st)
+	}
+}
+
+// TestCasIncrementLinearizable hammers one counter key from many
+// goroutines, each incrementing via a CAS retry loop. Exactly every
+// increment must land exactly once — lost updates or double-applies mean
+// the re-check under the leaf latch is not the linearization point it
+// claims to be. Run under -race this also exercises the seqlock pre-check
+// against concurrent committers.
+func TestCasIncrementLinearizable(t *testing.T) {
+	for _, serial := range []bool{false, true} {
+		t.Run(fmt.Sprintf("serialWrites=%v", serial), func(t *testing.T) {
+			st := newStoreWith(t, Config{Stripes: 4, MaxValue: 64, SerialWrites: serial})
+			const key = 7
+			buf := make([]byte, 8)
+			if err := st.Put(key, buf); err != nil {
+				t.Fatal(err)
+			}
+			workers, perWorker := 8, 50
+			if testing.Short() {
+				workers, perWorker = 4, 20
+			}
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < perWorker; i++ {
+						for {
+							cur, ok := st.Get(key)
+							if !ok {
+								panic("counter vanished")
+							}
+							next := make([]byte, 8)
+							binary.LittleEndian.PutUint64(next, binary.LittleEndian.Uint64(cur)+1)
+							swapped, err := st.CompareAndSwap(key, cur, next)
+							if err != nil {
+								panic(err)
+							}
+							if swapped {
+								break
+							}
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			v, _ := st.Get(key)
+			got := binary.LittleEndian.Uint64(v)
+			if got != uint64(workers*perWorker) {
+				t.Fatalf("counter = %d, want %d (lost or double-applied CAS)", got, workers*perWorker)
+			}
+			if err := st.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestPutIfAbsentSingleWinner: concurrent inserts of one key admit
+// exactly one winner; everyone else sees a clean miss.
+func TestPutIfAbsentSingleWinner(t *testing.T) {
+	s := newKV(t, 4, false)
+	const racers = 16
+	wins := make([]bool, racers)
+	var wg sync.WaitGroup
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ok, err := s.PutIfAbsent(3, []byte(fmt.Sprintf("racer-%d", i)))
+			if err != nil {
+				panic(err)
+			}
+			wins[i] = ok
+		}(i)
+	}
+	wg.Wait()
+	winner := -1
+	for i, w := range wins {
+		if !w {
+			continue
+		}
+		if winner >= 0 {
+			t.Fatalf("two winners: %d and %d", winner, i)
+		}
+		winner = i
+	}
+	if winner < 0 {
+		t.Fatal("no winner")
+	}
+	if v, _ := s.Get(3); !bytes.Equal(v, []byte(fmt.Sprintf("racer-%d", winner))) {
+		t.Fatalf("stored value %q is not the winner's (racer %d)", v, winner)
+	}
+}
+
+// newStoreWith is newKV with an explicit config.
+func newStoreWith(t testing.TB, cfg Config) *Store {
+	t.Helper()
+	st, err := rewind.Open(rewind.Options{
+		ArenaSize: 64 << 20, GroupCommit: true,
+		GroupCommitWindow: 50 * time.Microsecond, GroupCommitMax: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Create(st, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}

@@ -1,0 +1,89 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"testing"
+
+	"github.com/rewind-db/rewind"
+	"github.com/rewind-db/rewind/internal/wire"
+	"github.com/rewind-db/rewind/kv"
+)
+
+// FuzzTxnOps feeds arbitrary frame streams through the server's full
+// request path (apply — everything but the sockets), with the
+// transaction-op conversation as the seed corpus. Properties held: the
+// server never panics whatever the decoder hands it, every consumed frame
+// produces exactly one well-formed response frame echoing its id, and the
+// store's invariants survive the abuse.
+func FuzzTxnOps(f *testing.F) {
+	put := func(id uint32, key uint64, val string) []byte {
+		body := wire.AppendU64(nil, key)
+		body = wire.AppendBytes(body, []byte(val))
+		return wire.AppendFrame(nil, id, wire.OpPut, body)
+	}
+	// A full legal conversation: BEGIN, TPUT, for-update TGET, TDEL,
+	// COMMIT. The first BEGIN's handle id is 1 (fresh server), so the
+	// baked-in txn ids resolve when frames arrive in order — and exercise
+	// the unknown-handle path when the fuzzer reorders them.
+	tbody := func(tid, key uint64, rest ...byte) []byte {
+		b := wire.AppendU64(nil, tid)
+		b = wire.AppendU64(b, key)
+		return append(b, rest...)
+	}
+	conv := wire.AppendFrame(nil, 1, wire.OpBegin, nil)
+	tput := tbody(1, 5)
+	tput = wire.AppendBytes(tput[:16], []byte("v"))
+	conv = wire.AppendFrame(conv, 2, wire.OpTxnPut, tput)
+	conv = wire.AppendFrame(conv, 3, wire.OpTxnGet, tbody(1, 5, wire.TxnReadForUpdate))
+	conv = wire.AppendFrame(conv, 4, wire.OpTxnDel, tbody(1, 9))
+	conv = wire.AppendFrame(conv, 5, wire.OpCommit, wire.AppendU64(nil, 1))
+	f.Add(conv)
+	f.Add(wire.AppendFrame(nil, 1, wire.OpRollback, wire.AppendU64(nil, 3)))
+	f.Add(wire.AppendFrame(nil, 2, wire.OpTxnGet, tbody(99, 1, wire.TxnReadPlain)))
+	cas := wire.AppendU64(nil, 5)
+	cas = append(cas, wire.CasExpectPresent|wire.CasStoreValue)
+	cas = wire.AppendBytes(cas, []byte("old"))
+	cas = wire.AppendBytes(cas, []byte("new"))
+	f.Add(append(put(1, 5, "old"), wire.AppendFrame(nil, 2, wire.OpCas, cas)...))
+	getAt := wire.AppendU64(nil, 5)
+	getAt = wire.AppendU64(getAt, 2)
+	f.Add(append(put(1, 5, "chunky"), wire.AppendFrame(nil, 2, wire.OpGetAt, getAt)...))
+	// Truncated transaction bodies: ids without keys, dangling flags.
+	f.Add(wire.AppendFrame(nil, 1, wire.OpTxnPut, wire.AppendU64(nil, 1)))
+	f.Add(wire.AppendFrame(nil, 1, wire.OpCas, wire.AppendU64(nil, 5)))
+	f.Add(wire.AppendFrame(nil, 1, wire.OpCommit, nil))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 8<<10 {
+			return // bound the arena pressure, not the shape coverage
+		}
+		st, err := rewind.Open(rewind.Options{ArenaSize: 16 << 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		kvs, err := kv.Create(st, kv.Config{Stripes: 2, MaxValue: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := New(kvs)
+		br := bufio.NewReader(bytes.NewReader(data))
+		for frames := 0; frames < 64; frames++ {
+			id, op, body, err := wire.ReadFrame(br)
+			if err != nil {
+				break
+			}
+			resp := srv.apply(nil, id, op, body)
+			rid, _, _, rerr := wire.ReadFrame(bufio.NewReader(bytes.NewReader(resp)))
+			if rerr != nil {
+				t.Fatalf("op %d: response is not one well-formed frame: %v", op, rerr)
+			}
+			if rid != id {
+				t.Fatalf("op %d: response id %d for request id %d", op, rid, id)
+			}
+		}
+		if err := kvs.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

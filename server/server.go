@@ -62,6 +62,20 @@ type Server struct {
 	accepted atomic.Int64
 	requests atomic.Int64
 	errored  atomic.Int64
+
+	// Interactive-transaction state (server/txn.go). txnMu guards the
+	// server-wide table and every per-connection one; txnIdle is the
+	// idle-rollback cap in nanoseconds; the sweeper runs only once Serve
+	// has been called and stops at Close.
+	txnMu       sync.Mutex
+	txns        map[uint64]*liveTxn
+	defaultCS   *connState
+	txnSeq      atomic.Uint64
+	txnIdle     atomic.Int64
+	txnsExpired atomic.Int64
+	sweepStop   chan struct{}
+	sweepStart  sync.Once
+	sweepHalt   sync.Once
 }
 
 // New wraps a kv store in a server. The server records into the store's
@@ -70,7 +84,10 @@ type Server struct {
 // capture. All of it is off (one nil test per request) when the store was
 // built without obs.
 func New(s *kv.Store) *Server {
-	return &Server{kv: s, obs: s.Obs(), conns: map[net.Conn]struct{}{}}
+	srv := &Server{kv: s, obs: s.Obs(), conns: map[net.Conn]struct{}{},
+		sweepStop: make(chan struct{})}
+	srv.txnIdle.Store(int64(defaultTxnIdle))
+	return srv
 }
 
 // KV returns the underlying store.
@@ -129,6 +146,7 @@ func (s *Server) Serve(ln net.Listener) error {
 	}
 	s.ln = ln
 	s.mu.Unlock()
+	s.startSweeper()
 	for {
 		c, err := ln.Accept()
 		if err != nil {
@@ -175,6 +193,7 @@ func (s *Server) Close() error {
 		return nil
 	}
 	s.closed = true
+	s.sweepHalt.Do(func() { close(s.sweepStop) })
 	ln := s.ln
 	conns := make([]net.Conn, 0, len(s.conns))
 	for c := range s.conns {
@@ -193,8 +212,12 @@ func (s *Server) Close() error {
 }
 
 func (s *Server) handleConn(c net.Conn) {
+	cs := newConnState()
 	defer func() {
 		c.Close()
+		// Disconnect rollback: reap every transaction this connection
+		// still holds before the handler goroutine exits.
+		s.dropConn(cs)
 		s.mu.Lock()
 		delete(s.conns, c)
 		s.mu.Unlock()
@@ -218,7 +241,7 @@ func (s *Server) handleConn(c net.Conn) {
 			return
 		}
 		s.requests.Add(1)
-		out = s.applyTraced(out[:0], id, op, body, fr)
+		out = s.applyConn(cs, out[:0], id, op, body, fr)
 		if _, err := bw.Write(out); err != nil {
 			return
 		}
@@ -244,14 +267,18 @@ func frameBuffered(br *bufio.Reader) bool {
 		return false
 	}
 	n := binary.LittleEndian.Uint32(hdr)
-	return n <= wire.MaxFrame && br.Buffered() >= 4+int(n)
+	// Mirror ReadFrame's bounds exactly: a header with n < 5 is a corrupt
+	// frame ReadFrame will reject, not a complete buffered one — treating
+	// it as buffered would skip the flush and strand the previous acks.
+	return n >= 5 && n <= wire.MaxFrame && br.Buffered() >= 4+int(n)
 }
 
 // apply decodes one request, applies it to the store, and appends the
 // response frame to dst. It is the whole server data path minus the
-// sockets, which is what the deterministic crash tests drive directly.
+// sockets, which is what the deterministic crash tests drive directly;
+// transaction ops run against a shared fallback connection state.
 func (s *Server) apply(dst []byte, id uint32, op byte, body []byte) []byte {
-	return s.applyTraced(dst, id, op, body, nil)
+	return s.applyConn(s.defaultConnState(), dst, id, op, body, nil)
 }
 
 // opKind maps a wire op byte to its observability class.
@@ -269,6 +296,22 @@ func opKind(op byte) obs.OpKind {
 		return obs.OpBatch
 	case wire.OpStats:
 		return obs.OpStats
+	case wire.OpBegin:
+		return obs.OpBegin
+	case wire.OpCommit:
+		return obs.OpCommit
+	case wire.OpRollback:
+		return obs.OpRollback
+	case wire.OpTxnGet:
+		return obs.OpTxnGet
+	case wire.OpTxnPut:
+		return obs.OpTxnPut
+	case wire.OpTxnDel:
+		return obs.OpTxnDel
+	case wire.OpCas:
+		return obs.OpCas
+	case wire.OpGetAt:
+		return obs.OpGetAt
 	}
 	return obs.OpOther
 }
@@ -280,11 +323,13 @@ func setKey(span *obs.Span, key uint64) {
 	}
 }
 
-// applyTraced is apply with observability: a span brackets the whole
-// request (device-time attribution from the virtual clock), mutating ops
-// thread it into the commit pipeline, and the finished span lands in the
+// applyConn is the full per-frame data path: decode, apply against the
+// store (transaction ops resolve their handles through cs), append the
+// response frame. Observability: a span brackets the whole request
+// (device-time attribution from the virtual clock), mutating ops thread
+// it into the commit pipeline, and the finished span lands in the
 // connection's flight ring and, past the threshold, the slow-op log.
-func (s *Server) applyTraced(dst []byte, id uint32, op byte, body []byte, fr *obs.Flight) []byte {
+func (s *Server) applyConn(cs *connState, dst []byte, id uint32, op byte, body []byte, fr *obs.Flight) []byte {
 	span := s.obs.StartSpan(opKind(op), 0)
 	if span != nil {
 		sim0 := s.kv.Rewind().SimNS()
@@ -305,6 +350,14 @@ func (s *Server) applyTraced(dst []byte, id uint32, op byte, body []byte, fr *ob
 		v, ok := s.kv.Get(key)
 		if !ok {
 			return wire.AppendFrame(dst, id, wire.StatusNotFound, nil)
+		}
+		if len(v) > wire.MaxBody {
+			// The value cannot ride one frame (MaxValue is unbounded but
+			// MaxFrame is not); an unchecked append here would build a frame
+			// the client's ReadFrame rejects, poisoning the connection and
+			// every pipelined request on it. Tell the client the total so it
+			// can switch to GETAT chunks.
+			return wire.AppendFrame(dst, id, wire.StatusTooLarge, wire.AppendU64(nil, uint64(len(v))))
 		}
 		return wire.AppendFrame(dst, id, wire.StatusOK, v)
 
@@ -357,11 +410,29 @@ func (s *Server) applyTraced(dst []byte, id uint32, op byte, body []byte, fr *ob
 		}
 		setKey(span, from)
 		pairs := s.kv.Scan(from, to, int(limit))
-		body := wire.AppendU32(nil, uint32(len(pairs)))
+		// Byte-budget the page: scanPage's count bound assumes values no
+		// larger than MaxValue fit a frame, which stopped holding when
+		// MaxValue became unbounded. Encode pairs until the next one would
+		// overflow the frame; the client resumes from the last key returned.
+		body := wire.AppendU32(nil, 0)
+		count := 0
 		for _, p := range pairs {
+			if len(body)+12+len(p.Value) > wire.MaxBody {
+				if count == 0 {
+					// The very first pair alone overflows: report its key and
+					// total so the client chunk-fetches it via GETAT and
+					// resumes the scan past it.
+					tl := wire.AppendU64(nil, p.Key)
+					tl = wire.AppendU64(tl, uint64(len(p.Value)))
+					return wire.AppendFrame(dst, id, wire.StatusTooLarge, tl)
+				}
+				break
+			}
 			body = wire.AppendU64(body, p.Key)
 			body = wire.AppendBytes(body, p.Value)
+			count++
 		}
+		binary.LittleEndian.PutUint32(body[:4], uint32(count))
 		return wire.AppendFrame(dst, id, wire.StatusOK, body)
 
 	case wire.OpBatch:
@@ -380,6 +451,198 @@ func (s *Server) applyTraced(dst []byte, id uint32, op byte, body []byte, fr *ob
 			return fail(err)
 		}
 		return wire.AppendFrame(dst, id, wire.StatusOK, doc)
+
+	case wire.OpBegin:
+		tid, err := s.beginTxn(cs)
+		if err != nil {
+			return fail(err)
+		}
+		return wire.AppendFrame(dst, id, wire.StatusOK, wire.AppendU64(nil, tid))
+
+	case wire.OpCommit, wire.OpRollback:
+		tid, err := r.U64()
+		if err != nil {
+			return fail(err)
+		}
+		e, err := s.takeTxn(cs, tid)
+		if err != nil {
+			return fail(err)
+		}
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		if e.gone {
+			return fail(fmt.Errorf("server: txn %d expired", tid))
+		}
+		e.gone = true
+		if op == wire.OpRollback {
+			if err := e.txn.Rollback(); err != nil {
+				return fail(err)
+			}
+			return wire.AppendFrame(dst, id, wire.StatusOK, nil)
+		}
+		switch err := e.txn.CommitSpan(span); {
+		case errors.Is(err, kv.ErrTxnConflict):
+			return wire.AppendFrame(dst, id, wire.StatusConflict, []byte(err.Error()))
+		case err != nil:
+			return fail(err)
+		}
+		return wire.AppendFrame(dst, id, wire.StatusOK, nil)
+
+	case wire.OpTxnGet:
+		tid, err := r.U64()
+		if err != nil {
+			return fail(err)
+		}
+		key, err := r.U64()
+		if err != nil {
+			return fail(err)
+		}
+		mode, err := r.Byte()
+		if err != nil {
+			return fail(err)
+		}
+		setKey(span, key)
+		e, err := s.lookupTxn(cs, tid)
+		if err != nil {
+			return fail(err)
+		}
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		if e.gone {
+			return fail(fmt.Errorf("server: txn %d expired", tid))
+		}
+		var v []byte
+		var ok bool
+		if mode == wire.TxnReadForUpdate {
+			v, ok, err = e.txn.GetForUpdate(key)
+		} else {
+			v, ok, err = e.txn.Get(key)
+		}
+		if err != nil {
+			return fail(err)
+		}
+		if !ok {
+			return wire.AppendFrame(dst, id, wire.StatusNotFound, nil)
+		}
+		if len(v) > wire.MaxBody {
+			// Only committed state can be this large — TPUT requests are
+			// frame-capped — so GETAT chunks observe the same bytes.
+			return wire.AppendFrame(dst, id, wire.StatusTooLarge, wire.AppendU64(nil, uint64(len(v))))
+		}
+		return wire.AppendFrame(dst, id, wire.StatusOK, v)
+
+	case wire.OpTxnPut:
+		tid, err := r.U64()
+		if err != nil {
+			return fail(err)
+		}
+		key, err := r.U64()
+		if err != nil {
+			return fail(err)
+		}
+		v, err := r.Bytes()
+		if err != nil {
+			return fail(err)
+		}
+		setKey(span, key)
+		e, err := s.lookupTxn(cs, tid)
+		if err != nil {
+			return fail(err)
+		}
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		if e.gone {
+			return fail(fmt.Errorf("server: txn %d expired", tid))
+		}
+		if err := e.txn.Put(key, v); err != nil {
+			return fail(err)
+		}
+		return wire.AppendFrame(dst, id, wire.StatusOK, nil)
+
+	case wire.OpTxnDel:
+		tid, err := r.U64()
+		if err != nil {
+			return fail(err)
+		}
+		key, err := r.U64()
+		if err != nil {
+			return fail(err)
+		}
+		setKey(span, key)
+		e, err := s.lookupTxn(cs, tid)
+		if err != nil {
+			return fail(err)
+		}
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		if e.gone {
+			return fail(fmt.Errorf("server: txn %d expired", tid))
+		}
+		found, err := e.txn.Delete(key)
+		if err != nil {
+			return fail(err)
+		}
+		b := byte(0)
+		if found {
+			b = 1
+		}
+		return wire.AppendFrame(dst, id, wire.StatusOK, []byte{b})
+
+	case wire.OpCas:
+		key, err := r.U64()
+		if err != nil {
+			return fail(err)
+		}
+		flags, err := r.Byte()
+		if err != nil {
+			return fail(err)
+		}
+		setKey(span, key)
+		var expect, value []byte
+		if flags&wire.CasExpectPresent != 0 {
+			if expect, err = r.Bytes(); err != nil {
+				return fail(err)
+			}
+			if expect == nil {
+				expect = []byte{}
+			}
+		}
+		if flags&wire.CasStoreValue != 0 {
+			if value, err = r.Bytes(); err != nil {
+				return fail(err)
+			}
+			if value == nil {
+				value = []byte{}
+			}
+		}
+		swapped, err := s.kv.CompareAndSwapSpan(key, expect, value, span)
+		if err != nil {
+			return fail(err)
+		}
+		b := byte(0)
+		if swapped {
+			b = 1
+		}
+		return wire.AppendFrame(dst, id, wire.StatusOK, []byte{b})
+
+	case wire.OpGetAt:
+		key, err := r.U64()
+		if err != nil {
+			return fail(err)
+		}
+		off, err := r.U64()
+		if err != nil {
+			return fail(err)
+		}
+		setKey(span, key)
+		chunk, total, token, ok := s.kv.GetAt(key, off, wire.MaxBody-16)
+		if !ok {
+			return wire.AppendFrame(dst, id, wire.StatusNotFound, nil)
+		}
+		body := wire.AppendU64(nil, total)
+		body = wire.AppendU64(body, token)
+		body = append(body, chunk...)
+		return wire.AppendFrame(dst, id, wire.StatusOK, body)
 	}
 	return fail(fmt.Errorf("server: unknown op %d", op))
 }
@@ -421,6 +684,10 @@ type Stats struct {
 	// Accepted counts connections accepted; Requests counts frames
 	// served; Errored counts error responses and decode failures.
 	Accepted, Requests, Errored int64
+	// TxnsActive is the number of interactive transaction handles
+	// currently open across all connections; TxnsExpired counts handles
+	// the idle sweeper rolled back.
+	TxnsActive, TxnsExpired int64
 	// KV is the store's own activity snapshot.
 	KV kv.Stats
 	// GroupCommitRounds / GroupedCommits aggregate the log shards'
@@ -458,11 +725,15 @@ type Stats struct {
 // Stats snapshots server activity.
 func (s *Server) Stats() Stats {
 	st := Stats{
-		Accepted: s.accepted.Load(),
-		Requests: s.requests.Load(),
-		Errored:  s.errored.Load(),
-		KV:       s.kv.Stats(),
+		Accepted:    s.accepted.Load(),
+		Requests:    s.requests.Load(),
+		Errored:     s.errored.Load(),
+		TxnsExpired: s.txnsExpired.Load(),
+		KV:          s.kv.Stats(),
 	}
+	s.txnMu.Lock()
+	st.TxnsActive = int64(len(s.txns))
+	s.txnMu.Unlock()
 	tms := s.kv.Rewind().TMStats()
 	st.Checkpoints = tms.Checkpoints
 	st.CommitMode = s.kv.Rewind().Options().CommitMode.String()
@@ -497,5 +768,10 @@ func (s *Server) RegisterMetrics(r *obs.Registry) {
 		open := len(s.conns)
 		s.mu.Unlock()
 		emit("rewind_server_open_connections", "Connections currently open.", float64(open))
+		s.txnMu.Lock()
+		active := len(s.txns)
+		s.txnMu.Unlock()
+		emit("rewind_server_txns_active", "Interactive transaction handles currently open.", float64(active))
+		emit("rewind_server_txns_expired_total", "Transactions rolled back by the idle sweeper.", float64(s.txnsExpired.Load()))
 	})
 }

@@ -1,0 +1,187 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/rewind-db/rewind/kv"
+)
+
+// maxTxnsPerConn bounds the open transaction handles one connection may
+// hold: a leaky client (or a hostile one) caps its own damage instead of
+// growing the server-wide table without bound.
+const maxTxnsPerConn = 1024
+
+// defaultTxnIdle is how long an open transaction may go untouched before
+// the sweeper rolls it back. Interactive handles hold no kv latches, so
+// the cap protects only table memory and operator sanity — it is generous.
+const defaultTxnIdle = 60 * time.Second
+
+// liveTxn is one open interactive transaction pinned to its connection.
+// mu serializes the kv.Txn (handles are not concurrency-safe) between the
+// connection's handler and the idle sweeper; gone marks a handle that has
+// been finished (committed, rolled back, expired, or disconnect-reaped) —
+// set only under mu, after which the kv.Txn must not be touched again.
+type liveTxn struct {
+	id      uint64
+	cs      *connState
+	lastUse atomic.Int64 // UnixNano of the last frame that named this txn
+
+	mu   sync.Mutex
+	txn  *kv.Txn
+	gone bool
+}
+
+// connState is the per-connection transaction table. Its map is guarded
+// by the server's txnMu (one lock for the server-wide table and every
+// per-connection one: handle traffic is a few map ops per frame, and one
+// lock keeps begin/lookup/expire/disconnect mutually consistent).
+type connState struct {
+	txns map[uint64]*liveTxn
+}
+
+func newConnState() *connState { return &connState{txns: map[uint64]*liveTxn{}} }
+
+// SetTxnIdle sets the idle cap after which the sweeper rolls back an
+// untouched transaction. Takes effect from the next sweep tick.
+func (s *Server) SetTxnIdle(d time.Duration) {
+	if d <= 0 {
+		d = defaultTxnIdle
+	}
+	s.txnIdle.Store(int64(d))
+}
+
+// beginTxn opens a kv transaction and registers it under a fresh id,
+// pinned to cs.
+func (s *Server) beginTxn(cs *connState) (uint64, error) {
+	s.txnMu.Lock()
+	defer s.txnMu.Unlock()
+	if len(cs.txns) >= maxTxnsPerConn {
+		return 0, fmt.Errorf("server: connection already holds %d open transactions", len(cs.txns))
+	}
+	id := s.txnSeq.Add(1)
+	e := &liveTxn{id: id, cs: cs, txn: s.kv.BeginTxn()}
+	e.lastUse.Store(time.Now().UnixNano())
+	if s.txns == nil {
+		s.txns = map[uint64]*liveTxn{}
+	}
+	s.txns[id] = e
+	cs.txns[id] = e
+	return id, nil
+}
+
+// lookupTxn resolves a txn id through the CONNECTION's table — a handle
+// is only ever visible to the connection that opened it — and touches its
+// idle clock.
+func (s *Server) lookupTxn(cs *connState, id uint64) (*liveTxn, error) {
+	s.txnMu.Lock()
+	e := cs.txns[id]
+	s.txnMu.Unlock()
+	if e == nil {
+		return nil, fmt.Errorf("server: unknown or expired txn %d", id)
+	}
+	e.lastUse.Store(time.Now().UnixNano())
+	return e, nil
+}
+
+// takeTxn is lookupTxn plus removal from both tables: COMMIT and ROLLBACK
+// consume the handle whatever their outcome.
+func (s *Server) takeTxn(cs *connState, id uint64) (*liveTxn, error) {
+	s.txnMu.Lock()
+	e := cs.txns[id]
+	if e != nil {
+		delete(cs.txns, id)
+		delete(s.txns, id)
+	}
+	s.txnMu.Unlock()
+	if e == nil {
+		return nil, fmt.Errorf("server: unknown or expired txn %d", id)
+	}
+	return e, nil
+}
+
+// dropConn reaps every transaction the (now gone) connection still holds:
+// buffered writes are discarded, nothing was ever logged. This is the
+// disconnect-rollback guarantee — a client that dies mid-transaction
+// leaks no handle and publishes no partial state.
+func (s *Server) dropConn(cs *connState) {
+	s.txnMu.Lock()
+	es := make([]*liveTxn, 0, len(cs.txns))
+	for id, e := range cs.txns {
+		delete(cs.txns, id)
+		delete(s.txns, id)
+		es = append(es, e)
+	}
+	s.txnMu.Unlock()
+	for _, e := range es {
+		e.mu.Lock()
+		if !e.gone {
+			e.gone = true
+			_ = e.txn.Rollback()
+		}
+		e.mu.Unlock()
+	}
+}
+
+// startSweeper launches the idle-transaction sweeper. Called from Serve —
+// not New — so the many short-lived servers the crash matrices build
+// around apply() never leak a goroutine.
+func (s *Server) startSweeper() {
+	s.sweepStart.Do(func() { go s.sweepLoop() })
+}
+
+func (s *Server) sweepLoop() {
+	for {
+		idle := time.Duration(s.txnIdle.Load())
+		tick := idle / 4
+		if tick < 10*time.Millisecond {
+			tick = 10 * time.Millisecond
+		}
+		select {
+		case <-s.sweepStop:
+			return
+		case <-time.After(tick):
+		}
+		s.sweepExpired(time.Now().Add(-idle).UnixNano())
+	}
+}
+
+// sweepExpired rolls back every transaction untouched since deadline. The
+// removal happens under txnMu (so a racing frame naming the txn gets a
+// clean "unknown or expired" error instead of a half-dead handle) and the
+// rollback under the handle's own mu (so it never races an op the handler
+// is mid-applying).
+func (s *Server) sweepExpired(deadline int64) {
+	var expired []*liveTxn
+	s.txnMu.Lock()
+	for id, e := range s.txns {
+		if e.lastUse.Load() < deadline {
+			delete(s.txns, id)
+			delete(e.cs.txns, id)
+			expired = append(expired, e)
+		}
+	}
+	s.txnMu.Unlock()
+	for _, e := range expired {
+		e.mu.Lock()
+		if !e.gone {
+			e.gone = true
+			_ = e.txn.Rollback()
+			s.txnsExpired.Add(1)
+		}
+		e.mu.Unlock()
+	}
+}
+
+// defaultConnState returns the shared fallback connection state that
+// socketless callers (apply — the crash and fuzz harnesses) run under.
+func (s *Server) defaultConnState() *connState {
+	s.txnMu.Lock()
+	defer s.txnMu.Unlock()
+	if s.defaultCS == nil {
+		s.defaultCS = newConnState()
+	}
+	return s.defaultCS
+}
