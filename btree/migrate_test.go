@@ -1,0 +1,156 @@
+package btree
+
+import (
+	"testing"
+
+	"github.com/rewind-db/rewind"
+	"github.com/rewind-db/rewind/internal/pmem"
+)
+
+// TestMigrateRange relocates every tree node out of the lower half of the
+// heap in bounded transactions and checks the tree is untouched
+// logically: same keys, same values, same order, clean invariants — in
+// both commit modes.
+func TestMigrateRange(t *testing.T) {
+	for _, mode := range []rewind.CommitMode{rewind.UndoRedo, rewind.RedoOnly} {
+		opts := rewind.Options{CommitMode: mode}
+		s, tr := newTree(t, opts, smallCfg())
+		const n = 400
+		for k := uint64(1); k <= n; k++ {
+			if _, err := tr.InsertAtomic(k*7, val(k, 16)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		alloc := s.Allocator()
+		lo := uint64(pmem.HeapBase)
+		hi := lo + uint64(alloc.HeapUsed())/2
+		alloc.SetReclaiming(lo, hi)
+		var total int
+		for {
+			var moved int
+			var done bool
+			err := s.Atomic(func(tx *rewind.Tx) error {
+				var err error
+				moved, done, err = tr.MigrateRange(tx, lo, hi, 7)
+				return err
+			})
+			if err != nil {
+				t.Fatalf("mode %v: %v", mode, err)
+			}
+			if moved > 7 {
+				t.Fatalf("mode %v: budget exceeded: %d moves", mode, moved)
+			}
+			total += moved
+			if done {
+				break
+			}
+		}
+		alloc.SetReclaiming(0, 0)
+		if total == 0 {
+			t.Fatalf("mode %v: nothing migrated out of the lower half", mode)
+		}
+		// A second full-budget pass finds the range clear.
+		if err := s.Atomic(func(tx *rewind.Tx) error {
+			moved, done, err := tr.MigrateRange(tx, lo, hi, 1<<20)
+			if err != nil {
+				return err
+			}
+			if moved != 0 || !done {
+				t.Fatalf("mode %v: range not emptied: moved=%d done=%v", mode, moved, done)
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+		if err := alloc.CheckHeap(); err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+		keys := tr.Keys()
+		if len(keys) != n {
+			t.Fatalf("mode %v: %d keys after migration, want %d", mode, len(keys), n)
+		}
+		for i, k := range keys {
+			if k != uint64(i+1)*7 {
+				t.Fatalf("mode %v: key order broken at %d: %d", mode, i, k)
+			}
+			got, ok := tr.Lookup(k)
+			if !ok {
+				t.Fatalf("mode %v: key %d lost", mode, k)
+			}
+			want := val(uint64(i+1), 16)
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("mode %v: key %d: value corrupted", mode, k)
+				}
+			}
+		}
+	}
+}
+
+// TestMigrateCrashMatrix injects a crash before every durable operation
+// inside a migration transaction, in both commit modes. Migration changes
+// no logical state, so after recovery the tree must hold exactly the
+// pre-migration keys — whether the transaction replayed or rolled back —
+// with clean tree and heap invariants.
+func TestMigrateCrashMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash matrix")
+	}
+	for _, mode := range []rewind.CommitMode{rewind.UndoRedo, rewind.RedoOnly} {
+		for crashAt := 1; ; crashAt += 3 {
+			opts := rewind.Options{ArenaSize: 64 << 20, Policy: rewind.Force, LogKind: rewind.Optimized, CommitMode: mode}
+			s, tr := newTree(t, opts, smallCfg())
+			for k := uint64(1); k <= 120; k++ {
+				tr.InsertAtomic(k, val(k, 16))
+			}
+			alloc := s.Allocator()
+			lo := uint64(pmem.HeapBase)
+			hi := lo + uint64(alloc.HeapUsed())/2
+			alloc.SetReclaiming(lo, hi)
+			s.Mem().SetCrashAfter(crashAt)
+			crashed := s.Mem().RunToCrash(func() {
+				for {
+					var done bool
+					err := s.Atomic(func(tx *rewind.Tx) error {
+						var err error
+						_, done, err = tr.MigrateRange(tx, lo, hi, 9)
+						return err
+					})
+					if err != nil || done {
+						return
+					}
+				}
+			})
+			s.Mem().SetCrashAfter(0)
+			s2, err := rewind.Reattach(s.Options(), s.Mem())
+			if err != nil {
+				t.Fatalf("mode %v crashAt=%d: %v", mode, crashAt, err)
+			}
+			tr2, err := Attach(s2, smallCfg())
+			if err != nil {
+				t.Fatalf("mode %v crashAt=%d: %v", mode, crashAt, err)
+			}
+			if err := tr2.CheckInvariants(); err != nil {
+				t.Fatalf("mode %v crashAt=%d: %v", mode, crashAt, err)
+			}
+			if err := s2.Allocator().CheckHeap(); err != nil {
+				t.Fatalf("mode %v crashAt=%d: %v", mode, crashAt, err)
+			}
+			keys := tr2.Keys()
+			if len(keys) != 120 {
+				t.Fatalf("mode %v crashAt=%d: %d keys after recovery, want 120", mode, crashAt, len(keys))
+			}
+			for i, k := range keys {
+				if k != uint64(i+1) {
+					t.Fatalf("mode %v crashAt=%d: key order broken at %d: %d", mode, crashAt, i, k)
+				}
+			}
+			if !crashed {
+				break
+			}
+		}
+	}
+}

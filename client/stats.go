@@ -18,8 +18,19 @@ type KVStats struct {
 	OverwriteFastPath, LeafLatchWaits, StripeLatchFallbacks int64
 	TxnBegins, TxnCommits, TxnRollbacks, TxnConflicts       int64
 	CasAttempts, CasApplied                                 int64
+	Compactions, CompactedNodes, ReclaimedBytes             int64
 	Keys                                                    int
 	Stripes                                                 int
+}
+
+// ArenaStats mirrors the arena capacity block of the STATS document
+// (zero on servers predating growable arenas).
+type ArenaStats struct {
+	Size, MaxSize      int
+	Grows, Segments    int
+	HeapUsed, HeapLive int
+	PunchedBytes       uint64
+	AllocatedBytes     int64
 }
 
 // ServerStats is the typed STATS response. It decodes tolerantly: fields
@@ -44,6 +55,7 @@ type ServerStats struct {
 	Latency      map[string]LatencySummary
 	CommitPhases map[string]LatencySummary
 	SlowOps      int64
+	Arena        ArenaStats
 }
 
 // ServerStats fetches and decodes the server's STATS document.

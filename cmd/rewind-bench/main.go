@@ -54,6 +54,10 @@ const obsJSONPath = "BENCH_obs.json"
 // (the "ycsb" runner), uploaded alongside the others.
 const ycsbJSONPath = "BENCH_ycsb.json"
 
+// capacityJSONPath gets a standalone copy of the arena growth/reclamation
+// figure (the "capacity" runner), uploaded alongside the others.
+const capacityJSONPath = "BENCH_capacity.json"
+
 // jsonFigure is one figure plus how long it took to regenerate.
 type jsonFigure struct {
 	bench.Figure
@@ -127,6 +131,7 @@ func main() {
 			"writepath":    writepathJSONPath,
 			"obs":          obsJSONPath,
 			"ycsb":         ycsbJSONPath,
+			"capacity":     capacityJSONPath,
 		}
 		for _, fig := range report.Figures {
 			if path, ok := standalone[fig.ID]; ok {

@@ -344,6 +344,19 @@ func ratio(a, b int64) string {
 	return fmt.Sprintf("%.1f%%", 100*float64(a)/float64(b))
 }
 
+// fmtBytes renders a byte figure with a binary-unit suffix.
+func fmtBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", b)
+}
+
 // printStats renders one STATS snapshot as the operator table.
 func printStats(st *client.ServerStats) {
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
@@ -380,6 +393,17 @@ func printStats(st *client.ServerStats) {
 	}
 	fmt.Fprintf(w, "checkpoints\t%d, last pause %s over %d freezes\n",
 		st.Checkpoints, fmtNs(st.LastCheckpointPauseNs), st.LastCheckpointChunks)
+	if st.Arena.Size > 0 {
+		fmt.Fprintf(w, "capacity\tarena %s of %s cap (%d grows, %d segments), heap live %s of %s used, %s on disk, %s punched\n",
+			fmtBytes(int64(st.Arena.Size)), fmtBytes(int64(st.Arena.MaxSize)),
+			st.Arena.Grows, st.Arena.Segments,
+			fmtBytes(int64(st.Arena.HeapLive)), fmtBytes(int64(st.Arena.HeapUsed)),
+			fmtBytes(st.Arena.AllocatedBytes), fmtBytes(int64(st.Arena.PunchedBytes)))
+		if st.KV.Compactions > 0 {
+			fmt.Fprintf(w, "compaction\t%d cycles, %d nodes migrated, %s reclaimed\n",
+				st.KV.Compactions, st.KV.CompactedNodes, fmtBytes(st.KV.ReclaimedBytes))
+		}
+	}
 	if st.SlowOps > 0 {
 		fmt.Fprintf(w, "slow ops\t%d\n", st.SlowOps)
 	}

@@ -123,7 +123,14 @@ func logActivity(prev, cur activity) {
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7707", "TCP listen address")
 	backing := flag.String("backing", "", "backing file for the durable image (required)")
-	arena := flag.Int("arena", 256<<20, "arena size in bytes (new files only)")
+	arena := flag.Int("arena", 256<<20, "initial arena size in bytes (new files only)")
+	maxArena := flag.Int("max-arena", 0, "arena growth cap in bytes (0 or <= -arena: fixed-size arena, no growth)")
+	growStep := flag.Int("grow-step", 0, "arena growth increment in bytes (0: grow by the current arena size)")
+	compactEvery := flag.Int("compact-every", 1, "run one compaction step every N checkpoints (0 disables background compaction)")
+	compactDead := flag.Float64("compact-dead-frac", 0.6, "condemn a heap segment when this fraction of its occupied bytes is dead")
+	compactMinDead := flag.Int64("compact-min-dead", 1<<20, "minimum dead bytes before a segment is worth compacting")
+	compactMoves := flag.Int("compact-moves", 64, "tree nodes migrated per compaction transaction (bounds the per-txn stall)")
+	syncEvery := flag.Duration("sync-every", 0, "msync the backing file this often for a physical-durability bound beyond the page cache (0 disables)")
 	stripes := flag.Int("stripes", 8, "kv key stripes (fixed at store creation)")
 	shards := flag.Int("shards", 1, "log shards")
 	maxValue := flag.Int("max-value", 512, "largest value size in bytes (fixed at store creation)")
@@ -168,6 +175,8 @@ func main() {
 
 	st, err := rewind.Open(rewind.Options{
 		ArenaSize:         *arena,
+		MaxArena:          *maxArena,
+		GrowStep:          *growStep,
 		BackingFile:       *backing,
 		CommitMode:        mode,
 		LogShards:         *shards,
@@ -187,6 +196,10 @@ func main() {
 			st.Recovery.Workers,
 			time.Duration(st.Recovery.AnalysisNs), time.Duration(st.Recovery.RedoNs),
 			time.Duration(st.Recovery.UndoNs))
+	}
+	if st.Recovery.ArenaSegments > 1 {
+		log.Printf("rewindd: arena had grown to %d bytes across %d segments before restart",
+			st.Recovery.ArenaSize, st.Recovery.ArenaSegments)
 	}
 	kvs, err := kv.Open(st, kv.Config{
 		Stripes: *stripes, MaxValue: *maxValue,
@@ -260,6 +273,7 @@ func main() {
 			defer bgDone.Done()
 			tick := time.NewTicker(*ckptEvery)
 			defer tick.Stop()
+			ticks := 0
 			for {
 				select {
 				case <-tick.C:
@@ -267,6 +281,45 @@ func main() {
 					if cs.MaxPauseNs > int64(10*time.Millisecond) {
 						log.Printf("rewindd: checkpoint pause %v across %d freezes (%d lines)",
 							time.Duration(cs.MaxPauseNs), cs.Chunks, cs.LinesFlushed)
+					}
+					// Compaction rides the checkpoint cadence: the checkpoint
+					// just freed retired log records, so occupancy is at its
+					// most honest right after one.
+					ticks++
+					if *compactEvery > 0 && ticks%*compactEvery == 0 {
+						res, err := kvs.CompactStep(kv.CompactConfig{
+							DeadFraction:   *compactDead,
+							MinDeadBytes:   *compactMinDead,
+							MaxMovesPerTxn: *compactMoves,
+						})
+						if err != nil {
+							log.Printf("rewindd: compaction: %v", err)
+						} else if res.Compacted {
+							log.Printf("rewindd: compacted segment [%#x,%#x): %d nodes migrated, %d bytes reclaimed",
+								res.Start, res.End, res.Moved, res.Released)
+						}
+					}
+				case <-stopBg:
+					return
+				}
+			}
+		}()
+	}
+	if *syncEvery > 0 {
+		// Periodic msync bounds how long an acked write can sit only in the
+		// page cache: a machine-level crash (not just a process kill) loses
+		// at most one interval. Process kills were already covered — the
+		// mmap survives them.
+		bgDone.Add(1)
+		go func() {
+			defer bgDone.Done()
+			tick := time.NewTicker(*syncEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					if err := st.Sync(); err != nil {
+						log.Printf("rewindd: sync: %v", err)
 					}
 				case <-stopBg:
 					return
@@ -313,6 +366,9 @@ func main() {
 		if lb := st.LogBytes(); lb > 0 {
 			log.Printf("rewindd: %s commits appended %d log bytes", *commitMode, lb)
 		}
+		ai := st.ArenaInfo()
+		log.Printf("rewindd: arena %d of %d bytes (%d grows, %d segments), heap %d live of %d high-water, %d punched back",
+			ai.Size, ai.MaxSize, ai.Grows, ai.Segments, ai.HeapLive, ai.HeapUsed, ai.PunchedBytes)
 		if err := st.Close(); err != nil {
 			log.Fatalf("rewindd: close: %v", err)
 		}

@@ -150,6 +150,7 @@ func Runners() []Runner {
 		{"obs", "Observability overhead", ObsOverhead},
 		{"ycsb", "YCSB A-F over the wire", YCSB},
 		{"tpccnet", "TPC-C New-Order over the wire", TPCCNet},
+		{"capacity", "Arena growth and space reclamation", Capacity},
 	}
 }
 

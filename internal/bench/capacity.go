@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+
+	"github.com/rewind-db/rewind"
+	"github.com/rewind-db/rewind/kv"
+)
+
+const mib = 1 << 20
+
+// Capacity measures the growable arena's full space lifecycle on a
+// file-backed store: the arena grows on demand while the fill runs, a
+// delete pass kills a fraction of the keys, a checkpoint retires their
+// log records, and background compaction steps migrate the survivors and
+// hole-punch the dead segments back to the filesystem. The headline is
+// the backing file's actual on-disk footprint (stat blocks, not file
+// size) before and after reclamation — at 90% dead the file should give
+// most of its disk back while every surviving key stays readable.
+func Capacity(scale Scale) Figure {
+	n := uint64(scale.pick(4_000, 32_000))
+	fig := Figure{
+		ID: "capacity", Title: "Arena growth and space reclamation",
+		XLabel: "fraction of keys deleted", YLabel: "MiB",
+		Notes: "file-backed store grows on demand during the fill; after delete+checkpoint, compaction steps migrate survivors and hole-punch dead segments",
+	}
+	var before, after, released, grown []Point
+	for _, frac := range []float64{0.5, 0.7, 0.9} {
+		c := capacityCell(n, frac)
+		before = append(before, Point{X: frac, Y: float64(c.before) / mib})
+		after = append(after, Point{X: frac, Y: float64(c.after) / mib})
+		released = append(released, Point{X: frac, Y: float64(c.released) / mib})
+		grown = append(grown, Point{X: frac, Y: float64(c.arena) / mib})
+	}
+	fig.Series = []Series{
+		{Name: "on disk before", Points: before},
+		{Name: "on disk after", Points: after},
+		{Name: "released", Points: released},
+		{Name: "arena grown to", Points: grown},
+	}
+	return fig
+}
+
+// capacityResult is one delete-fraction cell of the Capacity figure.
+type capacityResult struct {
+	before, after int64 // backing file disk footprint around reclamation
+	released      int64 // bytes hole-punched across all compaction steps
+	arena         int   // arena size after demand-driven growth
+}
+
+func capacityCell(n uint64, frac float64) capacityResult {
+	dir, err := os.MkdirTemp("", "rewind-capacity-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	st, err := rewind.Open(rewind.Options{
+		ArenaSize:   8 * mib,
+		MaxArena:    1 << 30,
+		GrowStep:    8 * mib,
+		BackingFile: filepath.Join(dir, "arena.nvm"),
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer st.Close()
+	s, err := kv.Create(st, kv.Config{Stripes: 4, MaxValue: 64})
+	if err != nil {
+		panic(err)
+	}
+	val := make([]byte, 64)
+	for k := uint64(1); k <= n; k++ {
+		val[0] = byte(k)
+		if err := s.Put(k, val); err != nil {
+			panic(err)
+		}
+	}
+	cut := uint64(frac*10 + 0.5)
+	for k := uint64(1); k <= n; k++ {
+		if k%10 < cut {
+			if _, err := s.Delete(k); err != nil {
+				panic(err)
+			}
+		}
+	}
+	// The checkpoint retires the fill/delete history's log records; without
+	// it the heap is dominated by still-live log space and nothing is dead
+	// enough to condemn. rewindd sequences its background compaction the
+	// same way, off the checkpoint ticker.
+	st.Checkpoint()
+	var res capacityResult
+	if res.before, err = st.Mem().AllocatedBytes(); err != nil {
+		panic(err)
+	}
+	cfg := kv.CompactConfig{DeadFraction: 0.3, MinDeadBytes: 256 << 10, MaxMovesPerTxn: 64}
+	for i := 0; i < 64; i++ {
+		step, err := s.CompactStep(cfg)
+		if err != nil {
+			panic(err)
+		}
+		if !step.Compacted {
+			break
+		}
+		res.released += step.Released
+	}
+	if res.after, err = st.Mem().AllocatedBytes(); err != nil {
+		panic(err)
+	}
+	res.arena = st.ArenaInfo().Size
+	return res
+}

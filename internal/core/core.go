@@ -581,6 +581,12 @@ type RecoveryStats struct {
 	// the two parallelizable phases, used by the recovery-scaling figure
 	// to model a worker pool's makespan deterministically.
 	AnalysisSimNs, RedoSimNs int64
+	// ArenaSize is the arena's published size at recovery time — the base
+	// plus every extent the previous session durably grew (the extent
+	// table is read before replay, so records landing in grown space redo
+	// correctly). ArenaSegments counts base + extents.
+	ArenaSize     int
+	ArenaSegments int
 }
 
 // TM is a REWIND transaction recovery manager.

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/rewind-db/rewind/internal/nvm"
+	"github.com/rewind-db/rewind/internal/pmem"
+	"github.com/rewind-db/rewind/internal/rlog"
+)
+
+// growthWorkload marches the bump pointer past the base arena's end: each
+// transaction allocates a fresh 32 KiB block and writes random spans into
+// it, so demand-driven growth fires mid-workload — with WAL traffic, open
+// losers and rollbacks in flight around the growth event. Single-goroutine
+// and rng-driven, hence bit-deterministic for a given seed.
+func growthWorkload(t *testing.T, a *pmem.Allocator, tm *TM, rng *rand.Rand) {
+	t.Helper()
+	const txns = 48
+	for i := 0; i < txns; i++ {
+		x := tm.Begin()
+		blk := a.Alloc(32 << 10)
+		for o := 0; o < 4; o++ {
+			w := 4 + rng.Intn(16)
+			off := uint64(rng.Intn(4096 - w))
+			p := make([]byte, w*8)
+			rng.Read(p)
+			if err := x.WriteBytes(blk+uint64(off)*8, p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		switch rng.Intn(8) {
+		case 0:
+			if err := x.Rollback(); err != nil {
+				t.Fatal(err)
+			}
+		case 1:
+			// left running: a loser for recovery
+		default:
+			if err := x.Commit(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestRecoveryEquivalenceAcrossGrowth extends the differential recovery
+// harness across arena growth: the seeded workload grows the device
+// mid-run, crash points are swept through it (including inside the grow
+// ordering itself), and each crash image — restored into a fresh device at
+// its grown size — must recover to byte-identical durable state with
+// identical tallies whether recovery runs sequentially or in parallel.
+func TestRecoveryEquivalenceAcrossGrowth(t *testing.T) {
+	const base = 1 << 20
+	const grownCap = 8 << 20
+	mk := func(cfg Config) (*nvm.Memory, *pmem.Allocator, *TM) {
+		mem := nvm.New(nvm.Config{Size: base, MaxSize: grownCap, TrackPersistence: true})
+		a := pmem.Format(mem)
+		a.SetGrowth(base)
+		tm, err := New(a, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mem, a, tm
+	}
+	for _, mode := range []CommitMode{UndoRedo, RedoOnly} {
+		cfg := Config{Policy: NoForce, Layers: OneLayer, LogKind: rlog.Batch, CommitMode: mode,
+			BucketSize: 16, GroupSize: 4, LogShards: 4, RootBase: rootBase}
+		t.Run(mode.String(), func(t *testing.T) {
+			// Dry run: count durable ops and confirm the workload grows.
+			mem, a, tm := mk(cfg)
+			before := mem.Stats()
+			growthWorkload(t, a, tm, rand.New(rand.NewSource(11)))
+			st := mem.Stats()
+			durableOps := int((st.NTStores + st.Flushes + st.Fences) -
+				(before.NTStores + before.Flushes + before.Fences))
+			if mem.GrowCount() == 0 {
+				t.Fatal("workload never grew the arena; harness is not sweeping a growth event")
+			}
+
+			for _, crashAt := range []int{durableOps / 4, durableOps / 2, 3 * durableOps / 4, durableOps - 1, 0} {
+				mem, a, tm := mk(cfg)
+				mem.SetCrashAfter(crashAt)
+				mem.RunToCrash(func() {
+					growthWorkload(t, a, tm, rand.New(rand.NewSource(11)))
+				})
+				mem.SetCrashAfter(0)
+				img, err := mem.PersistentImage()
+				if err != nil {
+					t.Fatal(err)
+				}
+				recover := func(w int) ([]byte, *RecoveryStats) {
+					dev := nvm.New(nvm.Config{Size: len(img) - 16, MaxSize: grownCap, TrackPersistence: true})
+					if err := dev.LoadImage(img); err != nil {
+						t.Fatal(err)
+					}
+					ra, err := pmem.Open(dev)
+					if err != nil {
+						t.Fatal(err)
+					}
+					ra.SetGrowth(base)
+					c := cfg
+					c.RecoveryWorkers = w
+					_, rs, err := Open(ra, c)
+					if err != nil {
+						t.Fatalf("crashAt=%d workers=%d: %v", crashAt, w, err)
+					}
+					out, err := dev.PersistentImage()
+					if err != nil {
+						t.Fatal(err)
+					}
+					return out, rs
+				}
+				seqImg, seqRS := recover(1)
+				for _, w := range []int{4, 8} {
+					parImg, parRS := recover(w)
+					if !bytes.Equal(seqImg, parImg) {
+						t.Fatalf("crashAt=%d workers=%d: %s", crashAt, w, firstDiff(seqImg, parImg))
+					}
+					seq := fmt.Sprintf("%d/%d/%d/%d", seqRS.Winners, seqRS.LosersAborted, seqRS.Redone, seqRS.Undone)
+					par := fmt.Sprintf("%d/%d/%d/%d", parRS.Winners, parRS.LosersAborted, parRS.Redone, parRS.Undone)
+					if seq != par {
+						t.Fatalf("crashAt=%d workers=%d: tallies %s vs %s", crashAt, w, par, seq)
+					}
+					if parRS.ArenaSize != len(img)-16 {
+						t.Fatalf("crashAt=%d workers=%d: recovery saw arena %d, image is %d",
+							crashAt, w, parRS.ArenaSize, len(img)-16)
+					}
+				}
+			}
+		})
+	}
+}

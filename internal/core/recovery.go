@@ -47,6 +47,8 @@ func (tm *TM) recover() *RecoveryStats {
 	rs := &RecoveryStats{
 		CrashDetected: tm.mem.Load64(tm.state+stDirty) != 0,
 		Workers:       tm.recoveryWorkers(),
+		ArenaSize:     tm.mem.Size(),
+		ArenaSegments: len(tm.mem.Extents()) + 1,
 	}
 	redoOnly := tm.cfg.CommitMode == RedoOnly
 

@@ -15,10 +15,18 @@ package nvm
 // or power loss between Sync calls could lose page-cache contents, which is
 // where real NVM hardware takes over from the simulator.
 //
-// File layout: one header page (magic, arena size) followed by the raw
-// persistent words, mapped directly as the shadow array. The cache-visible
-// word array and the dirty-line bitmap remain volatile heap state, exactly
-// as on real hardware (caches do not survive reboots).
+// File layout: one header page followed by the raw persistent words, mapped
+// directly as the shadow array. The cache-visible word array and the
+// dirty-line bitmap remain volatile heap state, exactly as on real hardware
+// (caches do not survive reboots).
+//
+// Two header versions exist. v1 (RWNDNVB1) is the fixed-size original:
+// [magic, size]. v2 (RWNDNVB2) adds growth: [magic, base size, total size,
+// extent count] followed by an extent table at extTableOff, 16 bytes per
+// entry {start, size}. A v1 file opens unchanged and is upgraded in place
+// by its first Grow (v2 fields are written first, the magic flips last, so
+// a crash mid-upgrade reopens as a plain v1 file). New files are created as
+// v2.
 
 import (
 	"encoding/binary"
@@ -26,19 +34,33 @@ import (
 	"os"
 )
 
-// backingMagic identifies a file-backed arena ("RWNDNVB1").
+// backingMagic identifies a v1 (fixed-size) file-backed arena ("RWNDNVB1").
 const backingMagic = 0x3142564e444e5752
+
+// backingMagicV2 identifies a v2 (growable) file-backed arena ("RWNDNVB2").
+const backingMagicV2 = 0x3242564e444e5752
 
 // backingHeader is the size of the file header page. The persistent words
 // start at this offset, which keeps them page- and line-aligned.
 const backingHeader = 4096
 
+// v2 header field offsets and extent-table geometry.
+const (
+	hdrOffMagic  = 0
+	hdrOffBase   = 8  // base segment size (the v1 size slot)
+	hdrOffTotal  = 16 // total arena size = base + sum of extents
+	hdrOffCount  = 24 // number of published extent entries
+	extTableOff  = 64
+	extEntrySize = 16
+	maxExtents   = (backingHeader - extTableOff) / extEntrySize
+)
+
 // OpenFile creates or reopens a file-backed NVM device. When the file
 // already holds an arena, its durable image becomes the device's initial
 // state (both durable and cache-visible, as after a reboot) and existed
-// reports true; the stored arena size overrides cfg.Size. Persistence
-// tracking is implied. The returned device keeps the file mapped until
-// CloseFile.
+// reports true; the stored arena size (total size, for grown v2 files)
+// overrides cfg.Size. Persistence tracking is implied. The returned device
+// keeps the file mapped until CloseFile.
 func OpenFile(cfg Config, path string) (m *Memory, existed bool, err error) {
 	cfg.TrackPersistence = true
 	cfg = cfg.withDefaults()
@@ -63,21 +85,32 @@ func OpenFile(cfg Config, path string) (m *Memory, existed bool, err error) {
 	if err != nil {
 		return nil, false, err
 	}
+	extCount := 0
 	if st.Size() > 0 {
-		var hdr [16]byte
+		var hdr [32]byte
 		if _, err := f.ReadAt(hdr[:], 0); err != nil {
 			return nil, false, fmt.Errorf("nvm: reading backing header of %s: %w", path, err)
 		}
 		magic := binary.LittleEndian.Uint64(hdr[0:8])
-		size := int(binary.LittleEndian.Uint64(hdr[8:16]))
+		base := int(binary.LittleEndian.Uint64(hdr[8:16]))
 		switch {
 		case magic == backingMagic:
-			if size <= 0 || size%LineSize != 0 || int64(backingHeader+size) > st.Size() {
-				return nil, false, fmt.Errorf("nvm: backing file %s has implausible arena size %d", path, size)
+			if base <= 0 || base%LineSize != 0 || int64(backingHeader+base) > st.Size() {
+				return nil, false, fmt.Errorf("nvm: backing file %s has implausible arena size %d", path, base)
 			}
-			cfg.Size = size
+			cfg.Size = base
 			existed = true
-		case magic == 0 && size == 0:
+		case magic == backingMagicV2:
+			total := int(binary.LittleEndian.Uint64(hdr[16:24]))
+			extCount = int(binary.LittleEndian.Uint64(hdr[24:32]))
+			if base <= 0 || base%LineSize != 0 || total < base ||
+				extCount < 0 || extCount > maxExtents ||
+				int64(backingHeader+total) > st.Size() {
+				return nil, false, fmt.Errorf("nvm: backing file %s has implausible v2 header (base %d, total %d, extents %d)", path, base, total, extCount)
+			}
+			cfg.Size = total
+			existed = true
+		case magic == 0 && base == 0:
 			// A crash between Truncate and the header store leaves a
 			// sized file with a zero header; nothing can have been acked
 			// before the header existed, so treat it as fresh.
@@ -92,6 +125,10 @@ func OpenFile(cfg Config, path string) (m *Memory, existed bool, err error) {
 			return nil, false, err
 		}
 	}
+	// A reopened file may already be larger than the configured cap.
+	if cfg.MaxSize < cfg.Size {
+		cfg.MaxSize = cfg.Size
+	}
 
 	data, err := mmapFile(f, backingHeader+cfg.Size)
 	if err != nil {
@@ -100,20 +137,76 @@ func OpenFile(cfg Config, path string) (m *Memory, existed bool, err error) {
 	ok = true
 	m = &Memory{
 		cfg:      cfg,
-		words:    make([]uint64, cfg.Size/WordSize),
+		words:    make([]uint64, cfg.MaxSize/WordSize),
 		mapped:   data,
 		lockFile: f,
 	}
-	m.persist = wordsOf(data[backingHeader : backingHeader+cfg.Size])
+	m.size.Store(uint64(cfg.Size))
+	m.setPersist(wordsOf(data[backingHeader : backingHeader+cfg.Size]))
 	m.dirty = make([]uint64, (len(m.words)/WordsPerLine+63)/64+1)
 	if existed {
 		// Reboot semantics: the cache starts as a copy of the durable image.
-		copy(m.words, m.persist)
+		copy(m.words, m.persistWords())
+		for i := 0; i < extCount; i++ {
+			off := extTableOff + i*extEntrySize
+			m.exts = append(m.exts, Extent{
+				Start: binary.LittleEndian.Uint64(data[off : off+8]),
+				Size:  binary.LittleEndian.Uint64(data[off+8 : off+16]),
+			})
+		}
 	} else {
-		binary.LittleEndian.PutUint64(data[0:8], backingMagic)
-		binary.LittleEndian.PutUint64(data[8:16], uint64(cfg.Size))
+		binary.LittleEndian.PutUint64(data[hdrOffMagic:], backingMagicV2)
+		binary.LittleEndian.PutUint64(data[hdrOffBase:], uint64(cfg.Size))
+		binary.LittleEndian.PutUint64(data[hdrOffTotal:], uint64(cfg.Size))
+		binary.LittleEndian.PutUint64(data[hdrOffCount:], 0)
 	}
 	return m, existed, nil
+}
+
+// growFile extends the backing file to newSize arena bytes, records the new
+// extent in the v2 header (upgrading a v1 header in place first), and swaps
+// in the longer durable view. Called by Grow under growMu; the size publish
+// happens in Grow after this returns. The superseded mapping is retained
+// until CloseFile so concurrent durable stores holding the old persist
+// pointer stay valid; MAP_SHARED coherence keeps both views identical.
+func (m *Memory) growFile(cur, newSize int) error {
+	slot := len(m.exts)
+	if slot >= maxExtents {
+		return fmt.Errorf("nvm: extent table full (%d extents)", maxExtents)
+	}
+	m.maybeCrash() // before the file extend
+	if err := m.lockFile.Truncate(int64(backingHeader + newSize)); err != nil {
+		return err
+	}
+	data, err := mmapFile(m.lockFile, backingHeader+newSize)
+	if err != nil {
+		return err
+	}
+	// Register the mapping immediately so a crash at any later injection
+	// point cannot leak it (leaked mappings would hold the advisory lock
+	// past CloseFile). The durable view switches to it only at the end.
+	m.oldMaps = append(m.oldMaps, m.mapped)
+	m.mapped = data
+	if binary.LittleEndian.Uint64(data[hdrOffMagic:]) == backingMagic {
+		// In-place v1 upgrade: fill the v2 fields first, flip the magic
+		// last, so a crash mid-upgrade reopens as a plain v1 file.
+		binary.LittleEndian.PutUint64(data[hdrOffTotal:], uint64(cur))
+		binary.LittleEndian.PutUint64(data[hdrOffCount:], 0)
+		m.maybeCrash() // before the magic flip
+		binary.LittleEndian.PutUint64(data[hdrOffMagic:], backingMagicV2)
+	}
+	// The entry is invisible until the count covers it, and a torn retry
+	// rewrites the same slot, so every interleaving is idempotent.
+	m.maybeCrash() // before the extent-entry write
+	off := extTableOff + slot*extEntrySize
+	binary.LittleEndian.PutUint64(data[off:], uint64(cur))
+	binary.LittleEndian.PutUint64(data[off+8:], uint64(newSize-cur))
+	m.maybeCrash() // before the durable publish
+	binary.LittleEndian.PutUint64(data[hdrOffCount:], uint64(slot+1))
+	binary.LittleEndian.PutUint64(data[hdrOffTotal:], uint64(newSize))
+	m.Fence()
+	m.setPersist(wordsOf(data[backingHeader : backingHeader+newSize]))
+	return nil
 }
 
 // Backed reports whether the device's durable image lives in a file
@@ -124,14 +217,18 @@ func (m *Memory) Backed() bool { return m.mapped != nil }
 // only needed to survive machine-level failures; process death alone never
 // loses mapped writes. No-op for unbacked devices.
 func (m *Memory) Sync() error {
-	if m.mapped == nil {
+	m.growMu.Lock()
+	data := m.mapped
+	m.growMu.Unlock()
+	if data == nil {
 		return nil
 	}
-	return msync(m.mapped)
+	return msync(data)
 }
 
-// CloseFile syncs and unmaps a file-backed device. The Memory must not be
-// used afterwards. No-op for unbacked devices.
+// CloseFile syncs and unmaps a file-backed device, including any mappings
+// superseded by Grow. The Memory must not be used afterwards. No-op for
+// unbacked devices.
 func (m *Memory) CloseFile() error {
 	if m.mapped == nil {
 		return nil
@@ -141,8 +238,14 @@ func (m *Memory) CloseFile() error {
 	}
 	data := m.mapped
 	m.mapped = nil
-	m.persist = nil
+	m.setPersist(nil)
 	err := munmap(data)
+	for _, old := range m.oldMaps {
+		if e := munmap(old); e != nil && err == nil {
+			err = e
+		}
+	}
+	m.oldMaps = nil
 	if m.lockFile != nil {
 		m.lockFile.Close() // releases the advisory lock
 		m.lockFile = nil

@@ -67,10 +67,14 @@ func TestFileBackedDurability(t *testing.T) {
 // any msync or orderly shutdown.
 func dieWithoutSync(m *Memory) {
 	munmap(m.mapped)
+	for _, old := range m.oldMaps {
+		munmap(old) // mappings hold the flock open past the fd close
+	}
+	m.oldMaps = nil
 	m.lockFile.Close()
 	m.lockFile = nil
 	m.mapped = nil
-	m.persist = nil
+	m.setPersist(nil)
 }
 
 // TestFileBackedExclusiveLock: a second OpenFile on a live backing file

@@ -53,12 +53,20 @@ func (m *Memory) maybeCrash() {
 // (dirty bits, coalescing window, injection) is reset. Callers then run
 // recovery against the surviving state.
 func (m *Memory) Crash() error {
-	if m.persist == nil {
+	p := m.persistWords()
+	if p == nil {
 		return ErrNoPersistence
 	}
 	m.crashCountdown.Store(0)
-	for i := range m.words {
-		atomic.StoreUint64(&m.words[i], atomic.LoadUint64(&m.persist[i]))
+	n := len(m.words)
+	if len(p) < n {
+		n = len(p) // beyond the durable view nothing was ever stored
+	}
+	for i := 0; i < n; i++ {
+		atomic.StoreUint64(&m.words[i], atomic.LoadUint64(&p[i]))
+	}
+	for i := n; i < len(m.words); i++ {
+		atomic.StoreUint64(&m.words[i], 0)
 	}
 	for i := range m.dirty {
 		atomic.StoreUint64(&m.dirty[i], 0)

@@ -1,0 +1,180 @@
+package nvm
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// Arena growth and space reclamation.
+//
+// The address space stays flat: Grow appends an extent to the end of the
+// arena, so every address handed out before a grow stays valid and no
+// pointer in NVM ever needs rewriting. The cache-visible word array and the
+// dirty bitmap are allocated at MaxSize up front (untouched pages cost no
+// RSS), so growth never reallocates state a concurrent reader could hold;
+// for file-backed devices only the durable view is remapped, and the old
+// mapping is retained until CloseFile so stale loads of the persist pointer
+// remain valid (MAP_SHARED coherence keeps old and new views identical).
+//
+// PunchHole is the inverse: once the allocator's compactor has emptied a
+// region, its pages are returned to the OS while the addresses stay part of
+// the arena and read as zero — exactly the page-granular holes the backing
+// layout already tolerates.
+
+// pageSize is the file/OS page granularity used for growth and hole
+// punching. The header page (backingHeader) is one such page, so every
+// page-aligned arena offset is a page-aligned file offset too.
+const pageSize = 4096
+
+// ErrArenaCap is returned by Grow when the arena has reached MaxSize.
+var ErrArenaCap = errors.New("nvm: arena at configured maximum size")
+
+// errPunchUnsupported marks platforms/filesystems without hole punching;
+// PunchHole falls back to zeroing the durable pages (no space returned,
+// same read-as-zero semantics).
+var errPunchUnsupported = errors.New("nvm: hole punching unsupported")
+
+// Extent describes one appended segment of the arena address space. The
+// base segment [0, base size) is not represented as an Extent.
+type Extent struct {
+	Start uint64 // first byte offset of the extent
+	Size  uint64 // length in bytes
+}
+
+// End returns the first byte offset past the extent.
+func (e Extent) End() uint64 { return e.Start + e.Size }
+
+// Grow extends the arena by at least n bytes (rounded up to a page),
+// clamped to MaxSize, and returns the new size in bytes. It returns
+// ErrArenaCap when the arena is already at MaxSize.
+//
+// Crash-safe ordering (each durable step preceded by a crash-injection
+// point, so the crash matrix sweeps every torn state):
+//
+//  1. extend the backing file — a crash here leaves a long file whose
+//     header still publishes the old size; the tail is ignored and the
+//     next Grow redoes it,
+//  2. write the extent-table entry, then publish it durably by writing the
+//     header's extent count and total size — the entry write is invisible
+//     until the count covers it, and rewriting the same slot is idempotent,
+//  3. fence,
+//  4. publish the new size to the address space (in-process; the durable
+//     publish was step 2).
+func (m *Memory) Grow(n int) (int, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("nvm: Grow(%d): size must be positive", n)
+	}
+	m.growMu.Lock()
+	defer m.growMu.Unlock()
+	cur := int(m.size.Load())
+	if cur >= m.cfg.MaxSize {
+		return 0, ErrArenaCap
+	}
+	step := n
+	if rem := step % pageSize; rem != 0 {
+		step += pageSize - rem
+	}
+	newSize := cur + step
+	if newSize > m.cfg.MaxSize || newSize < cur {
+		newSize = m.cfg.MaxSize
+	}
+	if m.mapped != nil {
+		if err := m.growFile(cur, newSize); err != nil {
+			return 0, err
+		}
+	} else {
+		// Heap-backed: words and persist are preallocated at MaxSize, so
+		// growth is pure bookkeeping. The crash points mirror the
+		// file-backed ordering so in-memory crash matrices sweep the same
+		// states.
+		m.maybeCrash() // before the extend
+		m.maybeCrash() // before the extent-entry write
+		m.maybeCrash() // before the durable publish
+		m.Fence()
+	}
+	m.maybeCrash() // before the size publish
+	m.exts = append(m.exts, Extent{Start: uint64(cur), Size: uint64(newSize - cur)})
+	m.size.Store(uint64(newSize))
+	m.grows.Add(1)
+	return newSize, nil
+}
+
+// Extents returns a copy of the extent table (appended segments only; the
+// base segment is [0, Size) of a never-grown arena).
+func (m *Memory) Extents() []Extent {
+	m.growMu.Lock()
+	defer m.growMu.Unlock()
+	return append([]Extent(nil), m.exts...)
+}
+
+// GrowCount returns the number of Grow calls that completed.
+func (m *Memory) GrowCount() uint64 { return m.grows.Load() }
+
+// PunchedBytes returns the cumulative bytes released via PunchHole.
+func (m *Memory) PunchedBytes() uint64 { return m.punchedBytes.Load() }
+
+// PunchHole returns the storage backing [addr, addr+n) to the OS and zeroes
+// the range's cached and durable contents; the addresses stay part of the
+// arena and read as zero. addr and n must be page-aligned and inside the
+// arena. The caller must guarantee no concurrent writes to the range (the
+// allocator's reclaimer punches only regions it has fenced off); a
+// concurrent budgeted flush of a stale dirty line may at worst re-allocate
+// one page, never resurrect data a reader could observe as live.
+func (m *Memory) PunchHole(addr uint64, n int) error {
+	if n <= 0 {
+		return nil
+	}
+	if addr%pageSize != 0 || n%pageSize != 0 {
+		return fmt.Errorf("nvm: PunchHole(%#x, %d): not page-aligned", addr, n)
+	}
+	if end := addr + uint64(n); end > m.size.Load() || end < addr {
+		return fmt.Errorf("nvm: PunchHole(%#x, %d): beyond arena", addr, n)
+	}
+	m.growMu.Lock()
+	defer m.growMu.Unlock()
+	// Drop dirty bits first so a concurrent budgeted flush skips the range,
+	// then zero the cache-visible words so readers see the post-punch state
+	// immediately.
+	end := addr + uint64(n)
+	if m.dirty != nil {
+		for line := addr / LineSize; line < end/LineSize; line++ {
+			m.clearDirty(line)
+		}
+	}
+	for w := addr / WordSize; w < end/WordSize; w++ {
+		atomic.StoreUint64(&m.words[w], 0)
+	}
+	zeroDurable := m.mapped == nil
+	if m.mapped != nil {
+		err := punchFileHole(m.lockFile, int64(backingHeader)+int64(addr), int64(n))
+		switch {
+		case errors.Is(err, errPunchUnsupported):
+			zeroDurable = true // same semantics, no space returned
+		case err != nil:
+			return err
+		}
+	}
+	if zeroDurable {
+		if p := m.persistWords(); p != nil {
+			for w := addr / WordSize; w < end/WordSize; w++ {
+				atomic.StoreUint64(&p[w], 0)
+			}
+		}
+	}
+	m.punchedBytes.Add(uint64(n))
+	return nil
+}
+
+// AllocatedBytes reports the real storage backing the arena: the backing
+// file's allocated blocks for file-backed devices (punched holes excluded),
+// or the published size for in-memory devices.
+func (m *Memory) AllocatedBytes() (int64, error) {
+	m.growMu.Lock()
+	f := m.lockFile
+	m.growMu.Unlock()
+	if f == nil {
+		return int64(m.size.Load()), nil
+	}
+	return fileAllocatedBytes(f)
+}

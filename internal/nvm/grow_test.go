@@ -1,0 +1,286 @@
+//go:build linux || darwin
+
+package nvm
+
+import (
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestGrowHeap: an in-memory device grows up to its cap, keeps old
+// addresses valid, and rejects growth past MaxSize.
+func TestGrowHeap(t *testing.T) {
+	m := New(Config{Size: 1 << 20, MaxSize: 4 << 20, TrackPersistence: true})
+	m.StoreNT64(64, 11)
+	newSize, err := m.Grow(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newSize != 2<<20 || m.Size() != 2<<20 {
+		t.Fatalf("Grow: size %d, want %d", m.Size(), 2<<20)
+	}
+	// Grown space is addressable, zero, and durable-writable.
+	addr := uint64(1<<20 + 128)
+	if got := m.Load64(addr); got != 0 {
+		t.Fatalf("grown space not zero: %d", got)
+	}
+	m.StoreNT64(addr, 22)
+	if err := m.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Load64(addr); got != 22 {
+		t.Fatalf("durable store in grown space lost: %d", got)
+	}
+	if got := m.Load64(64); got != 11 {
+		t.Fatalf("pre-grow store lost: %d", got)
+	}
+	// Clamp at cap, then refuse.
+	if _, err := m.Grow(64 << 20); err != nil {
+		t.Fatal(err)
+	}
+	if m.Size() != 4<<20 {
+		t.Fatalf("cap clamp: size %d, want %d", m.Size(), 4<<20)
+	}
+	if _, err := m.Grow(1); !errors.Is(err, ErrArenaCap) {
+		t.Fatalf("grow past cap: err %v, want ErrArenaCap", err)
+	}
+	if exts := m.Extents(); len(exts) != 2 || exts[0].Start != 1<<20 || exts[1].End() != 4<<20 {
+		t.Fatalf("extent table: %+v", exts)
+	}
+	if m.GrowCount() != 2 {
+		t.Fatalf("GrowCount %d, want 2", m.GrowCount())
+	}
+}
+
+// TestGrowFileBacked: growth extends the backing file with the crash-safe
+// header ordering, durable stores in grown space survive a SIGKILL-style
+// reopen, and the extent table round-trips.
+func TestGrowFileBacked(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "arena.nvm")
+	m, _, err := OpenFile(Config{Size: 1 << 20, MaxSize: 8 << 20}, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.StoreNT64(64, 1)
+	if _, err := m.Grow(2 << 20); err != nil {
+		t.Fatal(err)
+	}
+	if m.Size() != 3<<20 {
+		t.Fatalf("size %d, want %d", m.Size(), 3<<20)
+	}
+	addr := uint64(2<<20 + 512)
+	m.StoreNT64(addr, 77)
+	dieWithoutSync(m)
+
+	m2, existed, err := OpenFile(Config{Size: 1 << 20, MaxSize: 8 << 20}, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !existed || m2.Size() != 3<<20 {
+		t.Fatalf("reopen: existed=%v size=%d, want true, %d", existed, m2.Size(), 3<<20)
+	}
+	if got := m2.Load64(addr); got != 77 {
+		t.Fatalf("acked store in grown extent lost: %d", got)
+	}
+	if got := m2.Load64(64); got != 1 {
+		t.Fatalf("base-segment store lost: %d", got)
+	}
+	exts := m2.Extents()
+	if len(exts) != 1 || exts[0].Start != 1<<20 || exts[0].Size != 2<<20 {
+		t.Fatalf("extent table after reopen: %+v", exts)
+	}
+	// A reopened arena larger than the configured cap clamps the cap up.
+	if m2.MaxSize() < m2.Size() {
+		t.Fatalf("MaxSize %d < Size %d", m2.MaxSize(), m2.Size())
+	}
+	if err := m2.CloseFile(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOpenFileV1Compat: a v1-header file opens under v2 code, grows (which
+// upgrades the header in place), and reopens as a grown v2 arena.
+func TestOpenFileV1Compat(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "arena.nvm")
+	const size = 1 << 20
+	// Hand-craft a v1 file: [magic, size] header page + zeroed arena with
+	// one recognizable durable word.
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Truncate(backingHeader + size); err != nil {
+		t.Fatal(err)
+	}
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], backingMagic)
+	binary.LittleEndian.PutUint64(hdr[8:16], size)
+	if _, err := f.WriteAt(hdr[:], 0); err != nil {
+		t.Fatal(err)
+	}
+	var word [8]byte
+	binary.LittleEndian.PutUint64(word[:], 99)
+	if _, err := f.WriteAt(word[:], backingHeader+64); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	m, existed, err := OpenFile(Config{Size: 1 << 16, MaxSize: 4 << 20}, path)
+	if err != nil {
+		t.Fatalf("v1 file rejected: %v", err)
+	}
+	if !existed || m.Size() != size {
+		t.Fatalf("v1 open: existed=%v size=%d, want true, %d", existed, m.Size(), size)
+	}
+	if got := m.Load64(64); got != 99 {
+		t.Fatalf("v1 contents lost: %d", got)
+	}
+	if _, err := m.Grow(1 << 20); err != nil {
+		t.Fatalf("growing a v1 file: %v", err)
+	}
+	addr := uint64(size + 64)
+	m.StoreNT64(addr, 100)
+	dieWithoutSync(m)
+
+	m2, existed, err := OpenFile(Config{Size: 1 << 16, MaxSize: 4 << 20}, path)
+	if err != nil {
+		t.Fatalf("upgraded file rejected: %v", err)
+	}
+	if !existed || m2.Size() != 2*size {
+		t.Fatalf("upgraded open: existed=%v size=%d, want true, %d", existed, m2.Size(), 2*size)
+	}
+	if got := m2.Load64(64); got != 99 {
+		t.Fatalf("v1 contents lost after upgrade: %d", got)
+	}
+	if got := m2.Load64(addr); got != 100 {
+		t.Fatalf("post-upgrade store lost: %d", got)
+	}
+	if len(m2.Extents()) != 1 {
+		t.Fatalf("extents after upgrade: %+v", m2.Extents())
+	}
+	m2.CloseFile()
+}
+
+// TestGrowCrashSweep arms crash injection before every durable operation
+// inside a file-backed Grow and checks that each torn state either reopens
+// at the old size or (after the durable publish) the new one — never
+// anything in between — and that a retried Grow always completes.
+func TestGrowCrashSweep(t *testing.T) {
+	for n := 1; ; n++ {
+		path := filepath.Join(t.TempDir(), "arena.nvm")
+		m, _, err := OpenFile(Config{Size: 1 << 20, MaxSize: 4 << 20}, path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.StoreNT64(64, 5)
+		m.SetCrashAfter(n)
+		crashed := m.RunToCrash(func() {
+			if _, err := m.Grow(1 << 20); err != nil {
+				t.Fatal(err)
+			}
+		})
+		m.SetCrashAfter(0)
+		if !crashed {
+			m.CloseFile()
+			if n == 1 {
+				t.Fatal("no durable operations inside Grow")
+			}
+			return // swept past the last durable op
+		}
+		// The in-process retry must succeed from any torn state.
+		if _, err := m.Grow(1 << 20); err != nil {
+			t.Fatalf("crash point %d: retry failed: %v", n, err)
+		}
+		if m.Size() != 2<<20 {
+			t.Fatalf("crash point %d: size %d after retry", n, m.Size())
+		}
+		addr := uint64(1<<20 + 64)
+		m.StoreNT64(addr, uint64(n))
+		dieWithoutSync(m)
+		// A reopen after the kill sees a consistent arena: old contents
+		// intact, grown size published (the retry completed), acked grown
+		// store present.
+		m2, _, err := OpenFile(Config{Size: 1 << 20}, path)
+		if err != nil {
+			t.Fatalf("crash point %d: reopen: %v", n, err)
+		}
+		if m2.Size() != 2<<20 {
+			t.Fatalf("crash point %d: reopened size %d", n, m2.Size())
+		}
+		if got := m2.Load64(64); got != 5 {
+			t.Fatalf("crash point %d: base store lost: %d", n, got)
+		}
+		if got := m2.Load64(addr); got != uint64(n) {
+			t.Fatalf("crash point %d: grown store lost: %d", n, got)
+		}
+		m2.CloseFile()
+		if n > 200 {
+			t.Fatal("crash sweep did not terminate")
+		}
+	}
+}
+
+// TestPunchHole: punching returns storage to the OS (where the filesystem
+// supports it), the range reads zero through both the cache and the durable
+// image, and addresses stay valid.
+func TestPunchHole(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "arena.nvm")
+	m, _, err := OpenFile(Config{Size: 4 << 20}, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.CloseFile()
+	// Fill a 1 MiB region durably so its pages are allocated.
+	lo, hi := uint64(1<<20), uint64(2<<20)
+	for a := lo; a < hi; a += 512 {
+		m.StoreNT64(a, a)
+	}
+	if err := m.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	before, err := m.AllocatedBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.PunchHole(lo, int(hi-lo)); err != nil {
+		t.Fatal(err)
+	}
+	for a := lo; a < hi; a += 4096 {
+		if got := m.Load64(a); got != 0 {
+			t.Fatalf("punched word %#x reads %d", a, got)
+		}
+	}
+	// The durable image is zero too: crash and re-check.
+	if err := m.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Load64(lo + 512); got != 0 {
+		t.Fatalf("punched durable word reads %d", got)
+	}
+	after, err := m.AllocatedBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("allocated bytes: before=%d after=%d", before, after)
+	if after >= before {
+		t.Logf("no storage reclaimed (filesystem without hole support?)")
+	}
+	if m.PunchedBytes() != hi-lo {
+		t.Fatalf("PunchedBytes %d, want %d", m.PunchedBytes(), hi-lo)
+	}
+	// Punched addresses are immediately reusable.
+	m.StoreNT64(lo, 123)
+	if got := m.Load64(lo); got != 123 {
+		t.Fatalf("store after punch: %d", got)
+	}
+	// Misaligned and out-of-range punches are rejected.
+	if err := m.PunchHole(lo+64, pageSize); err == nil {
+		t.Fatal("misaligned punch accepted")
+	}
+	if err := m.PunchHole(uint64(m.Size()), pageSize); err == nil {
+		t.Fatal("out-of-range punch accepted")
+	}
+}

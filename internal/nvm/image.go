@@ -13,16 +13,22 @@ import (
 const imageMagic = 0x3152574e444e5752
 
 // PersistentImage serializes the durable image (header + raw words). It
-// requires persistence tracking.
+// requires persistence tracking. Only the published arena size is captured,
+// so a grown arena round-trips at its grown size.
 func (m *Memory) PersistentImage() ([]byte, error) {
-	if m.persist == nil {
+	p := m.persistWords()
+	if p == nil {
 		return nil, ErrNoPersistence
 	}
-	buf := make([]byte, 16+len(m.persist)*WordSize)
+	n := int(m.size.Load()) / WordSize
+	if n > len(p) {
+		n = len(p)
+	}
+	buf := make([]byte, 16+n*WordSize)
 	binary.LittleEndian.PutUint64(buf[0:8], imageMagic)
-	binary.LittleEndian.PutUint64(buf[8:16], uint64(len(m.persist)))
-	for i, w := range m.persist {
-		binary.LittleEndian.PutUint64(buf[16+i*WordSize:], w)
+	binary.LittleEndian.PutUint64(buf[8:16], uint64(n))
+	for i := 0; i < n; i++ {
+		binary.LittleEndian.PutUint64(buf[16+i*WordSize:], p[i])
 	}
 	return buf, nil
 }
@@ -31,23 +37,25 @@ func (m *Memory) PersistentImage() ([]byte, error) {
 // the durable and cache-visible state, as if the machine had rebooted with
 // that NVM contents. The image must fit the arena.
 func (m *Memory) LoadImage(img []byte) error {
-	if m.persist == nil {
+	p := m.persistWords()
+	if p == nil {
 		return ErrNoPersistence
 	}
 	if len(img) < 16 || binary.LittleEndian.Uint64(img[0:8]) != imageMagic {
 		return fmt.Errorf("nvm: bad image header")
 	}
 	n := binary.LittleEndian.Uint64(img[8:16])
-	if int(n) > len(m.persist) || len(img) < 16+int(n)*WordSize {
-		return fmt.Errorf("nvm: image has %d words, arena fits %d", n, len(m.persist))
+	arena := m.size.Load() / WordSize
+	if n > arena || len(img) < 16+int(n)*WordSize {
+		return fmt.Errorf("nvm: image has %d words, arena fits %d", n, arena)
 	}
 	for i := 0; i < int(n); i++ {
 		w := binary.LittleEndian.Uint64(img[16+i*WordSize:])
-		m.persist[i] = w
+		p[i] = w
 		m.words[i] = w
 	}
-	for i := int(n); i < len(m.words); i++ {
-		m.persist[i] = 0
+	for i := int(n); i < int(arena); i++ {
+		p[i] = 0
 		m.words[i] = 0
 	}
 	for i := range m.dirty {

@@ -37,6 +37,7 @@ package nvm
 import (
 	"fmt"
 	"os"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -69,9 +70,15 @@ const DefaultFenceLatency = 100 * time.Nanosecond
 
 // Config controls the shape and fidelity of the simulated NVM device.
 type Config struct {
-	// Size is the arena size in bytes. It is rounded up to a multiple of
-	// LineSize. Default: 64 MiB.
+	// Size is the initial arena size in bytes. It is rounded up to a
+	// multiple of LineSize. Default: 64 MiB.
 	Size int
+	// MaxSize is the hard cap the arena may Grow to, in bytes (rounded up
+	// to a page). It defaults to Size, which makes the device fixed-size —
+	// the historical behaviour. The volatile cache array and dirty bitmap
+	// are sized for MaxSize up front (untouched pages cost no RSS), so
+	// growth never reallocates state a concurrent reader could hold.
+	MaxSize int
 	// WriteLatency is charged per durable NVM line write.
 	WriteLatency time.Duration
 	// FenceLatency is charged per persistent memory fence.
@@ -101,6 +108,12 @@ func (c Config) withDefaults() Config {
 	if rem := c.Size % LineSize; rem != 0 {
 		c.Size += LineSize - rem
 	}
+	if c.MaxSize < c.Size {
+		c.MaxSize = c.Size
+	}
+	if rem := c.MaxSize % pageSize; rem != 0 && c.MaxSize != c.Size {
+		c.MaxSize += pageSize - rem
+	}
 	if c.WriteLatency == 0 {
 		c.WriteLatency = DefaultWriteLatency
 	}
@@ -115,16 +128,31 @@ func (c Config) withDefaults() Config {
 // real hardware.
 type Memory struct {
 	cfg   Config
-	words []uint64 // current (cache-visible) contents
-	// persist is the durable image; nil unless TrackPersistence. For
-	// file-backed devices (OpenFile) it views an mmapped file, so durable
-	// operations survive process death in the OS page cache.
-	persist []uint64
+	words []uint64 // current (cache-visible) contents, sized for MaxSize
+	// persist points at the durable image; nil unless TrackPersistence.
+	// For file-backed devices (OpenFile) it views an mmapped file, so
+	// durable operations survive process death in the OS page cache. It is
+	// an atomic pointer because Grow republishes a longer view while
+	// concurrent durable stores are in flight; superseded views stay mapped
+	// (oldMaps) so stale loads of the pointer remain valid — MAP_SHARED
+	// coherence makes writes through an old view visible through the new.
+	persist atomic.Pointer[[]uint64]
+	// size is the published arena size in bytes. Grow publishes a larger
+	// value only after the backing file and extent table cover it.
+	size atomic.Uint64
 	// mapped is the raw file mapping backing persist; nil for in-memory
 	// devices. lockFile holds the backing file's exclusive advisory lock
-	// for the mapping's lifetime.
+	// for the mapping's lifetime and is the handle Grow extends through.
 	mapped   []byte
+	oldMaps  [][]byte // superseded mappings, unmapped at CloseFile
 	lockFile *os.File
+	// growMu serializes Grow and PunchHole (file metadata operations and
+	// extent-table updates). Load/store paths never take it.
+	growMu sync.Mutex
+	exts   []Extent // extent table mirror (base segment excluded)
+
+	grows        atomic.Uint64 // completed Grow calls
+	punchedBytes atomic.Uint64 // bytes released via PunchHole
 	// dirty is a bitmap with one bit per cache line: set when the line has
 	// cached writes that are not yet durable. nil unless TrackPersistence.
 	dirty []uint64
@@ -153,30 +181,56 @@ func New(cfg Config) *Memory {
 	cfg = cfg.withDefaults()
 	m := &Memory{
 		cfg:   cfg,
-		words: make([]uint64, cfg.Size/WordSize),
+		words: make([]uint64, cfg.MaxSize/WordSize),
 	}
+	m.size.Store(uint64(cfg.Size))
 	if cfg.TrackPersistence {
-		m.persist = make([]uint64, len(m.words))
+		// The shadow is allocated at full capacity up front: Go zero-fills
+		// lazily via untouched pages, so an ungrown arena costs no RSS, and
+		// Grow never has to reallocate an array a concurrent durable store
+		// could be writing through.
+		m.setPersist(make([]uint64, len(m.words)))
 		m.dirty = make([]uint64, (len(m.words)/WordsPerLine+63)/64+1)
 	}
 	return m
 }
 
-// Size returns the arena size in bytes.
-func (m *Memory) Size() int { return m.cfg.Size }
+// Size returns the current arena size in bytes. It can increase at any
+// Grow; addresses below a returned size remain valid forever.
+func (m *Memory) Size() int { return int(m.size.Load()) }
+
+// MaxSize returns the hard cap the arena may Grow to, in bytes.
+func (m *Memory) MaxSize() int { return m.cfg.MaxSize }
 
 // Config returns the configuration the device was created with.
 func (m *Memory) Config() Config { return m.cfg }
+
+// persistWords returns the current durable image view, or nil when
+// persistence tracking is disabled.
+func (m *Memory) persistWords() []uint64 {
+	if p := m.persist.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+func (m *Memory) setPersist(p []uint64) {
+	if p == nil {
+		m.persist.Store(nil)
+		return
+	}
+	m.persist.Store(&p)
+}
 
 func (m *Memory) checkAddr(addr uint64, n int) uint64 {
 	if addr%WordSize != 0 {
 		panic(fmt.Sprintf("nvm: misaligned address %#x", addr))
 	}
-	w := addr / WordSize
-	if int(w)+n > len(m.words) || addr >= uint64(m.cfg.Size) {
-		panic(fmt.Sprintf("nvm: address %#x (+%d words) out of range (size %d)", addr, n, m.cfg.Size))
+	size := m.size.Load()
+	if addr >= size || uint64(n)*WordSize > size-addr {
+		panic(fmt.Sprintf("nvm: address %#x (+%d words) out of range (size %d)", addr, n, size))
 	}
-	return w
+	return addr / WordSize
 }
 
 // Load64 performs an atomic 64-bit load from an 8-byte-aligned address.
@@ -208,8 +262,13 @@ func (m *Memory) StoreNT64(addr, v uint64) {
 	m.maybeCrash()
 	m.stats.ntStores.Add(1)
 	atomic.StoreUint64(&m.words[w], v)
-	if m.persist != nil {
-		atomic.StoreUint64(&m.persist[w], v)
+	if p := m.persistWords(); p != nil {
+		if int(w) >= len(p) {
+			// addr passed checkAddr, so a Grow published this region after
+			// our pointer load; the fresh view is guaranteed to cover it.
+			p = m.persistWords()
+		}
+		atomic.StoreUint64(&p[w], v)
 	}
 	m.chargeLine(w / WordsPerLine)
 }
@@ -242,8 +301,14 @@ func (m *Memory) flushLine(line uint64) {
 		}
 		m.maybeCrash()
 		base := line * WordsPerLine
+		p := m.persistWords()
+		if int(base+WordsPerLine) > len(p) {
+			// The line was dirtied after a Grow published it, so the fresh
+			// view covers it even though our first pointer load predated it.
+			p = m.persistWords()
+		}
 		for i := uint64(0); i < WordsPerLine; i++ {
-			atomic.StoreUint64(&m.persist[base+i], atomic.LoadUint64(&m.words[base+i]))
+			atomic.StoreUint64(&p[base+i], atomic.LoadUint64(&m.words[base+i]))
 		}
 	} else {
 		m.maybeCrash()

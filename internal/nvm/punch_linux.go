@@ -1,0 +1,35 @@
+//go:build linux
+
+package nvm
+
+import (
+	"errors"
+	"os"
+	"syscall"
+)
+
+const (
+	fallocFlKeepSize  = 0x1 // FALLOC_FL_KEEP_SIZE
+	fallocFlPunchHole = 0x2 // FALLOC_FL_PUNCH_HOLE
+)
+
+// punchFileHole deallocates [off, off+n) of f without changing its size.
+// The kernel drops the range's page-cache pages, so MAP_SHARED mappings
+// read zeros afterwards.
+func punchFileHole(f *os.File, off, n int64) error {
+	err := syscall.Fallocate(int(f.Fd()), fallocFlPunchHole|fallocFlKeepSize, off, n)
+	if errors.Is(err, syscall.EOPNOTSUPP) || errors.Is(err, syscall.ENOTSUP) {
+		return errPunchUnsupported // filesystem without hole support (e.g. some tmpfs configs)
+	}
+	return err
+}
+
+// fileAllocatedBytes reports the storage actually allocated to f, so
+// punched holes are excluded.
+func fileAllocatedBytes(f *os.File) (int64, error) {
+	var st syscall.Stat_t
+	if err := syscall.Fstat(int(f.Fd()), &st); err != nil {
+		return 0, err
+	}
+	return st.Blocks * 512, nil
+}

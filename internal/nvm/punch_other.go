@@ -1,0 +1,20 @@
+//go:build !linux
+
+package nvm
+
+import "os"
+
+// Hole punching is a Linux fallocate feature; elsewhere PunchHole falls
+// back to zeroing the durable pages, which preserves read-as-zero
+// semantics without returning space to the OS.
+
+func punchFileHole(f *os.File, off, n int64) error { return errPunchUnsupported }
+
+// fileAllocatedBytes falls back to the file size (holes not observable).
+func fileAllocatedBytes(f *os.File) (int64, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}

@@ -1,0 +1,199 @@
+package pmem
+
+// Per-segment occupancy accounting.
+//
+// The compactor needs to know which parts of the heap are mostly dead
+// before it spends transactions migrating live data out of them. The
+// allocator keeps one (live, freed) byte pair per segment — the base
+// segment plus one per grown extent — updated on every alloc and free and
+// rebuilt from a heap walk at Open. The counters are volatile and purely
+// advisory: a crash can skew them until the next reopen, which at worst
+// makes the compactor pick a different segment, never corrupts data.
+//
+// The heap walk itself is possible because bump allocation keeps blocks
+// contiguous from HeapBase to the bump pointer and every block carries an
+// 8-byte header (payload<<1 | freedBit) written before the bump pointer
+// passes it, so headers always parse at every crash point.
+
+import (
+	"fmt"
+
+	"github.com/rewind-db/rewind/internal/nvm"
+)
+
+// SegmentStats is a snapshot of one heap segment's occupancy.
+type SegmentStats struct {
+	Start     uint64 // first heap byte of the segment
+	End       uint64 // one past the last byte
+	Live      int64  // bytes in allocated blocks (headers included)
+	Freed     int64  // bytes in freed blocks (headers included)
+	Reclaimed int64  // freed bytes already coalesced and punched by Reclaim
+	Bump      bool   // segment containing the bump watermark
+}
+
+// initSegments builds the segment table from the device's extent table:
+// the base segment [HeapBase, first extent) plus one entry per extent.
+// Called with no lock held (construction time only).
+func (a *Allocator) initSegments() {
+	exts := a.mem.Extents()
+	baseEnd := uint64(a.mem.Size())
+	if len(exts) > 0 {
+		baseEnd = exts[0].Start
+	}
+	a.segs = []segment{{start: HeapBase, end: baseEnd}}
+	for _, e := range exts {
+		a.segs = append(a.segs, segment{start: e.Start, end: e.End()})
+	}
+}
+
+// syncSegments appends entries for extents grown since the table was
+// built. Called under mu (from the TryAlloc growth path).
+func (a *Allocator) syncSegments() {
+	exts := a.mem.Extents()
+	// Extents map to segs[1:]; anything beyond is new.
+	for _, e := range exts[len(a.segs)-1:] {
+		a.segs = append(a.segs, segment{start: e.Start, end: e.End()})
+	}
+}
+
+// segFor returns the segment containing the heap address, or nil. Under mu.
+func (a *Allocator) segFor(addr uint64) *segment {
+	for i := range a.segs {
+		if addr >= a.segs[i].start && addr < a.segs[i].end {
+			return &a.segs[i]
+		}
+	}
+	return nil
+}
+
+// noteAlloc books a block (header at hdrAddr, total bytes) as live;
+// fromFree moves it out of the freed count. Under mu.
+func (a *Allocator) noteAlloc(hdrAddr uint64, total int, fromFree bool) {
+	if s := a.segFor(hdrAddr); s != nil {
+		s.live += int64(total)
+		if fromFree {
+			s.freed -= int64(total)
+			if s.reclaimed > s.freed {
+				s.reclaimed = s.freed
+			}
+		}
+	}
+}
+
+// noteFree books a block as freed. Under mu.
+func (a *Allocator) noteFree(hdrAddr uint64, total int) {
+	if s := a.segFor(hdrAddr); s != nil {
+		s.live -= int64(total)
+		s.freed += int64(total)
+	}
+}
+
+// walkHeap visits every block between HeapBase and the bump pointer in
+// address order. fn receives the header address, the block's total size
+// (header included) and whether it is freed. Under mu.
+func (a *Allocator) walkHeap(fn func(hdrAddr uint64, total int, free bool) error) error {
+	bump := a.mem.Load64(offBump)
+	addr := uint64(HeapBase)
+	for addr < bump {
+		hdr := a.mem.Load64(addr)
+		total := int(hdr>>1) + headerSize
+		if total < nvm.LineSize || total%nvm.LineSize != 0 || addr+uint64(total) > bump {
+			return fmt.Errorf("pmem: heap walk: implausible block header %#x at %#x (total %d, bump %#x)", hdr, addr, total, bump)
+		}
+		if err := fn(addr, total, hdr&freedBit != 0); err != nil {
+			return err
+		}
+		addr += uint64(total)
+	}
+	return nil
+}
+
+// rebuildOccupancy recomputes the per-segment counters from a heap walk.
+// Called from Open (no concurrent users yet).
+func (a *Allocator) rebuildOccupancy() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for i := range a.segs {
+		a.segs[i].live, a.segs[i].freed, a.segs[i].reclaimed = 0, 0, 0
+	}
+	return a.walkHeap(func(hdrAddr uint64, total int, free bool) error {
+		if s := a.segFor(hdrAddr); s != nil {
+			if free {
+				s.freed += int64(total)
+			} else {
+				s.live += int64(total)
+			}
+		}
+		return nil
+	})
+}
+
+// Segments returns an occupancy snapshot of every heap segment.
+func (a *Allocator) Segments() []SegmentStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	bump := a.mem.Load64(offBump)
+	out := make([]SegmentStats, len(a.segs))
+	for i, s := range a.segs {
+		out[i] = SegmentStats{
+			Start:     s.start,
+			End:       s.end,
+			Live:      s.live,
+			Freed:     s.freed,
+			Reclaimed: s.reclaimed,
+			Bump:      bump >= s.start && bump < s.end,
+		}
+	}
+	// A bump sitting exactly at the arena end belongs to the last segment
+	// (nothing past it to allocate from, but it is still the frontier).
+	if n := len(out); n > 0 && bump >= out[n-1].End {
+		out[n-1].Bump = true
+	}
+	return out
+}
+
+// CheckHeap validates allocator metadata: every block header parses, every
+// free-list entry points at a freed block inside the walked heap, and no
+// block appears on two lists. It exists for crash-matrix tests — a crash
+// may leak blocks (freed but unlisted, or allocated but unreachable), and
+// CheckHeap accepts those, but any double-serve or corruption fails.
+func (a *Allocator) CheckHeap() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	blocks := map[uint64]bool{} // header addr -> freed
+	if err := a.walkHeap(func(hdrAddr uint64, total int, free bool) error {
+		blocks[hdrAddr] = free
+		return nil
+	}); err != nil {
+		return err
+	}
+	seen := map[uint64]int{}
+	for c := -1; c < len(classTotals); c++ {
+		slot := a.freeSlot(c)
+		cur := a.mem.Load64(slot)
+		hops := 0
+		for cur != nvm.Null {
+			free, ok := blocks[cur-headerSize]
+			if !ok {
+				return fmt.Errorf("pmem: free list %d entry %#x is not a block boundary", c, cur)
+			}
+			if !free {
+				return fmt.Errorf("pmem: free list %d entry %#x is not marked free", c, cur)
+			}
+			if prev, dup := seen[cur]; dup {
+				return fmt.Errorf("pmem: block %#x on free lists %d and %d", cur, prev, c)
+			}
+			seen[cur] = c
+			if c >= 0 {
+				if bt := a.blockTotal(cur); bt != classTotals[c] {
+					return fmt.Errorf("pmem: class %d list holds %d-byte block %#x", c, bt, cur)
+				}
+			}
+			if hops++; hops > len(blocks)+1 {
+				return fmt.Errorf("pmem: free list %d has a cycle", c)
+			}
+			cur = a.mem.Load64(cur)
+		}
+	}
+	return nil
+}

@@ -78,6 +78,32 @@ var ErrNotFormatted = errors.New("pmem: arena not formatted")
 type Allocator struct {
 	mem *nvm.Memory
 	mu  sync.Mutex
+
+	// growStep is the number of bytes each arena growth requests; 0
+	// disables growth (the historical fixed-size behaviour). Set via
+	// SetGrowth.
+	growStep int
+	// segs is the volatile per-segment occupancy table (base segment plus
+	// one entry per extent), rebuilt from a heap walk at Open. Guarded by mu.
+	segs []segment
+	// reclLo/reclHi fence off a half-open address range being compacted:
+	// the allocator never serves a free block inside it. Guarded by mu.
+	reclLo, reclHi uint64
+}
+
+// segment is one contiguous piece of the heap with occupancy counters.
+// live+freed converge on the bytes the bump pointer has passed through the
+// segment; the counters are volatile and rebuilt by a heap walk at Open, so
+// a crash can at worst skew them until the next reopen (they only steer
+// compaction policy, never correctness).
+type segment struct {
+	start, end  uint64
+	live, freed int64
+	// reclaimed tracks freed bytes a Reclaim pass has already coalesced
+	// and punched, so compaction policy can tell fresh garbage from dead
+	// space that was dealt with. Clamped to freed; reset on reopen (one
+	// redundant compaction after restart at worst).
+	reclaimed int64
 }
 
 // Format initializes a fresh heap on the arena, destroying any prior
@@ -98,11 +124,13 @@ func Format(m *nvm.Memory) *Allocator {
 	// arena that Open rejects rather than a half-initialized heap.
 	m.StoreNT64(offMagic, magic)
 	m.Fence()
+	a.initSegments()
 	return a
 }
 
 // Open attaches to a previously formatted heap (e.g. after a crash or an
-// image restore).
+// image restore) and rebuilds the per-segment occupancy table from a heap
+// walk.
 func Open(m *nvm.Memory) (*Allocator, error) {
 	if m.Load64(offMagic) != magic {
 		return nil, ErrNotFormatted
@@ -113,7 +141,12 @@ func Open(m *nvm.Memory) (*Allocator, error) {
 	if s := m.Load64(offSize); s > uint64(m.Size()) {
 		return nil, fmt.Errorf("pmem: heap formatted for %d bytes, arena has %d", s, m.Size())
 	}
-	return &Allocator{mem: m}, nil
+	a := &Allocator{mem: m}
+	a.initSegments()
+	if err := a.rebuildOccupancy(); err != nil {
+		return nil, err
+	}
+	return a, nil
 }
 
 // Mem returns the underlying NVM device.
@@ -144,6 +177,9 @@ func (a *Allocator) Alloc(size int) uint64 {
 }
 
 // TryAlloc is Alloc returning an error instead of panicking on exhaustion.
+// When a growth policy is configured (SetGrowth), bump exhaustion grows the
+// arena instead of failing; ErrOutOfMemory is only returned once the arena
+// has reached its configured cap.
 func (a *Allocator) TryAlloc(size int) (uint64, error) {
 	if size <= 0 {
 		return nvm.Null, fmt.Errorf("pmem: invalid allocation size %d", size)
@@ -167,51 +203,138 @@ func (a *Allocator) TryAlloc(size int) (uint64, error) {
 	// pointer. A crash in between leaves the header in space that is
 	// still unallocated, which the next bump write simply overwrites.
 	bump := a.mem.Load64(offBump)
-	if bump+uint64(total) > uint64(a.mem.Size()) {
-		return nvm.Null, ErrOutOfMemory
+	for bump+uint64(total) > uint64(a.mem.Size()) {
+		if a.growStep <= 0 {
+			return nvm.Null, ErrOutOfMemory
+		}
+		want := total
+		if want < a.growStep {
+			want = a.growStep
+		}
+		if _, err := a.mem.Grow(want); err != nil {
+			if errors.Is(err, nvm.ErrArenaCap) {
+				return nvm.Null, ErrOutOfMemory
+			}
+			return nvm.Null, fmt.Errorf("pmem: growing arena: %w", err)
+		}
+		// Track the new extent and the heap's formatted size. A crash
+		// between the grow and this store leaves offSize stale-small,
+		// which Open tolerates (it only rejects heaps larger than the
+		// arena).
+		a.syncSegments()
+		a.mem.StoreNT64(offSize, uint64(a.mem.Size()))
 	}
 	a.mem.StoreNT64(bump, uint64(total-headerSize)<<1)
 	a.mem.StoreNT64(offBump, bump+uint64(total))
+	a.noteAlloc(bump, total, false)
 	return bump + headerSize, nil
 }
 
-// popFree pops a block from the class free list (or, for large blocks, the
-// first exact-size match on the large list). Returns Null when empty.
-func (a *Allocator) popFree(c, total int) uint64 {
-	headSlot := a.freeSlot(c)
-	if c < 0 {
-		// Large list: first-fit exact total match.
-		prev := uint64(headSlot)
-		cur := a.mem.Load64(headSlot)
-		for cur != nvm.Null {
-			if a.blockTotal(cur) == total {
-				next := a.mem.Load64(cur)
-				// Unlink first, then clear the freed bit. A crash in
-				// between leaks the block but can never double-serve it.
-				a.mem.StoreNT64(prev, next)
-				a.mem.StoreNT64(cur-headerSize, uint64(total-headerSize)<<1)
-				return cur
-			}
-			prev = cur
-			cur = a.mem.Load64(cur)
-		}
-		return nvm.Null
-	}
-	head := a.mem.Load64(headSlot)
-	if head == nvm.Null {
-		return nvm.Null
-	}
-	next := a.mem.Load64(head) // free blocks store the next pointer in payload word 0
-	a.mem.StoreNT64(headSlot, next)
-	a.mem.StoreNT64(head-headerSize, uint64(total-headerSize)<<1)
-	return head
+// SetGrowth configures the arena growth policy: each bump exhaustion grows
+// the arena by at least step bytes (clamped to the device's MaxSize).
+// step <= 0 disables growth. Safe to call at any time.
+func (a *Allocator) SetGrowth(step int) {
+	a.mu.Lock()
+	a.growStep = step
+	a.mu.Unlock()
 }
 
+// popFree pops a block from the class free list (or, for large blocks, the
+// first block on the large list with total >= the request, splitting off
+// the remainder). Returns Null when empty. Blocks inside the reclaiming
+// fence are skipped so compaction never races an allocation into the range
+// it is emptying.
+func (a *Allocator) popFree(c, total int) uint64 {
+	headSlot := a.freeSlot(c)
+	prev := headSlot
+	cur := a.mem.Load64(headSlot)
+	for cur != nvm.Null {
+		if a.inReclaimRange(cur-headerSize, a.blockTotal(cur)) {
+			prev = cur
+			cur = a.mem.Load64(cur)
+			continue
+		}
+		if c >= 0 {
+			// Class lists hold exact-size blocks by construction.
+			next := a.mem.Load64(cur) // free blocks store the next pointer in payload word 0
+			// Unlink first, then clear the freed bit. A crash in
+			// between leaks the block but can never double-serve it.
+			a.mem.StoreNT64(prev, next)
+			a.mem.StoreNT64(cur-headerSize, uint64(total-headerSize)<<1)
+			a.noteAlloc(cur-headerSize, total, true)
+			return cur
+		}
+		// Large list: first fit with at least the requested total.
+		if bt := a.blockTotal(cur); bt >= total {
+			a.splitAndServe(prev, cur, bt, total)
+			return cur
+		}
+		prev = cur
+		cur = a.mem.Load64(cur)
+	}
+	return nvm.Null
+}
+
+// splitAndServe unlinks the free block at payload address cur (total size
+// bt) from the large list via prev, serves its first `total` bytes, and
+// returns the remainder (if any) to the free list owning its size. The
+// write order makes every crash point safe:
+//
+//  1. remainder header (freed) inside what is still the free block's
+//     payload — invisible to the heap walk until step 3, garbage inside
+//     free space before that;
+//  2. unlink the block — a crash leaks it whole, still consistent;
+//  3. shrink the served header to `total` (allocated) — from here the walk
+//     sees [served | free remainder]; the remainder is unreachable (leaked)
+//     until step 4 but already consistent;
+//  4. publish the remainder on its free list.
+//
+// No order admits double-serving: the remainder only becomes allocatable
+// after the served block's header no longer covers it.
+func (a *Allocator) splitAndServe(prev, cur uint64, bt, total int) {
+	rem := bt - total
+	if rem > 0 {
+		a.mem.StoreNT64(cur-headerSize+uint64(total), uint64(rem-headerSize)<<1|freedBit)
+	}
+	next := a.mem.Load64(cur)
+	a.mem.StoreNT64(prev, next)
+	a.mem.StoreNT64(cur-headerSize, uint64(total-headerSize)<<1)
+	a.noteAlloc(cur-headerSize, total, true)
+	// The remainder was accounted as part of the original freed block;
+	// re-book the served part only (noteAlloc above moved `total` from
+	// freed to live, which is exactly right — the remainder stays freed).
+	if rem > 0 {
+		remPayload := cur + uint64(total)
+		remSlot := a.slotForTotal(rem)
+		a.mem.StoreNT64(remPayload, a.mem.Load64(remSlot))
+		a.mem.StoreNT64(remSlot, remPayload)
+	}
+}
+
+// freeSlot returns the head-pointer address of free list c (the large list
+// for c < 0).
 func (a *Allocator) freeSlot(c int) uint64 {
 	if c < 0 {
 		c = len(classTotals)
 	}
 	return offClasses + uint64(c)*8
+}
+
+// slotForTotal routes a block of the given total size to a free-list head.
+// Only an exact class-size match may use a class list — class pops assume
+// exact sizes — so split remainders of odd sizes go to the large list.
+func (a *Allocator) slotForTotal(total int) uint64 {
+	if c := classFor(total); c >= 0 && classTotals[c] == total {
+		return a.freeSlot(c)
+	}
+	return a.freeSlot(-1)
+}
+
+// inReclaimRange reports whether the block [hdrAddr, hdrAddr+total)
+// overlaps the fenced-off compaction range.
+func (a *Allocator) inReclaimRange(hdrAddr uint64, total int) bool {
+	return a.reclHi > a.reclLo &&
+		hdrAddr < a.reclHi && hdrAddr+uint64(total) > a.reclLo
 }
 
 func (a *Allocator) blockTotal(addr uint64) int {
@@ -240,11 +363,12 @@ func (a *Allocator) Free(addr uint64) {
 		return // idempotent: already free
 	}
 	total := int(hdr>>1) + headerSize
-	headSlot := a.freeSlot(classFor(total))
+	headSlot := a.slotForTotal(total)
 
 	a.mem.StoreNT64(addr, a.mem.Load64(headSlot))  // next pointer
 	a.mem.StoreNT64(addr-headerSize, hdr|freedBit) // mark free (replay barrier)
 	a.mem.StoreNT64(headSlot, addr)                // publish
+	a.noteFree(addr-headerSize, total)
 }
 
 // IsFree reports whether the block is currently marked free. It exists for
@@ -271,7 +395,22 @@ func (a *Allocator) SetRoot(i int, addr uint64) {
 }
 
 // HeapUsed returns the number of bytes between the heap base and the bump
-// pointer (an upper bound on live data; freed blocks are not subtracted).
+// pointer: the high-water mark of heap consumption. Freed blocks are NOT
+// subtracted — use HeapLive for the actually-live byte count.
 func (a *Allocator) HeapUsed() int {
 	return int(a.mem.Load64(offBump)) - HeapBase
+}
+
+// HeapLive returns the number of bytes in currently allocated blocks
+// (headers included), backed by the per-segment occupancy accounting. This
+// is the number HeapUsed historically over-reported: freed blocks are
+// excluded here.
+func (a *Allocator) HeapLive() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var live int64
+	for i := range a.segs {
+		live += a.segs[i].live
+	}
+	return int(live)
 }

@@ -1,0 +1,133 @@
+package pmem
+
+// Space reclamation: coalescing freed blocks and returning their pages to
+// the OS.
+//
+// The kv-layer compactor migrates live records out of a mostly-dead
+// segment (inside ordinary WAL-covered transactions), then calls Reclaim
+// on the emptied range. Reclaim merges runs of adjacent freed blocks into
+// single large free blocks and hole-punches their page-aligned interiors,
+// so the address space keeps its flat layout (merged blocks remain
+// allocatable — re-allocating them simply re-faults pages) while the
+// backing file stops paying for dead space.
+//
+// Crash safety is inherited from the block format: every step leaves the
+// heap walkable, and at worst a crash leaks a merged block (freed but on
+// no list), which a later Reclaim pass picks up again.
+
+import "github.com/rewind-db/rewind/internal/nvm"
+
+// SetReclaiming fences off the half-open heap range [lo, hi): the
+// allocator will not serve any free block overlapping it until the fence
+// is cleared with SetReclaiming(0, 0). The compactor sets the fence before
+// migrating live data out of a segment so freed space inside it cannot be
+// re-served mid-compaction.
+func (a *Allocator) SetReclaiming(lo, hi uint64) {
+	a.mu.Lock()
+	a.reclLo, a.reclHi = lo, hi
+	a.mu.Unlock()
+}
+
+// Reclaim coalesces runs of adjacent freed blocks lying fully inside
+// [lo, hi) into single free blocks and punches their page-aligned
+// interiors out of the backing file. It returns the number of bytes
+// released to the OS. The caller must have migrated every live block it
+// wants gone beforehand; live blocks inside the range are simply left in
+// place (they break runs).
+func (a *Allocator) Reclaim(lo, hi uint64) (released int64, err error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+
+	type run struct {
+		start uint64 // header address of the first block
+		total int    // run length in bytes
+		count int    // number of blocks merged
+	}
+	var runs []run
+	var cur *run
+	if err := a.walkHeap(func(hdrAddr uint64, total int, free bool) error {
+		if free && hdrAddr >= lo && hdrAddr+uint64(total) <= hi {
+			if cur != nil && cur.start+uint64(cur.total) == hdrAddr {
+				cur.total += total
+				cur.count++
+				return nil
+			}
+			runs = append(runs, run{start: hdrAddr, total: total, count: 1})
+			cur = &runs[len(runs)-1]
+			return nil
+		}
+		cur = nil
+		return nil
+	}); err != nil {
+		return 0, err
+	}
+
+	// Drop trivial runs (single block with no punchable interior) and
+	// collect the payload addresses of every member block being merged.
+	// Unlinking them happens in ONE pass over each free list — a dead
+	// range can hold hundreds of thousands of blocks, and a per-block list
+	// walk would make Reclaim quadratic.
+	members := make(map[uint64]struct{})
+	kept := runs[:0]
+	for _, r := range runs {
+		punchLo := pageUp(r.start + nvm.LineSize)
+		punchHi := pageDown(r.start + uint64(r.total))
+		if r.count < 2 && punchHi <= punchLo {
+			continue // nothing to merge and nothing to punch
+		}
+		kept = append(kept, r)
+		addr := r.start
+		for i := 0; i < r.count; i++ {
+			members[addr+headerSize] = struct{}{}
+			addr += uint64(a.blockTotal(addr + headerSize))
+		}
+	}
+	if len(kept) == 0 {
+		return 0, nil
+	}
+	// Unlink every member so no free list points into the middle of a
+	// merged block. Blocks a crash left unlisted simply aren't found.
+	for c := -1; c < len(classTotals); c++ {
+		prev := a.freeSlot(c)
+		cur := a.mem.Load64(prev)
+		for cur != nvm.Null {
+			next := a.mem.Load64(cur)
+			if _, gone := members[cur]; gone {
+				a.mem.StoreNT64(prev, next)
+			} else {
+				prev = cur
+			}
+			cur = next
+		}
+	}
+	for _, r := range kept {
+		// A single header write performs the merge, the merged block is
+		// published on its list, and the interior pages are punched (the
+		// first line survives: it holds the merged header and the
+		// just-written next pointer).
+		a.mem.StoreNT64(r.start, uint64(r.total-headerSize)<<1|freedBit)
+		slot := a.slotForTotal(r.total)
+		a.mem.StoreNT64(r.start+headerSize, a.mem.Load64(slot))
+		a.mem.StoreNT64(slot, r.start+headerSize)
+		punchLo := pageUp(r.start + nvm.LineSize)
+		punchHi := pageDown(r.start + uint64(r.total))
+		if punchHi > punchLo {
+			if err := a.mem.PunchHole(punchLo, int(punchHi-punchLo)); err != nil {
+				return released, err
+			}
+			released += int64(punchHi - punchLo)
+		}
+		// Book the whole run as dealt-with so compaction policy stops
+		// condemning a segment whose dead space is already coalesced.
+		if s := a.segFor(r.start); s != nil {
+			s.reclaimed += int64(r.total)
+			if s.reclaimed > s.freed {
+				s.reclaimed = s.freed
+			}
+		}
+	}
+	return released, nil
+}
+
+func pageUp(a uint64) uint64   { return (a + 4095) &^ 4095 }
+func pageDown(a uint64) uint64 { return a &^ 4095 }

@@ -1,0 +1,178 @@
+package kv
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/rewind-db/rewind"
+)
+
+// TestGrowUnderLoad is the growth gate CI runs in -short: a store created
+// at 2 MiB keeps accepting writes past its initial arena, growing in
+// 1 MiB extents, and every key written across the growth boundary reads
+// back exactly. Growth is demand-driven — no manual trigger.
+func TestGrowUnderLoad(t *testing.T) {
+	const initial = 2 << 20
+	st, err := rewind.Open(rewind.Options{
+		ArenaSize: initial,
+		MaxArena:  16 << 20,
+		GrowStep:  1 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	s, err := Create(st, Config{Stripes: 2, MaxValue: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n uint64
+	for k := uint64(1); ; k++ {
+		if err := s.Put(k, val64(k)); err != nil {
+			t.Fatalf("Put(%d) failed below the cap: %v", k, err)
+		}
+		n = k
+		// Keep writing well past the first growth so keys straddle the
+		// extent boundary on both sides.
+		if st.Mem().Size() > 2*initial && k%1024 == 0 {
+			break
+		}
+	}
+	ai := st.ArenaInfo()
+	if ai.Grows == 0 || ai.Segments < 2 {
+		t.Fatalf("arena never grew: %+v", ai)
+	}
+	if ai.Size <= initial || ai.Size > ai.MaxSize {
+		t.Fatalf("arena size %d out of range (initial %d, cap %d)", ai.Size, initial, ai.MaxSize)
+	}
+	for k := uint64(1); k <= n; k++ {
+		v, ok := s.Get(k)
+		if !ok || !bytes.Equal(v, val64(k)) {
+			t.Fatalf("key %d lost or corrupted across growth", k)
+		}
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Allocator().CheckHeap(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGrowCrashMatrix sweeps injected crashes through the window of puts
+// that spans the first arena growth, in both commit modes. Each put must
+// be all-or-none across the crash, the recovered store must retain the
+// grown extents it durably added, and the heap must stay walkable.
+func TestGrowCrashMatrix(t *testing.T) {
+	// Strided under -short so CI's -race job sweeps a subset of the
+	// crash points; the full matrix runs in the plain suite.
+	stride := 23
+	if testing.Short() {
+		stride = 211
+	}
+	const initial = 2 << 20
+	opts := func(mode rewind.CommitMode) rewind.Options {
+		return rewind.Options{
+			ArenaSize:  initial,
+			MaxArena:   16 << 20,
+			GrowStep:   1 << 20,
+			CommitMode: mode,
+		}
+	}
+	for _, mode := range []rewind.CommitMode{rewind.UndoRedo, rewind.RedoOnly} {
+		// Dry run: count how many puts it takes to trigger the first
+		// growth. Allocation is deterministic, so every matrix iteration
+		// below replays the same sequence and grows at the same put.
+		st, err := rewind.Open(opts(mode))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := Create(st, Config{Stripes: 2, MaxValue: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var nGrow uint64
+		for k := uint64(1); ; k++ {
+			if err := s.Put(k, val64(k)); err != nil {
+				t.Fatal(err)
+			}
+			if st.Mem().Size() > initial {
+				nGrow = k
+				break
+			}
+		}
+		st.Close()
+		if nGrow < 16 {
+			t.Fatalf("mode %v: growth after only %d puts; arena too small for a meaningful prefix", mode, nGrow)
+		}
+		prefix := nGrow - 8 // last uninjected put; the crash window spans the growth
+		t.Logf("mode %v: first growth at put %d", mode, nGrow)
+
+		for crashAt := 1; ; crashAt += stride {
+			st, err := rewind.Open(opts(mode))
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := Create(st, Config{Stripes: 2, MaxValue: 64})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for k := uint64(1); k <= prefix; k++ {
+				if err := s.Put(k, val64(k)); err != nil {
+					t.Fatalf("mode %v: prefix fill failed at %d: %v", mode, k, err)
+				}
+			}
+			acked := prefix
+			st.Mem().SetCrashAfter(crashAt)
+			crashed := st.Mem().RunToCrash(func() {
+				for k := prefix + 1; k <= nGrow+16; k++ {
+					if err := s.Put(k, val64(k)); err != nil {
+						return
+					}
+					acked = k
+				}
+			})
+			st.Mem().SetCrashAfter(0)
+
+			st2, err := rewind.Reattach(st.Options(), st.Mem())
+			if err != nil {
+				t.Fatalf("mode %v crashAt=%d: %v", mode, crashAt, err)
+			}
+			s2, err := Attach(st2, Config{Stripes: 2, MaxValue: 64})
+			if err != nil {
+				t.Fatalf("mode %v crashAt=%d: %v", mode, crashAt, err)
+			}
+			// Every acked put is durable; the single in-flight put may have
+			// committed or not (all-or-none); nothing beyond it may exist.
+			for k := uint64(1); k <= acked; k++ {
+				v, ok := s2.Get(k)
+				if !ok || !bytes.Equal(v, val64(k)) {
+					t.Fatalf("mode %v crashAt=%d: acked key %d lost or corrupted", mode, crashAt, k)
+				}
+			}
+			if v, ok := s2.Get(acked + 1); ok && !bytes.Equal(v, val64(acked+1)) {
+				t.Fatalf("mode %v crashAt=%d: in-flight key %d torn", mode, crashAt, acked+1)
+			}
+			for k := acked + 2; k <= nGrow+16; k++ {
+				if _, ok := s2.Get(k); ok {
+					t.Fatalf("mode %v crashAt=%d: unattempted key %d present", mode, crashAt, k)
+				}
+			}
+			if sz := st2.Mem().Size(); sz < initial {
+				t.Fatalf("mode %v crashAt=%d: arena shrank to %d", mode, crashAt, sz)
+			}
+			if err := s2.CheckInvariants(); err != nil {
+				t.Fatalf("mode %v crashAt=%d: %v", mode, crashAt, err)
+			}
+			if err := st2.Allocator().CheckHeap(); err != nil {
+				t.Fatalf("mode %v crashAt=%d: %v", mode, crashAt, err)
+			}
+			if !crashed {
+				if st2.Mem().Size() <= initial {
+					t.Fatalf("mode %v: full window ran but arena never grew", mode)
+				}
+				break
+			}
+		}
+	}
+}

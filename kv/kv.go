@@ -195,6 +195,8 @@ type Store struct {
 
 	txnBegins, txnCommits, txnRollbacks, txnConflicts atomic.Int64
 	casAttempts, casApplied                           atomic.Int64
+
+	compactions, compactMoved, compactReleased atomic.Int64
 }
 
 // optimisticReadHook, when non-nil, runs between an optimistic traversal
@@ -221,10 +223,11 @@ func Create(st *rewind.Store, cfg Config) (*Store, error) {
 	// The record length field is the full leading word of the documented
 	// "[length word | payload]" layout, so MaxValue is bounded only by what
 	// the arena can physically hold: one tree leaf must fit a quarter of
-	// the arena, or the very first insert would exhaust it.
-	if leaf := (btree.Config{ValueSize: cfg.valueSize()}).LeafSize(); leaf > st.Mem().Size()/4 {
+	// the arena — at its growth cap, since a growable arena extends itself
+	// before the first insert could exhaust it.
+	if leaf := (btree.Config{ValueSize: cfg.valueSize()}).LeafSize(); leaf > st.Mem().MaxSize()/4 {
 		return nil, fmt.Errorf("kv: MaxValue %d needs %d-byte leaves; the %d-byte arena cannot hold them",
-			cfg.MaxValue, leaf, st.Mem().Size())
+			cfg.MaxValue, leaf, st.Mem().MaxSize())
 	}
 	mem := st.Mem()
 	tblSize := tblTrees + cfg.Stripes*8
@@ -929,8 +932,12 @@ type Stats struct {
 	// CasApplied counts the ones whose condition held and that mutated
 	// (or durably confirmed) the store.
 	CasAttempts, CasApplied int64
-	Keys                    int
-	Stripes                 int
+	// Compactions counts completed CompactStep cycles that condemned a
+	// segment; CompactedNodes counts tree nodes migrated out of condemned
+	// segments; ReclaimedBytes counts bytes hole-punched back to the OS.
+	Compactions, CompactedNodes, ReclaimedBytes int64
+	Keys                                        int
+	Stripes                                     int
 }
 
 // Stats returns a snapshot of activity counters and the current key count.
@@ -944,7 +951,10 @@ func (s *Store) Stats() Stats {
 		TxnBegins:            s.txnBegins.Load(), TxnCommits: s.txnCommits.Load(),
 		TxnRollbacks: s.txnRollbacks.Load(), TxnConflicts: s.txnConflicts.Load(),
 		CasAttempts: s.casAttempts.Load(), CasApplied: s.casApplied.Load(),
-		Keys: s.Len(), Stripes: len(s.stripes),
+		Compactions:    s.compactions.Load(),
+		CompactedNodes: s.compactMoved.Load(),
+		ReclaimedBytes: s.compactReleased.Load(),
+		Keys:           s.Len(), Stripes: len(s.stripes),
 	}
 }
 
@@ -971,6 +981,9 @@ func (s *Store) RegisterMetrics(r *obs.Registry) {
 		emit("rewind_kv_txn_conflicts_total", "Interactive commits aborted by for-update read validation.", st.TxnConflicts)
 		emit("rewind_kv_cas_attempts_total", "Conditional operations attempted (CAS, put-if-absent).", st.CasAttempts)
 		emit("rewind_kv_cas_applied_total", "Conditional operations whose condition held.", st.CasApplied)
+		emit("rewind_kv_compactions_total", "Completed compaction cycles that condemned a segment.", st.Compactions)
+		emit("rewind_kv_compacted_nodes_total", "Tree nodes migrated out of condemned segments.", st.CompactedNodes)
+		emit("rewind_kv_reclaimed_bytes_total", "Bytes hole-punched back to the OS by compaction.", st.ReclaimedBytes)
 		emit("rewind_kv_keys", "Keys currently stored across all stripes.", int64(st.Keys))
 		emit("rewind_kv_stripes", "Configured stripe count.", int64(st.Stripes))
 	})

@@ -70,5 +70,15 @@ func (s *Store) RegisterMetrics(r *obs.Registry) {
 		emit("rewind_recovery_undone", "Updates compensated during the last recovery's undo phase.", int64(rec.Undone))
 		emit("rewind_recovery_losers_aborted", "Transactions rolled back by the last recovery.", int64(rec.LosersAborted))
 		emit("rewind_recovery_winners", "Committed transactions found finished by the last recovery.", int64(rec.Winners))
+
+		ai := s.ArenaInfo()
+		emit("rewind_arena_size_bytes", "Current arena size (grows on demand up to the cap).", int64(ai.Size))
+		emit("rewind_arena_max_bytes", "Arena growth cap; equals size when growth is disabled.", int64(ai.MaxSize))
+		emit("rewind_arena_grows_total", "Arena growth events this session.", int64(ai.Grows))
+		emit("rewind_arena_segments", "Heap segments (base plus durable extents).", int64(ai.Segments))
+		emit("rewind_arena_heap_used_bytes", "Heap bump high-water mark.", int64(ai.HeapUsed))
+		emit("rewind_arena_heap_live_bytes", "Bytes in currently allocated heap blocks.", int64(ai.HeapLive))
+		emit("rewind_arena_punched_bytes_total", "Bytes hole-punched back to the OS this session.", int64(ai.PunchedBytes))
+		emit("rewind_arena_allocated_bytes", "Backing file's actual on-disk footprint (arena size when heap-backed).", ai.AllocatedBytes)
 	})
 }

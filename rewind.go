@@ -105,8 +105,17 @@ const (
 // configuration: one-layer logging, no-force policy, Batch log, 1,000
 // record buckets, groups of 8, 150ns NVM write latency.
 type Options struct {
-	// ArenaSize is the NVM arena size in bytes (default 256 MiB).
+	// ArenaSize is the initial NVM arena size in bytes (default 256 MiB).
 	ArenaSize int
+	// MaxArena, when larger than ArenaSize, lets the arena grow on demand:
+	// an allocation that exhausts the heap extends the address space by
+	// GrowStep (crash-safely — a torn grow reverts) instead of failing,
+	// until MaxArena is reached. Zero or <= ArenaSize disables growth,
+	// preserving the fixed-arena behavior.
+	MaxArena int
+	// GrowStep is the growth increment in bytes (default ArenaSize, i.e.
+	// doubling-style growth). Only meaningful with MaxArena set.
+	GrowStep int
 	// Policy selects Force or NoForce (default NoForce).
 	Policy Policy
 	// Layers selects OneLayer or TwoLayer (default OneLayer).
@@ -191,6 +200,12 @@ func (o Options) withDefaults() Options {
 	if o.ArenaSize <= 0 {
 		o.ArenaSize = 256 << 20
 	}
+	if o.MaxArena < o.ArenaSize {
+		o.MaxArena = o.ArenaSize
+	}
+	if o.GrowStep <= 0 {
+		o.GrowStep = o.ArenaSize
+	}
 	if o.LogKind == 0 && o.Layers == TwoLayer {
 		o.LogKind = Optimized
 	} else if o.LogKind == 0 {
@@ -251,6 +266,7 @@ func Open(opts Options) (*Store, error) {
 	}
 	mem := nvm.New(nvm.Config{
 		Size:             opts.ArenaSize,
+		MaxSize:          opts.MaxArena,
 		WriteLatency:     opts.WriteLatency,
 		FenceLatency:     opts.FenceLatency,
 		ReadLatency:      opts.ReadLatency,
@@ -272,7 +288,21 @@ func Open(opts Options) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Store{opts: opts, mem: mem, alloc: alloc, tm: tm}, nil
+	return newStore(opts, mem, alloc, tm, nil), nil
+}
+
+// newStore finishes construction. The growth policy is volatile allocator
+// state, so every open/attach path re-arms it here from the device's
+// actual headroom.
+func newStore(opts Options, mem *nvm.Memory, alloc *pmem.Allocator, tm *core.TM, rs *core.RecoveryStats) *Store {
+	if mem.MaxSize() > mem.Size() {
+		alloc.SetGrowth(opts.GrowStep)
+	}
+	s := &Store{opts: opts, mem: mem, alloc: alloc, tm: tm}
+	if rs != nil {
+		s.Recovery = *rs
+	}
+	return s
 }
 
 // openBacked opens a store whose durable image lives in an mmapped file.
@@ -283,6 +313,7 @@ func Open(opts Options) (*Store, error) {
 func openBacked(opts Options) (s *Store, err error) {
 	mem, existed, err := nvm.OpenFile(nvm.Config{
 		Size:           opts.ArenaSize,
+		MaxSize:        opts.MaxArena,
 		WriteLatency:   opts.WriteLatency,
 		FenceLatency:   opts.FenceLatency,
 		ReadLatency:    opts.ReadLatency,
@@ -306,14 +337,14 @@ func openBacked(opts Options) (s *Store, err error) {
 				if err != nil {
 					return nil, err
 				}
-				return &Store{opts: opts, mem: mem, alloc: alloc, tm: tm, Recovery: *rs}, nil
+				return newStore(opts, mem, alloc, tm, rs), nil
 			}
 			// Heap formatted but no manager yet: died inside first boot.
 			tm, err := core.New(alloc, coreConfig(opts, primaryRootBase))
 			if err != nil {
 				return nil, err
 			}
-			return &Store{opts: opts, mem: mem, alloc: alloc, tm: tm}, nil
+			return newStore(opts, mem, alloc, tm, nil), nil
 		} else if !errors.Is(perr, pmem.ErrNotFormatted) {
 			return nil, perr
 		}
@@ -323,7 +354,7 @@ func openBacked(opts Options) (s *Store, err error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Store{opts: opts, mem: mem, alloc: alloc, tm: tm}, nil
+	return newStore(opts, mem, alloc, tm, nil), nil
 }
 
 // Reattach opens a store over an existing arena (used after Crash and by
@@ -341,7 +372,7 @@ func attach(opts Options, mem *nvm.Memory) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Store{opts: opts, mem: mem, alloc: alloc, tm: tm, Recovery: *rs}, nil
+	return newStore(opts, mem, alloc, tm, rs), nil
 }
 
 func coreConfig(opts Options, rootBase int) core.Config {
@@ -405,6 +436,48 @@ func (s *Store) LastCheckpoint() core.CheckpointStats { return s.tm.LastCheckpoi
 
 // Stats returns the simulated device counters.
 func (s *Store) Stats() nvm.Stats { return s.mem.Stats() }
+
+// ArenaInfo is a snapshot of the arena's capacity state: how far it has
+// grown, how much of the heap is live versus high-water, and what the
+// backing file actually costs on disk after hole punching.
+type ArenaInfo struct {
+	// Size is the current (possibly grown) arena size; MaxSize the growth
+	// cap. Equal when growth is disabled.
+	Size, MaxSize int
+	// Grows counts successful growth events this session; Segments counts
+	// heap segments (base + durable extents).
+	Grows, Segments int
+	// HeapUsed is the bump high-water mark; HeapLive the bytes in
+	// currently allocated blocks — the gap is dead or reusable space.
+	HeapUsed, HeapLive int
+	// PunchedBytes counts bytes hole-punched back to the OS this session.
+	// AllocatedBytes is the backing file's actual on-disk footprint (the
+	// arena size when heap-backed).
+	PunchedBytes   uint64
+	AllocatedBytes int64
+}
+
+// ArenaInfo returns a snapshot of arena capacity, growth, and reclamation
+// state.
+func (s *Store) ArenaInfo() ArenaInfo {
+	ab, _ := s.mem.AllocatedBytes()
+	return ArenaInfo{
+		Size:           s.mem.Size(),
+		MaxSize:        s.mem.MaxSize(),
+		Grows:          int(s.mem.GrowCount()),
+		Segments:       len(s.mem.Extents()) + 1,
+		HeapUsed:       s.alloc.HeapUsed(),
+		HeapLive:       s.alloc.HeapLive(),
+		PunchedBytes:   s.mem.PunchedBytes(),
+		AllocatedBytes: ab,
+	}
+}
+
+// Sync flushes the mmapped backing file to stable storage (msync); a
+// no-op for heap-backed stores. rewindd calls this on a -sync-every
+// cadence for an extra physical-durability bound on top of the page
+// cache.
+func (s *Store) Sync() error { return s.mem.Sync() }
 
 // SimNS reads the device's virtual clock: the total simulated latency
 // charged so far, in nanoseconds. One atomic load; the observability

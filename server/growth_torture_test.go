@@ -1,0 +1,156 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"github.com/rewind-db/rewind/client"
+)
+
+// TestArenaGrowth is the capacity acceptance test: a daemon started at a
+// small arena must absorb live TCP load past 4x its initial size without
+// ever refusing a write (the cap is far away), survive a SIGKILL while
+// grown, and reopen the grown (v2, multi-extent) backing file with every
+// acknowledged write intact. Skipped under -short (builds a binary and
+// streams load for seconds); CI runs it as a dedicated smoke step.
+func TestArenaGrowth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills a real daemon; run without -short")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "rewindd")
+	build := exec.Command("go", "build", "-o", bin, "github.com/rewind-db/rewind/cmd/rewindd")
+	build.Dir = ".." // module root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building rewindd: %v\n%s", err, out)
+	}
+	backing := filepath.Join(dir, "arena.nvm")
+	addr := freeAddr(t)
+
+	const initial = 4 << 20
+	args := []string{
+		"-arena", fmt.Sprint(initial),
+		"-max-arena", fmt.Sprint(128 << 20),
+		"-grow-step", fmt.Sprint(initial),
+		"-checkpoint", "250ms",
+		"-sync-every", "100ms",
+		"-compact-every", "1",
+	}
+	daemon := startDaemonArgs(t, bin, addr, backing, args...)
+
+	// Loaders stream acked PUTs of near-max values. Until the kill is
+	// announced, a Put error is a capacity failure — the store must grow,
+	// not refuse writes, while far below -max-arena.
+	const loaders = 4
+	type ackLog struct {
+		mu    sync.Mutex
+		acked map[uint64][]byte
+	}
+	log := ackLog{acked: map[uint64][]byte{}}
+	var killing atomic.Bool
+	var loadErr atomic.Pointer[error]
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < loaders; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			cl := client.Dial(addr, client.Options{Conns: 1, Retries: -1})
+			defer cl.Close()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				key := uint64(g)<<32 | uint64(i)
+				val := bytes.Repeat([]byte{byte(g), byte(i), byte(i >> 8)}, 149) // 447 bytes
+				if err := cl.Put(key, val); err != nil {
+					if !killing.Load() {
+						e := fmt.Errorf("loader %d: Put(%d) below the cap: %w", g, key, err)
+						loadErr.CompareAndSwap(nil, &e)
+					}
+					return
+				}
+				log.mu.Lock()
+				log.acked[key] = val
+				log.mu.Unlock()
+			}
+		}(g)
+	}
+
+	// Watch STATS until the arena has grown past 4x its initial size.
+	mon := client.Dial(addr, client.Options{})
+	grown := false
+	deadline := time.Now().Add(90 * time.Second)
+	var lastSize int
+	for time.Now().Before(deadline) {
+		if e := loadErr.Load(); e != nil {
+			t.Fatal(*e)
+		}
+		st, err := mon.ServerStats()
+		if err == nil {
+			lastSize = st.Arena.Size
+			if st.Arena.Size >= 4*initial {
+				grown = true
+				t.Logf("arena grew to %d bytes (%d segments, %d grows)",
+					st.Arena.Size, st.Arena.Segments, st.Arena.Grows)
+				break
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	mon.Close()
+	if !grown {
+		t.Fatalf("arena never reached 4x initial size under load (last observed %d bytes)", lastSize)
+	}
+
+	// Kill the grown daemon without ceremony.
+	killing.Store(true)
+	if err := daemon.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	daemon.Wait()
+	close(stop)
+	wg.Wait()
+	if e := loadErr.Load(); e != nil {
+		t.Fatal(*e)
+	}
+	t.Logf("SIGKILLed grown daemon after %d acked writes", len(log.acked))
+
+	// Restart on the same grown backing file: every acked write must be
+	// readable and the reopened arena must still be the grown one.
+	daemon2 := startDaemonArgs(t, bin, addr, backing, args...)
+	defer func() {
+		daemon2.Process.Signal(syscall.SIGTERM)
+		daemon2.Wait()
+	}()
+	cl := client.Dial(addr, client.Options{})
+	defer cl.Close()
+	for key, want := range log.acked {
+		got, err := cl.Get(key)
+		if err != nil {
+			t.Fatalf("acked key %d lost after SIGKILL+restart: %v", key, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("acked key %d = %q after restart, want %q", key, got, want)
+		}
+	}
+	st, err := cl.ServerStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Arena.Size < 4*initial {
+		t.Fatalf("restart lost the growth: arena %d bytes, want >= %d", st.Arena.Size, 4*initial)
+	}
+	if st.Arena.Segments < 2 {
+		t.Fatalf("restarted arena reports %d segments, want multi-extent", st.Arena.Segments)
+	}
+}

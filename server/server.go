@@ -25,6 +25,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/rewind-db/rewind"
 	"github.com/rewind-db/rewind/internal/obs"
 	"github.com/rewind-db/rewind/internal/wire"
 	"github.com/rewind-db/rewind/kv"
@@ -720,6 +721,10 @@ type Stats struct {
 	Latency      map[string]obs.OpLatency `json:",omitempty"`
 	CommitPhases map[string]obs.OpLatency `json:",omitempty"`
 	SlowOps      int64
+	// Arena reports capacity state: current and maximum arena size, growth
+	// events, heap live vs high-water bytes, and the backing file's actual
+	// on-disk footprint after hole punching. Zero on older servers.
+	Arena rewind.ArenaInfo
 }
 
 // Stats snapshots server activity.
@@ -754,6 +759,7 @@ func (s *Server) Stats() Stats {
 	st.Latency = s.obs.OpLatencies()
 	st.CommitPhases = s.obs.PhaseLatencies()
 	st.SlowOps = s.obs.SlowCount()
+	st.Arena = s.kv.Rewind().ArenaInfo()
 	return st
 }
 

@@ -103,14 +103,22 @@ func TestServerSIGKILLTorture(t *testing.T) {
 	}
 }
 
-// startDaemon launches rewindd and waits until it accepts connections.
+// startDaemon launches rewindd with the torture defaults: a big arena
+// plus a tight checkpoint interval keep the NoForce log trimmed under
+// continuous load, so neither the load phase nor the recovery replay can
+// exhaust the heap mid-test, and a periodic msync bounds how far the
+// durable image may trail the page cache when the SIGKILL lands.
 func startDaemon(t *testing.T, bin, addr, backing string) *exec.Cmd {
 	t.Helper()
-	// A big arena plus a tight checkpoint interval keep the NoForce log
-	// trimmed under continuous load, so neither the load phase nor the
-	// recovery replay can exhaust the heap mid-test.
-	cmd := exec.Command(bin, "-addr", addr, "-backing", backing,
-		"-arena", "134217728", "-checkpoint", "300ms")
+	return startDaemonArgs(t, bin, addr, backing,
+		"-arena", "134217728", "-checkpoint", "300ms", "-sync-every", "100ms")
+}
+
+// startDaemonArgs launches rewindd with the given extra flags and waits
+// until it accepts connections.
+func startDaemonArgs(t *testing.T, bin, addr, backing string, extra ...string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(bin, append([]string{"-addr", addr, "-backing", backing}, extra...)...)
 	cmd.Stdout = os.Stderr
 	cmd.Stderr = os.Stderr
 	if err := cmd.Start(); err != nil {
